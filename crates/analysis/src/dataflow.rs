@@ -1,0 +1,237 @@
+//! A small generic bit-vector dataflow framework over the CFG.
+//!
+//! Provides the classic worklist solver for forward ("reaching"-style) and
+//! backward ("liveness"-style) problems whose facts are bitsets with
+//! union as the join. Included as shared infrastructure: the fence
+//! pipeline itself only needs reachability, but downstream passes
+//! (dead-fence elimination, local liveness in the examples/tests) build on
+//! this.
+
+use fence_ir::cfg::Cfg;
+use fence_ir::util::BitSet;
+use fence_ir::{BlockId, Function, InstKind};
+
+/// Direction of a dataflow problem.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Facts flow from predecessors to successors.
+    Forward,
+    /// Facts flow from successors to predecessors.
+    Backward,
+}
+
+/// A gen/kill dataflow problem over bitsets with union join.
+pub trait GenKill {
+    /// Number of bits in the fact domain.
+    fn domain_size(&self) -> usize;
+    /// Direction of propagation.
+    fn direction(&self) -> Direction;
+    /// Per-block transfer function inputs: facts generated in `block`.
+    fn gen_set(&self, block: BlockId) -> BitSet;
+    /// Facts killed in `block`.
+    fn kill_set(&self, block: BlockId) -> BitSet;
+    /// Boundary facts (at entry for forward, at exits for backward).
+    fn boundary(&self) -> BitSet {
+        BitSet::new(self.domain_size())
+    }
+}
+
+/// Solution: facts at block entry and exit.
+pub struct DataflowResult {
+    /// Facts holding at each block's entry.
+    pub on_entry: Vec<BitSet>,
+    /// Facts holding at each block's exit.
+    pub on_exit: Vec<BitSet>,
+}
+
+/// Solves a gen/kill problem to fixpoint with a worklist.
+#[allow(clippy::needless_range_loop)] // b cross-indexes four tables
+pub fn solve(problem: &impl GenKill, cfg: &Cfg) -> DataflowResult {
+    let n = cfg.num_blocks();
+    let d = problem.domain_size();
+    let gens: Vec<BitSet> = (0..n).map(|b| problem.gen_set(BlockId::new(b))).collect();
+    let kills: Vec<BitSet> = (0..n).map(|b| problem.kill_set(BlockId::new(b))).collect();
+    let mut on_entry = vec![BitSet::new(d); n];
+    let mut on_exit = vec![BitSet::new(d); n];
+
+    let forward = problem.direction() == Direction::Forward;
+    if forward {
+        on_entry[cfg.entry.index()] = problem.boundary();
+    } else {
+        // Backward boundary applies at blocks with no successors.
+        for b in 0..n {
+            if cfg.succs[b].is_empty() {
+                on_exit[b] = problem.boundary();
+            }
+        }
+    }
+
+    let mut worklist: Vec<usize> = (0..n).collect();
+    while let Some(b) = worklist.pop() {
+        let (input, out_slot): (BitSet, &mut BitSet) = if forward {
+            let mut acc = if b == cfg.entry.index() {
+                problem.boundary()
+            } else {
+                BitSet::new(d)
+            };
+            for p in &cfg.preds[b] {
+                acc.union_with(&on_exit[p.index()]);
+            }
+            on_entry[b] = acc.clone();
+            (acc, &mut on_exit[b])
+        } else {
+            let mut acc = if cfg.succs[b].is_empty() {
+                problem.boundary()
+            } else {
+                BitSet::new(d)
+            };
+            for s in &cfg.succs[b] {
+                acc.union_with(&on_entry[s.index()]);
+            }
+            on_exit[b] = acc.clone();
+            (acc, &mut on_entry[b])
+        };
+        // transfer: out = gen ∪ (in - kill)
+        let mut new = gens[b].clone();
+        let mut masked = input;
+        for k in kills[b].iter() {
+            masked.remove(k);
+        }
+        new.union_with(&masked);
+        if &new != out_slot {
+            *out_slot = new;
+            let affected = if forward { &cfg.succs[b] } else { &cfg.preds[b] };
+            for a in affected {
+                worklist.push(a.index());
+            }
+        }
+    }
+    DataflowResult { on_entry, on_exit }
+}
+
+/// Liveness of local register slots: a local is live if it may be read
+/// before being overwritten. Fact domain = locals.
+pub struct LocalLiveness<'a> {
+    func: &'a Function,
+}
+
+impl<'a> LocalLiveness<'a> {
+    /// Creates the problem for `func`.
+    pub fn new(func: &'a Function) -> Self {
+        LocalLiveness { func }
+    }
+
+    /// Convenience: solve and return per-block live-in sets.
+    pub fn live_in(func: &'a Function) -> Vec<BitSet> {
+        let cfg = Cfg::new(func);
+        let problem = LocalLiveness::new(func);
+        solve(&problem, &cfg).on_entry
+    }
+}
+
+impl GenKill for LocalLiveness<'_> {
+    fn domain_size(&self) -> usize {
+        self.func.locals.len()
+    }
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn gen_set(&self, block: BlockId) -> BitSet {
+        // Locals read before any write in this block (upward-exposed uses).
+        let mut g = BitSet::new(self.domain_size());
+        let mut written = BitSet::new(self.domain_size());
+        for &iid in &self.func.block(block).insts {
+            match &self.func.inst(iid).kind {
+                InstKind::ReadLocal { local }
+                    if !written.contains(local.index()) => {
+                        g.insert(local.index());
+                    }
+                InstKind::WriteLocal { local, .. } => {
+                    written.insert(local.index());
+                }
+                _ => {}
+            }
+        }
+        g
+    }
+
+    fn kill_set(&self, block: BlockId) -> BitSet {
+        let mut k = BitSet::new(self.domain_size());
+        for &iid in &self.func.block(block).insts {
+            if let InstKind::WriteLocal { local, .. } = &self.func.inst(iid).kind {
+                k.insert(local.index());
+            }
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fence_ir::builder::FunctionBuilder;
+    use fence_ir::Value;
+
+    #[test]
+    fn loop_induction_variable_is_live_at_header() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.for_loop(0i64, 5i64, |_, _| {});
+        fb.ret(None);
+        let f = fb.build();
+        let live = LocalLiveness::live_in(&f);
+        // The induction local (slot 0) is live at the header block (the one
+        // that reads it first).
+        let any_live = live.iter().any(|s| s.contains(0));
+        assert!(any_live, "induction variable live somewhere");
+        // It is NOT live at entry: entry writes it before the loop reads it.
+        assert!(!live[f.entry.index()].contains(0));
+    }
+
+    #[test]
+    fn dead_local_is_never_live() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let l = fb.local("dead");
+        fb.write_local(l, 1i64);
+        fb.ret(None);
+        let f = fb.build();
+        let live = LocalLiveness::live_in(&f);
+        assert!(live.iter().all(|s| !s.contains(l.index())));
+    }
+
+    #[test]
+    fn read_without_write_is_live_at_entry() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let l = fb.local("x");
+        let v = fb.read_local(l);
+        fb.ret(Some(v));
+        let f = fb.build();
+        let live = LocalLiveness::live_in(&f);
+        assert!(live[f.entry.index()].contains(l.index()));
+    }
+
+    #[test]
+    fn branch_merges_liveness() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let l = fb.local("x");
+        fb.write_local(l, 3i64);
+        fb.if_then_else(
+            Value::Arg(0),
+            |b| {
+                let v = b.read_local(l);
+                let _ = b.add(v, 1);
+            },
+            |_| {},
+        );
+        fb.ret(None);
+        let f = fb.build();
+        let live = LocalLiveness::live_in(&f);
+        // x is live into the then-branch, not the else-branch.
+        let live_blocks: Vec<usize> = (0..f.num_blocks())
+            .filter(|&b| live[b].contains(l.index()))
+            .collect();
+        assert!(!live_blocks.is_empty());
+        assert!(!live[f.entry.index()].contains(l.index()));
+    }
+}

@@ -1,0 +1,408 @@
+//! Andersen-style flow-insensitive, field-insensitive points-to analysis.
+//!
+//! Abstract locations are globals, `alloc` sites (one per syntactic site),
+//! and a single `Unknown` top element modelling addresses the analysis
+//! cannot resolve (entry-function pointer arguments, raw integers used as
+//! addresses). Precision is deliberately in the same class as the
+//! conservative substrate the paper builds on: **field-insensitive** (a
+//! whole global/array is one location) and **flow-insensitive** (one set
+//! per value for the whole program).
+//!
+//! Constraints (solved to fixpoint):
+//!
+//! | instruction          | constraint                                        |
+//! |----------------------|---------------------------------------------------|
+//! | `%r = alloc n`       | `pts(r) ⊇ {site}`                                 |
+//! | `%r = gep b, i`      | `pts(r) ⊇ pts(b)` (index is an integer)           |
+//! | `%r = bin a, b`      | `pts(r) ⊇ pts(a) ∪ pts(b)` (pointer arithmetic)   |
+//! | `%r = select c,a,b`  | `pts(r) ⊇ pts(a) ∪ pts(b)`                        |
+//! | `%r = load p`        | `pts(r) ⊇ ⋃_{L ∈ locs(p)} pts(L)`                 |
+//! | `store p, v`         | `∀ L ∈ locs(p): pts(L) ⊇ pts(v)` (weak update)    |
+//! | locals               | flow through the slot's set                       |
+//! | `call f(a…) → r`     | `pts(param_i) ⊇ pts(a_i)`, `pts(r) ⊇ pts(ret_f)`  |
+//!
+//! `locs(p)` resolves an *address* operand: if `pts(p)` is empty, the
+//! address is unknown ⇒ `{Unknown}`.
+
+use fence_ir::util::BitSet;
+use fence_ir::{FuncId, GlobalId, InstId, InstKind, LocalId, Module, Value};
+
+/// An abstract memory location.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AbsLoc {
+    /// A whole global region (field-insensitive).
+    Global(GlobalId),
+    /// One `alloc` site (all cells it ever returns).
+    Alloc(FuncId, InstId),
+    /// Statically unresolvable memory. Aliases everything.
+    Unknown,
+}
+
+/// Result of the points-to analysis for a whole module.
+pub struct PointsTo {
+    /// All abstract locations; `locs[i]` is the location with index `i`.
+    locs: Vec<AbsLoc>,
+    /// Index of the `Unknown` location (always last).
+    unknown: usize,
+    /// `val_pts[f][inst]` — points-to set of each instruction result.
+    val_pts: Vec<Vec<BitSet>>,
+    /// `arg_pts[f][param]`.
+    arg_pts: Vec<Vec<BitSet>>,
+    /// `local_pts[f][slot]`.
+    local_pts: Vec<Vec<BitSet>>,
+    /// `loc_pts[loc]` — what the cells of each location may point to.
+    loc_pts: Vec<BitSet>,
+    /// `ret_pts[f]`.
+    ret_pts: Vec<BitSet>,
+}
+
+impl PointsTo {
+    /// Runs the analysis to fixpoint over the whole module.
+    pub fn analyze(module: &Module) -> Self {
+        // ---- enumerate abstract locations ----
+        let mut locs: Vec<AbsLoc> = module
+            .iter_globals()
+            .map(|(g, _)| AbsLoc::Global(g))
+            .collect();
+        for (fid, func) in module.iter_funcs() {
+            for (iid, inst) in func.iter_insts() {
+                if matches!(inst.kind, InstKind::Alloc { .. }) {
+                    locs.push(AbsLoc::Alloc(fid, iid));
+                }
+            }
+        }
+        let unknown = locs.len();
+        locs.push(AbsLoc::Unknown);
+        let n = locs.len();
+
+        // Map alloc sites to their location index.
+        let mut alloc_idx: fence_ir::util::FastMap<(u32, u32), usize> =
+            fence_ir::util::FastMap::default();
+        for (i, l) in locs.iter().enumerate() {
+            if let AbsLoc::Alloc(f, inst) = l {
+                alloc_idx.insert((f.index() as u32, inst.index() as u32), i);
+            }
+        }
+
+        let mut this = PointsTo {
+            locs,
+            unknown,
+            val_pts: module
+                .funcs
+                .iter()
+                .map(|f| vec![BitSet::new(n); f.num_insts()])
+                .collect(),
+            arg_pts: module
+                .funcs
+                .iter()
+                .map(|f| vec![BitSet::new(n); f.num_params as usize])
+                .collect(),
+            local_pts: module
+                .funcs
+                .iter()
+                .map(|f| vec![BitSet::new(n); f.locals.len()])
+                .collect(),
+            loc_pts: vec![BitSet::new(n); n],
+            ret_pts: vec![BitSet::new(n); module.funcs.len()],
+        };
+
+        // Unknown memory points to unknown memory.
+        this.loc_pts[unknown].insert(unknown);
+
+        // ---- fixpoint ----
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (fid, func) in module.iter_funcs() {
+                for (iid, inst) in func.iter_insts() {
+                    changed |= this.apply(module, fid, iid, &inst.kind, &alloc_idx);
+                }
+            }
+        }
+        this
+    }
+
+    /// Applies one instruction's constraints; returns true if sets grew.
+    fn apply(
+        &mut self,
+        module: &Module,
+        f: FuncId,
+        iid: InstId,
+        kind: &InstKind,
+        alloc_idx: &fence_ir::util::FastMap<(u32, u32), usize>,
+    ) -> bool {
+        let fi = f.index();
+        let mut changed = false;
+        match kind {
+            InstKind::Alloc { .. } => {
+                let li = alloc_idx[&(fi as u32, iid.index() as u32)];
+                changed |= self.val_pts[fi][iid.index()].insert(li);
+            }
+            InstKind::Gep { base, .. } => {
+                let s = self.value_set(f, *base);
+                changed |= self.val_pts[fi][iid.index()].union_with(&s);
+            }
+            InstKind::Bin { lhs, rhs, .. } => {
+                let s = self.value_set(f, *lhs);
+                changed |= self.val_pts[fi][iid.index()].union_with(&s);
+                let s = self.value_set(f, *rhs);
+                changed |= self.val_pts[fi][iid.index()].union_with(&s);
+            }
+            InstKind::Select {
+                then_val, else_val, ..
+            } => {
+                let s = self.value_set(f, *then_val);
+                changed |= self.val_pts[fi][iid.index()].union_with(&s);
+                let s = self.value_set(f, *else_val);
+                changed |= self.val_pts[fi][iid.index()].union_with(&s);
+            }
+            InstKind::Load { addr } => {
+                let addr_locs = self.addr_locs(f, *addr);
+                let mut acc = BitSet::new(self.locs.len());
+                for l in addr_locs.iter() {
+                    acc.union_with(&self.loc_pts[l]);
+                }
+                changed |= self.val_pts[fi][iid.index()].union_with(&acc);
+            }
+            InstKind::Store { addr, val } => {
+                let v = self.value_set(f, *val);
+                let addr_locs = self.addr_locs(f, *addr);
+                for l in addr_locs.iter() {
+                    changed |= self.loc_pts[l].union_with(&v);
+                }
+            }
+            InstKind::AtomicRmw { addr, val, .. } => {
+                let addr_locs = self.addr_locs(f, *addr);
+                let mut acc = BitSet::new(self.locs.len());
+                for l in addr_locs.iter() {
+                    acc.union_with(&self.loc_pts[l]);
+                }
+                changed |= self.val_pts[fi][iid.index()].union_with(&acc);
+                let v = self.value_set(f, *val);
+                for l in addr_locs.iter() {
+                    changed |= self.loc_pts[l].union_with(&v);
+                }
+            }
+            InstKind::AtomicCas { addr, new, .. } => {
+                let addr_locs = self.addr_locs(f, *addr);
+                let mut acc = BitSet::new(self.locs.len());
+                for l in addr_locs.iter() {
+                    acc.union_with(&self.loc_pts[l]);
+                }
+                changed |= self.val_pts[fi][iid.index()].union_with(&acc);
+                let v = self.value_set(f, *new);
+                for l in addr_locs.iter() {
+                    changed |= self.loc_pts[l].union_with(&v);
+                }
+            }
+            InstKind::ReadLocal { local } => {
+                let s = self.local_pts[fi][local.index()].clone();
+                changed |= self.val_pts[fi][iid.index()].union_with(&s);
+            }
+            InstKind::WriteLocal { local, val } => {
+                let s = self.value_set(f, *val);
+                changed |= self.local_pts[fi][local.index()].union_with(&s);
+            }
+            InstKind::Call { callee, args } => {
+                let cf = callee.index();
+                for (k, a) in args.iter().enumerate() {
+                    if k < module.funcs[cf].num_params as usize {
+                        let s = self.value_set(f, *a);
+                        changed |= self.arg_pts[cf][k].union_with(&s);
+                    }
+                }
+                let r = self.ret_pts[cf].clone();
+                changed |= self.val_pts[fi][iid.index()].union_with(&r);
+            }
+            InstKind::Ret { val: Some(v) } => {
+                let s = self.value_set(f, *v);
+                changed |= self.ret_pts[fi].union_with(&s);
+            }
+            // Cmp results, fences, intrinsics, branches: no pointer flow.
+            _ => {}
+        }
+        changed
+    }
+
+    /// The points-to set of a value (empty for constants/integers).
+    pub fn value_set(&self, f: FuncId, v: Value) -> BitSet {
+        let fi = f.index();
+        match v {
+            Value::Const(_) => BitSet::new(self.locs.len()),
+            Value::Global(g) => {
+                let mut s = BitSet::new(self.locs.len());
+                s.insert(g.index());
+                s
+            }
+            Value::Arg(a) => self.arg_pts[fi][a as usize].clone(),
+            Value::Inst(i) => self.val_pts[fi][i.index()].clone(),
+        }
+    }
+
+    /// Resolves an *address* operand to abstract locations; an empty set
+    /// means "statically unknown address" and becomes `{Unknown}`.
+    pub fn addr_locs(&self, f: FuncId, addr: Value) -> BitSet {
+        let mut s = self.value_set(f, addr);
+        if s.is_empty() {
+            s.insert(self.unknown);
+        }
+        s
+    }
+
+    /// Index of the `Unknown` location.
+    #[inline]
+    pub fn unknown_idx(&self) -> usize {
+        self.unknown
+    }
+
+    /// The abstract location with dense index `i`.
+    #[inline]
+    pub fn loc(&self, i: usize) -> AbsLoc {
+        self.locs[i]
+    }
+
+    /// Number of abstract locations.
+    #[inline]
+    pub fn num_locs(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// Pointee set of a location.
+    #[inline]
+    pub fn loc_pts(&self, i: usize) -> &BitSet {
+        &self.loc_pts[i]
+    }
+
+    /// The points-to set of a local slot.
+    pub fn local_set(&self, f: FuncId, l: LocalId) -> &BitSet {
+        &self.local_pts[f.index()][l.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+
+    #[test]
+    fn gep_keeps_base_only() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("arr", 8);
+        let mut fb = FunctionBuilder::new("f", 1);
+        let p = fb.gep(g, Value::Arg(0));
+        let _ = fb.load(p);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let s = pt.value_set(fid, p);
+        assert!(s.contains(g.index()));
+        assert!(!s.contains(pt.unknown_idx()), "integer index adds nothing");
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn pointer_through_memory() {
+        // y = &x; r = load y; load r  — classic MP-with-pointers shape.
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let y = mb.global("y", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.store(y, x); // y := &x
+        let r = fb.load(y);
+        let _v = fb.load(r);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let s = pt.value_set(fid, r);
+        assert!(s.contains(x.index()), "loaded pointer points to x");
+        let locs = pt.addr_locs(fid, r);
+        assert!(locs.contains(x.index()));
+    }
+
+    #[test]
+    fn alloc_site_tracked_through_global_publish() {
+        let mut mb = ModuleBuilder::new("m");
+        let head = mb.global("head", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let node = fb.alloc(2i64);
+        fb.store(head, node); // publish
+        let got = fb.load(head);
+        let _ = fb.load(got);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let s = pt.value_set(fid, got);
+        let has_alloc = s.iter().any(|i| matches!(pt.loc(i), AbsLoc::Alloc(_, _)));
+        assert!(has_alloc, "load of published pointer sees the alloc site");
+    }
+
+    #[test]
+    fn unknown_for_integer_addresses() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = FunctionBuilder::new("f", 1);
+        let _v = fb.load(Value::Arg(0)); // entry arg: unknown pointer
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let locs = pt.addr_locs(fid, Value::Arg(0));
+        assert!(locs.contains(pt.unknown_idx()));
+    }
+
+    #[test]
+    fn interprocedural_arg_flow() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("x", 1);
+        let callee = mb.declare_func("reader", 1);
+        let mut fb = FunctionBuilder::new("reader", 1);
+        let v = fb.load(Value::Arg(0));
+        fb.ret(Some(v));
+        mb.define_func(callee, fb.build());
+        let mut fb2 = FunctionBuilder::new("caller", 0);
+        fb2.call(callee, vec![Value::Global(g)]);
+        fb2.ret(None);
+        mb.add_func(fb2.build());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let locs = pt.addr_locs(callee, Value::Arg(0));
+        assert!(locs.contains(g.index()), "callee arg points to global x");
+        assert!(!locs.contains(pt.unknown_idx()));
+    }
+
+    #[test]
+    fn return_value_flow() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("x", 1);
+        let callee = mb.declare_func("get_ptr", 0);
+        let mut fb = FunctionBuilder::new("get_ptr", 0);
+        fb.ret(Some(Value::Global(g)));
+        mb.define_func(callee, fb.build());
+        let mut fb2 = FunctionBuilder::new("caller", 0);
+        let p = fb2.call(callee, vec![]);
+        let _ = fb2.load(p);
+        fb2.ret(None);
+        let caller = mb.add_func(fb2.build());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.value_set(caller, p).contains(g.index()));
+    }
+
+    #[test]
+    fn select_unions_both_arms() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let b = mb.global("b", 1);
+        let mut fb = FunctionBuilder::new("f", 1);
+        let p = fb.select(Value::Arg(0), a, b);
+        let _ = fb.load(p);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let s = pt.value_set(fid, p);
+        assert!(s.contains(a.index()) && s.contains(b.index()));
+    }
+}

@@ -1,0 +1,271 @@
+//! The conservative intraprocedural backwards slicer — paper Listing 2.
+//!
+//! Starting from a work list of root instructions (the defining
+//! instructions of a branch condition, a dereference address, or an
+//! address-calculation offset), the slicer walks backwards:
+//!
+//! * a **memory read** found in the slice is compared against the escape
+//!   analysis and, if escaping, registered in `sync_reads`; then *all
+//!   stores in the function that potentially wrote the value being read*
+//!   (the alias oracle's `potential_writers`) are enqueued;
+//! * a **local-register read** enqueues every write to that slot
+//!   (flow-insensitive reaching definitions — same conservatism);
+//! * any other instruction enqueues the defining instructions of its
+//!   operands.
+//!
+//! A shared `seen` set (per function, across all slice roots — exactly as
+//! in Listing 1/3 where `seen` is initialized once per function) prevents
+//! cycles and re-traversal.
+
+use crate::alias::AliasOracle;
+use fence_ir::util::BitSet;
+use fence_ir::{Function, InstId, InstKind, Value};
+
+/// Backwards slicer state for one function.
+pub struct Slicer<'a> {
+    func: &'a Function,
+    oracle: &'a AliasOracle<'a>,
+    /// Escaping accesses of this function, bit-indexed by `InstId`
+    /// (from [`crate::escape::EscapeInfo::escaping_set`]).
+    escaping: &'a BitSet,
+    /// Instructions already examined (shared across slice roots).
+    pub seen: BitSet,
+    /// Escaping reads found in any slice so far.
+    pub sync_reads: BitSet,
+    /// Cached writers of each local slot.
+    local_writers: Vec<Vec<InstId>>,
+}
+
+impl<'a> Slicer<'a> {
+    /// Creates a fresh slicer for `func`.
+    pub fn new(func: &'a Function, oracle: &'a AliasOracle<'a>, escaping: &'a BitSet) -> Self {
+        let local_writers = (0..func.locals.len())
+            .map(|l| func.writers_of_local(fence_ir::LocalId::new(l)))
+            .collect();
+        Slicer {
+            func,
+            oracle,
+            escaping,
+            seen: BitSet::new(func.num_insts()),
+            sync_reads: BitSet::new(func.num_insts()),
+            local_writers,
+        }
+    }
+
+    /// Enqueues the defining instruction of `v` (if any) onto `work_list`.
+    pub fn push_def(work_list: &mut Vec<InstId>, v: Value) {
+        if let Value::Inst(i) = v {
+            work_list.push(i);
+        }
+    }
+
+    /// Runs the backwards slice from `work_list` (paper Listing 2).
+    pub fn slice(&mut self, mut work_list: Vec<InstId>) {
+        while let Some(inst) = work_list.pop() {
+            if !self.seen.insert(inst.index()) {
+                continue; // already examined
+            }
+            let kind = &self.func.inst(inst).kind;
+            if kind.is_mem_read() {
+                // Listing 2, lines 12–18.
+                if self.escaping.contains(inst.index()) {
+                    self.sync_reads.insert(inst.index());
+                }
+                for w in self.oracle.potential_writers(inst) {
+                    work_list.push(w);
+                }
+                // RMW/CAS also *write* a value computed from their
+                // operands; when reached as a potential writer the written
+                // value flows onward, so follow their operands too.
+                if kind.is_mem_write() {
+                    kind.for_each_operand(|v| Self::push_def(&mut work_list, v));
+                }
+            } else {
+                match kind {
+                    // Local reads flow through the slot's writers.
+                    InstKind::ReadLocal { local } => {
+                        work_list.extend_from_slice(&self.local_writers[local.index()]);
+                    }
+                    // Everything else: operand definitions (Listing 2,
+                    // lines 20–23).
+                    _ => {
+                        kind.for_each_operand(|v| Self::push_def(&mut work_list, v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The escaping reads registered so far, as instruction ids.
+    pub fn sync_read_ids(&self) -> Vec<InstId> {
+        self.sync_reads.iter().map(InstId::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::escape::EscapeInfo;
+    use crate::pointsto::PointsTo;
+    use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use fence_ir::{FuncId, Module};
+
+    fn prepare(m: &Module, f: FuncId) -> (PointsTo, EscapeInfo) {
+        let pt = PointsTo::analyze(m);
+        let esc = EscapeInfo::analyze(m, &pt);
+        let _ = f;
+        (pt, esc)
+    }
+
+    /// spin: while (flag == 0); then branch condition slices back to flag.
+    #[test]
+    fn slice_from_branch_finds_flag_load() {
+        let mut mb = ModuleBuilder::new("m");
+        let flag = mb.global("flag", 1);
+        let mut fb = FunctionBuilder::new("consumer", 0);
+        fb.spin_while_eq(flag, 0i64);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let (pt, esc) = prepare(&m, fid);
+        let func = m.func(fid);
+        let oracle = AliasOracle::new(&m, &pt, fid);
+        let mut slicer = Slicer::new(func, &oracle, esc.escaping_set(fid));
+
+        // Roots: defs of every conditional branch's operands.
+        let mut roots = Vec::new();
+        for (_, inst) in func.iter_insts() {
+            if let InstKind::CondBr { cond, .. } = inst.kind {
+                Slicer::push_def(&mut roots, cond);
+            }
+        }
+        slicer.slice(roots);
+        assert_eq!(slicer.sync_read_ids().len(), 1, "the flag load is found");
+        let found = slicer.sync_read_ids()[0];
+        assert!(matches!(func.inst(found).kind, InstKind::Load { .. }));
+    }
+
+    /// A pure data load (no branch in its forward slice) is not found when
+    /// slicing only from branches.
+    #[test]
+    fn data_load_not_in_branch_slice() {
+        let mut mb = ModuleBuilder::new("m");
+        let flag = mb.global("flag", 1);
+        let data = mb.global("data", 1);
+        let mut fb = FunctionBuilder::new("consumer", 0);
+        fb.spin_while_eq(flag, 0i64);
+        let v = fb.load(data); // b2 := data — not an acquire
+        fb.ret(Some(v));
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let (pt, esc) = prepare(&m, fid);
+        let func = m.func(fid);
+        let oracle = AliasOracle::new(&m, &pt, fid);
+        let mut slicer = Slicer::new(func, &oracle, esc.escaping_set(fid));
+        let mut roots = Vec::new();
+        for (_, inst) in func.iter_insts() {
+            if let InstKind::CondBr { cond, .. } = inst.kind {
+                Slicer::push_def(&mut roots, cond);
+            }
+        }
+        slicer.slice(roots);
+        let ids = slicer.sync_read_ids();
+        assert_eq!(ids.len(), 1, "only the flag read, not the data read");
+    }
+
+    /// Value flowing through a local register is still traced.
+    #[test]
+    fn slice_through_local_register() {
+        let mut mb = ModuleBuilder::new("m");
+        let flag = mb.global("flag", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let r = fb.local("r");
+        let v = fb.load(flag);
+        fb.write_local(r, v);
+        let rv = fb.read_local(r);
+        let c = fb.eq(rv, 0i64);
+        fb.if_then(c, |_| {});
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let (pt, esc) = prepare(&m, fid);
+        let func = m.func(fid);
+        let oracle = AliasOracle::new(&m, &pt, fid);
+        let mut slicer = Slicer::new(func, &oracle, esc.escaping_set(fid));
+        let mut roots = Vec::new();
+        for (_, inst) in func.iter_insts() {
+            if let InstKind::CondBr { cond, .. } = inst.kind {
+                Slicer::push_def(&mut roots, cond);
+            }
+        }
+        slicer.slice(roots);
+        assert_eq!(slicer.sync_read_ids().len(), 1);
+    }
+
+    /// Value flowing through memory (store x; load x) is traced via
+    /// potential_writers: the branch depends on a load whose writer's value
+    /// came from an escaping read.
+    #[test]
+    fn slice_through_memory_writer() {
+        let mut mb = ModuleBuilder::new("m");
+        let flag = mb.global("flag", 1);
+        let scratch = mb.global("scratch", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let v = fb.load(flag); // escaping read
+        fb.store(scratch, v); // value goes through memory
+        let w = fb.load(scratch); // read back
+        let c = fb.eq(w, 0i64);
+        fb.if_then(c, |_| {});
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let (pt, esc) = prepare(&m, fid);
+        let func = m.func(fid);
+        let oracle = AliasOracle::new(&m, &pt, fid);
+        let mut slicer = Slicer::new(func, &oracle, esc.escaping_set(fid));
+        let mut roots = Vec::new();
+        for (_, inst) in func.iter_insts() {
+            if let InstKind::CondBr { cond, .. } = inst.kind {
+                Slicer::push_def(&mut roots, cond);
+            }
+        }
+        slicer.slice(roots);
+        // Both the scratch load and the flag load are escaping reads in the
+        // slice (scratch is a global, hence escaping too).
+        assert_eq!(slicer.sync_read_ids().len(), 2);
+    }
+
+    /// `seen` prevents infinite looping on cyclic writer relations.
+    #[test]
+    fn cyclic_writers_terminate() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let b = mb.global("b", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        // a and b write each other in a loop.
+        fb.for_loop(0i64, 10i64, |f, _| {
+            let va = f.load(a);
+            f.store(b, va);
+            let vb = f.load(b);
+            f.store(a, vb);
+        });
+        let va = fb.load(a);
+        let c = fb.ne(va, 0i64);
+        fb.if_then(c, |_| {});
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let (pt, esc) = prepare(&m, fid);
+        let func = m.func(fid);
+        let oracle = AliasOracle::new(&m, &pt, fid);
+        let mut slicer = Slicer::new(func, &oracle, esc.escaping_set(fid));
+        let mut roots = Vec::new();
+        for (_, inst) in func.iter_insts() {
+            if let InstKind::CondBr { cond, .. } = inst.kind {
+                Slicer::push_def(&mut roots, cond);
+            }
+        }
+        slicer.slice(roots); // must terminate
+        assert!(slicer.sync_read_ids().len() >= 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion benches over the Figure 10 experiment: simulated execution
+//! of representative corpus programs under each fence placement. Wall
+//! time here tracks simulated work, so relative criterion numbers mirror
+//! the simulated-cycle ratios the `fig10` binary reports.
+
+use corpus::Params;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fence_bench::simulate_variant;
+use fenceplace::Variant;
+
+fn bench_placements(c: &mut Criterion) {
+    let p = Params {
+        threads: 4,
+        scale: 8,
+    };
+    let programs = corpus::programs(&p);
+    let mut group = c.benchmark_group("fig10_sim");
+    for name in ["Matrix", "Water-NSquared", "Ocean-con", "Canneal"] {
+        let prog = programs
+            .iter()
+            .find(|pr| pr.name == name)
+            .expect("program exists");
+        for variant in [
+            Variant::Manual,
+            Variant::Pensieve,
+            Variant::AddressControl,
+            Variant::Control,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, variant.name()),
+                &variant,
+                |b, &v| b.iter(|| simulate_variant(prog, v).cycles),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_placements
+}
+criterion_main!(benches);

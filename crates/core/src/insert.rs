@@ -1,0 +1,135 @@
+//! Materializes chosen [`FencePoint`]s as `fence` instructions.
+
+use crate::minimize::FencePoint;
+use fence_ir::{InstId, InstKind, Module};
+
+/// Returns a copy of `module` with every fence point inserted.
+///
+/// Points are applied per block in descending gap order so earlier
+/// insertions do not shift later gaps.
+pub fn insert_fences(module: &Module, points: &[FencePoint]) -> Module {
+    let mut out = module.clone();
+    let mut sorted: Vec<&FencePoint> = points.iter().collect();
+    // Descending (func, block, gap); ties: Full before Compiler so a pair
+    // at one gap keeps the full fence first in program order.
+    sorted.sort_by(|a, b| {
+        (b.func, b.block, b.gap, b.kind == fence_ir::FenceKind::Full).cmp(&(
+            a.func,
+            a.block,
+            a.gap,
+            a.kind == fence_ir::FenceKind::Full,
+        ))
+    });
+    for p in sorted {
+        let func = out.func_mut(p.func);
+        let id = InstId::new(func.insts.len());
+        func.insts.push(fence_ir::Inst {
+            kind: InstKind::Fence { kind: p.kind },
+        });
+        let block = &mut func.blocks[p.block.index()];
+        let gap = p.gap.min(block.insts.len());
+        block.insts.insert(gap, id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use fence_ir::{BlockId, FenceKind, FuncId};
+
+    fn simple_module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let y = mb.global("y", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.store(x, 1i64); // idx 0
+        let _ = fb.load(y); // idx 1
+        fb.ret(None); // idx 2
+        mb.add_func(fb.build());
+        mb.finish()
+    }
+
+    #[test]
+    fn inserts_at_gap() {
+        let m = simple_module();
+        let pts = vec![FencePoint {
+            func: FuncId::new(0),
+            block: BlockId::new(0),
+            gap: 1,
+            kind: FenceKind::Full,
+        }];
+        let out = insert_fences(&m, &pts);
+        let f = out.func(FuncId::new(0));
+        let kinds: Vec<bool> = f.blocks[0]
+            .insts
+            .iter()
+            .map(|&i| matches!(f.inst(i).kind, InstKind::Fence { .. }))
+            .collect();
+        assert_eq!(kinds, vec![false, true, false, false]);
+        assert!(fence_ir::verify_module(&out).is_empty());
+    }
+
+    #[test]
+    fn multiple_points_keep_order() {
+        let m = simple_module();
+        let f0 = FuncId::new(0);
+        let b0 = BlockId::new(0);
+        let pts = vec![
+            FencePoint {
+                func: f0,
+                block: b0,
+                gap: 0,
+                kind: FenceKind::Full,
+            },
+            FencePoint {
+                func: f0,
+                block: b0,
+                gap: 1,
+                kind: FenceKind::Compiler,
+            },
+            FencePoint {
+                func: f0,
+                block: b0,
+                gap: 2,
+                kind: FenceKind::Full,
+            },
+        ];
+        let out = insert_fences(&m, &pts);
+        let f = out.func(f0);
+        assert_eq!(f.blocks[0].insts.len(), 6);
+        // Expected order: F, store, C, load, F, ret.
+        let shape: Vec<String> = f.blocks[0]
+            .insts
+            .iter()
+            .map(|&i| match &f.inst(i).kind {
+                InstKind::Fence { kind: FenceKind::Full } => "F".into(),
+                InstKind::Fence {
+                    kind: FenceKind::Compiler,
+                } => "C".into(),
+                InstKind::Store { .. } => "s".into(),
+                InstKind::Load { .. } => "l".into(),
+                InstKind::Ret { .. } => "r".into(),
+                _ => "?".into(),
+            })
+            .collect();
+        assert_eq!(shape.join(""), "FsClFr");
+        assert!(fence_ir::verify_module(&out).is_empty());
+    }
+
+    #[test]
+    fn original_module_untouched() {
+        let m = simple_module();
+        let before = m.total_insts();
+        let pts = vec![FencePoint {
+            func: FuncId::new(0),
+            block: BlockId::new(0),
+            gap: 1,
+            kind: FenceKind::Full,
+        }];
+        let out = insert_fences(&m, &pts);
+        assert_eq!(m.total_insts(), before);
+        assert_eq!(out.total_insts(), before + 1);
+    }
+}

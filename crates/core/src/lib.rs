@@ -1,0 +1,40 @@
+//! # fenceplace
+//!
+//! The paper's primary contribution: **fence placement for legacy
+//! data-race-free programs via synchronization read detection**
+//! (McPherson, Nagarajan, Sarkar, Cintra — PPoPP'15).
+//!
+//! Pipeline (see [`pipeline::run_pipeline`]):
+//!
+//! 1. thread-escape analysis (from `fence-analysis`) yields the candidate
+//!    escaping accesses `E`;
+//! 2. [`acquire`] detects **synchronization reads** with the two proved
+//!    signatures — *control acquires* (the read feeds a conditional branch
+//!    in its forward slice) and *address acquires* (the read feeds the
+//!    address of a later access) — via the backwards slicer;
+//! 3. [`orderings`] generates the Pensieve-style delay-set approximation
+//!    (every CFG-ordered pair of escaping accesses) and prunes it with the
+//!    DRF rules of Table I;
+//! 4. [`minimize`] runs locally-optimized fence minimization (after Fang
+//!    et al. 2003) against a [`TargetModel`], emitting full fences for
+//!    orderings the hardware relaxes and compiler directives for the rest;
+//! 5. [`insert`] materializes the chosen [`minimize::FencePoint`]s as
+//!    `fence` instructions in a fresh module.
+//!
+//! The [`Variant`] enum selects which sync-read set drives pruning:
+//! `Pensieve` (every escaping read — the baseline), `Control`,
+//! `AddressControl`, or `Manual` (no automatic placement; the module's
+//! hand-placed fences are the placement).
+
+pub mod acquire;
+pub mod insert;
+pub mod minimize;
+pub mod orderings;
+pub mod pipeline;
+pub mod report;
+
+pub use acquire::{AcquireInfo, DetectMode};
+pub use minimize::{FencePoint, TargetModel};
+pub use orderings::{Access, AccessKind, FuncOrderings, OrderKind};
+pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult, Variant};
+pub use report::{FuncReport, ModuleReport};

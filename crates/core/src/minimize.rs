@@ -1,0 +1,396 @@
+//! Locally-optimized fence minimization, after Fang et al. 2003.
+//!
+//! Given the pruned orderings of a function, choose the fewest program
+//! points such that every ordering `u → v` has an enforcement point on
+//! every path from `u` to `v`:
+//!
+//! * a same-block ordering becomes the gap interval `[u+1, v]`;
+//! * a cross-block (or loop-carried) ordering is reduced to its **source
+//!   side** — a fence between `u` and its block's terminator cuts every
+//!   path that leaves `u` — giving the interval `[u+1, terminator]`;
+//! * per block, the minimum set of gaps stabbing all intervals is found
+//!   with the classic greedy sweep (sort by right endpoint, place at the
+//!   right end when uncovered), which is optimal for interval stabbing.
+//!
+//! Fences come in two strengths, chosen per ordering by the
+//! [`TargetModel`]: on x86-TSO only `w → r` needs a **full fence**
+//! (MFENCE); everything else gets a zero-cost **compiler directive**. A
+//! full fence placed at a gap also satisfies any directive-strength
+//! interval covering that gap.
+//!
+//! Orderings with an *atomic* endpoint (RMW/CAS, library-sync intrinsics)
+//! are enforced by the operation itself on every target and consume no
+//! fence.
+//!
+//! Following the paper's modification to Fang et al., a full fence is
+//! placed at function entry **only if the function contains sync reads**
+//! (this is what enforces interprocedural `w → r` orderings whose read
+//! side could be an acquire).
+
+use crate::orderings::{FuncOrderings, OrderKind};
+use fence_ir::{BlockId, FenceKind, FuncId, Function, Module};
+
+/// The hardware memory model fences are minimized against.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TargetModel {
+    /// x86 total store order: only `w → r` is relaxed by hardware.
+    X86Tso,
+    /// Sequentially consistent hardware: nothing needs a full fence
+    /// (compiler directives still required to stop compiler reordering).
+    ScHardware,
+    /// A weak model (Power/ARM-like): every ordering needs a real fence.
+    Weak,
+}
+
+impl TargetModel {
+    /// Does `kind` require a runtime fence on this target?
+    pub fn needs_full(self, kind: OrderKind) -> bool {
+        match self {
+            TargetModel::X86Tso => kind == OrderKind::WR,
+            TargetModel::ScHardware => false,
+            TargetModel::Weak => true,
+        }
+    }
+}
+
+/// A chosen enforcement point: a fence of `kind` inserted in `func`,
+/// before the instruction at `block.insts[gap]`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct FencePoint {
+    /// Enclosing function.
+    pub func: FuncId,
+    /// Block the fence goes into.
+    pub block: BlockId,
+    /// Insertion index: the fence goes *before* `block.insts[gap]`.
+    pub gap: usize,
+    /// Full fence or compiler directive.
+    pub kind: FenceKind,
+}
+
+/// An enforcement requirement localized to one block.
+#[derive(Copy, Clone, Debug)]
+struct Interval {
+    block: u32,
+    lo: u32,
+    hi: u32,
+    full: bool,
+}
+
+/// Minimizes fences for one function. `entry_fence` requests the
+/// function-entry full fence (the caller decides via the sync-read rule).
+pub fn minimize_function(
+    func: &Function,
+    fid: FuncId,
+    ords: &FuncOrderings,
+    kept: &[(u32, u32)],
+    target: TargetModel,
+    entry_fence: bool,
+) -> Vec<FencePoint> {
+    let mut intervals = Vec::with_capacity(kept.len());
+    for &(ai, bi) in kept {
+        let a = &ords.accesses[ai as usize];
+        let b = &ords.accesses[bi as usize];
+        if a.atomic || b.atomic {
+            continue; // the atomic operation itself enforces the ordering
+        }
+        let kind = ords.kind((ai, bi));
+        let full = target.needs_full(kind);
+        let term = func.block(a.block).insts.len() - 1;
+        let (lo, hi) = if a.block == b.block && a.index < b.index {
+            (a.index + 1, b.index)
+        } else {
+            // Cross-block or loop-carried: cut at the source side.
+            (a.index + 1, term)
+        };
+        debug_assert!(lo <= hi, "access cannot be the terminator");
+        intervals.push(Interval {
+            block: a.block.index() as u32,
+            lo: lo as u32,
+            hi: hi as u32,
+            full,
+        });
+    }
+
+    // Group by block.
+    let mut by_block: Vec<Vec<Interval>> = vec![Vec::new(); func.num_blocks()];
+    for iv in intervals {
+        by_block[iv.block as usize].push(iv);
+    }
+
+    let mut points = Vec::new();
+    if entry_fence {
+        // Interprocedural w→r orderings need a real fence only on targets
+        // that relax w→r; on SC hardware a compiler directive suffices.
+        let kind = if target == TargetModel::ScHardware {
+            FenceKind::Compiler
+        } else {
+            FenceKind::Full
+        };
+        points.push(FencePoint {
+            func: fid,
+            block: func.entry,
+            gap: 0,
+            kind,
+        });
+    }
+
+    for (b, mut ivs) in by_block.into_iter().enumerate() {
+        if ivs.is_empty() {
+            continue;
+        }
+        ivs.sort_by_key(|iv| iv.hi);
+
+        // Pass 1: full-fence intervals, greedy stabbing at right endpoints.
+        let mut full_pts: Vec<u32> = Vec::new();
+        for iv in ivs.iter().filter(|iv| iv.full) {
+            let covered = full_pts.last().is_some_and(|&p| p >= iv.lo);
+            if !covered {
+                full_pts.push(iv.hi);
+            }
+        }
+        // Pass 2: remaining intervals may be satisfied by any placed point.
+        let mut dir_pts: Vec<u32> = Vec::new();
+        for iv in ivs.iter().filter(|iv| !iv.full) {
+            let by_full = full_pts.iter().any(|&p| p >= iv.lo && p <= iv.hi);
+            let by_dir = dir_pts.last().is_some_and(|&p| p >= iv.lo);
+            if !by_full && !by_dir {
+                dir_pts.push(iv.hi);
+            }
+        }
+
+        for p in full_pts {
+            points.push(FencePoint {
+                func: fid,
+                block: BlockId::new(b),
+                gap: p as usize,
+                kind: FenceKind::Full,
+            });
+        }
+        for p in dir_pts {
+            points.push(FencePoint {
+                func: fid,
+                block: BlockId::new(b),
+                gap: p as usize,
+                kind: FenceKind::Compiler,
+            });
+        }
+    }
+
+    points
+}
+
+/// Counts `(full, compiler)` fences in a list of points.
+pub fn count_fences(points: &[FencePoint]) -> (usize, usize) {
+    let full = points.iter().filter(|p| p.kind == FenceKind::Full).count();
+    (full, points.len() - full)
+}
+
+/// Counts `(full, compiler)` fence *instructions* already present in a
+/// module (used for the `Manual` baseline).
+pub fn count_module_fences(module: &Module) -> (usize, usize) {
+    let mut full = 0;
+    let mut dir = 0;
+    for (_, f) in module.iter_funcs() {
+        for (_, inst) in f.iter_insts() {
+            if let fence_ir::InstKind::Fence { kind } = inst.kind {
+                match kind {
+                    FenceKind::Full => full += 1,
+                    FenceKind::Compiler => dir += 1,
+                }
+            }
+        }
+    }
+    (full, dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orderings::FuncOrderings;
+    use fence_analysis::ModuleAnalysis;
+    use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use fence_ir::util::BitSet;
+    use fence_ir::Module;
+
+    fn pipeline_one(
+        m: &Module,
+        fid: FuncId,
+        sync_all: bool,
+        target: TargetModel,
+    ) -> (FuncOrderings, Vec<FencePoint>) {
+        let an = ModuleAnalysis::run(m);
+        let ords = FuncOrderings::generate(m, &an.escape, fid);
+        let func = m.func(fid);
+        let sync = if sync_all {
+            let mut s = BitSet::new(func.num_insts());
+            for (iid, inst) in func.iter_insts() {
+                if inst.kind.is_mem_read() && an.escape.is_escaping(fid, iid) {
+                    s.insert(iid.index());
+                }
+            }
+            s
+        } else {
+            BitSet::new(func.num_insts())
+        };
+        let kept = ords.prune(&sync);
+        let has_sync = !sync.is_empty();
+        let pts = minimize_function(func, fid, &ords, &kept, target, has_sync);
+        (ords, pts)
+    }
+
+    /// store x; load y  — the classic SB half: one full fence between them
+    /// on TSO when the read is (conservatively) an acquire.
+    #[test]
+    fn store_load_needs_one_full_fence() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let y = mb.global("y", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.store(x, 1i64);
+        let _ = fb.load(y);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let (_, pts) = pipeline_one(&m, fid, true, TargetModel::X86Tso);
+        let (full, _) = count_fences(&pts);
+        // One w→r fence + the entry fence (function has sync reads).
+        assert_eq!(full, 2);
+        assert!(pts.iter().any(|p| p.gap == 1 && p.kind == FenceKind::Full));
+    }
+
+    /// With no acquires detected, the w→r pair is pruned: no full fence,
+    /// no entry fence; directives only for r→w / w→w.
+    #[test]
+    fn pruned_function_has_no_full_fences() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let y = mb.global("y", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.store(x, 1i64);
+        let _ = fb.load(y);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let (_, pts) = pipeline_one(&m, fid, false, TargetModel::X86Tso);
+        let (full, _) = count_fences(&pts);
+        assert_eq!(full, 0);
+    }
+
+    /// One fence can cover several overlapping intervals (minimality).
+    #[test]
+    fn one_fence_covers_overlapping_pairs() {
+        // store a; store b; load c; load d  — w→r pairs (a,c) (a,d) (b,c)
+        // (b,d) all stabbed by the single gap between stores and loads.
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let b = mb.global("b", 1);
+        let c = mb.global("c", 1);
+        let d = mb.global("d", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.store(a, 1i64);
+        fb.store(b, 1i64);
+        let _ = fb.load(c);
+        let _ = fb.load(d);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let (_, pts) = pipeline_one(&m, fid, true, TargetModel::X86Tso);
+        let non_entry_full: Vec<_> = pts
+            .iter()
+            .filter(|p| p.kind == FenceKind::Full && p.gap != 0)
+            .collect();
+        assert_eq!(non_entry_full.len(), 1, "a single MFENCE suffices: {pts:?}");
+        assert_eq!(non_entry_full[0].gap, 2);
+    }
+
+    /// On SC hardware nothing needs a full fence; directives remain.
+    #[test]
+    fn sc_hardware_full_free() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let y = mb.global("y", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.store(x, 1i64);
+        let _ = fb.load(y);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let an = ModuleAnalysis::run(&m);
+        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let mut sync = BitSet::new(m.func(fid).num_insts());
+        for (iid, inst) in m.func(fid).iter_insts() {
+            if inst.kind.is_mem_read() {
+                sync.insert(iid.index());
+            }
+        }
+        let kept = ords.prune(&sync);
+        let pts = minimize_function(
+            m.func(fid),
+            fid,
+            &ords,
+            &kept,
+            TargetModel::ScHardware,
+            false,
+        );
+        assert!(pts.iter().all(|p| p.kind == FenceKind::Compiler));
+        assert!(!pts.is_empty());
+    }
+
+    /// On a weak target every kept ordering needs a real fence.
+    #[test]
+    fn weak_target_all_full() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let y = mb.global("y", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let _ = fb.load(x);
+        fb.store(y, 1i64);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let an = ModuleAnalysis::run(&m);
+        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let kept = ords.prune(&BitSet::new(m.func(fid).num_insts()));
+        assert_eq!(kept.len(), 1, "r→w survives pruning");
+        let pts =
+            minimize_function(m.func(fid), fid, &ords, &kept, TargetModel::Weak, false);
+        assert_eq!(count_fences(&pts), (1, 0));
+    }
+
+    /// Atomic endpoints consume no fence.
+    #[test]
+    fn atomic_endpoint_is_free() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let y = mb.global("y", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.store(x, 1i64);
+        let _ = fb.rmw(fence_ir::RmwOp::Add, y, 1i64); // atomic read part
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let (ords, pts) = pipeline_one(&m, fid, true, TargetModel::X86Tso);
+        assert_eq!(ords.counts()[OrderKind::WR.idx()], 1);
+        let non_entry: Vec<_> = pts.iter().filter(|p| p.gap != 0).collect();
+        assert!(non_entry.is_empty(), "locked RMW needs no extra MFENCE");
+    }
+
+    /// Loop-carried w→r places the fence before the source block's
+    /// terminator.
+    #[test]
+    fn loop_carried_fence_on_source_side() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.for_loop(0i64, 4i64, |f, _| {
+            let _ = f.load(x); // read at iter k+1 races write at iter k
+            f.store(x, 1i64);
+        });
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let (_, pts) = pipeline_one(&m, fid, true, TargetModel::X86Tso);
+        let (full, _) = count_fences(&pts);
+        assert!(full >= 2, "entry + loop body fence: {pts:?}");
+    }
+}

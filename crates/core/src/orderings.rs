@@ -1,0 +1,407 @@
+//! Ordering generation (the Pensieve delay-set approximation) and the
+//! DRF pruning rules of Table I.
+//!
+//! **Generation** (paper §4.3): for every pair `u, v` of potentially
+//! escaping accesses in a function, if a CFG path leads from `u` to `v`,
+//! record the ordering `u → v`. Within a block the statement order gives
+//! the path; across blocks a precomputed reachability table is consulted;
+//! a block on a CFG cycle orders its accesses with themselves across
+//! iterations.
+//!
+//! RMW/CAS instructions are decomposed into a read followed by a write at
+//! the same program point (paper §3). Opaque library-synchronization
+//! intrinsics (`lock_acquire` etc.) are modelled as an escaping read+write
+//! pair: a conservative compiler cannot see into the callee. Both are
+//! marked `atomic` — on every real ISA these lower to locked/fenced
+//! operations, so orderings with an atomic endpoint never *place* a fence
+//! (they are hardware-enforced); they are still generated and counted.
+//!
+//! **Pruning** (paper §2.3, Table I): with detected sync reads as the only
+//! possible acquires and every escaping write conservatively a release:
+//!
+//! * `r1 → r2` is kept iff `r1` is a sync read (`racq → r/w`),
+//! * `w → r` is kept iff `r` is a sync read (`wrel → racq`),
+//! * `r → w` and `w → w` are always kept (`r/w → wrel`).
+
+use fence_analysis::escape::EscapeInfo;
+use fence_ir::cfg::{Cfg, Reachability};
+use fence_ir::util::BitSet;
+use fence_ir::{BlockId, FuncId, InstId, InstKind, Module};
+
+/// Read or write part of an access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// Reads shared memory.
+    Read,
+    /// Writes shared memory.
+    Write,
+}
+
+/// One escaping access occurrence (the unit orderings connect).
+#[derive(Copy, Clone, Debug)]
+pub struct Access {
+    /// The instruction this access belongs to.
+    pub inst: InstId,
+    /// Read or write part.
+    pub kind: AccessKind,
+    /// `true` for RMW/CAS and library-sync intrinsics: the hardware
+    /// operation is itself fencing, so orderings touching it need no fence.
+    pub atomic: bool,
+    /// Enclosing block.
+    pub block: BlockId,
+    /// Index within the block.
+    pub index: usize,
+}
+
+/// Classification of an ordering by its endpoint kinds.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum OrderKind {
+    /// read → read
+    RR,
+    /// read → write
+    RW,
+    /// write → read
+    WR,
+    /// write → write
+    WW,
+}
+
+impl OrderKind {
+    /// Dense index (RR=0, RW=1, WR=2, WW=3) for count arrays.
+    pub fn idx(self) -> usize {
+        match self {
+            OrderKind::RR => 0,
+            OrderKind::RW => 1,
+            OrderKind::WR => 2,
+            OrderKind::WW => 3,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OrderKind::RR => "r->r",
+            OrderKind::RW => "r->w",
+            OrderKind::WR => "w->r",
+            OrderKind::WW => "w->w",
+        }
+    }
+
+    fn of(a: AccessKind, b: AccessKind) -> Self {
+        match (a, b) {
+            (AccessKind::Read, AccessKind::Read) => OrderKind::RR,
+            (AccessKind::Read, AccessKind::Write) => OrderKind::RW,
+            (AccessKind::Write, AccessKind::Read) => OrderKind::WR,
+            (AccessKind::Write, AccessKind::Write) => OrderKind::WW,
+        }
+    }
+}
+
+/// The orderings of one function: the access table plus ordered pairs
+/// (indices into the table).
+pub struct FuncOrderings {
+    /// All escaping access occurrences, in block-sequential order.
+    pub accesses: Vec<Access>,
+    /// Ordered pairs `(from, to)` indexing into `accesses`.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl FuncOrderings {
+    /// Generates orderings for `fid` from the escape analysis.
+    pub fn generate(module: &Module, escape: &EscapeInfo, fid: FuncId) -> Self {
+        let func = module.func(fid);
+        let cfg = Cfg::new(func);
+        let reach = Reachability::new(&cfg);
+
+        // ---- collect escaping access occurrences ----
+        let mut accesses = Vec::new();
+        for (bid, block) in func.iter_blocks() {
+            for (index, &iid) in block.insts.iter().enumerate() {
+                let kind = &func.inst(iid).kind;
+                if kind.is_mem_access() {
+                    if !escape.is_escaping(fid, iid) {
+                        continue;
+                    }
+                    let atomic = kind.is_mem_read() && kind.is_mem_write();
+                    if kind.is_mem_read() {
+                        accesses.push(Access {
+                            inst: iid,
+                            kind: AccessKind::Read,
+                            atomic,
+                            block: bid,
+                            index,
+                        });
+                    }
+                    if kind.is_mem_write() {
+                        accesses.push(Access {
+                            inst: iid,
+                            kind: AccessKind::Write,
+                            atomic,
+                            block: bid,
+                            index,
+                        });
+                    }
+                } else if let InstKind::CallIntrinsic { intr, .. } = kind {
+                    // Opaque library sync: conservative read+write.
+                    if intr.is_sync_boundary() {
+                        for k in [AccessKind::Read, AccessKind::Write] {
+                            accesses.push(Access {
+                                inst: iid,
+                                kind: k,
+                                atomic: true,
+                                block: bid,
+                                index,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- enumerate ordered pairs ----
+        let mut pairs = Vec::new();
+        for (i, a) in accesses.iter().enumerate() {
+            for (j, b) in accesses.iter().enumerate() {
+                if i == j {
+                    // Same occurrence with itself: ordered only across loop
+                    // iterations.
+                    if reach.in_cycle(a.block) {
+                        pairs.push((i as u32, j as u32));
+                    }
+                    continue;
+                }
+                if a.inst == b.inst && a.index == b.index {
+                    // Read and write part of one RMW occurrence: the read
+                    // precedes the write within the atomic operation.
+                    if a.kind == AccessKind::Read && b.kind == AccessKind::Write {
+                        pairs.push((i as u32, j as u32));
+                    } else if reach.in_cycle(a.block) {
+                        // write(iter k) → read(iter k+1)
+                        pairs.push((i as u32, j as u32));
+                    }
+                    continue;
+                }
+                let ordered = if a.block == b.block {
+                    a.index < b.index || reach.in_cycle(a.block)
+                } else {
+                    reach.reaches(a.block, b.block)
+                };
+                if ordered {
+                    pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+
+        FuncOrderings { accesses, pairs }
+    }
+
+    /// The kind of pair `p`.
+    pub fn kind(&self, p: (u32, u32)) -> OrderKind {
+        OrderKind::of(
+            self.accesses[p.0 as usize].kind,
+            self.accesses[p.1 as usize].kind,
+        )
+    }
+
+    /// Counts of all pairs by kind (`[rr, rw, wr, ww]`).
+    pub fn counts(&self) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        for &p in &self.pairs {
+            c[self.kind(p).idx()] += 1;
+        }
+        c
+    }
+
+    /// Applies the Table I pruning rules given the function's detected
+    /// sync reads (bit-indexed by `InstId`). Returns the kept pairs.
+    pub fn prune(&self, sync_reads: &BitSet) -> Vec<(u32, u32)> {
+        self.pairs
+            .iter()
+            .copied()
+            .filter(|&(a, b)| {
+                let fa = &self.accesses[a as usize];
+                let fb = &self.accesses[b as usize];
+                match OrderKind::of(fa.kind, fb.kind) {
+                    // racq → r : first read must be an acquire.
+                    OrderKind::RR => sync_reads.contains(fa.inst.index()),
+                    // wrel → racq : second read must be an acquire.
+                    OrderKind::WR => sync_reads.contains(fb.inst.index()),
+                    // r/w → wrel : second write is conservatively a release.
+                    OrderKind::RW | OrderKind::WW => true,
+                }
+            })
+            .collect()
+    }
+
+    /// Counts a pair subset by kind.
+    pub fn counts_of(&self, pairs: &[(u32, u32)]) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        for &p in pairs {
+            c[self.kind(p).idx()] += 1;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fence_analysis::ModuleAnalysis;
+    use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+
+    /// Straight-line: load a; store b; load c  (all globals).
+    /// Pairs: a→b (rw), a→c (rr), b→c (wr).
+    #[test]
+    fn straight_line_pairs() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let b = mb.global("b", 1);
+        let c = mb.global("c", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let _ = fb.load(a);
+        fb.store(b, 1i64);
+        let _ = fb.load(c);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let an = ModuleAnalysis::run(&m);
+        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        assert_eq!(ords.accesses.len(), 3);
+        assert_eq!(ords.counts(), [1, 1, 1, 0]);
+    }
+
+    /// Pruning with no sync reads drops rr and wr, keeps rw/ww.
+    #[test]
+    fn prune_without_acquires() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let b = mb.global("b", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let _ = fb.load(a); // r
+        let _ = fb.load(b); // r   (r→r)
+        fb.store(a, 1i64); // w   (r→w, r→w)
+        fb.store(b, 1i64); // w   (w→w, r→w, r→w)
+        let _ = fb.load(a); // r   (w→r, w→r, r→r, r→r)
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let an = ModuleAnalysis::run(&m);
+        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let none = BitSet::new(m.func(fid).num_insts());
+        let kept = ords.prune(&none);
+        let counts = ords.counts_of(&kept);
+        assert_eq!(counts[OrderKind::RR.idx()], 0, "all r→r pruned");
+        assert_eq!(counts[OrderKind::WR.idx()], 0, "all w→r pruned");
+        assert_eq!(
+            counts[OrderKind::RW.idx()],
+            ords.counts()[OrderKind::RW.idx()],
+            "r→w untouched"
+        );
+        assert_eq!(
+            counts[OrderKind::WW.idx()],
+            ords.counts()[OrderKind::WW.idx()],
+            "w→w untouched"
+        );
+    }
+
+    /// Marking the second read of a w→r pair as acquire keeps it.
+    #[test]
+    fn prune_keeps_acquire_pairs() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let b = mb.global("b", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.store(a, 1i64); // w
+        let r = fb.load(b); // r  — mark as acquire
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let an = ModuleAnalysis::run(&m);
+        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        assert_eq!(ords.counts(), [0, 0, 1, 0]);
+        let mut sync = BitSet::new(m.func(fid).num_insts());
+        sync.insert(r.as_inst().unwrap().index());
+        let kept = ords.prune(&sync);
+        assert_eq!(kept.len(), 1, "w→racq kept");
+    }
+
+    /// Accesses inside a loop are ordered with themselves across
+    /// iterations.
+    #[test]
+    fn loop_self_ordering() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.for_loop(0i64, 4i64, |f, _| {
+            let v = f.load(a);
+            f.store(a, v);
+        });
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let an = ModuleAnalysis::run(&m);
+        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        // read & write in cycle: r→r, r→w, w→r, w→w all present.
+        let c = ords.counts();
+        assert!(c.iter().all(|&x| x >= 1), "all four kinds occur: {c:?}");
+    }
+
+    /// RMW decomposes into read+write; its intra-occurrence pair is
+    /// read→write only; everything is atomic.
+    #[test]
+    fn rmw_decomposition() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let _ = fb.rmw(fence_ir::RmwOp::Add, a, 1i64);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let an = ModuleAnalysis::run(&m);
+        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        assert_eq!(ords.accesses.len(), 2);
+        assert!(ords.accesses.iter().all(|a| a.atomic));
+        assert_eq!(ords.counts(), [0, 1, 0, 0], "only read→write internally");
+    }
+
+    /// Lock intrinsics appear as atomic read+write occurrences.
+    #[test]
+    fn lock_intrinsic_accesses() {
+        let mut mb = ModuleBuilder::new("m");
+        let l = mb.global("lock", 1);
+        let d = mb.global("d", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.lock_acquire(l);
+        fb.store(d, 1i64);
+        fb.lock_release(l);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let an = ModuleAnalysis::run(&m);
+        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        assert_eq!(ords.accesses.len(), 5, "2 + 1 store + 2");
+        let atomics = ords.accesses.iter().filter(|a| a.atomic).count();
+        assert_eq!(atomics, 4);
+    }
+
+    /// Cross-block orderings follow reachability; no ordering from a later
+    /// block back to an earlier one without a back edge.
+    #[test]
+    fn cross_block_direction() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let b = mb.global("b", 1);
+        let mut fb = FunctionBuilder::new("f", 1);
+        fb.store(a, 1i64);
+        fb.if_then(fence_ir::Value::Arg(0), |f| {
+            f.store(b, 2i64);
+        });
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let an = ModuleAnalysis::run(&m);
+        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        // store a → store b : one w→w. Nothing backwards.
+        assert_eq!(ords.counts(), [0, 0, 0, 1]);
+    }
+}

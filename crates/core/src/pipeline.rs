@@ -1,0 +1,370 @@
+//! The end-to-end fence-placement pipeline.
+//!
+//! `escape analysis → acquire detection → ordering generation → pruning →
+//! fence minimization → fence insertion`, selectable per [`Variant`]:
+//!
+//! * [`Variant::Pensieve`] — the baseline: no pruning at all (every
+//!   escaping read is conservatively a potential acquire);
+//! * [`Variant::Control`] — prune with control acquires (paper Listing 1);
+//! * [`Variant::AddressControl`] — prune with control+address acquires
+//!   (paper Listing 3, the conservative variant);
+//! * [`Variant::Manual`] — no automatic placement; the module's hand-
+//!   placed `fence` instructions *are* the placement (the paper's expert
+//!   baseline).
+//!
+//! Functions are independent after the module-wide analysis, so the
+//! per-function stage optionally runs on a crossbeam thread pool
+//! ([`PipelineConfig::parallel`]).
+
+use crate::acquire::{detect_acquires, pensieve_all_reads, AcquireInfo, DetectMode};
+use crate::insert::insert_fences;
+use crate::minimize::{count_module_fences, minimize_function, FencePoint, TargetModel};
+use crate::orderings::FuncOrderings;
+use crate::report::{FuncReport, ModuleReport};
+use fence_analysis::ModuleAnalysis;
+use fence_ir::{FenceKind, FuncId, Module};
+use parking_lot::Mutex;
+
+/// Which sync-read set drives pruning.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Baseline: delay-set approximation with no pruning.
+    Pensieve,
+    /// Prune with control acquires only (simple algorithm).
+    Control,
+    /// Prune with control + address acquires (conservative algorithm).
+    AddressControl,
+    /// Keep the module's explicit fences; place nothing.
+    Manual,
+}
+
+impl Variant {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Pensieve => "Pensieve",
+            Variant::Control => "Control",
+            Variant::AddressControl => "Address+Control",
+            Variant::Manual => "Manual",
+        }
+    }
+
+    /// All automatic variants (everything except `Manual`).
+    pub fn automatic() -> [Variant; 3] {
+        [Variant::Pensieve, Variant::AddressControl, Variant::Control]
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct PipelineConfig {
+    /// Which acquire set prunes the orderings.
+    pub variant: Variant,
+    /// Hardware model fences are minimized against.
+    pub target: TargetModel,
+    /// Run the per-function stage on a thread pool.
+    pub parallel: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            variant: Variant::Control,
+            target: TargetModel::X86Tso,
+            parallel: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Convenience constructor for a variant on x86-TSO.
+    pub fn for_variant(variant: Variant) -> Self {
+        PipelineConfig {
+            variant,
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+pub struct PipelineResult {
+    /// The instrumented module (fences inserted).
+    pub module: Module,
+    /// The chosen fence points (empty for `Manual`).
+    pub points: Vec<FencePoint>,
+    /// Per-function statistics.
+    pub report: ModuleReport,
+}
+
+fn process_function(
+    module: &Module,
+    analysis: &ModuleAnalysis,
+    fid: FuncId,
+    config: &PipelineConfig,
+) -> (FuncReport, Vec<FencePoint>) {
+    let func = module.func(fid);
+    let info: AcquireInfo = match config.variant {
+        Variant::Pensieve => pensieve_all_reads(module, &analysis.escape, fid),
+        Variant::Control => detect_acquires(
+            module,
+            &analysis.points_to,
+            &analysis.escape,
+            fid,
+            DetectMode::Control,
+        ),
+        Variant::AddressControl => detect_acquires(
+            module,
+            &analysis.points_to,
+            &analysis.escape,
+            fid,
+            DetectMode::AddressControl,
+        ),
+        Variant::Manual => unreachable!("Manual never reaches process_function"),
+    };
+
+    let ords = FuncOrderings::generate(module, &analysis.escape, fid);
+    let kept = match config.variant {
+        Variant::Pensieve => ords.pairs.clone(),
+        _ => ords.prune(&info.sync_reads),
+    };
+    let entry_fence = !info.sync_reads.is_empty();
+    let points = minimize_function(func, fid, &ords, &kept, config.target, entry_fence);
+
+    let (full, dir) = crate::minimize::count_fences(&points);
+    let report = FuncReport {
+        name: func.name.clone(),
+        escaping_reads: analysis.escape.escaping_reads(module, fid).len(),
+        escaping_writes: analysis.escape.escaping_writes(module, fid).len(),
+        acquires: info.count(),
+        control_acquires: info.control.count(),
+        address_acquires: info.address.count(),
+        pure_address_acquires: info.pure_address_ids().len(),
+        orderings_total: ords.counts(),
+        orderings_kept: ords.counts_of(&kept),
+        full_fences: full,
+        compiler_fences: dir,
+    };
+    (report, points)
+}
+
+/// Runs the pipeline on a module.
+#[allow(clippy::type_complexity, clippy::needless_range_loop)]
+pub fn run_pipeline(module: &Module, config: &PipelineConfig) -> PipelineResult {
+    if config.variant == Variant::Manual {
+        // Nothing to place: the module's explicit fences are the placement.
+        let (full, dir) = count_module_fences(module);
+        let report = ModuleReport {
+            module_name: module.name.clone(),
+            variant: config.variant.name().to_string(),
+            funcs: vec![FuncReport {
+                name: "<module>".to_string(),
+                full_fences: full,
+                compiler_fences: dir,
+                ..Default::default()
+            }],
+        };
+        return PipelineResult {
+            module: module.clone(),
+            points: Vec::new(),
+            report,
+        };
+    }
+
+    let analysis = ModuleAnalysis::run(module);
+    let n = module.funcs.len();
+    let mut slots: Vec<Option<(FuncReport, Vec<FencePoint>)>> = (0..n).map(|_| None).collect();
+
+    if config.parallel && n > 1 {
+        let results: Mutex<Vec<(usize, (FuncReport, Vec<FencePoint>))>> =
+            Mutex::new(Vec::with_capacity(n));
+        let nthreads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n);
+        crossbeam::thread::scope(|scope| {
+            for t in 0..nthreads {
+                let results = &results;
+                let analysis = &analysis;
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    let mut i = t;
+                    while i < n {
+                        let fid = FuncId::new(i);
+                        local.push((i, process_function(module, analysis, fid, config)));
+                        i += nthreads;
+                    }
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("pipeline worker panicked");
+        for (i, r) in results.into_inner() {
+            slots[i] = Some(r);
+        }
+    } else {
+        for i in 0..n {
+            slots[i] = Some(process_function(module, &analysis, FuncId::new(i), config));
+        }
+    }
+
+    let mut funcs = Vec::with_capacity(n);
+    let mut points = Vec::new();
+    for slot in slots {
+        let (report, pts) = slot.expect("every function processed");
+        funcs.push(report);
+        points.extend(pts);
+    }
+
+    let instrumented = insert_fences(module, &points);
+    PipelineResult {
+        module: instrumented,
+        points,
+        report: ModuleReport {
+            module_name: module.name.clone(),
+            variant: config.variant.name().to_string(),
+            funcs,
+        },
+    }
+}
+
+/// Re-export used by reports: count explicit fences of a module by kind.
+pub fn explicit_fences(module: &Module) -> (usize, usize) {
+    count_module_fences(module)
+}
+
+/// Counts dynamic-fence-relevant statistics of an instrumented module:
+/// `(full_fences, compiler_directives)` actually present as instructions.
+pub fn placed_fences(result: &PipelineResult) -> (usize, usize) {
+    let full = result
+        .points
+        .iter()
+        .filter(|p| p.kind == FenceKind::Full)
+        .count();
+    (full, result.points.len() - full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+
+    /// Builds the paper's Figure 2 module: two threads of the legacy-DRF
+    /// busy-wait example, with `*p1`/`*p2` unknown pointers that may alias
+    /// x and y but not flag.
+    fn figure2_module() -> Module {
+        let mut mb = ModuleBuilder::new("fig2");
+        let x = mb.global("x", 1);
+        let y = mb.global("y", 1);
+        let flag = mb.global("flag", 1);
+
+        // P1: a1: x = ..; a2: .. = y; a3: flag = 1
+        let mut p1 = FunctionBuilder::new("p1", 0);
+        p1.store(x, 1i64); // a1
+        let _ = p1.load(y); // a2
+        p1.store(flag, 1i64); // a3
+        p1.ret(None);
+        mb.add_func(p1.build());
+
+        // P2: b1: *p1 = ..; b2: .. = *p2; b3: while(flag != 1);
+        //     b4: y = ..; b5: .. = x
+        let mut p2 = FunctionBuilder::new("p2", 2);
+        p2.store(fence_ir::Value::Arg(0), 7i64); // b1: *p1 =
+        let _ = p2.load(fence_ir::Value::Arg(1)); // b2: = *p2
+        p2.spin_while_eq(flag, 0i64); // b3
+        p2.store(y, 2i64); // b4
+        let _ = p2.load(x); // b5
+        p2.ret(None);
+        mb.add_func(p2.build());
+        mb.finish()
+    }
+
+    #[test]
+    fn control_places_fewer_fences_than_pensieve() {
+        let m = figure2_module();
+        let pens = run_pipeline(&m, &PipelineConfig::for_variant(Variant::Pensieve));
+        let ctrl = run_pipeline(&m, &PipelineConfig::for_variant(Variant::Control));
+        assert!(
+            ctrl.report.full_fences() < pens.report.full_fences(),
+            "Control {} < Pensieve {}",
+            ctrl.report.full_fences(),
+            pens.report.full_fences()
+        );
+        assert!(ctrl.report.total_kept() < pens.report.total_kept());
+        // The flag spin read is the only acquire in p2; p1 has none.
+        assert_eq!(ctrl.report.acquires(), 1);
+    }
+
+    #[test]
+    fn pensieve_keeps_everything() {
+        let m = figure2_module();
+        let pens = run_pipeline(&m, &PipelineConfig::for_variant(Variant::Pensieve));
+        assert_eq!(pens.report.total_orderings(), pens.report.total_kept());
+    }
+
+    #[test]
+    fn instrumented_module_verifies() {
+        let m = figure2_module();
+        for v in Variant::automatic() {
+            let r = run_pipeline(&m, &PipelineConfig::for_variant(v));
+            assert!(
+                fence_ir::verify_module(&r.module).is_empty(),
+                "{v:?} output verifies"
+            );
+            let (full, dir) = placed_fences(&r);
+            assert_eq!(full, r.report.full_fences());
+            assert_eq!(dir, r.report.compiler_fences());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let m = figure2_module();
+        for v in Variant::automatic() {
+            let seq = run_pipeline(
+                &m,
+                &PipelineConfig {
+                    variant: v,
+                    target: TargetModel::X86Tso,
+                    parallel: false,
+                },
+            );
+            let par = run_pipeline(
+                &m,
+                &PipelineConfig {
+                    variant: v,
+                    target: TargetModel::X86Tso,
+                    parallel: true,
+                },
+            );
+            assert_eq!(seq.points, par.points, "deterministic under {v:?}");
+            assert_eq!(seq.report.full_fences(), par.report.full_fences());
+        }
+    }
+
+    #[test]
+    fn manual_counts_explicit_fences() {
+        let mut mb = ModuleBuilder::new("manual");
+        let x = mb.global("x", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.store(x, 1i64);
+        fb.fence(FenceKind::Full);
+        let _ = fb.load(x);
+        fb.ret(None);
+        mb.add_func(fb.build());
+        let m = mb.finish();
+        let r = run_pipeline(&m, &PipelineConfig::for_variant(Variant::Manual));
+        assert_eq!(r.report.full_fences(), 1);
+        assert!(r.points.is_empty());
+        assert_eq!(r.module.total_insts(), m.total_insts());
+    }
+
+    #[test]
+    fn acquire_fraction_monotone_across_variants() {
+        let m = figure2_module();
+        let pens = run_pipeline(&m, &PipelineConfig::for_variant(Variant::Pensieve));
+        let ac = run_pipeline(&m, &PipelineConfig::for_variant(Variant::AddressControl));
+        let ctrl = run_pipeline(&m, &PipelineConfig::for_variant(Variant::Control));
+        assert!(ctrl.report.acquires() <= ac.report.acquires());
+        assert!(ac.report.acquires() <= pens.report.acquires());
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-function and per-module statistics collected by the pipeline —
+//! the raw numbers behind Figures 7, 8 and 9 of the paper.
+
+use crate::orderings::OrderKind;
+
+/// Statistics for one function under one pipeline variant.
+#[derive(Clone, Debug, Default)]
+pub struct FuncReport {
+    /// Function name.
+    pub name: String,
+    /// Potentially thread-escaping reads (candidate acquires).
+    pub escaping_reads: usize,
+    /// Potentially thread-escaping writes (conservative releases).
+    pub escaping_writes: usize,
+    /// Reads the variant marks as sync reads (acquires).
+    pub acquires: usize,
+    /// Acquires matching the control signature.
+    pub control_acquires: usize,
+    /// Acquires matching the address signature.
+    pub address_acquires: usize,
+    /// Acquires matching *only* the address signature.
+    pub pure_address_acquires: usize,
+    /// Orderings generated, by kind (`[rr, rw, wr, ww]`).
+    pub orderings_total: [usize; 4],
+    /// Orderings surviving pruning, by kind.
+    pub orderings_kept: [usize; 4],
+    /// Full fences placed (x86 MFENCE-class).
+    pub full_fences: usize,
+    /// Compiler directives placed (no runtime presence).
+    pub compiler_fences: usize,
+}
+
+/// Aggregated statistics for a whole module.
+#[derive(Clone, Debug, Default)]
+pub struct ModuleReport {
+    /// Module name.
+    pub module_name: String,
+    /// Variant label (e.g. "Control").
+    pub variant: String,
+    /// One entry per function.
+    pub funcs: Vec<FuncReport>,
+}
+
+impl ModuleReport {
+    /// Sum of escaping reads over all functions.
+    pub fn escaping_reads(&self) -> usize {
+        self.funcs.iter().map(|f| f.escaping_reads).sum()
+    }
+
+    /// Sum of escaping writes.
+    pub fn escaping_writes(&self) -> usize {
+        self.funcs.iter().map(|f| f.escaping_writes).sum()
+    }
+
+    /// Sum of detected acquires.
+    pub fn acquires(&self) -> usize {
+        self.funcs.iter().map(|f| f.acquires).sum()
+    }
+
+    /// Fraction of escaping reads marked acquire (Figure 7's metric).
+    pub fn acquire_fraction(&self) -> f64 {
+        let er = self.escaping_reads();
+        if er == 0 {
+            0.0
+        } else {
+            self.acquires() as f64 / er as f64
+        }
+    }
+
+    /// Total orderings generated, by kind.
+    #[allow(clippy::needless_range_loop)] // k indexes two arrays
+    pub fn orderings_total(&self) -> [usize; 4] {
+        let mut acc = [0usize; 4];
+        for f in &self.funcs {
+            for k in 0..4 {
+                acc[k] += f.orderings_total[k];
+            }
+        }
+        acc
+    }
+
+    /// Total orderings kept after pruning, by kind.
+    #[allow(clippy::needless_range_loop)] // k indexes two arrays
+    pub fn orderings_kept(&self) -> [usize; 4] {
+        let mut acc = [0usize; 4];
+        for f in &self.funcs {
+            for k in 0..4 {
+                acc[k] += f.orderings_kept[k];
+            }
+        }
+        acc
+    }
+
+    /// Total orderings generated (all kinds).
+    pub fn total_orderings(&self) -> usize {
+        self.orderings_total().iter().sum()
+    }
+
+    /// Total orderings kept (all kinds).
+    pub fn total_kept(&self) -> usize {
+        self.orderings_kept().iter().sum()
+    }
+
+    /// Full fences placed module-wide.
+    pub fn full_fences(&self) -> usize {
+        self.funcs.iter().map(|f| f.full_fences).sum()
+    }
+
+    /// Compiler directives placed module-wide.
+    pub fn compiler_fences(&self) -> usize {
+        self.funcs.iter().map(|f| f.compiler_fences).sum()
+    }
+
+    /// Renders a human-readable summary table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "module {} — variant {}",
+            self.module_name, self.variant
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>6} {:>8} {:>8} {:>8} {:>6} {:>6}",
+            "function", "eReads", "acq", "ords", "kept", "w->r", "full", "dir"
+        );
+        for f in &self.funcs {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>6} {:>6} {:>8} {:>8} {:>8} {:>6} {:>6}",
+                f.name,
+                f.escaping_reads,
+                f.acquires,
+                f.orderings_total.iter().sum::<usize>(),
+                f.orderings_kept.iter().sum::<usize>(),
+                f.orderings_kept[OrderKind::WR.idx()],
+                f.full_fences,
+                f.compiler_fences,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>6} {:>8} {:>8} {:>8} {:>6} {:>6}",
+            "TOTAL",
+            self.escaping_reads(),
+            self.acquires(),
+            self.total_orderings(),
+            self.total_kept(),
+            self.orderings_kept()[OrderKind::WR.idx()],
+            self.full_fences(),
+            self.compiler_fences(),
+        );
+        out
+    }
+}
+
+/// Geometric mean helper used for the normalized cross-benchmark summaries
+/// ("Geometric mean is used for all normalized results", paper §5).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ModuleReport {
+        ModuleReport {
+            module_name: "m".into(),
+            variant: "Control".into(),
+            funcs: vec![
+                FuncReport {
+                    name: "a".into(),
+                    escaping_reads: 4,
+                    escaping_writes: 2,
+                    acquires: 1,
+                    orderings_total: [10, 5, 3, 2],
+                    orderings_kept: [2, 5, 1, 2],
+                    full_fences: 2,
+                    compiler_fences: 3,
+                    ..Default::default()
+                },
+                FuncReport {
+                    name: "b".into(),
+                    escaping_reads: 6,
+                    escaping_writes: 1,
+                    acquires: 2,
+                    orderings_total: [0, 1, 1, 0],
+                    orderings_kept: [0, 1, 0, 0],
+                    full_fences: 1,
+                    compiler_fences: 0,
+                    ..Default::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregation() {
+        let r = sample();
+        assert_eq!(r.escaping_reads(), 10);
+        assert_eq!(r.acquires(), 3);
+        assert!((r.acquire_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(r.orderings_total(), [10, 6, 4, 2]);
+        assert_eq!(r.total_orderings(), 22);
+        assert_eq!(r.total_kept(), 11);
+        assert_eq!(r.full_fences(), 3);
+        assert_eq!(r.compiler_fences(), 3);
+    }
+
+    #[test]
+    fn render_contains_totals() {
+        let r = sample();
+        let s = r.render();
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("Control"));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([5.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+}

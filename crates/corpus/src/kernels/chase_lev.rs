@@ -1,0 +1,147 @@
+//! Chase-Lev dynamic circular work-stealing deque (SPAA'05).
+//!
+//! The owner pushes/takes at `bottom`; thieves steal at `top` with a CAS.
+//! The loaded `top`/`bottom` indices feed both comparisons (**control**
+//! signature) and the buffer indexing (**address** signature) — the
+//! Table II row with both columns checked.
+
+use super::Kernel;
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::Value;
+
+/// Deque capacity in the model (power of two).
+pub const CAP: i64 = 64;
+
+/// Sentinel for "deque empty".
+pub const EMPTY: i64 = -1;
+/// Sentinel for "steal aborted (lost the race)".
+pub const ABORT: i64 = -2;
+
+/// Builds the kernel module: `push(task)`, `take() -> task`,
+/// `steal() -> task`.
+pub fn build() -> Kernel {
+    let mut mb = ModuleBuilder::new("chase_lev");
+    let top = mb.global("top", 1);
+    let bottom = mb.global("bottom", 1);
+    let buffer = mb.global("buffer", CAP as u32);
+
+    // --- push(task): owner-side append at bottom ---
+    {
+        let mut f = FunctionBuilder::new("push", 1);
+        let b = f.load(bottom);
+        let t = f.load(top);
+        // size = b - t; full ⇒ drop (resizing elided in the model).
+        let size = f.sub(b, t);
+        let full = f.ge(size, CAP - 1);
+        f.if_then_else(
+            full,
+            |_| {},
+            |f| {
+                let idx = f.rem(b, CAP);
+                let slot = f.gep(buffer, idx); // b (a shared read) → address
+                f.store(slot, Value::Arg(0));
+                let nb = f.add(b, 1);
+                f.store(bottom, nb);
+            },
+        );
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    // --- take() -> task: owner-side pop at bottom ---
+    {
+        let mut f = FunctionBuilder::new("take", 0);
+        let res = f.local("res");
+        let b0 = f.load(bottom);
+        let b = f.sub(b0, 1);
+        f.store(bottom, b);
+        let t = f.load(top);
+        let empty = f.gt(t, b);
+        f.if_then_else(
+            empty,
+            |f| {
+                // Deque was empty: restore bottom.
+                f.store(bottom, t);
+                f.write_local(res, EMPTY);
+            },
+            |f| {
+                let idx = f.rem(b, CAP);
+                let slot = f.gep(buffer, idx);
+                let task = f.load(slot);
+                f.write_local(res, task);
+                let last = f.eq(t, b);
+                f.if_then(last, |f| {
+                    // Race with thieves for the final element.
+                    let t1 = f.add(t, 1);
+                    let old = f.cas(top, t, t1);
+                    let lost = f.ne(old, t);
+                    f.if_then(lost, |f| f.write_local(res, EMPTY));
+                    f.store(bottom, t1);
+                });
+            },
+        );
+        let r = f.read_local(res);
+        f.ret(Some(r));
+        mb.add_func(f.build());
+    }
+
+    // --- steal() -> task: thief-side pop at top ---
+    {
+        let mut f = FunctionBuilder::new("steal", 0);
+        let res = f.local("res");
+        let t = f.load(top);
+        let b = f.load(bottom);
+        let empty = f.ge(t, b);
+        f.if_then_else(
+            empty,
+            |f| f.write_local(res, EMPTY),
+            |f| {
+                let idx = f.rem(t, CAP);
+                let slot = f.gep(buffer, idx); // t (shared read) → address
+                let task = f.load(slot);
+                let t1 = f.add(t, 1);
+                let old = f.cas(top, t, t1);
+                let lost = f.ne(old, t);
+                f.if_then_else(
+                    lost,
+                    |f| f.write_local(res, ABORT),
+                    |f| f.write_local(res, task),
+                );
+            },
+        );
+        let r = f.read_local(res);
+        f.ret(Some(r));
+        mb.add_func(f.build());
+    }
+
+    Kernel {
+        name: "Chase Lev WSQ",
+        citation: "Chase & Lev, SPAA 2005",
+        module: mb.finish(),
+        expect_addr: true,
+        expect_ctrl: true,
+        expect_pure_addr: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use memsim::{SimConfig, Simulator, ThreadSpec};
+
+    /// Owner pushes one task; deque state reflects it.
+    #[test]
+    fn push_updates_deque() {
+        let k = super::build();
+        let m = &k.module;
+        let push = m.func_by_name("push").unwrap();
+        let sim = Simulator::with_config(m, SimConfig::default());
+        let r = sim
+            .run(&[ThreadSpec {
+                func: push,
+                args: vec![7],
+            }])
+            .expect("push runs");
+        assert_eq!(r.read_global(m, "bottom", 0), 1);
+        assert_eq!(r.read_global(m, "buffer", 0), 7);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cilk-5 THE work-stealing protocol (Frigo, Leiserson, Randall, PLDI'98).
+//!
+//! The protocol manipulates the `T` (tail), `H` (head) indices and a lock;
+//! the victim/thief conflict is resolved purely by index comparisons —
+//! **control** acquires only, no loaded value ever feeds an address
+//! (Table II: Addr ✗, Ctrl ✓).
+
+use super::Kernel;
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+
+/// Builds the kernel module: `push()`, `pop() -> ok`, `steal() -> ok`.
+pub fn build() -> Kernel {
+    let mut mb = ModuleBuilder::new("cilk5");
+    let h = mb.global("H", 1);
+    let t = mb.global("T", 1);
+    let lock = mb.global("L", 1);
+
+    // --- push(): owner appends (index bump only in the protocol) ---
+    {
+        let mut f = FunctionBuilder::new("push", 0);
+        let tv = f.load(t);
+        let nt = f.add(tv, 1);
+        f.store(t, nt);
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    // --- pop() -> ok: the THE fast/slow path ---
+    {
+        let mut f = FunctionBuilder::new("pop", 0);
+        let ok = f.local("ok");
+        f.write_local(ok, 1i64);
+        let tv0 = f.load(t);
+        let tv = f.sub(tv0, 1);
+        f.store(t, tv);
+        let hv = f.load(h);
+        let conflict = f.gt(hv, tv);
+        f.if_then(conflict, |f| {
+            // Slow path: restore T, retry under the lock.
+            let t1 = f.add(tv, 1);
+            f.store(t, t1);
+            f.lock_acquire(lock);
+            let tv2 = f.load(t);
+            let tv2d = f.sub(tv2, 1);
+            let hv2 = f.load(h);
+            let lost = f.gt(hv2, tv2d);
+            f.if_then_else(
+                lost,
+                |f| f.write_local(ok, 0i64),
+                |f| f.store(t, tv2d),
+            );
+            f.lock_release(lock);
+        });
+        let r = f.read_local(ok);
+        f.ret(Some(r));
+        mb.add_func(f.build());
+    }
+
+    // --- steal() -> ok ---
+    {
+        let mut f = FunctionBuilder::new("steal", 0);
+        let ok = f.local("ok");
+        f.lock_acquire(lock);
+        let hv = f.load(h);
+        let nh = f.add(hv, 1);
+        f.store(h, nh);
+        let tv = f.load(t);
+        let lost = f.gt(nh, tv);
+        f.if_then_else(
+            lost,
+            |f| {
+                f.store(h, hv); // undo
+                f.write_local(ok, 0i64);
+            },
+            |f| f.write_local(ok, 1i64),
+        );
+        f.lock_release(lock);
+        let r = f.read_local(ok);
+        f.ret(Some(r));
+        mb.add_func(f.build());
+    }
+
+    Kernel {
+        name: "Cilk-5 WSQ",
+        citation: "Frigo, Leiserson & Randall, PLDI 1998",
+        module: mb.finish(),
+        expect_addr: false,
+        expect_ctrl: true,
+        expect_pure_addr: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use memsim::{Simulator, ThreadSpec};
+
+    #[test]
+    fn pop_on_empty_fails() {
+        let k = super::build();
+        let m = &k.module;
+        let pop = m.func_by_name("pop").unwrap();
+        let r = Simulator::new(m)
+            .run(&[ThreadSpec {
+                func: pop,
+                args: vec![],
+            }])
+            .expect("runs");
+        assert_eq!(r.retvals[0], 0, "empty deque pop fails");
+    }
+
+    #[test]
+    fn push_then_pop_succeeds() {
+        let k = super::build();
+        let m = &k.module;
+        // Build a driver calling push then pop within one thread.
+        let push = m.func_by_name("push").unwrap();
+        let pop = m.func_by_name("pop").unwrap();
+        let mut m2 = m.clone();
+        let mut f = fence_ir::builder::FunctionBuilder::new("driver", 0);
+        f.call(push, vec![]);
+        let r = f.call(pop, vec![]);
+        f.ret(Some(r));
+        m2.funcs.push(f.build());
+        let driver_id = fence_ir::FuncId::new(m2.funcs.len() - 1);
+        let r = Simulator::new(&m2)
+            .run(&[ThreadSpec {
+                func: driver_id,
+                args: vec![],
+            }])
+            .expect("runs");
+        assert_eq!(r.retvals[0], 1, "pop after push succeeds");
+    }
+}

@@ -1,0 +1,174 @@
+//! Lamport's fast mutual-exclusion algorithm (TOCS 1987).
+//!
+//! Two scalar gates `x`, `y` and per-thread flags `b[i]`; all acquires are
+//! reads feeding comparisons — **control** signature only.
+
+use super::Kernel;
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::Value;
+
+/// Number of participants in the model.
+pub const N: i64 = 4;
+
+/// Builds the kernel module: `lock(i)`, `unlock(i)`.
+pub fn build() -> Kernel {
+    let mut mb = ModuleBuilder::new("lamport");
+    let x = mb.global("x", 1);
+    // y == 0 means "free"; thread ids are stored 1-based in the gates.
+    let y = mb.global("y", 1);
+    let b = mb.global("b", N as u32);
+
+    // --- lock(i): i is 1-based ---
+    {
+        let mut f = FunctionBuilder::new("lock", 1);
+        let i = Value::Arg(0);
+        let idx = f.sub(i, 1i64);
+        let my_b = f.gep(b, idx);
+        let acquired = f.local("acquired");
+        f.write_local(acquired, 0i64);
+        f.while_loop(
+            |f| {
+                let a = f.read_local(acquired);
+                f.eq(a, 0i64)
+            },
+            |f| {
+                // start: b[i] := true; x := i
+                f.store(my_b, 1i64);
+                f.store(x, i);
+                let yv = f.load(y);
+                let busy = f.ne(yv, 0i64);
+                f.if_then_else(
+                    busy,
+                    |f| {
+                        // y taken: back off and wait for it to clear.
+                        f.store(my_b, 0i64);
+                        f.while_loop(
+                            |f| {
+                                let yv2 = f.load(y);
+                                f.ne(yv2, 0i64)
+                            },
+                            |_| {},
+                        );
+                        // retry (acquired stays 0)
+                    },
+                    |f| {
+                        f.store(y, i);
+                        let xv = f.load(x);
+                        let contended = f.ne(xv, i);
+                        f.if_then_else(
+                            contended,
+                            |f| {
+                                // Slow path: wait for all b[j] to clear,
+                                // then check we still own y.
+                                f.store(my_b, 0i64);
+                                f.for_loop(0i64, N, |f, j| {
+                                    let bj = f.gep(b, j);
+                                    f.while_loop(
+                                        |f| {
+                                            let v = f.load(bj);
+                                            f.ne(v, 0i64)
+                                        },
+                                        |_| {},
+                                    );
+                                });
+                                let yv3 = f.load(y);
+                                let mine = f.eq(yv3, i);
+                                f.if_then_else(
+                                    mine,
+                                    |f| f.write_local(acquired, 1i64),
+                                    |f| {
+                                        // Lost: wait for release, retry.
+                                        f.while_loop(
+                                            |f| {
+                                                let yv4 = f.load(y);
+                                                f.ne(yv4, 0i64)
+                                            },
+                                            |_| {},
+                                        );
+                                    },
+                                );
+                            },
+                            |f| f.write_local(acquired, 1i64), // fast path
+                        );
+                    },
+                );
+            },
+        );
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    // --- unlock(i) ---
+    {
+        let mut f = FunctionBuilder::new("unlock", 1);
+        let i = Value::Arg(0);
+        f.store(y, 0i64);
+        let idx = f.sub(i, 1i64);
+        let my_b = f.gep(b, idx);
+        f.store(my_b, 0i64);
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    // --- worker(i, rounds) ---
+    {
+        let counter = mb.global("counter", 1);
+        let lock_f = fence_ir::FuncId::new(0);
+        let unlock_f = fence_ir::FuncId::new(1);
+        let mut f = FunctionBuilder::new("worker", 2);
+        f.for_loop(0i64, Value::Arg(1), |f, _| {
+            f.call(lock_f, vec![Value::Arg(0)]);
+            let c = f.load(counter);
+            let nc = f.add(c, 1);
+            f.store(counter, nc);
+            f.call(unlock_f, vec![Value::Arg(0)]);
+        });
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    Kernel {
+        name: "Lamport",
+        citation: "Lamport, TOCS 1987",
+        module: mb.finish(),
+        expect_addr: false,
+        expect_ctrl: true,
+        expect_pure_addr: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use memsim::{MemMode, SimConfig, Simulator, ThreadSpec};
+
+    #[test]
+    fn lamport_excludes_under_sc() {
+        let k = super::build();
+        let m = &k.module;
+        let worker = m.func_by_name("worker").unwrap();
+        let sim = Simulator::with_config(
+            m,
+            SimConfig {
+                mode: MemMode::Sc,
+                ..Default::default()
+            },
+        );
+        let r = sim
+            .run(&[
+                ThreadSpec {
+                    func: worker,
+                    args: vec![1, 30],
+                },
+                ThreadSpec {
+                    func: worker,
+                    args: vec![2, 30],
+                },
+                ThreadSpec {
+                    func: worker,
+                    args: vec![3, 30],
+                },
+            ])
+            .expect("runs");
+        assert_eq!(r.read_global(m, "counter", 0), 90);
+    }
+}

@@ -1,0 +1,255 @@
+//! Michael & Scott non-blocking FIFO queue (PODC 1996).
+//!
+//! Nodes are `[value, next]`; `head`/`tail` are loaded, validated by
+//! re-reads (**control**) and dereferenced (**address**) — Table II:
+//! Addr ✓, Ctrl ✓.
+
+use super::Kernel;
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::Value;
+
+/// Node field offsets.
+pub const VALUE: i64 = 0;
+/// Offset of the `next` field.
+pub const NEXT: i64 = 1;
+/// Returned by `dequeue` when the queue is empty.
+pub const EMPTY: i64 = -1;
+
+/// Builds the kernel module: `init()`, `enqueue(v)`, `dequeue() -> v`.
+pub fn build() -> Kernel {
+    let mut mb = ModuleBuilder::new("michael_scott");
+    let qhead = mb.global("qhead", 1);
+    let qtail = mb.global("qtail", 1);
+
+    // --- init(): allocate the dummy node ---
+    {
+        let mut f = FunctionBuilder::new("init", 0);
+        let dummy = f.alloc(2i64);
+        let next_p = f.gep(dummy, NEXT);
+        f.store(next_p, 0i64);
+        f.store(qhead, dummy);
+        f.store(qtail, dummy);
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    // --- enqueue(v) ---
+    {
+        let mut f = FunctionBuilder::new("enqueue", 1);
+        let node = f.alloc(2i64);
+        let val_p = f.gep(node, VALUE);
+        f.store(val_p, Value::Arg(0));
+        let next_p = f.gep(node, NEXT);
+        f.store(next_p, 0i64);
+        let done = f.local("done");
+        f.write_local(done, 0i64);
+        f.while_loop(
+            |f| {
+                let d = f.read_local(done);
+                f.eq(d, 0i64)
+            },
+            |f| {
+                let t = f.load(qtail); // shared read feeding addresses below
+                let t_next_p = f.gep(t, NEXT);
+                let next = f.load(t_next_p);
+                let t2 = f.load(qtail);
+                let consistent = f.eq(t, t2);
+                f.if_then(consistent, |f| {
+                    let at_end = f.eq(next, 0i64);
+                    f.if_then_else(
+                        at_end,
+                        |f| {
+                            let old = f.cas(t_next_p, 0i64, node);
+                            let ok = f.eq(old, 0i64);
+                            f.if_then(ok, |f| {
+                                // Swing tail (may fail: helped by others).
+                                let _ = f.cas(qtail, t, node);
+                                f.write_local(done, 1i64);
+                            });
+                        },
+                        |f| {
+                            // Help: advance the lagging tail.
+                            let _ = f.cas(qtail, t, next);
+                        },
+                    );
+                });
+            },
+        );
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    // --- dequeue() -> v ---
+    {
+        let mut f = FunctionBuilder::new("dequeue", 0);
+        let res = f.local("res");
+        let done = f.local("done");
+        f.write_local(done, 0i64);
+        f.write_local(res, EMPTY);
+        f.while_loop(
+            |f| {
+                let d = f.read_local(done);
+                f.eq(d, 0i64)
+            },
+            |f| {
+                let h = f.load(qhead);
+                let t = f.load(qtail);
+                let h_next_p = f.gep(h, NEXT);
+                let next = f.load(h_next_p); // address from loaded head
+                let h2 = f.load(qhead);
+                let consistent = f.eq(h, h2);
+                f.if_then(consistent, |f| {
+                    let drained = f.eq(h, t);
+                    f.if_then_else(
+                        drained,
+                        |f| {
+                            let empty = f.eq(next, 0i64);
+                            f.if_then_else(
+                                empty,
+                                |f| {
+                                    f.write_local(res, EMPTY);
+                                    f.write_local(done, 1i64);
+                                },
+                                |f| {
+                                    // Tail lags: help it forward.
+                                    let _ = f.cas(qtail, t, next);
+                                },
+                            );
+                        },
+                        |f| {
+                            let val_p = f.gep(next, VALUE);
+                            let v = f.load(val_p);
+                            let old = f.cas(qhead, h, next);
+                            let ok = f.eq(old, h);
+                            f.if_then(ok, |f| {
+                                f.write_local(res, v);
+                                f.write_local(done, 1i64);
+                            });
+                        },
+                    );
+                });
+            },
+        );
+        let r = f.read_local(res);
+        f.ret(Some(r));
+        mb.add_func(f.build());
+    }
+
+    Kernel {
+        name: "Michael Scott LFQ",
+        citation: "Michael & Scott, PODC 1996",
+        module: mb.finish(),
+        expect_addr: true,
+        expect_ctrl: true,
+        expect_pure_addr: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use memsim::{Simulator, ThreadSpec};
+
+    /// FIFO within a single thread: init, enqueue 3, dequeue 3 + empty.
+    #[test]
+    fn fifo_single_thread() {
+        let k = super::build();
+        let m = &k.module;
+        let init = m.func_by_name("init").unwrap();
+        let enq = m.func_by_name("enqueue").unwrap();
+        let deq = m.func_by_name("dequeue").unwrap();
+        let mut m2 = m.clone();
+        let sum = {
+            let mut f = fence_ir::builder::FunctionBuilder::new("driver", 0);
+            f.call(init, vec![]);
+            for v in [10i64, 20, 30] {
+                f.call(enq, vec![fence_ir::Value::c(v)]);
+            }
+            let a = f.call(deq, vec![]);
+            let b = f.call(deq, vec![]);
+            let c = f.call(deq, vec![]);
+            let e = f.call(deq, vec![]); // EMPTY = -1
+            let ab = f.add(a, b);
+            let abc = f.add(ab, c);
+            let all = f.add(abc, e);
+            f.ret(Some(all));
+            m2.funcs.push(f.build());
+            fence_ir::FuncId::new(m2.funcs.len() - 1)
+        };
+        let r = Simulator::new(&m2)
+            .run(&[ThreadSpec {
+                func: sum,
+                args: vec![],
+            }])
+            .expect("runs");
+        assert_eq!(r.retvals[0], 10 + 20 + 30 - 1);
+    }
+
+    /// Concurrent enqueues/dequeues conserve elements (TSO; CAS carries
+    /// the fences).
+    #[test]
+    fn concurrent_conservation() {
+        let k = super::build();
+        let m = &k.module;
+        let init = m.func_by_name("init").unwrap();
+        let enq = m.func_by_name("enqueue").unwrap();
+        let deq = m.func_by_name("dequeue").unwrap();
+        let mut m2 = m.clone();
+        // Producer thread: init? No — init must happen once before all.
+        // Thread 0 runs init then produces; consumers spin on qhead != 0.
+        let producer = {
+            let mut f = fence_ir::builder::FunctionBuilder::new("producer", 0);
+            f.call(init, vec![]);
+            f.for_loop(1i64, 21i64, |f, i| {
+                f.call(enq, vec![i]);
+            });
+            f.ret(None);
+            m2.funcs.push(f.build());
+            fence_ir::FuncId::new(m2.funcs.len() - 1)
+        };
+        let consumer = {
+            let qhead = m2.global_by_name("qhead").unwrap();
+            let mut f = fence_ir::builder::FunctionBuilder::new("consumer", 0);
+            f.spin_while_eq(qhead, 0i64); // wait for init
+            let acc = f.local("acc");
+            f.write_local(acc, 0i64);
+            f.for_loop(0i64, 10i64, |f, _| {
+                let got = f.local("got");
+                f.write_local(got, super::EMPTY);
+                f.while_loop(
+                    |f| {
+                        let v = f.call(deq, vec![]);
+                        f.write_local(got, v);
+                        f.eq(v, super::EMPTY)
+                    },
+                    |_| {},
+                );
+                let a = f.read_local(acc);
+                let g = f.read_local(got);
+                let na = f.add(a, g);
+                f.write_local(acc, na);
+            });
+            let a = f.read_local(acc);
+            f.ret(Some(a));
+            m2.funcs.push(f.build());
+            fence_ir::FuncId::new(m2.funcs.len() - 1)
+        };
+        let r = Simulator::new(&m2)
+            .run(&[
+                ThreadSpec {
+                    func: producer,
+                    args: vec![],
+                },
+                ThreadSpec {
+                    func: consumer,
+                    args: vec![],
+                },
+                ThreadSpec {
+                    func: consumer,
+                    args: vec![],
+                },
+            ])
+            .expect("runs");
+        // 1..=20 sum = 210 split between the consumers.
+        assert_eq!(r.retvals[1] + r.retvals[2], 210);
+    }
+}

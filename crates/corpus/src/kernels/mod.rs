@@ -1,0 +1,96 @@
+//! The nine synchronization kernels of Table II, modelled after their
+//! published pseudocode. Each kernel records which acquire signatures the
+//! paper reports for it (Addr / Ctrl / Pure-Addr) so the `table2` harness
+//! and the tests can compare detection output against the paper.
+
+mod chase_lev;
+mod cilk5;
+mod clh;
+mod dekker;
+mod lamport;
+mod mcs;
+mod michael_scott;
+mod peterson;
+mod szymanski;
+
+use fence_ir::Module;
+
+/// One Table II row: a synchronization primitive and its expected
+/// signature classification.
+pub struct Kernel {
+    /// Display name matching Table II.
+    pub name: &'static str,
+    /// Source the primitive is modelled after.
+    pub citation: &'static str,
+    /// The primitive's operations as IR functions.
+    pub module: Module,
+    /// Paper: does the kernel contain address-signature acquires?
+    pub expect_addr: bool,
+    /// Paper: does it contain control-signature acquires? (always yes)
+    pub expect_ctrl: bool,
+    /// Paper: any *pure* address acquires? (empirically: never)
+    pub expect_pure_addr: bool,
+}
+
+/// Builds all nine kernels in Table II order.
+pub fn all() -> Vec<Kernel> {
+    vec![
+        chase_lev::build(),
+        cilk5::build(),
+        clh::build(),
+        dekker::build(),
+        lamport::build(),
+        mcs::build(),
+        michael_scott::build(),
+        peterson::build(),
+        szymanski::build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_kernels_all_verify() {
+        let ks = all();
+        assert_eq!(ks.len(), 9);
+        for k in &ks {
+            let errs = fence_ir::verify_module(&k.module);
+            assert!(errs.is_empty(), "{}: {errs:?}", k.name);
+            assert!(k.expect_ctrl, "{}: Table II has Ctrl everywhere", k.name);
+            assert!(!k.expect_pure_addr, "{}: no pure-addr in Table II", k.name);
+        }
+    }
+
+    #[test]
+    fn table2_names_match_paper() {
+        let names: Vec<&str> = all().iter().map(|k| k.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Chase Lev WSQ",
+                "Cilk-5 WSQ",
+                "CLH Lock",
+                "Dekker",
+                "Lamport",
+                "MCS Lock",
+                "Michael Scott LFQ",
+                "Peterson",
+                "Szymanski",
+            ]
+        );
+    }
+
+    #[test]
+    fn addr_column_matches_paper() {
+        // Table II: Addr ✓ for Chase-Lev, CLH, MCS, Michael-Scott.
+        for k in all() {
+            let expect = matches!(
+                k.name,
+                "Chase Lev WSQ" | "CLH Lock" | "MCS Lock" | "Michael Scott LFQ"
+            );
+            assert_eq!(k.expect_addr, expect, "{}", k.name);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Peterson's two-thread mutual exclusion (IPL 1981).
+//!
+//! Flag reads and the turn read feed the spin condition — **control**
+//! signature only.
+
+use super::Kernel;
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::Value;
+
+/// Builds the kernel module: `lock(me)`, `unlock(me)` for `me ∈ {0, 1}`.
+pub fn build() -> Kernel {
+    let mut mb = ModuleBuilder::new("peterson");
+    let flags = mb.global("flags", 2);
+    let turn = mb.global("turn", 1);
+
+    // --- lock(me) ---
+    {
+        let mut f = FunctionBuilder::new("lock", 1);
+        let me = Value::Arg(0);
+        let other = f.sub(1i64, me);
+        let my_flag = f.gep(flags, me);
+        let other_flag = f.gep(flags, other);
+        f.store(my_flag, 1i64);
+        f.store(turn, other);
+        // while (flags[other] && turn == other) spin;
+        f.while_loop(
+            |f| {
+                let of = f.load(other_flag);
+                let tv = f.load(turn);
+                let t_other = f.eq(tv, other);
+                f.and(of, t_other)
+            },
+            |_| {},
+        );
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    // --- unlock(me) ---
+    {
+        let mut f = FunctionBuilder::new("unlock", 1);
+        let my_flag = f.gep(flags, Value::Arg(0));
+        f.store(my_flag, 0i64);
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    // --- worker(me, rounds) ---
+    {
+        let counter = mb.global("counter", 1);
+        let lock_f = fence_ir::FuncId::new(0);
+        let unlock_f = fence_ir::FuncId::new(1);
+        let mut f = FunctionBuilder::new("worker", 2);
+        f.for_loop(0i64, Value::Arg(1), |f, _| {
+            f.call(lock_f, vec![Value::Arg(0)]);
+            let c = f.load(counter);
+            let nc = f.add(c, 1);
+            f.store(counter, nc);
+            f.call(unlock_f, vec![Value::Arg(0)]);
+        });
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    Kernel {
+        name: "Peterson",
+        citation: "Peterson, IPL 1981",
+        module: mb.finish(),
+        expect_addr: false,
+        expect_ctrl: true,
+        expect_pure_addr: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use memsim::{MemMode, SimConfig, Simulator, ThreadSpec};
+
+    #[test]
+    fn peterson_excludes_under_sc() {
+        let k = super::build();
+        let m = &k.module;
+        let worker = m.func_by_name("worker").unwrap();
+        let sim = Simulator::with_config(
+            m,
+            SimConfig {
+                mode: MemMode::Sc,
+                ..Default::default()
+            },
+        );
+        let r = sim
+            .run(&[
+                ThreadSpec {
+                    func: worker,
+                    args: vec![0, 50],
+                },
+                ThreadSpec {
+                    func: worker,
+                    args: vec![1, 50],
+                },
+            ])
+            .expect("runs");
+        assert_eq!(r.read_global(m, "counter", 0), 100);
+    }
+}

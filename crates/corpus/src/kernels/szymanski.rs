@@ -1,0 +1,165 @@
+//! Szymanski's n-thread mutual exclusion (ICS 1988), simplified model.
+//!
+//! Threads move through flag states 0–4; every wait condition reads other
+//! threads' flags (indexed by a *local* loop counter, so no address
+//! acquires) — **control** signature only.
+
+use super::Kernel;
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::Value;
+
+/// Number of participants in the model.
+pub const N: i64 = 4;
+
+/// Builds the kernel module: `lock(i)`, `unlock(i)`.
+pub fn build() -> Kernel {
+    let mut mb = ModuleBuilder::new("szymanski");
+    let flag = mb.global("flag", N as u32);
+
+    // --- lock(i) ---
+    {
+        let mut f = FunctionBuilder::new("lock", 1);
+        let i = Value::Arg(0);
+        let my_flag = f.gep(flag, i);
+        // flag[i] = 1; wait until all flag[j] < 3.
+        f.store(my_flag, 1i64);
+        f.for_loop(0i64, N, |f, j| {
+            let fj = f.gep(flag, j);
+            f.while_loop(
+                |f| {
+                    let v = f.load(fj);
+                    f.ge(v, 3i64)
+                },
+                |_| {},
+            );
+        });
+        // flag[i] = 3; if someone is at 1, step back to 2 and wait for a 4.
+        f.store(my_flag, 3i64);
+        let someone_waiting = f.local("waiting");
+        f.write_local(someone_waiting, 0i64);
+        f.for_loop(0i64, N, |f, j| {
+            let fj = f.gep(flag, j);
+            let v = f.load(fj);
+            let at_door = f.eq(v, 1i64);
+            f.if_then(at_door, |f| f.write_local(someone_waiting, 1i64));
+        });
+        let w = f.read_local(someone_waiting);
+        let need_wait = f.ne(w, 0i64);
+        f.if_then(need_wait, |f| {
+            f.store(my_flag, 2i64);
+            // Wait until some thread reaches 4.
+            let seen4 = f.local("seen4");
+            f.write_local(seen4, 0i64);
+            f.while_loop(
+                |f| {
+                    let s = f.read_local(seen4);
+                    f.eq(s, 0i64)
+                },
+                |f| {
+                    f.for_loop(0i64, N, |f, j| {
+                        let fj = f.gep(flag, j);
+                        let v = f.load(fj);
+                        let is4 = f.eq(v, 4i64);
+                        f.if_then(is4, |f| f.write_local(seen4, 1i64));
+                    });
+                },
+            );
+        });
+        // flag[i] = 4; wait for all lower-numbered threads to leave.
+        f.store(my_flag, 4i64);
+        f.for_loop(0i64, i, |f, j| {
+            let fj = f.gep(flag, j);
+            f.while_loop(
+                |f| {
+                    let v = f.load(fj);
+                    f.ge(v, 2i64)
+                },
+                |_| {},
+            );
+        });
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    // --- unlock(i) ---
+    {
+        let mut f = FunctionBuilder::new("unlock", 1);
+        let i = Value::Arg(0);
+        // Wait for higher-numbered threads in the doorway to advance.
+        let i1 = f.add(i, 1i64);
+        f.for_loop(i1, N, |f, j| {
+            let fj = f.gep(flag, j);
+            f.while_loop(
+                |f| {
+                    let v = f.load(fj);
+                    let ge2 = f.ge(v, 2i64);
+                    let le3 = f.le(v, 3i64);
+                    f.and(ge2, le3)
+                },
+                |_| {},
+            );
+        });
+        let my_flag = f.gep(flag, i);
+        f.store(my_flag, 0i64);
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    // --- worker(i, rounds) ---
+    {
+        let counter = mb.global("counter", 1);
+        let lock_f = fence_ir::FuncId::new(0);
+        let unlock_f = fence_ir::FuncId::new(1);
+        let mut f = FunctionBuilder::new("worker", 2);
+        f.for_loop(0i64, Value::Arg(1), |f, _| {
+            f.call(lock_f, vec![Value::Arg(0)]);
+            let c = f.load(counter);
+            let nc = f.add(c, 1);
+            f.store(counter, nc);
+            f.call(unlock_f, vec![Value::Arg(0)]);
+        });
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+
+    Kernel {
+        name: "Szymanski",
+        citation: "Szymanski, ICS 1988",
+        module: mb.finish(),
+        expect_addr: false,
+        expect_ctrl: true,
+        expect_pure_addr: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use memsim::{MemMode, SimConfig, Simulator, ThreadSpec};
+
+    #[test]
+    fn szymanski_excludes_under_sc() {
+        let k = super::build();
+        let m = &k.module;
+        let worker = m.func_by_name("worker").unwrap();
+        let sim = Simulator::with_config(
+            m,
+            SimConfig {
+                mode: MemMode::Sc,
+                ..Default::default()
+            },
+        );
+        let r = sim
+            .run(&[
+                ThreadSpec {
+                    func: worker,
+                    args: vec![0, 15],
+                },
+                ThreadSpec {
+                    func: worker,
+                    args: vec![1, 15],
+                },
+            ])
+            .expect("runs");
+        assert_eq!(r.read_global(m, "counter", 0), 30);
+    }
+}

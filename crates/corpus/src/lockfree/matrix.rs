@@ -1,0 +1,226 @@
+//! Matrix: parallel matrix multiplication where threads compete for row
+//! tasks through a Michael-Scott lock-free queue (paper Table III).
+//!
+//! The hot inner product is straight-line data reads — every one of them
+//! a Pensieve "potential acquire", none of them a Control acquire. The
+//! row result store followed by the next iteration's loads forms the
+//! `w → r` pattern that makes Pensieve's placement catastrophic here
+//! (5.84× in Figure 10; Control recovers 2.64× of it).
+
+use crate::lockfree::msq;
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{FenceKind, Module, RmwOp, Value};
+use memsim::ThreadSpec;
+
+fn dims(p: &Params) -> i64 {
+    (p.scale as i64).max(4)
+}
+
+fn build(p: &Params, manual: bool) -> Module {
+    let n = dims(p);
+    let mut mb = ModuleBuilder::new("matrix");
+    let a = mb.global("A", (n * n) as u32);
+    let b = mb.global("B", (n * n) as u32);
+    let c = mb.global("C", (n * n) as u32);
+    let rows_done = mb.global("rows_done", 1);
+    // Set once all tasks are enqueued: EMPTY from the queue is ambiguous
+    // before that (the ad hoc start flag of the original harness).
+    let fed = mb.global("fed", 1);
+    let q = msq::add(&mut mb, manual);
+
+    // --- compute_row(row): the hot data kernel — straight-line loads
+    // and the per-element result store; no branches on loaded values, so
+    // Control prunes every ordering here (the paper's best case) ---
+    let compute_row = {
+        let mut f = FunctionBuilder::new("compute_row", 1);
+        let row = Value::Arg(0);
+        let rbase = f.mul(row, n);
+        f.for_loop(0i64, n, |f, j| {
+            let cidx = f.add(rbase, j);
+            let cp = f.gep(c, cidx);
+            f.store(cp, 0i64);
+            f.for_loop(0i64, n, |f, k| {
+                let aidx = f.add(rbase, k);
+                let ap = f.gep(a, aidx);
+                let av = f.load(ap); // hot pure data read
+                let bidx0 = f.mul(k, n);
+                let bidx = f.add(bidx0, j);
+                let bp = f.gep(b, bidx);
+                let bv = f.load(bp); // hot pure data read
+                let prod = f.mul(av, bv);
+                // Textbook accumulation straight into C: the store makes
+                // every next iteration's loads a w→r pair — one MFENCE
+                // per innermost iteration under Pensieve, zero under
+                // Control. This is what Figure 10's 5.84x comes from.
+                let s0 = f.load(cp);
+                let s1 = f.add(s0, prod);
+                f.store(cp, s1);
+            });
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- checksum_row(row) -> sum: result validation (pure data reads
+    // over C, as the real Matrix harness does after each row) ---
+    let checksum_row = {
+        let mut f = FunctionBuilder::new("checksum_row", 1);
+        let rbase = f.mul(Value::Arg(0), n);
+        let acc = f.local("acc");
+        f.write_local(acc, 0i64);
+        f.for_loop(0i64, n, |f, j| {
+            let idx = f.add(rbase, j);
+            let cp = f.gep(c, idx);
+            let v = f.load(cp);
+            let a0 = f.read_local(acc);
+            let a1 = f.add(a0, v);
+            f.write_local(acc, a1);
+        });
+        let a = f.read_local(acc);
+        f.ret(Some(a));
+        mb.add_func(f.build())
+    };
+
+    // --- init_inputs(): feeder's data initialization (pure stores) ---
+    let init_inputs = {
+        let mut f = FunctionBuilder::new("init_inputs", 0);
+        f.for_loop(0i64, n * n, |f, i| {
+            let ap = f.gep(a, i);
+            let av = f.rem(i, 7i64);
+            let av1 = f.add(av, 1i64);
+            f.store(ap, av1);
+            let bp = f.gep(b, i);
+            let bv = f.rem(i, 5i64);
+            let bv1 = f.add(bv, 2i64);
+            f.store(bp, bv1);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- worker(tid): thread 0 feeds the queue, everyone consumes ---
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+    let is_feeder = f.eq(tid, 0i64);
+    f.if_then(is_feeder, |f| {
+        // Initialize A and B, then the queue, then the tasks.
+        f.call(init_inputs, vec![]);
+        if manual {
+            f.fence(FenceKind::Full); // data before queue publication
+        }
+        f.call(q.init, vec![]);
+        f.for_loop(1i64, n + 1, |f, row| {
+            f.call(q.enqueue, vec![row]); // rows stored 1-based
+        });
+        f.store(fed, 1i64); // publish: all tasks are in
+    });
+    // Everyone (including the feeder) waits for the feed to finish, so
+    // EMPTY unambiguously means "drained".
+    f.spin_while_eq(fed, 0i64);
+    if manual {
+        f.fence(FenceKind::Full); // acquire the published queue
+    }
+
+    let working = f.local("working");
+    f.write_local(working, 1i64);
+    f.while_loop(
+        |f| {
+            let w = f.read_local(working);
+            f.ne(w, 0i64)
+        },
+        |f| {
+            let task = f.call(q.dequeue, vec![]);
+            let none = f.eq(task, msq::EMPTY);
+            f.if_then_else(
+                none,
+                |f| {
+                    // Queue drained ⇒ all rows handed out.
+                    f.write_local(working, 0i64);
+                },
+                |f| {
+                    let row = f.sub(task, 1i64);
+                    f.call(compute_row, vec![row]);
+                    let _sum = f.call(checksum_row, vec![row]);
+                    let _ = f.rmw(RmwOp::Add, rows_done, 1i64);
+                },
+            );
+        },
+    );
+    if manual {
+        f.fence(FenceKind::Full); // results visible before exit
+    }
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
+    let n = dims(p);
+    if r.read_global(m, "rows_done", 0) != n {
+        return Err(format!(
+            "rows_done = {}, expected {n}",
+            r.read_global(m, "rows_done", 0)
+        ));
+    }
+    // Reference multiply.
+    let av = |i: i64| i % 7 + 1;
+    let bv = |i: i64| i % 5 + 2;
+    for i in 0..n {
+        for j in 0..n {
+            let expect: i64 = (0..n).map(|k| av(i * n + k) * bv(k * n + j)).sum();
+            let got = r.read_global(m, "C", (i * n + j) as usize);
+            if got != expect {
+                return Err(format!("C[{i}][{j}] = {got}, expected {expect}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the Matrix program.
+pub fn program(p: &Params) -> Program {
+    let module = build(p, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: "Matrix",
+        suite: Suite::LockFree,
+        module,
+        manual_module: build(p, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 6,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_is_correct() {
+        let p = Params::tiny();
+        let prog = program(&p);
+        let r = memsim::Simulator::new(&prog.module)
+            .run(&prog.threads)
+            .expect("runs");
+        check(&r, &prog.module, &p).expect("check");
+    }
+
+    #[test]
+    fn manual_build_also_correct() {
+        let p = Params::tiny();
+        let prog = program(&p);
+        let r = memsim::Simulator::new(&prog.manual_module)
+            .run(&prog.threads)
+            .expect("runs");
+        check(&r, &prog.manual_module, &p).expect("check");
+        assert_eq!(Program::count_manual_fences(&prog.manual_module), 6);
+    }
+}

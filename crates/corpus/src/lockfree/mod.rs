@@ -1,0 +1,23 @@
+//! The lock-free programs of Table III: Canneal (PARSEC), Matrix
+//! (Michael-Scott-queue work distribution) and SpanningTree (Bader-Cong).
+//!
+//! These use user-defined synchronization exclusively, so they are the
+//! programs that genuinely *require* fences on relaxed hardware — and
+//! where the paper's pruning wins the most (Matrix is the best case at
+//! 2.64× over Pensieve).
+
+mod canneal;
+mod matrix;
+pub(crate) mod msq;
+mod spanning_tree;
+
+use crate::{Params, Program};
+
+/// Builds the three lock-free programs in the paper's order.
+pub fn all(p: &Params) -> Vec<Program> {
+    vec![
+        canneal::program(p),
+        matrix::program(p),
+        spanning_tree::program(p),
+    ]
+}

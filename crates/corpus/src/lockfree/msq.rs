@@ -1,0 +1,155 @@
+//! Reusable Michael-Scott queue builder: appends `q_init`, `q_enqueue`,
+//! `q_dequeue` functions to a module under construction. Used by the
+//! Matrix program (the paper builds Matrix "on top of a lock-free queue
+//! as described by Michael & Scott").
+
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{FenceKind, FuncId, Value};
+
+/// Returned by `q_dequeue` when the queue is empty.
+pub const EMPTY: i64 = -1;
+
+/// Handles to the queue's functions and globals.
+pub struct MsQueue {
+    /// `q_init()` — run once before any other operation.
+    pub init: FuncId,
+    /// `q_enqueue(v)`.
+    pub enqueue: FuncId,
+    /// `q_dequeue() -> v | EMPTY`.
+    pub dequeue: FuncId,
+}
+
+/// Appends the queue implementation to `mb`. When `manual` is set, the
+/// expert fences are placed: x86 needs none beyond the CAS operations,
+/// but the *store of the new node's fields before linking* and the
+/// *dequeue's read sequence* get compiler-visible full fences in the
+/// paper's hand placement for Matrix (6 total; 3 here are the queue's,
+/// the other 3 sit in the program body).
+pub fn add(mb: &mut ModuleBuilder, manual: bool) -> MsQueue {
+    let qhead = mb.global("qhead", 1);
+    let qtail = mb.global("qtail", 1);
+
+    // --- q_init() ---
+    let init = {
+        let mut f = FunctionBuilder::new("q_init", 0);
+        let dummy = f.alloc(2i64);
+        let np = f.gep(dummy, 1i64);
+        f.store(np, 0i64);
+        f.store(qtail, dummy);
+        if manual {
+            f.fence(FenceKind::Full);
+        }
+        f.store(qhead, dummy); // head published last: consumers spin on it
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- q_enqueue(v) ---
+    let enqueue = {
+        let mut f = FunctionBuilder::new("q_enqueue", 1);
+        let node = f.alloc(2i64);
+        f.store(node, Value::Arg(0));
+        let np = f.gep(node, 1i64);
+        f.store(np, 0i64);
+        if manual {
+            f.fence(FenceKind::Full); // fields before linking
+        }
+        let done = f.local("done");
+        f.write_local(done, 0i64);
+        f.while_loop(
+            |f| {
+                let d = f.read_local(done);
+                f.eq(d, 0i64)
+            },
+            |f| {
+                let t = f.load(qtail);
+                let tnp = f.gep(t, 1i64);
+                let next = f.load(tnp);
+                let t2 = f.load(qtail);
+                let ok = f.eq(t, t2);
+                f.if_then(ok, |f| {
+                    let at_end = f.eq(next, 0i64);
+                    f.if_then_else(
+                        at_end,
+                        |f| {
+                            let old = f.cas(tnp, 0i64, node);
+                            let linked = f.eq(old, 0i64);
+                            f.if_then(linked, |f| {
+                                let _ = f.cas(qtail, t, node);
+                                f.write_local(done, 1i64);
+                            });
+                        },
+                        |f| {
+                            let _ = f.cas(qtail, t, next);
+                        },
+                    );
+                });
+            },
+        );
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- q_dequeue() -> v ---
+    let dequeue = {
+        let mut f = FunctionBuilder::new("q_dequeue", 0);
+        let res = f.local("res");
+        let done = f.local("done");
+        f.write_local(res, EMPTY);
+        f.write_local(done, 0i64);
+        f.while_loop(
+            |f| {
+                let d = f.read_local(done);
+                f.eq(d, 0i64)
+            },
+            |f| {
+                let h = f.load(qhead);
+                if manual {
+                    f.fence(FenceKind::Full); // order the snapshot reads
+                }
+                let t = f.load(qtail);
+                let hnp = f.gep(h, 1i64);
+                let next = f.load(hnp);
+                let h2 = f.load(qhead);
+                let ok = f.eq(h, h2);
+                f.if_then(ok, |f| {
+                    let drained = f.eq(h, t);
+                    f.if_then_else(
+                        drained,
+                        |f| {
+                            let none = f.eq(next, 0i64);
+                            f.if_then_else(
+                                none,
+                                |f| {
+                                    f.write_local(res, EMPTY);
+                                    f.write_local(done, 1i64);
+                                },
+                                |f| {
+                                    let _ = f.cas(qtail, t, next);
+                                },
+                            );
+                        },
+                        |f| {
+                            let v = f.load(next);
+                            let old = f.cas(qhead, h, next);
+                            let won = f.eq(old, h);
+                            f.if_then(won, |f| {
+                                f.write_local(res, v);
+                                f.write_local(done, 1i64);
+                            });
+                        },
+                    );
+                });
+            },
+        );
+        let r = f.read_local(res);
+        f.ret(Some(r));
+        mb.add_func(f.build())
+    };
+
+    MsQueue {
+        init,
+        enqueue,
+        dequeue,
+    }
+}

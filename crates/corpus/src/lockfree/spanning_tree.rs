@@ -1,0 +1,241 @@
+//! SpanningTree: parallel spanning tree over an undirected graph, after
+//! Bader & Cong (JPDC 2005) — frontier-based traversal where threads
+//! claim vertices with CAS and grab work with atomic counters (the
+//! work-stealing behaviour is modelled by the shared take-counter on the
+//! current frontier; stealing = taking from the same pool).
+//!
+//! Loaded vertex ids feed the adjacency *addresses* (address acquires)
+//! and the CAS results feed *branches* (control acquires).
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{FenceKind, Module, RmwOp, Value};
+use memsim::ThreadSpec;
+
+const DEGREE: i64 = 3; // ring neighbours ± 1 plus one chord
+
+fn nodes_of(p: &Params) -> i64 {
+    (p.threads * p.scale) as i64
+}
+
+fn build(p: &Params, manual: bool) -> Module {
+    let n = nodes_of(p);
+    let chord = (n / 2).max(1);
+    let mut mb = ModuleBuilder::new("spanning_tree");
+    let adj = mb.global("adj", (n * DEGREE) as u32);
+    // parent[v]: 0 = unclaimed, else parent id + 1 (root's parent = v+1).
+    let parent = mb.global("parent", n as u32);
+    // Two frontier buffers with production counters and a take counter.
+    let frontier = mb.global("frontier", (2 * n) as u32);
+    let fcount = mb.global("fcount", 2);
+    let ftake = mb.global("ftake", 1);
+    let ready = mb.global("ready", 1);
+    let bar = mb.global("bar", 1);
+    let tree_edges = mb.global("tree_edges", 1);
+
+    // --- weight_of(v) -> w: per-vertex data pass (pure reads of the
+    // adjacency payload, as Bader-Cong's edge-weight bookkeeping) ---
+    let weight_of = {
+        let mut f = FunctionBuilder::new("weight_of", 1);
+        let v = Value::Arg(0);
+        let base = f.mul(v, DEGREE);
+        let acc = f.local("acc");
+        f.write_local(acc, 0i64);
+        f.for_loop(0i64, DEGREE, |f, e| {
+            let idx = f.add(base, e);
+            let ap = f.gep(adj, idx);
+            let w = f.load(ap);
+            let a0 = f.read_local(acc);
+            let a1 = f.add(a0, w);
+            f.write_local(acc, a1);
+        });
+        let a = f.read_local(acc);
+        f.ret(Some(a));
+        mb.add_func(f.build())
+    };
+
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+    let nthreads = f.num_threads();
+
+    // ---- thread 0 builds the graph and seeds the frontier ----
+    let is_builder = f.eq(tid, 0i64);
+    f.if_then(is_builder, |f| {
+        f.for_loop(0i64, n, |f, v| {
+            let base = f.mul(v, DEGREE);
+            let vm = f.add(v, n - 1);
+            let prev = f.rem(vm, n);
+            let vp = f.add(v, 1i64);
+            let next = f.rem(vp, n);
+            let vc = f.add(v, chord);
+            let cross = f.rem(vc, n);
+            let p0 = f.gep(adj, base);
+            f.store(p0, prev);
+            let b1 = f.add(base, 1i64);
+            let p1 = f.gep(adj, b1);
+            f.store(p1, next);
+            let b2 = f.add(base, 2i64);
+            let p2 = f.gep(adj, b2);
+            f.store(p2, cross);
+        });
+        // Claim the root (vertex 0, parent = itself) and seed frontier 0.
+        let rp = f.gep(parent, 0i64);
+        f.store(rp, 1i64); // parent[0] = 0 + 1
+        f.store(frontier, 0i64);
+        f.store(fcount, 1i64); // fcount[0] = 1
+        if manual {
+            f.fence(FenceKind::Full); // graph + seed before ready flag
+        }
+        f.store(ready, 1i64);
+    });
+    f.spin_while_eq(ready, 0i64); // ad hoc start flag
+    if manual {
+        f.fence(FenceKind::Full);
+    }
+
+    // ---- level-synchronized traversal with shared take counters ----
+    let level = f.local("level");
+    f.write_local(level, 0i64);
+    let alive = f.local("alive");
+    f.write_local(alive, 1i64);
+    f.while_loop(
+        |f| {
+            let a = f.read_local(alive);
+            f.ne(a, 0i64)
+        },
+        |f| {
+            let lv = f.read_local(level);
+            let par = f.rem(lv, 2i64);
+            let nxt = f.sub(1i64, par);
+            let cur_base = f.mul(par, n);
+            let nxt_base = f.mul(nxt, n);
+            let cp = f.gep(fcount, par);
+            let cur_count = f.load(cp); // shared read feeding the branch
+            if manual {
+                f.fence(FenceKind::Full); // acquire the frontier contents
+            }
+            // Drain the current frontier cooperatively.
+            let more = f.local("more");
+            f.write_local(more, 1i64);
+            f.while_loop(
+                |f| {
+                    let m0 = f.read_local(more);
+                    f.ne(m0, 0i64)
+                },
+                |f| {
+                    let i = f.rmw(RmwOp::Add, ftake, 1i64);
+                    let out = f.ge(i, cur_count);
+                    f.if_then_else(
+                        out,
+                        |f| f.write_local(more, 0i64),
+                        |f| {
+                            let fidx = f.add(cur_base, i);
+                            let fp = f.gep(frontier, fidx);
+                            let v = f.load(fp); // vertex id → adjacency address
+                            let _w = f.call(weight_of, vec![v]);
+                            let abase = f.mul(v, DEGREE);
+                            f.for_loop(0i64, DEGREE, |f, e| {
+                                let aidx = f.add(abase, e);
+                                let ap = f.gep(adj, aidx);
+                                let w = f.load(ap); // neighbour id (address read)
+                                let pp = f.gep(parent, w);
+                                let v1 = f.add(v, 1i64);
+                                let old = f.cas(pp, 0i64, v1);
+                                let claimed = f.eq(old, 0i64);
+                                f.if_then(claimed, |f| {
+                                    let _ = f.rmw(RmwOp::Add, tree_edges, 1i64);
+                                    let slot = {
+                                        let ncp = f.gep(fcount, nxt);
+                                        f.rmw(RmwOp::Add, ncp, 1i64)
+                                    };
+                                    let nidx = f.add(nxt_base, slot);
+                                    let np = f.gep(frontier, nidx);
+                                    f.store(np, w);
+                                    if manual {
+                                        // Release the entry before the
+                                        // count is trusted next level.
+                                        f.fence(FenceKind::Full);
+                                    }
+                                });
+                            });
+                        },
+                    );
+                },
+            );
+            f.barrier_wait(bar, nthreads);
+            // Thread 0 resets take + the drained frontier's count.
+            let is0 = f.eq(tid, 0i64);
+            f.if_then(is0, |f| {
+                f.store(ftake, 0i64);
+                let cp2 = f.gep(fcount, par);
+                f.store(cp2, 0i64);
+            });
+            f.barrier_wait(bar, nthreads);
+            // Next level; stop when the new frontier is empty.
+            let np = f.gep(fcount, nxt);
+            let ncount = f.load(np); // shared read → branch (ctrl acquire)
+            let lv1 = f.add(lv, 1i64);
+            f.write_local(level, lv1);
+            let empty = f.eq(ncount, 0i64);
+            f.if_then(empty, |f| f.write_local(alive, 0i64));
+        },
+    );
+    if manual {
+        f.fence(FenceKind::Full);
+    }
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
+    let n = nodes_of(p);
+    // Every vertex claimed exactly once; tree has n-1 edges (root is not
+    // counted by the CAS loop since it is pre-claimed).
+    for v in 0..n as usize {
+        if r.read_global(m, "parent", v) == 0 {
+            return Err(format!("vertex {v} unreached"));
+        }
+    }
+    let edges = r.read_global(m, "tree_edges", 0);
+    if edges != n - 1 {
+        return Err(format!("tree_edges = {edges}, expected {}", n - 1));
+    }
+    Ok(())
+}
+
+/// Builds the SpanningTree program.
+pub fn program(p: &Params) -> Program {
+    let module = build(p, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: "SpanningTree",
+        suite: Suite::LockFree,
+        module,
+        manual_module: build(p, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 5,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanning_tree_covers_graph() {
+        let p = Params::tiny();
+        let prog = program(&p);
+        let r = memsim::Simulator::new(&prog.module)
+            .run(&prog.threads)
+            .expect("runs");
+        check(&r, &prog.module, &p).expect("check");
+    }
+}

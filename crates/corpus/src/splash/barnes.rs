@@ -1,0 +1,277 @@
+//! Barnes-Hut N-body proxy.
+//!
+//! Phase 1 builds a shared tree under a lock (loaded child indices feed
+//! both comparisons and addresses); a barrier; phase 2 walks the tree for
+//! each body (conditional traversal — control-signature reads — and
+//! indirect child fetches — address-signature reads).
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{Module, Value};
+use memsim::ThreadSpec;
+
+/// Tree node layout: `[mass, left_child, right_child]` (index 0 = none).
+const NODE_WORDS: i64 = 3;
+
+fn build(p: &Params, _manual: bool) -> Module {
+    let n_bodies = (p.threads * p.scale) as i64;
+    let max_nodes = 2 * n_bodies + 2;
+    let mut mb = ModuleBuilder::new("barnes");
+    let bodies = mb.global("bodies", (2 * n_bodies) as u32); // [mass, key]
+    let nodes = mb.global("nodes", (NODE_WORDS * max_nodes) as u32);
+    let node_count = mb.global_init("node_count", 1, vec![1]); // 0 reserved
+    let tree_lock = mb.global("tree_lock", 1);
+    let root = mb.global("root", 1); // node index of the root
+    let bar = mb.global("bar", 1);
+    let forces = mb.global("forces", n_bodies as u32);
+
+    let compute_force = add_compute_force(&mut mb, nodes, root);
+    let vel = mb.global("vel", n_bodies as u32);
+
+    // --- advance_body(i): position/velocity integration (pure data —
+    // the bulk of Barnes' reads in the real code) ---
+    let advance_body = {
+        let mut f = FunctionBuilder::new("advance_body", 1);
+        let i = Value::Arg(0);
+        let fp = f.gep(forces, i);
+        let fv = f.load(fp);
+        let vp = f.gep(vel, i);
+        let vv = f.load(vp);
+        let vv1 = f.add(vv, fv);
+        f.store(vp, vv1);
+        let ix2 = f.mul(i, 2i64);
+        let bp = f.gep(bodies, ix2);
+        let mass = f.load(bp);
+        let half = f.div(vv1, 2i64);
+        let m1 = f.add(mass, half);
+        let drift = f.sub(m1, half); // keeps mass invariant
+        f.store(bp, drift);
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+    let nthreads = f.num_threads();
+    let chunk = Value::c(p.scale as i64);
+    let lo = f.mul(tid, chunk);
+    let hi = f.add(lo, chunk);
+
+    // ---- phase 0: initialize own bodies (mass = key = i + 1) ----
+    f.for_loop(lo, hi, |f, i| {
+        let ix2 = f.mul(i, 2i64);
+        let bp = f.gep(bodies, ix2);
+        let m = f.add(i, 1i64);
+        f.store(bp, m);
+        let ix2p1 = f_add1(f, ix2);
+        let kp = f.gep(bodies, ix2p1);
+        f.store(kp, m);
+    });
+    f.barrier_wait(bar, nthreads);
+
+    // ---- phase 1: insert bodies into the shared tree (locked) ----
+    f.for_loop(lo, hi, |f, i| {
+        f.lock_acquire(tree_lock);
+        // Allocate a node index.
+        let nc = f.load(node_count);
+        let nc1 = f.add(nc, 1i64);
+        f.store(node_count, nc1);
+        let base = f.mul(nc, NODE_WORDS);
+        let mass_p = f.gep(nodes, base);
+        let ix2 = f.mul(i, 2i64);
+        let bp = f.gep(bodies, ix2);
+        let mass = f.load(bp);
+        f.store(mass_p, mass);
+        let basep1 = f_add1(f, base);
+        let l_p = f.gep(nodes, basep1);
+        f.store(l_p, 0i64);
+        let two = f.add(base, 2i64);
+        let r_p = f.gep(nodes, two);
+        f.store(r_p, 0i64);
+        // Walk from the root, descending by key parity, link the node.
+        let rt = f.load(root);
+        let have_root = f.ne(rt, 0i64);
+        f.if_then_else(
+            have_root,
+            |f| {
+                let cur = f.local("cur");
+                f.write_local(cur, rt);
+                let done = f.local("ins_done");
+                f.write_local(done, 0i64);
+                f.while_loop(
+                    |f| {
+                        let d = f.read_local(done);
+                        f.eq(d, 0i64)
+                    },
+                    |f| {
+                        let c = f.read_local(cur);
+                        let cbase = f.mul(c, NODE_WORDS);
+                        let ix2p1 = f_add1(f, ix2);
+                        let kp = f.gep(bodies, ix2p1);
+                        let key = f.load(kp);
+                        let bit = f.rem(key, 2i64);
+                        let off = f.add(bit, 1i64); // 1 = left, 2 = right
+                        let slot_idx = f.add(cbase, off);
+                        let slot = f.gep(nodes, slot_idx);
+                        let child = f.load(slot); // index read: feeds branch + address
+                        let empty = f.eq(child, 0i64);
+                        f.if_then_else(
+                            empty,
+                            |f| {
+                                f.store(slot, nc);
+                                f.write_local(done, 1i64);
+                            },
+                            |f| f.write_local(cur, child),
+                        );
+                    },
+                );
+            },
+            |f| f.store(root, nc),
+        );
+        f.lock_release(tree_lock);
+    });
+    f.barrier_wait(bar, nthreads);
+
+    // ---- phase 2: force computation via the traversal helper ----
+    let stack = f.local("stack"); // private traversal stack
+    let a = f.alloc(64i64);
+    f.write_local(stack, a);
+    f.for_loop(lo, hi, |f, i| {
+        let s = f.read_local(stack);
+        let total = f.call(compute_force, vec![s]);
+        let fp = f.gep(forces, i);
+        f.store(fp, total);
+    });
+    f.barrier_wait(bar, nthreads);
+    // ---- phase 3: integration (pure data) ----
+    f.for_loop(lo, hi, |f, i| {
+        f.call(advance_body, vec![i]);
+    });
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+/// Appends `compute_force(stack) -> total`: the iterative tree walk.
+/// Traversal reads (child indices) feed both the descent branches
+/// (**control**) and the next fetch's address (**address**); the mass
+/// reads are pure data.
+fn add_compute_force(
+    mb: &mut ModuleBuilder,
+    nodes: fence_ir::GlobalId,
+    root: fence_ir::GlobalId,
+) -> fence_ir::FuncId {
+    let mut f = FunctionBuilder::new("compute_force", 1);
+    let stack_base = Value::Arg(0);
+    let sp = f.local("sp");
+    let acc = f.local("acc");
+    f.write_local(acc, 0i64);
+    let rt = f.load(root);
+    f.store(stack_base, rt);
+    f.write_local(sp, 1i64);
+    f.while_loop(
+        |f| {
+            let d = f.read_local(sp);
+            f.gt(d, 0i64)
+        },
+        |f| {
+            let d0 = f.read_local(sp);
+            let d = f.sub(d0, 1);
+            f.write_local(sp, d);
+            let slot = f.gep(stack_base, d);
+            let node = f.load(slot); // node index from shared tree
+            let is_node = f.ne(node, 0i64);
+            f.if_then(is_node, |f| {
+                let base = f.mul(node, NODE_WORDS);
+                let mp = f.gep(nodes, base);
+                let mass = f.load(mp); // data read (pure accumulation)
+                let acc0 = f.read_local(acc);
+                let acc1 = f.add(acc0, mass);
+                f.write_local(acc, acc1);
+                // Push children (indices feed addresses next round).
+                let basep1 = f_add1(f, base);
+                let lp = f.gep(nodes, basep1);
+                let left = f.load(lp);
+                let has_l = f.ne(left, 0i64);
+                f.if_then(has_l, |f| {
+                    let d2 = f.read_local(sp);
+                    let sl = f.gep(stack_base, d2);
+                    f.store(sl, left);
+                    let d3 = f.add(d2, 1);
+                    f.write_local(sp, d3);
+                });
+                let two = f.add(base, 2i64);
+                let rp = f.gep(nodes, two);
+                let right = f.load(rp);
+                let has_r = f.ne(right, 0i64);
+                f.if_then(has_r, |f| {
+                    let d2 = f.read_local(sp);
+                    let sl = f.gep(stack_base, d2);
+                    f.store(sl, right);
+                    let d3 = f.add(d2, 1);
+                    f.write_local(sp, d3);
+                });
+            });
+        },
+    );
+    let total = f.read_local(acc);
+    f.ret(Some(total));
+    mb.add_func(f.build())
+}
+
+/// `base + 1` helper (avoids nested borrows at call sites).
+fn f_add1(f: &mut FunctionBuilder, v: Value) -> Value {
+    f.add(v, 1i64)
+}
+
+fn check(
+    r: &memsim::SimResult,
+    m: &Module,
+    p: &Params,
+) -> Result<(), String> {
+    // Every body's force equals the total tree mass Σ(1..=n).
+    let n = (p.threads * p.scale) as i64;
+    let expect = n * (n + 1) / 2;
+    for i in 0..n as usize {
+        let got = r.read_global(m, "forces", i);
+        if got != expect {
+            return Err(format!("forces[{i}] = {got}, expected {expect}"));
+        }
+    }
+    Ok(())
+}
+
+/// Builds the Barnes proxy.
+pub fn program(p: &Params) -> Program {
+    let module = build(p, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: "Barnes",
+        suite: Suite::Splash2,
+        module,
+        manual_module: build(p, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 0, // well synchronized by lock/barrier calls
+        check: Some(check),
+        params: *p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barnes_forces_correct() {
+        let p = Params::tiny();
+        let prog = program(&p);
+        let sim = memsim::Simulator::new(&prog.module);
+        let r = sim.run(&prog.threads).expect("runs");
+        check(&r, &prog.module, &p).expect("forces correct");
+    }
+}

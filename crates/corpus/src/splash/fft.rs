@@ -1,0 +1,188 @@
+//! FFT proxy: barrier-separated butterfly + transpose phases over a
+//! shared array. Addressing is pure index arithmetic from the thread id
+//! and loop counters, and the loaded values feed only arithmetic —
+//! almost no reads qualify as acquires (the low end of Figure 7).
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{Module, Value};
+use memsim::ThreadSpec;
+
+fn build(p: &Params, _manual: bool) -> Module {
+    let rows = p.threads as i64;
+    let rowlen = (2 * p.scale) as i64;
+    let n = rows * rowlen;
+    let mut mb = ModuleBuilder::new("fft");
+    let data = mb.global("data", n as u32);
+    let scratch = mb.global("scratch", n as u32);
+    let bar = mb.global("bar", 1);
+    let do_check = mb.global("do_check", 1);
+    let check_fail = mb.global("check_fail", 1);
+
+    // --- butterfly_row(base): in-row passes (pure data; the loop
+    // bounds come from a local, not from memory) ---
+    let butterfly_row = {
+        let mut f = FunctionBuilder::new("butterfly_row", 1);
+        let base = Value::Arg(0);
+        let stride = f.local("stride");
+        f.write_local(stride, rowlen / 2);
+        f.while_loop(
+            |f| {
+                let s = f.read_local(stride);
+                f.gt(s, 0i64)
+            },
+            |f| {
+                let s = f.read_local(stride);
+                f.for_loop(0i64, s, |f, j| {
+                    let s2 = f.read_local(stride);
+                    let i0 = f.add(base, j);
+                    let j2 = f.add(j, s2);
+                    let i1 = f.add(base, j2);
+                    let p0 = f.gep(data, i0);
+                    let p1 = f.gep(data, i1);
+                    let a = f.load(p0);
+                    let b = f.load(p1);
+                    let sum = f.add(a, b);
+                    let diff = f.sub(a, b);
+                    f.store(p0, sum);
+                    f.store(p1, diff);
+                });
+                let s3 = f.read_local(stride);
+                let half = f.div(s3, 2i64);
+                f.write_local(stride, half);
+            },
+        );
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- transpose_row(tid, base): cross-row data movement ---
+    let transpose_row = {
+        let mut f = FunctionBuilder::new("transpose_row", 2);
+        let tid = Value::Arg(0);
+        let base = Value::Arg(1);
+        f.for_loop(0i64, rowlen, |f, j| {
+            let src_row = f.rem(j, rows);
+            let src_col_a = f.mul(tid, rowlen);
+            let src_col = f.div(src_col_a, rows); // deterministic shuffle
+            let sbase = f.mul(src_row, rowlen);
+            let sidx0 = f.add(sbase, src_col);
+            let sidx = f.add(sidx0, j);
+            let capped = f.rem(sidx, n);
+            let sp = f.gep(data, capped);
+            let v = f.load(sp); // cross-row data read
+            let didx = f.add(base, j);
+            let dp = f.gep(scratch, didx);
+            f.store(dp, v);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- copy_back(base) ---
+    let copy_back = {
+        let mut f = FunctionBuilder::new("copy_back", 1);
+        let base = Value::Arg(0);
+        f.for_loop(0i64, rowlen, |f, j| {
+            let idx = f.add(base, j);
+            let sp = f.gep(scratch, idx);
+            let v = f.load(sp);
+            let dp = f.gep(data, idx);
+            f.store(dp, v);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+    let nthreads = f.num_threads();
+    let base = f.mul(tid, rowlen);
+
+    // ---- phase 0: initialize own row ----
+    f.for_loop(0i64, rowlen, |f, j| {
+        let idx = f.add(base, j);
+        let p0 = f.gep(data, idx);
+        let v = f.add(idx, 1i64);
+        f.store(p0, v);
+    });
+    f.barrier_wait(bar, nthreads);
+    f.call(butterfly_row, vec![base]);
+    f.barrier_wait(bar, nthreads);
+    f.call(transpose_row, vec![tid, base]);
+    f.barrier_wait(bar, nthreads);
+    f.call(copy_back, vec![base]);
+    // Optional result verification (the real FFT's `test_result` mode):
+    // a shared flag read feeding a branch — a genuine control acquire.
+    let chk = f.load(do_check);
+    let on = f.ne(chk, 0i64);
+    f.if_then(on, |f| {
+        let p0 = f.gep(data, base);
+        let v = f.load(p0);
+        let bad = f.lt(v, 0i64);
+        f.if_then(bad, |f| {
+            f.store(check_fail, 1i64);
+        });
+    });
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
+    // Deterministic: data[0] must be non-zero after the pipeline of
+    // phases (exact value checked against a sequential reference in the
+    // integration tests; here: progress happened).
+    let _ = p;
+    let v = r.read_global(m, "data", 0);
+    if v != 0 {
+        Ok(())
+    } else {
+        Err("data[0] is zero — phases did not run".to_string())
+    }
+}
+
+/// Builds the FFT proxy.
+pub fn program(p: &Params) -> Program {
+    let module = build(p, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: "FFT",
+        suite: Suite::Splash2,
+        module,
+        manual_module: build(p, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 0,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_runs_and_is_deterministic() {
+        let p = Params::tiny();
+        let prog = program(&p);
+        let r1 = memsim::Simulator::new(&prog.module)
+            .run(&prog.threads)
+            .expect("runs");
+        let r2 = memsim::Simulator::new(&prog.module)
+            .run(&prog.threads)
+            .expect("runs");
+        check(&r1, &prog.module, &p).expect("check");
+        for i in 0..(p.threads * p.scale) {
+            assert_eq!(
+                r1.read_global(&prog.module, "data", i),
+                r2.read_global(&prog.module, "data", i)
+            );
+        }
+    }
+}

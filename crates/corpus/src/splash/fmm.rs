@@ -1,0 +1,216 @@
+//! FMM (fast multipole) proxy with the benchmark's documented **ad hoc
+//! flag synchronization** (Tian et al. 2008): box owners publish
+//! multipole expansions and set a per-box ready flag; readers spin on the
+//! flag. The paper's expert placement uses **6 fences** here — one
+//! release-side and one acquire-side fence per flag interaction, for the
+//! three interaction stages.
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{FenceKind, Module, Value};
+use memsim::ThreadSpec;
+
+fn build(p: &Params, manual: bool) -> Module {
+    let boxes = p.threads as i64;
+    let terms = p.scale as i64;
+    let mut mb = ModuleBuilder::new("fmm");
+    // Per-box multipole data and ready flags for 3 stages.
+    let multipole = mb.global("multipole", (boxes * terms) as u32);
+    let local_exp = mb.global("local_exp", (boxes * terms) as u32);
+    let result = mb.global("result", boxes as u32);
+    let ready1 = mb.global("ready1", boxes as u32);
+    let ready2 = mb.global("ready2", boxes as u32);
+    let ready3 = mb.global("ready3", boxes as u32);
+    let final_out = mb.global("final_out", boxes as u32);
+
+    // --- compute_multipole(base, tid): upward-pass math (pure data) ---
+    let compute_multipole = {
+        let mut f = FunctionBuilder::new("compute_multipole", 2);
+        f.for_loop(0i64, terms, |f, j| {
+            let idx = f.add(Value::Arg(0), j);
+            let p0 = f.gep(multipole, idx);
+            let v0 = f.add(Value::Arg(1), 1i64);
+            let v = f.mul(v0, 3i64);
+            let vj = f.add(v, j);
+            f.store(p0, vj);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- sum_terms(base) -> acc: interaction math (pure data reads) ---
+    let sum_terms = {
+        let mut f = FunctionBuilder::new("sum_terms", 1);
+        let acc = f.local("acc");
+        f.write_local(acc, 0i64);
+        f.for_loop(0i64, terms, |f, j| {
+            let idx = f.add(Value::Arg(0), j);
+            let p0 = f.gep(multipole, idx);
+            let v = f.load(p0); // guarded data read
+            let a0 = f.read_local(acc);
+            let a1 = f.add(a0, v);
+            f.write_local(acc, a1);
+        });
+        let a = f.read_local(acc);
+        f.ret(Some(a));
+        mb.add_func(f.build())
+    };
+
+    // --- sum_local_exp(base) -> acc ---
+    let sum_local_exp = {
+        let mut f = FunctionBuilder::new("sum_local_exp", 1);
+        let acc = f.local("acc");
+        f.write_local(acc, 0i64);
+        f.for_loop(0i64, terms, |f, j| {
+            let idx = f.add(Value::Arg(0), j);
+            let p0 = f.gep(local_exp, idx);
+            let v = f.load(p0);
+            let a0 = f.read_local(acc);
+            let a1 = f.add(a0, v);
+            f.write_local(acc, a1);
+        });
+        let a = f.read_local(acc);
+        f.ret(Some(a));
+        mb.add_func(f.build())
+    };
+
+    // --- write_exp(base, acc): local-expansion writes (pure data) ---
+    let write_exp = {
+        let mut f = FunctionBuilder::new("write_exp", 2);
+        f.for_loop(0i64, terms, |f, j| {
+            let idx = f.add(Value::Arg(0), j);
+            let p0 = f.gep(local_exp, idx);
+            let av = f.add(Value::Arg(1), j);
+            f.store(p0, av);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+    let nthreads = f.num_threads();
+    let base = f.mul(tid, terms);
+
+    // ---- stage 1: upward pass — compute own multipole, publish ----
+    f.call(compute_multipole, vec![base, tid]);
+    if manual {
+        f.fence(FenceKind::Full); // release: data before flag
+    }
+    let my_r1 = f.gep(ready1, tid);
+    f.store(my_r1, 1i64);
+
+    // ---- stage 2: interaction — wait for the neighbour's multipole ----
+    let one = f.add(tid, 1i64);
+    let nb = f.rem(one, nthreads);
+    let nb_r1 = f.gep(ready1, nb);
+    f.spin_while_eq(nb_r1, 0i64); // ad hoc acquire
+    if manual {
+        f.fence(FenceKind::Full); // acquire: flag before data
+    }
+    let nb_base = f.mul(nb, terms);
+    let acc_v = f.call(sum_terms, vec![nb_base]);
+    // Write own local expansion, publish stage 2.
+    f.call(write_exp, vec![base, acc_v]);
+    if manual {
+        f.fence(FenceKind::Full);
+    }
+    let my_r2 = f.gep(ready2, tid);
+    f.store(my_r2, 1i64);
+
+    // ---- stage 3: downward pass — consume neighbour's local expansion ----
+    let two = f.add(tid, 2i64);
+    let nb2 = f.rem(two, nthreads);
+    let nb2_r2 = f.gep(ready2, nb2);
+    f.spin_while_eq(nb2_r2, 0i64);
+    if manual {
+        f.fence(FenceKind::Full);
+    }
+    let nb2_base = f.mul(nb2, terms);
+    let total = f.call(sum_local_exp, vec![nb2_base]);
+    let rp = f.gep(result, tid);
+    f.store(rp, total);
+    if manual {
+        f.fence(FenceKind::Full);
+    }
+    let my_r3 = f.gep(ready3, tid);
+    f.store(my_r3, 1i64);
+
+    // ---- wait for everyone's stage 3 before exiting ----
+    let three = f.add(tid, 3i64);
+    let nb3 = f.rem(three, nthreads);
+    let nb3_r3 = f.gep(ready3, nb3);
+    f.spin_while_eq(nb3_r3, 0i64);
+    if manual {
+        f.fence(FenceKind::Full);
+    }
+    let r3v = f.gep(result, nb3);
+    let final_peek = f.load(r3v); // guarded read after flag
+    let rp2 = f.gep(result, tid);
+    let own = f.load(rp2);
+    let combined0 = f.mul(final_peek, 0i64); // consume (value-neutral)
+    let combined = f.add(own, combined0);
+    // Written to a private-per-thread cell: writing back into result[tid]
+    // here would race with other threads' guarded reads of it.
+    let fo = f.gep(final_out, tid);
+    f.store(fo, combined);
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
+    // result[t] = Σ_j (local_exp of neighbour t+2) which is
+    // terms * acc(nb2) + Σ j. acc(nb) = Σ_j ((nb+1)*3 + j).
+    let terms = p.scale as i64;
+    let n = p.threads as i64;
+    for t in 0..n {
+        let nb2 = (t + 2) % n;
+        let nb_of_nb2 = (nb2 + 1) % n;
+        let acc: i64 = (0..terms).map(|j| (nb_of_nb2 + 1) * 3 + j).sum();
+        let expect: i64 = (0..terms).map(|j| acc + j).sum();
+        let got = r.read_global(m, "result", t as usize);
+        if got != expect {
+            return Err(format!("result[{t}] = {got}, expected {expect}"));
+        }
+    }
+    Ok(())
+}
+
+/// Builds the FMM proxy.
+pub fn program(p: &Params) -> Program {
+    let module = build(p, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: "FMM",
+        suite: Suite::Splash2,
+        module,
+        manual_module: build(p, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 6,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmm_flag_pipeline_correct() {
+        let p = Params::tiny();
+        for prog_module in [&program(&p).module, &program(&p).manual_module] {
+            let prog = program(&p);
+            let r = memsim::Simulator::new(prog_module)
+                .run(&prog.threads)
+                .expect("runs");
+            check(&r, prog_module, &p).expect("check");
+        }
+    }
+}

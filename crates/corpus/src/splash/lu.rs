@@ -1,0 +1,216 @@
+//! LU factorization proxies (contiguous and non-contiguous block
+//! layouts).
+//!
+//! Both iterate `k` over diagonal steps: the owner factors the pivot
+//! block, a barrier, everyone updates their blocks against it. In
+//! **LU-con** block addresses are pure index arithmetic; in
+//! **LU-noncon** each block's base address is *loaded* from a shared
+//! block-pointer table (SPLASH-2's `a[i][j]` array-of-pointers layout),
+//! so block reads acquire their addresses from shared loads — visible to
+//! `Address+Control`, pruned by `Control`.
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{Module, Value};
+use memsim::ThreadSpec;
+
+const BLOCK: i64 = 4;
+
+fn build(p: &Params, noncon: bool, _manual: bool) -> Module {
+    let nb = p.threads as i64; // blocks per side = threads (1 column each)
+    let steps = (p.scale as i64).min(nb);
+    let mut mb = ModuleBuilder::new(if noncon { "lu_noncon" } else { "lu_con" });
+    let blocks = mb.global("blocks", (nb * BLOCK) as u32);
+    // Non-contiguous layout: base offset of each block, stored in memory.
+    let block_ptr = mb.global("block_ptr", nb as u32);
+    let bar = mb.global("bar", 1);
+    let progress = mb.global("progress", 1);
+
+    // --- lu_init(base, tid): block initialization (pure data) ---
+    let lu_init = {
+        let mut f = FunctionBuilder::new("lu_init", 2);
+        f.for_loop(0i64, BLOCK, |f, j| {
+            let idx = f.add(Value::Arg(0), j);
+            let p0 = f.gep(blocks, idx);
+            let v0 = f.add(Value::Arg(1), j);
+            let v = f.add(v0, 1i64);
+            f.store(p0, v);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- lu_factor(k): diagonal factorization. In the non-contiguous
+    // layout the block base is *loaded* from the pointer table inside
+    // this function (as in SPLASH-2's a[i][j] layout), so the load feeds
+    // the addresses below — an address acquire A+C keeps. It also feeds
+    // the singularity check, a genuine branch on loaded data. ---
+    let lu_factor = {
+        let mut f = FunctionBuilder::new("lu_factor", 1);
+        let base = if noncon {
+            let pp = f.gep(block_ptr, Value::Arg(0));
+            f.load(pp)
+        } else {
+            f.mul(Value::Arg(0), BLOCK)
+        };
+        let piv_p = f.gep(blocks, base);
+        let piv = f.load(piv_p);
+        let singular = f.eq(piv, 0i64);
+        f.if_then_else(
+            singular,
+            |f| {
+                // Regularize a zero pivot (keeps the factorization total).
+                f.store(piv_p, 1i64);
+            },
+            |_| {},
+        );
+        f.for_loop(0i64, BLOCK, |f, j| {
+            let idx = f.add(base, j);
+            let p0 = f.gep(blocks, idx);
+            let v = f.load(p0);
+            let v2 = f.add(v, 1i64);
+            f.store(p0, v2);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- lu_update(k, me): the hot perimeter update ---
+    let lu_update = {
+        let mut f = FunctionBuilder::new("lu_update", 2);
+        let pivot_base = if noncon {
+            let pp = f.gep(block_ptr, Value::Arg(0));
+            f.load(pp) // loaded base: address acquire in this function
+        } else {
+            f.mul(Value::Arg(0), BLOCK)
+        };
+        let mine = if noncon {
+            let mp = f.gep(block_ptr, Value::Arg(1));
+            f.load(mp)
+        } else {
+            f.mul(Value::Arg(1), BLOCK)
+        };
+        f.for_loop(0i64, BLOCK, |f, j| {
+            let pidx = f.add(pivot_base, j);
+            let pp0 = f.gep(blocks, pidx);
+            let pv = f.load(pp0); // pivot data read
+            let midx = f.add(mine, j);
+            let mp0 = f.gep(blocks, midx);
+            let mv = f.load(mp0);
+            let upd0 = f.mul(pv, 2i64);
+            let upd = f.add(mv, upd0);
+            f.store(mp0, upd);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+    let nthreads = f.num_threads();
+
+    // ---- init: my block contents (+ pointer table entry) ----
+    let my_base = f.mul(tid, BLOCK);
+    if noncon {
+        let bp = f.gep(block_ptr, tid);
+        f.store(bp, my_base);
+    }
+    f.call(lu_init, vec![my_base, tid]);
+    f.barrier_wait(bar, nthreads);
+
+    // ---- elimination steps ----
+    f.for_loop(0i64, steps, |f, k| {
+        // Owner of step k factors the pivot block.
+        let is_owner = f.eq(tid, k);
+        f.if_then(is_owner, |f| {
+            f.call(lu_factor, vec![k]);
+            let pr = f.load(progress);
+            let pr1 = f.add(pr, 1i64);
+            f.store(progress, pr1);
+        });
+        f.barrier_wait(bar, nthreads);
+        // Everyone updates their block against the pivot block.
+        f.call(lu_update, vec![k, tid]);
+        f.barrier_wait(bar, nthreads);
+    });
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
+    let steps = (p.scale as i64).min(p.threads as i64);
+    let got = r.read_global(m, "progress", 0);
+    if got == steps {
+        Ok(())
+    } else {
+        Err(format!("progress = {got}, expected {steps}"))
+    }
+}
+
+fn make(p: &Params, noncon: bool) -> Program {
+    let module = build(p, noncon, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: if noncon { "LU-noncon" } else { "LU-con" },
+        suite: Suite::Splash2,
+        module,
+        manual_module: build(p, noncon, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 0,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+/// Contiguous-blocks LU.
+pub fn program_con(p: &Params) -> Program {
+    make(p, false)
+}
+
+/// Non-contiguous (pointer-table) LU.
+pub fn program_noncon(p: &Params) -> Program {
+    make(p, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_complete() {
+        let p = Params::tiny();
+        for prog in [program_con(&p), program_noncon(&p)] {
+            let r = memsim::Simulator::new(&prog.module)
+                .run(&prog.threads)
+                .unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+            check(&r, &prog.module, &p).expect("check");
+        }
+    }
+
+    /// Identical math: both layouts end with the same block values.
+    #[test]
+    fn layouts_agree() {
+        let p = Params::tiny();
+        let con = program_con(&p);
+        let non = program_noncon(&p);
+        let r1 = memsim::Simulator::new(&con.module)
+            .run(&con.threads)
+            .unwrap();
+        let r2 = memsim::Simulator::new(&non.module)
+            .run(&non.threads)
+            .unwrap();
+        for i in 0..(p.threads * BLOCK as usize) {
+            assert_eq!(
+                r1.read_global(&con.module, "blocks", i),
+                r2.read_global(&non.module, "blocks", i),
+                "block word {i}"
+            );
+        }
+    }
+}

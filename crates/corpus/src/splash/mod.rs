@@ -1,0 +1,50 @@
+//! SPLASH-2 proxies (Woo et al., ISCA 1995).
+//!
+//! Each proxy reproduces the named benchmark's **synchronization
+//! skeleton** — the locks, barriers and documented ad hoc synchronization
+//! — plus a scaled data-parallel workload body with the same access
+//! *character* (direct vs. indirect addressing, conditional vs.
+//! straight-line data reads). The analysis results (Figures 7–9) depend
+//! only on this static structure; the timing results (Figure 10) depend
+//! on which accesses sit in the hot loops.
+//!
+//! Ad hoc synchronization, following the paper:
+//! * **FMM** — flag-based producer/consumer between box owners
+//!   (6 hand fences);
+//! * **Volrend** — a hand-rolled sense-reversing barrier (2 hand fences);
+//! * all other programs are well synchronized by library locks/barriers
+//!   (0 hand fences).
+
+mod barnes;
+mod cholesky;
+mod fft;
+mod fmm;
+mod lu;
+mod ocean;
+mod radiosity;
+mod radix;
+mod raytrace;
+mod volrend;
+mod water;
+
+use crate::{Params, Program};
+
+/// Builds the fourteen proxies in the paper's order.
+pub fn all(p: &Params) -> Vec<Program> {
+    vec![
+        barnes::program(p),
+        cholesky::program(p),
+        fft::program(p),
+        fmm::program(p),
+        lu::program_con(p),
+        lu::program_noncon(p),
+        ocean::program_con(p),
+        ocean::program_noncon(p),
+        radiosity::program(p),
+        radix::program(p),
+        raytrace::program(p),
+        volrend::program(p),
+        water::program_nsquared(p),
+        water::program_spatial(p),
+    ]
+}

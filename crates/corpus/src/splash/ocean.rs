@@ -1,0 +1,217 @@
+//! Ocean proxies (contiguous vs. non-contiguous grid layouts).
+//!
+//! Barrier-separated Jacobi sweeps with a lock-reduced convergence test:
+//! every thread reads the shared residual and *branches* on it — a
+//! genuine control acquire that also exists in the real code. Ocean-noncon
+//! addresses its rows through a loaded row-pointer table, adding
+//! address-signature reads (the paper observes Address+Control staying
+//! close to Pensieve on Ocean-noncon).
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{Module, Value};
+use memsim::ThreadSpec;
+
+fn build(p: &Params, noncon: bool, _manual: bool) -> Module {
+    let rows = p.threads as i64;
+    let rowlen = p.scale as i64 + 2;
+    let iters = 4i64;
+    let mut mb = ModuleBuilder::new(if noncon { "ocean_noncon" } else { "ocean_con" });
+    let grid = mb.global("grid", (rows * rowlen) as u32);
+    let newg = mb.global("newg", (rows * rowlen) as u32);
+    let row_ptr = mb.global("row_ptr", rows as u32);
+    let new_row_ptr = mb.global("new_row_ptr", rows as u32);
+    let bar = mb.global("bar", 1);
+    let rlock = mb.global("rlock", 1);
+    let residual = mb.global("residual", 1);
+    let iters_done = mb.global("iters_done", 1);
+
+    // --- init_row(base, tid): pure data stores ---
+    let init_row = {
+        let mut f = FunctionBuilder::new("init_row", 2);
+        f.for_loop(0i64, rowlen, |f, j| {
+            let idx = f.add(Value::Arg(0), j);
+            let p0 = f.gep(grid, idx);
+            let v0 = f.mul(Value::Arg(1), 7i64);
+            let v = f.add(v0, j);
+            f.store(p0, v);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- sweep_row(base, nbase) -> diff: the hot stencil kernel.
+    // Straight-line data reads feeding arithmetic only — no acquires
+    // detected here; under Pensieve every one is a potential acquire. ---
+    let sweep_row = {
+        let mut f = FunctionBuilder::new("sweep_row", 2);
+        let base = Value::Arg(0);
+        let nbase = Value::Arg(1);
+        let diff = f.local("diff");
+        f.write_local(diff, 0i64);
+        f.for_loop(1i64, rowlen - 1, |f, j| {
+            let jm = f.sub(j, 1i64);
+            let jp = f.add(j, 1i64);
+            let i0 = f.add(base, jm);
+            let i1 = f.add(base, j);
+            let i2 = f.add(base, jp);
+            let p0 = f.gep(grid, i0);
+            let p1 = f.gep(grid, i1);
+            let p2 = f.gep(grid, i2);
+            let a = f.load(p0);
+            let b = f.load(p1);
+            let c = f.load(p2);
+            let ab = f.add(a, b);
+            let abc = f.add(ab, c);
+            let avg = f.div(abc, 3i64);
+            let nidx = f.add(nbase, j);
+            let np0 = f.gep(newg, nidx);
+            f.store(np0, avg);
+            let delta = f.sub(avg, b);
+            let d0 = f.read_local(diff);
+            let d1 = f.add(d0, delta);
+            f.write_local(diff, d1);
+        });
+        let d = f.read_local(diff);
+        f.ret(Some(d));
+        mb.add_func(f.build())
+    };
+
+    // --- copy_row(base, nbase): write-back (pure data) ---
+    let copy_row = {
+        let mut f = FunctionBuilder::new("copy_row", 2);
+        f.for_loop(1i64, rowlen - 1, |f, j| {
+            let nidx = f.add(Value::Arg(1), j);
+            let np0 = f.gep(newg, nidx);
+            let v = f.load(np0);
+            let gidx = f.add(Value::Arg(0), j);
+            let gp = f.gep(grid, gidx);
+            f.store(gp, v);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+    let nthreads = f.num_threads();
+    let my_base = f.mul(tid, rowlen);
+
+    // ---- init own row (+ pointer tables) ----
+    if noncon {
+        let rp = f.gep(row_ptr, tid);
+        f.store(rp, my_base);
+        let np = f.gep(new_row_ptr, tid);
+        f.store(np, my_base);
+    }
+    f.call(init_row, vec![my_base, tid]);
+    f.barrier_wait(bar, nthreads);
+
+    // ---- sweeps ----
+    f.for_loop(0i64, iters, |f, _it| {
+        let base = if noncon {
+            let rp = f.gep(row_ptr, tid);
+            f.load(rp) // loaded row base: address acquire material
+        } else {
+            f.mul(tid, rowlen)
+        };
+        let nbase = if noncon {
+            let np = f.gep(new_row_ptr, tid);
+            f.load(np)
+        } else {
+            f.mul(tid, rowlen)
+        };
+        let dl = f.call(sweep_row, vec![base, nbase]);
+        // Locked reduction of the residual.
+        f.lock_acquire(rlock);
+        let r0 = f.load(residual);
+        let r1 = f.add(r0, dl);
+        f.store(residual, r1);
+        f.lock_release(rlock);
+        f.barrier_wait(bar, nthreads);
+        // Convergence check: shared read feeding a branch (ctrl acquire).
+        let res = f.load(residual);
+        let small = f.lt(res, 1i64);
+        f.if_then(small, |f| {
+            // Converged early: nothing to do in the model (the branch is
+            // what matters to the analysis).
+            let _ = f.add(0i64, 0i64);
+        });
+        // Copy back own row.
+        f.call(copy_row, vec![base, nbase]);
+        f.barrier_wait(bar, nthreads);
+    });
+    let first = f.eq(tid, 0i64);
+    f.if_then(first, |f| {
+        f.store(iters_done, iters);
+    });
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+fn check(r: &memsim::SimResult, m: &Module, _p: &Params) -> Result<(), String> {
+    let got = r.read_global(m, "iters_done", 0);
+    if got == 4 {
+        Ok(())
+    } else {
+        Err(format!("iters_done = {got}, expected 4"))
+    }
+}
+
+fn make(p: &Params, noncon: bool) -> Program {
+    let module = build(p, noncon, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: if noncon { "Ocean-noncon" } else { "Ocean-con" },
+        suite: Suite::Splash2,
+        module,
+        manual_module: build(p, noncon, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 0,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+/// Contiguous-partitions Ocean.
+pub fn program_con(p: &Params) -> Program {
+    make(p, false)
+}
+
+/// Non-contiguous (row-pointer) Ocean.
+pub fn program_noncon(p: &Params) -> Program {
+    make(p, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_complete_and_agree() {
+        let p = Params::tiny();
+        let con = program_con(&p);
+        let non = program_noncon(&p);
+        let r1 = memsim::Simulator::new(&con.module)
+            .run(&con.threads)
+            .unwrap();
+        let r2 = memsim::Simulator::new(&non.module)
+            .run(&non.threads)
+            .unwrap();
+        check(&r1, &con.module, &p).unwrap();
+        check(&r2, &non.module, &p).unwrap();
+        for i in 0..(p.threads * (p.scale + 2)) {
+            assert_eq!(
+                r1.read_global(&con.module, "grid", i),
+                r2.read_global(&non.module, "grid", i),
+                "grid word {i}"
+            );
+        }
+    }
+}

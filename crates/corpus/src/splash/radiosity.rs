@@ -1,0 +1,180 @@
+//! Radiosity proxy: a lock-protected task queue over patches, with
+//! visibility-style computation full of *conditional* shared reads
+//! (energy comparisons drive the control flow), pushing the
+//! control-acquire fraction up — radiosity sits at the branchy end of
+//! Figure 7.
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{Module, Value};
+use memsim::ThreadSpec;
+
+fn build(p: &Params, _manual: bool) -> Module {
+    let patches = (p.threads * p.scale) as i64;
+    let mut mb = ModuleBuilder::new("radiosity");
+    let energy = mb.global("energy", patches as u32);
+    let visible = mb.global("visible", patches as u32);
+    let next_task = mb.global("next_task", 1);
+    let qlock = mb.global("qlock", 1);
+    let converged = mb.global("converged", 1);
+    let done_ctr = mb.global("done_ctr", 1);
+
+    // --- process_patch(t): visibility + energy transfer. The energy
+    // reads legitimately feed branches (accept/split decisions), so they
+    // are control acquires — the analysis's unavoidable false positives
+    // (radiosity sits at the branchy end of Figure 7). ---
+    let process_patch = {
+        let mut f = FunctionBuilder::new("process_patch", 1);
+        let t = Value::Arg(0);
+        let vp = f.gep(visible, t);
+        let vis = f.load(vp); // read feeds branch: ctrl
+        let is_vis = f.ne(vis, 0i64);
+        f.if_then(is_vis, |f| {
+            let ep = f.gep(energy, t);
+            let e = f.load(ep); // read feeds branch: ctrl
+            let hot = f.gt(e, 8i64);
+            f.if_then_else(
+                hot,
+                |f| {
+                    let half = f.div(e, 2i64);
+                    f.store(ep, half);
+                },
+                |f| {
+                    let e1 = f.add(e, 1i64);
+                    f.store(ep, e1);
+                },
+            );
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- form_factor(t) -> ff: patch geometry math (pure data reads,
+    // the bulk of real radiosity's loads) ---
+    let coords = mb.global("coords", (3 * patches) as u32);
+    let form_factor = {
+        let mut f = FunctionBuilder::new("form_factor", 1);
+        let t = Value::Arg(0);
+        let b3 = f.mul(t, 3i64);
+        let p0 = f.gep(coords, b3);
+        let x = f.load(p0);
+        let b31 = f.add(b3, 1i64);
+        let p1 = f.gep(coords, b31);
+        let y = f.load(p1);
+        let b32 = f.add(b3, 2i64);
+        let p2 = f.gep(coords, b32);
+        let z = f.load(p2);
+        let xy = f.mul(x, y);
+        let ff = f.add(xy, z);
+        f.ret(Some(ff));
+        mb.add_func(f.build())
+    };
+
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+    // Seed own patches.
+    let chunk = Value::c(p.scale as i64);
+    let lo = f.mul(tid, chunk);
+    let hi = f.add(lo, chunk);
+    f.for_loop(lo, hi, |f, i| {
+        let ep = f.gep(energy, i);
+        let e0 = f.add(i, 5i64);
+        f.store(ep, e0);
+        let vp = f.gep(visible, i);
+        let par = f.rem(i, 2i64);
+        f.store(vp, par);
+    });
+
+    let working = f.local("working");
+    f.write_local(working, 1i64);
+    f.while_loop(
+        |f| {
+            let w = f.read_local(working);
+            f.ne(w, 0i64)
+        },
+        |f| {
+            // Early-out if the global convergence flag is set — a shared
+            // read feeding a branch.
+            let cv = f.load(converged);
+            let is_done = f.ne(cv, 0i64);
+            f.if_then(is_done, |f| f.write_local(working, 0i64));
+            let w = f.read_local(working);
+            let still = f.ne(w, 0i64);
+            f.if_then(still, |f| {
+                f.lock_acquire(qlock);
+                let t = f.load(next_task);
+                let t1 = f.add(t, 1i64);
+                f.store(next_task, t1);
+                f.lock_release(qlock);
+                let out = f.ge(t, patches);
+                f.if_then_else(
+                    out,
+                    |f| f.write_local(working, 0i64),
+                    |f| {
+                        let ff = f.call(form_factor, vec![t]);
+                        let waste = f.mul(ff, 0i64);
+                        let t2 = f.add(t, waste); // value-neutral use
+                        f.call(process_patch, vec![t2]);
+                        // Progress reduction.
+                        f.lock_acquire(qlock);
+                        let d = f.load(done_ctr);
+                        let d1 = f.add(d, 1i64);
+                        f.store(done_ctr, d1);
+                        let all = f.ge(d1, patches);
+                        f.if_then(all, |f| f.store(converged, 1i64));
+                        f.lock_release(qlock);
+                    },
+                );
+            });
+        },
+    );
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
+    let patches = (p.threads * p.scale) as i64;
+    let got = r.read_global(m, "done_ctr", 0);
+    if got == patches {
+        Ok(())
+    } else {
+        Err(format!("done_ctr = {got}, expected {patches}"))
+    }
+}
+
+/// Builds the Radiosity proxy.
+pub fn program(p: &Params) -> Program {
+    let module = build(p, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: "Radiosity",
+        suite: Suite::Splash2,
+        module,
+        manual_module: build(p, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 0,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_patches_processed() {
+        let p = Params::tiny();
+        let prog = program(&p);
+        let r = memsim::Simulator::new(&prog.module)
+            .run(&prog.threads)
+            .expect("runs");
+        check(&r, &prog.module, &p).expect("check");
+    }
+}

@@ -1,0 +1,160 @@
+//! Radix sort proxy: histogram (atomic adds), barrier, exclusive prefix
+//! (thread 0), barrier, permutation. The permutation loads a key and uses
+//! it to *index* the rank table — an address-signature read with no
+//! branch on it, one of the few spots where `Control` and
+//! `Address+Control` genuinely diverge.
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{Module, RmwOp, Value};
+use memsim::ThreadSpec;
+
+const RADIX: i64 = 8;
+
+fn build(p: &Params, _manual: bool) -> Module {
+    let n = (p.threads * p.scale) as i64;
+    let mut mb = ModuleBuilder::new("radix");
+    let keys = mb.global("keys", n as u32);
+    let hist = mb.global("hist", RADIX as u32);
+    let rank = mb.global("rank", RADIX as u32);
+    let output = mb.global("output", n as u32);
+    let bar = mb.global("bar", 1);
+
+    // --- fill_keys(lo, hi): deterministic digits (pure stores) ---
+    let fill_keys = {
+        let mut f = FunctionBuilder::new("fill_keys", 2);
+        f.for_loop(Value::Arg(0), Value::Arg(1), |f, i| {
+            let kp = f.gep(keys, i);
+            let h0 = f.mul(i, 2654435761i64);
+            let h1 = f.shr(h0, 8i64);
+            let h2 = f.and(h1, (1i64 << 30) - 1); // force non-negative
+            let d = f.rem(h2, RADIX);
+            f.store(kp, d);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- histogram(lo, hi): key loads feed the counter *addresses* —
+    // address acquires with no branch, the genuine Control/A+C split ---
+    let histogram = {
+        let mut f = FunctionBuilder::new("histogram", 2);
+        f.for_loop(Value::Arg(0), Value::Arg(1), |f, i| {
+            let kp = f.gep(keys, i);
+            let d = f.load(kp); // key read → feeds hist address (addr acquire)
+            let hp = f.gep(hist, d);
+            let _ = f.rmw(RmwOp::Add, hp, 1i64);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- permute(lo, hi): scatter through the rank table ---
+    let permute = {
+        let mut f = FunctionBuilder::new("permute", 2);
+        f.for_loop(Value::Arg(0), Value::Arg(1), |f, i| {
+            let kp = f.gep(keys, i);
+            let d = f.load(kp); // key feeds the rank address: addr acquire
+            let rp = f.gep(rank, d);
+            let slot = f.rmw(RmwOp::Add, rp, 1i64);
+            let op = f.gep(output, slot);
+            f.store(op, d);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+    let nthreads = f.num_threads();
+    let chunk = Value::c(p.scale as i64);
+    let lo = f.mul(tid, chunk);
+    let hi = f.add(lo, chunk);
+
+    f.call(fill_keys, vec![lo, hi]);
+    f.barrier_wait(bar, nthreads);
+    f.call(histogram, vec![lo, hi]);
+    f.barrier_wait(bar, nthreads);
+
+    // ---- prefix sum (thread 0) ----
+    let first = f.eq(tid, 0i64);
+    f.if_then(first, |f| {
+        let run = f.local("run");
+        f.write_local(run, 0i64);
+        f.for_loop(0i64, RADIX, |f, d| {
+            let hp = f.gep(hist, d);
+            let c = f.load(hp);
+            let r0 = f.read_local(run);
+            let rp = f.gep(rank, d);
+            f.store(rp, r0);
+            let r1 = f.add(r0, c);
+            f.write_local(run, r1);
+        });
+    });
+    f.barrier_wait(bar, nthreads);
+
+    // ---- permute: rank[key]++ via atomic, scatter ----
+    f.call(permute, vec![lo, hi]);
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+#[allow(clippy::needless_range_loop)] // d indexes hist and count together
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
+    // Output must be a sorted permutation of the keys.
+    let n = p.threads * p.scale;
+    let mut prev = i64::MIN;
+    let mut count = vec![0i64; RADIX as usize];
+    for i in 0..n {
+        let v = r.read_global(m, "output", i);
+        if v < prev {
+            return Err(format!("output not sorted at {i}: {v} < {prev}"));
+        }
+        prev = v;
+        count[v as usize] += 1;
+    }
+    for d in 0..RADIX as usize {
+        let h = r.read_global(m, "hist", d);
+        if h != count[d] {
+            return Err(format!("digit {d}: hist {h} != output count {}", count[d]));
+        }
+    }
+    Ok(())
+}
+
+/// Builds the Radix proxy.
+pub fn program(p: &Params) -> Program {
+    let module = build(p, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: "Radix",
+        suite: Suite::Splash2,
+        module,
+        manual_module: build(p, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 0,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_sorts() {
+        let p = Params::tiny();
+        let prog = program(&p);
+        let r = memsim::Simulator::new(&prog.module)
+            .run(&prog.threads)
+            .expect("runs");
+        check(&r, &prog.module, &p).expect("check");
+    }
+}

@@ -1,0 +1,210 @@
+//! Raytrace proxy: rays walk a shared BVH-like node array. Nearly every
+//! shared read either decides the traversal (**control** acquires:
+//! hit tests, leaf tests) or supplies the next node index (**address**
+//! reads) — this is the high end of Figure 7 (the paper's worst case at
+//! 33% for Control).
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{Module, RmwOp, Value};
+use memsim::ThreadSpec;
+
+/// Node layout: `[split, left, right, hitval]`.
+const NODE_WORDS: i64 = 4;
+
+fn build(p: &Params, _manual: bool) -> Module {
+    let depth = 4i64;
+    let n_nodes = (1i64 << depth) - 1; // complete binary tree
+    let rays = (p.threads * p.scale) as i64;
+    let mut mb = ModuleBuilder::new("raytrace");
+    let nodes = mb.global("nodes", (n_nodes * NODE_WORDS) as u32);
+    let built = mb.global("built", 1);
+    let ray_ctr = mb.global("ray_ctr", 1);
+    let image = mb.global("image", rays as u32);
+
+    // --- shade(hit) -> color: pure data post-processing over a color
+    // table (the bulk of real raytrace's reads are shading math) ---
+    let colors = mb.global("colors", 16);
+    let normals = mb.global("normals", 16);
+    let shade = {
+        let mut f = FunctionBuilder::new("shade", 1);
+        let hit = Value::Arg(0);
+        let idx = f.rem(hit, 16i64);
+        let cp = f.gep(colors, idx);
+        let c0 = f.load(cp); // pure data read
+        let i2 = f.add(idx, 1i64);
+        let i3 = f.rem(i2, 16i64);
+        let cp2 = f.gep(colors, i3);
+        let c1 = f.load(cp2); // pure data read
+        let np0 = f.gep(normals, idx);
+        let n0 = f.load(np0); // pure data read
+        let np1 = f.gep(normals, i3);
+        let n1 = f.load(np1); // pure data read
+        let nrm = f.add(n0, n1);
+        let blend0 = f.add(c0, c1);
+        let blend0n = f.add(blend0, nrm);
+        let blend1 = f.mul(blend0n, 3i64);
+        let shaded = f.add(blend1, hit);
+        f.ret(Some(shaded));
+        mb.add_func(f.build())
+    };
+
+    // --- trace_ray(ray) -> acc: the BVH walk (branchy reads) ---
+    let trace_ray = {
+        let mut f = FunctionBuilder::new("trace_ray", 1);
+        let ray = Value::Arg(0);
+        let cur = f.local("cur");
+        f.write_local(cur, 0i64);
+        let acc = f.local("acc");
+        f.write_local(acc, 0i64);
+        let alive = f.local("alive");
+        f.write_local(alive, 1i64);
+        f.while_loop(
+            |f| {
+                let a = f.read_local(alive);
+                f.ne(a, 0i64)
+            },
+            |f| {
+                let c = f.read_local(cur);
+                let base = f.mul(c, NODE_WORDS);
+                let sp = f.gep(nodes, base);
+                let split = f.load(sp); // ctrl: drives descent
+                let b3 = f.add(base, 3i64);
+                let hp = f.gep(nodes, b3);
+                let hv = f.load(hp); // data: accumulated
+                let a0 = f.read_local(acc);
+                let a1 = f.add(a0, hv);
+                f.write_local(acc, a1);
+                let key = f.rem(ray, 5i64);
+                let go_left = f.le(key, split);
+                let b1 = f.add(base, 1i64);
+                let lp = f.gep(nodes, b1);
+                let b2 = f.add(base, 2i64);
+                let rp = f.gep(nodes, b2);
+                let lv = f.load(lp); // addr: next node index
+                let rv = f.load(rp);
+                let nxt = f.select(go_left, lv, rv);
+                let leaf = f.eq(nxt, 0i64);
+                f.if_then_else(
+                    leaf,
+                    |f| f.write_local(alive, 0i64),
+                    |f| f.write_local(cur, nxt),
+                );
+            },
+        );
+        let total = f.read_local(acc);
+        f.ret(Some(total));
+        mb.add_func(f.build())
+    };
+
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+
+    // ---- thread 0 builds the tree; everyone else spins on `built` ----
+    let is_builder = f.eq(tid, 0i64);
+    f.if_then_else(
+        is_builder,
+        |f| {
+            f.for_loop(0i64, n_nodes, |f, i| {
+                let base = f.mul(i, NODE_WORDS);
+                let sp = f.gep(nodes, base);
+                let split = f.rem(i, 5i64);
+                f.store(sp, split);
+                let li = f.mul(i, 2i64);
+                let l = f.add(li, 1i64);
+                let r = f.add(li, 2i64);
+                let internal = f.lt(l, n_nodes);
+                let b1 = f.add(base, 1i64);
+                let lp = f.gep(nodes, b1);
+                let b2 = f.add(base, 2i64);
+                let rp = f.gep(nodes, b2);
+                let lv = f.select(internal, l, 0i64);
+                let rv0 = f.lt(r, n_nodes);
+                let rv = f.select(rv0, r, 0i64);
+                f.store(lp, lv);
+                f.store(rp, rv);
+                let b3 = f.add(base, 3i64);
+                let hp = f.gep(nodes, b3);
+                let hv = f.add(i, 1i64);
+                f.store(hp, hv);
+            });
+            f.store(built, 1i64);
+        },
+        |f| {
+            f.spin_while_eq(built, 0i64); // ad hoc-ish: wait for the build
+        },
+    );
+
+    // ---- trace rays pulled from a shared counter ----
+    let working = f.local("working");
+    f.write_local(working, 1i64);
+    f.while_loop(
+        |f| {
+            let w = f.read_local(working);
+            f.ne(w, 0i64)
+        },
+        |f| {
+            let ray = f.rmw(RmwOp::Add, ray_ctr, 1i64);
+            let out = f.ge(ray, rays);
+            f.if_then_else(
+                out,
+                |f| f.write_local(working, 0i64),
+                |f| {
+                    let hit = f.call(trace_ray, vec![ray]);
+                    let colored = f.call(shade, vec![hit]);
+                    let ip = f.gep(image, ray);
+                    f.store(ip, colored);
+                },
+            );
+        },
+    );
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
+    let rays = p.threads * p.scale;
+    for i in 0..rays {
+        if r.read_global(m, "image", i) == 0 {
+            return Err(format!("ray {i} never traced"));
+        }
+    }
+    Ok(())
+}
+
+/// Builds the Raytrace proxy.
+pub fn program(p: &Params) -> Program {
+    let module = build(p, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: "Raytrace",
+        suite: Suite::Splash2,
+        module,
+        manual_module: build(p, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 0,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_ray_traced() {
+        let p = Params::tiny();
+        let prog = program(&p);
+        let r = memsim::Simulator::new(&prog.module)
+            .run(&prog.threads)
+            .expect("runs");
+        check(&r, &prog.module, &p).expect("check");
+    }
+}

@@ -1,0 +1,159 @@
+//! Volrend proxy with the benchmark's documented **hand-rolled barrier**
+//! (Nistor et al. 2010): an atomic arrival counter plus a spin on it —
+//! ad hoc synchronization despite the program also using pthread locks.
+//! The paper's expert placement needs **2 fences** for it.
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{FenceKind, Module, RmwOp, Value};
+use memsim::ThreadSpec;
+
+fn build(p: &Params, manual: bool) -> Module {
+    let n = p.threads as i64;
+    let vox = p.scale as i64;
+    let mut mb = ModuleBuilder::new("volrend");
+    let volume = mb.global("volume", (n * vox) as u32);
+    let rays = mb.global("rays", (n * vox) as u32);
+    let arrivals = mb.global("arrivals", 1);
+    let qlock = mb.global("qlock", 1);
+    let work_ctr = mb.global("work_ctr", 1);
+
+    // --- fill_slice(base, tid): pure data stores ---
+    let fill_slice = {
+        let mut f = FunctionBuilder::new("fill_slice", 2);
+        f.for_loop(0i64, vox, |f, j| {
+            let idx = f.add(Value::Arg(0), j);
+            let p0 = f.gep(volume, idx);
+            let v0 = f.mul(Value::Arg(1), 11i64);
+            let v = f.add(v0, j);
+            f.store(p0, v);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- cast_ray(t): pure data reads (voxel + opacity blend) ---
+    let opacity = mb.global_init("opacity", 8, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    let cast_ray = {
+        let mut f = FunctionBuilder::new("cast_ray", 1);
+        let t = Value::Arg(0);
+        let vp = f.gep(volume, t);
+        let v = f.load(vp);
+        let oidx = f.rem(t, 8i64);
+        let op = f.gep(opacity, oidx);
+        let o = f.load(op); // pure table read
+        let o0 = f.sub(o, o); // value-neutral (keeps check formula)
+        let v1 = f.add(v, o0);
+        let rp = f.gep(rays, t);
+        let shaded = f.mul(v1, 2i64);
+        f.store(rp, shaded);
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    let mut f = FunctionBuilder::new("worker", 1);
+    let tid = Value::Arg(0);
+    let base = f.mul(tid, vox);
+
+    // ---- phase 1: fill own slice of the volume ----
+    f.call(fill_slice, vec![base, tid]);
+
+    // ---- the ad hoc barrier: rmw arrival + spin until all arrived ----
+    if manual {
+        f.fence(FenceKind::Full); // release: volume writes before arrival
+    }
+    let _ = f.rmw(RmwOp::Add, arrivals, 1i64);
+    f.while_loop(
+        |f| {
+            let a = f.load(arrivals); // ad hoc acquire (spin on counter)
+            f.lt(a, n)
+        },
+        |_| {},
+    );
+    if manual {
+        f.fence(FenceKind::Full); // acquire: arrival before volume reads
+    }
+
+    // ---- phase 2: ray casting over a lock-protected work counter ----
+    let working = f.local("working");
+    f.write_local(working, 1i64);
+    f.while_loop(
+        |f| {
+            let w = f.read_local(working);
+            f.ne(w, 0i64)
+        },
+        |f| {
+            f.lock_acquire(qlock);
+            let t = f.load(work_ctr);
+            let t1 = f.add(t, 1i64);
+            f.store(work_ctr, t1);
+            f.lock_release(qlock);
+            let total = n * vox;
+            let out = f.ge(t, total);
+            f.if_then_else(
+                out,
+                |f| f.write_local(working, 0i64),
+                |f| {
+                    // Cast: read a voxel written by another thread's
+                    // phase 1 (guarded by the ad hoc barrier).
+                    f.call(cast_ray, vec![t]);
+                },
+            );
+        },
+    );
+    f.ret(None);
+    mb.add_func(f.build());
+    mb.finish()
+}
+
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
+    let n = p.threads as i64;
+    let vox = p.scale as i64;
+    for t in 0..n {
+        for j in 0..vox {
+            let idx = (t * vox + j) as usize;
+            let expect = 2 * (t * 11 + j);
+            let got = r.read_global(m, "rays", idx);
+            if got != expect {
+                return Err(format!("rays[{idx}] = {got}, expected {expect}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the Volrend proxy.
+pub fn program(p: &Params) -> Program {
+    let module = build(p, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: "Volrend",
+        suite: Suite::Splash2,
+        module,
+        manual_module: build(p, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 2,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rays_match_volume() {
+        let p = Params::tiny();
+        let prog = program(&p);
+        let r = memsim::Simulator::new(&prog.manual_module)
+            .run(&prog.threads)
+            .expect("runs");
+        check(&r, &prog.manual_module, &p).expect("check");
+    }
+}

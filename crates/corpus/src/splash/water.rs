@@ -1,0 +1,248 @@
+//! Water proxies (NSquared and Spatial), structured like the real
+//! benchmark: the per-molecule polynomial updates (`predic`, `correc`)
+//! and the energy sums (`kineti`) are straight-line data functions with
+//! no branches on loaded values; only `interf` (the pair-interaction
+//! kernel) has the cutoff test — a data-dependent branch. With the
+//! paper's intraprocedural slicing, only `interf`'s reads can be control
+//! acquires, which is why Water-NSquared is the best case of Figure 7
+//! (≈7% of reads marked).
+
+use crate::{Params, Program, Suite};
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{Module, Value};
+use memsim::ThreadSpec;
+
+const CUTOFF: i64 = 1 << 40; // effectively "always within range"
+
+fn build(p: &Params, spatial: bool, _manual: bool) -> Module {
+    let n = (p.threads * p.scale) as i64; // molecules
+    let mut mb = ModuleBuilder::new(if spatial { "water_spatial" } else { "water_nsquared" });
+    let pos = mb.global("pos", n as u32);
+    let vel = mb.global("vel", n as u32);
+    let acc_g = mb.global("acc", n as u32);
+    let force = mb.global("force", n as u32);
+    let mlock = mb.global("mlock", 1);
+    let bar = mb.global("bar", 1);
+    let kinetic = mb.global("kinetic", 1);
+    let klock = mb.global("klock", 1);
+
+    // --- predic(i): polynomial predictor — pure data reads/writes ---
+    let predic = {
+        let mut f = FunctionBuilder::new("predic", 1);
+        let i = Value::Arg(0);
+        let pp = f.gep(pos, i);
+        let vp = f.gep(vel, i);
+        let ap = f.gep(acc_g, i);
+        let x = f.load(pp);
+        let v = f.load(vp);
+        let a = f.load(ap);
+        let xv = f.add(x, v);
+        let x1 = f.add(xv, a);
+        f.store(pp, x1);
+        let va = f.add(v, a);
+        f.store(vp, va);
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- interf(i, j): pair interaction with the cutoff test ---
+    let interf = {
+        let mut f = FunctionBuilder::new("interf", 2);
+        let i = Value::Arg(0);
+        let j = Value::Arg(1);
+        let pi = f.gep(pos, i);
+        let pj = f.gep(pos, j);
+        let xi = f.load(pi); // feeds the cutoff branch: control acquire
+        let xj = f.load(pj);
+        let d = f.sub(xi, xj);
+        let d2 = f.mul(d, d);
+        let within = f.lt(d2, CUTOFF);
+        f.if_then(within, |f| {
+            // Locked cross-molecule force update (real Water guards the
+            // destination molecule).
+            f.lock_acquire(mlock);
+            let fj = f.gep(force, j);
+            let fv = f.load(fj);
+            let fv1 = f.sub(fv, d);
+            f.store(fj, fv1);
+            let fi = f.gep(force, i);
+            let fiv = f.load(fi);
+            let fiv1 = f.add(fiv, d);
+            f.store(fi, fiv1);
+            f.lock_release(mlock);
+        });
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- correc(i): corrector — pure data ---
+    let correc = {
+        let mut f = FunctionBuilder::new("correc", 1);
+        let i = Value::Arg(0);
+        let fp = f.gep(force, i);
+        let ap = f.gep(acc_g, i);
+        let vp = f.gep(vel, i);
+        let fv = f.load(fp);
+        let av = f.load(ap);
+        let blended0 = f.add(av, fv);
+        let blended = f.div(blended0, 2i64);
+        f.store(ap, blended);
+        let vv = f.load(vp);
+        let vv1 = f.add(vv, blended);
+        f.store(vp, vv1);
+        f.ret(None);
+        mb.add_func(f.build())
+    };
+
+    // --- kineti(lo, hi) -> partial: energy sum — pure data reads ---
+    let kineti = {
+        let mut f = FunctionBuilder::new("kineti", 2);
+        let acc = f.local("acc");
+        f.write_local(acc, 0i64);
+        f.for_loop(Value::Arg(0), Value::Arg(1), |f, i| {
+            let vp = f.gep(vel, i);
+            let v = f.load(vp);
+            let a0 = f.read_local(acc);
+            let a1 = f.add(a0, v);
+            f.write_local(acc, a1);
+        });
+        let a = f.read_local(acc);
+        f.ret(Some(a));
+        mb.add_func(f.build())
+    };
+
+    // --- worker(tid): phases with barriers, reduction under a lock ---
+    {
+        let mut f = FunctionBuilder::new("worker", 1);
+        let tid = Value::Arg(0);
+        let nthreads = f.num_threads();
+        let chunk = Value::c(p.scale as i64);
+        let lo = f.mul(tid, chunk);
+        let hi = f.add(lo, chunk);
+
+        // init own molecules
+        f.for_loop(lo, hi, |f, i| {
+            let pp = f.gep(pos, i);
+            let v0 = f.mul(i, 3i64);
+            let v = f.add(v0, 1i64);
+            f.store(pp, v);
+            let vp = f.gep(vel, i);
+            let vv = f.rem(i, 4i64);
+            f.store(vp, vv);
+            let ap = f.gep(acc_g, i);
+            f.store(ap, 1i64);
+        });
+        f.barrier_wait(bar, nthreads);
+
+        // predictor
+        f.for_loop(lo, hi, |f, i| {
+            f.call(predic, vec![i]);
+        });
+        f.barrier_wait(bar, nthreads);
+
+        // interactions
+        if spatial {
+            // Cell-list window: each molecule interacts with 4 neighbours.
+            f.for_loop(lo, hi, |f, i| {
+                f.for_loop(0i64, 4i64, |f, w| {
+                    let j0 = f.add(i, w);
+                    let j1 = f.add(j0, 1i64);
+                    let j = f.rem(j1, n);
+                    f.call(interf, vec![i, j]);
+                });
+            });
+        } else {
+            // All pairs.
+            f.for_loop(lo, hi, |f, i| {
+                f.for_loop(0i64, n, |f, j| {
+                    let diff = f.ne(i, j);
+                    f.if_then(diff, |f| {
+                        f.call(interf, vec![i, j]);
+                    });
+                });
+            });
+        }
+        f.barrier_wait(bar, nthreads);
+
+        // corrector
+        f.for_loop(lo, hi, |f, i| {
+            f.call(correc, vec![i]);
+        });
+        f.barrier_wait(bar, nthreads);
+
+        // kinetic-energy reduction under a lock
+        let partial = f.call(kineti, vec![lo, hi]);
+        f.lock_acquire(klock);
+        let g = f.load(kinetic);
+        let g1 = f.add(g, partial);
+        f.store(kinetic, g1);
+        f.lock_release(klock);
+        f.ret(None);
+        mb.add_func(f.build());
+    }
+    mb.finish()
+}
+
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
+    // Momentum conservation: the pair updates are antisymmetric, so
+    // Σ force == 0; and the kinetic reduction must be the sum over vel.
+    let n = (p.threads * p.scale) as i64;
+    let sum_force: i64 = (0..n as usize)
+        .map(|i| r.read_global(m, "force", i))
+        .sum();
+    if sum_force != 0 {
+        return Err(format!("Σ force = {sum_force}, expected 0"));
+    }
+    let sum_vel: i64 = (0..n as usize).map(|i| r.read_global(m, "vel", i)).sum();
+    let kin = r.read_global(m, "kinetic", 0);
+    if kin != sum_vel {
+        return Err(format!("kinetic = {kin}, expected {sum_vel}"));
+    }
+    Ok(())
+}
+
+fn make(p: &Params, spatial: bool) -> Program {
+    let module = build(p, spatial, false);
+    let worker = module.func_by_name("worker").expect("worker");
+    Program {
+        name: if spatial { "Water-Spatial" } else { "Water-NSquared" },
+        suite: Suite::Splash2,
+        module,
+        manual_module: build(p, spatial, true),
+        threads: (0..p.threads)
+            .map(|t| ThreadSpec {
+                func: worker,
+                args: vec![t as i64],
+            })
+            .collect(),
+        manual_full_fences: 0,
+        check: Some(check),
+        params: *p,
+    }
+}
+
+/// All-pairs Water.
+pub fn program_nsquared(p: &Params) -> Program {
+    make(p, false)
+}
+
+/// Cell-list Water.
+pub fn program_spatial(p: &Params) -> Program {
+    make(p, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_conserve() {
+        let p = Params::tiny();
+        for prog in [program_nsquared(&p), program_spatial(&p)] {
+            let r = memsim::Simulator::new(&prog.module)
+                .run(&prog.threads)
+                .unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+            check(&r, &prog.module, &p).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+        }
+    }
+}

@@ -1,0 +1,667 @@
+//! Ergonomic construction of modules and functions.
+//!
+//! [`FunctionBuilder`] appends instructions to a *current block* and offers
+//! structured-control-flow combinators (`for_loop`, `while_loop`,
+//! `if_then`, `spin_while_eq`, …) so corpus programs read like the
+//! pseudo-code in the paper rather than raw CFG plumbing.
+
+use crate::func::{Block, Function, Inst};
+use crate::ids::{BlockId, FuncId, GlobalId, InstId, LocalId};
+use crate::inst::{BinOp, CmpOp, FenceKind, InstKind, Intrinsic, RmwOp};
+use crate::module::{GlobalDecl, Module};
+use crate::value::Value;
+
+/// Builds a [`Module`]: declares globals and collects functions.
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Starts an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            module: Module::new(name),
+        }
+    }
+
+    /// Declares a zero-initialized global of `words` cells.
+    pub fn global(&mut self, name: impl Into<String>, words: u32) -> GlobalId {
+        self.global_init(name, words, Vec::new())
+    }
+
+    /// Declares a global with explicit initial contents.
+    pub fn global_init(
+        &mut self,
+        name: impl Into<String>,
+        words: u32,
+        init: Vec<i64>,
+    ) -> GlobalId {
+        let name = name.into();
+        assert!(
+            self.module.global_by_name(&name).is_none(),
+            "duplicate global {name}"
+        );
+        assert!(init.len() <= words as usize, "init longer than region");
+        let id = GlobalId::new(self.module.globals.len());
+        self.module.globals.push(GlobalDecl { name, words, init });
+        id
+    }
+
+    /// Forward-declares a function so mutually recursive calls can name it.
+    pub fn declare_func(&mut self, name: impl Into<String>, num_params: u16) -> FuncId {
+        let name = name.into();
+        assert!(
+            self.module.func_by_name(&name).is_none(),
+            "duplicate function {name}"
+        );
+        let id = FuncId::new(self.module.funcs.len());
+        let mut placeholder = Function::new(name, num_params);
+        // A declared-but-undefined body traps if executed.
+        placeholder.blocks[0].insts.clear();
+        self.module.funcs.push(placeholder);
+        id
+    }
+
+    /// Installs the body of a previously declared function.
+    pub fn define_func(&mut self, id: FuncId, func: Function) {
+        let slot = &mut self.module.funcs[id.index()];
+        assert_eq!(slot.name, func.name, "define_func name mismatch");
+        assert_eq!(slot.num_params, func.num_params, "define_func arity mismatch");
+        *slot = func;
+    }
+
+    /// Declares and defines in one step.
+    pub fn add_func(&mut self, func: Function) -> FuncId {
+        let id = self.declare_func(func.name.clone(), func.num_params);
+        self.module.funcs[id.index()] = func;
+        id
+    }
+
+    /// Finalizes the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+/// Builds one [`Function`].
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    fresh: u32,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with an empty entry block as the current block.
+    pub fn new(name: impl Into<String>, num_params: u16) -> Self {
+        FunctionBuilder {
+            func: Function::new(name, num_params),
+            current: BlockId::new(0),
+            fresh: 0,
+        }
+    }
+
+    /// Declares a mutable local register slot.
+    pub fn local(&mut self, name: impl Into<String>) -> LocalId {
+        let id = LocalId::new(self.func.locals.len());
+        self.func.locals.push(name.into());
+        id
+    }
+
+    fn fresh_name(&mut self, stem: &str) -> String {
+        self.fresh += 1;
+        format!("{stem}.{}", self.fresh)
+    }
+
+    /// Creates a new (empty) block without switching to it.
+    pub fn new_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId::new(self.func.blocks.len());
+        self.func.blocks.push(Block {
+            name: name.into(),
+            insts: Vec::new(),
+        });
+        id
+    }
+
+    /// Makes `block` the insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// `true` if the current block already has a terminator.
+    pub fn current_terminated(&self) -> bool {
+        self.func
+            .block(self.current)
+            .insts
+            .last()
+            .is_some_and(|&i| self.func.inst(i).kind.is_terminator())
+    }
+
+    fn push(&mut self, kind: InstKind) -> InstId {
+        assert!(
+            !self.current_terminated(),
+            "block {} of {} already terminated",
+            self.current,
+            self.func.name
+        );
+        let id = InstId::new(self.func.insts.len());
+        self.func.insts.push(Inst { kind });
+        self.func.blocks[self.current.index()].insts.push(id);
+        id
+    }
+
+    fn push_val(&mut self, kind: InstKind) -> Value {
+        Value::Inst(self.push(kind))
+    }
+
+    // ---- memory ----
+
+    /// `load addr`.
+    pub fn load(&mut self, addr: impl Into<Value>) -> Value {
+        self.push_val(InstKind::Load { addr: addr.into() })
+    }
+
+    /// `store addr, val`.
+    pub fn store(&mut self, addr: impl Into<Value>, val: impl Into<Value>) {
+        self.push(InstKind::Store {
+            addr: addr.into(),
+            val: val.into(),
+        });
+    }
+
+    /// `rmw op addr, val` — returns the old value.
+    pub fn rmw(&mut self, op: RmwOp, addr: impl Into<Value>, val: impl Into<Value>) -> Value {
+        self.push_val(InstKind::AtomicRmw {
+            op,
+            addr: addr.into(),
+            val: val.into(),
+        })
+    }
+
+    /// `cas addr, expected, new` — returns the old value.
+    pub fn cas(
+        &mut self,
+        addr: impl Into<Value>,
+        expected: impl Into<Value>,
+        new: impl Into<Value>,
+    ) -> Value {
+        self.push_val(InstKind::AtomicCas {
+            addr: addr.into(),
+            expected: expected.into(),
+            new: new.into(),
+        })
+    }
+
+    /// Inserts an explicit fence (used for `Manual` baselines).
+    pub fn fence(&mut self, kind: FenceKind) {
+        self.push(InstKind::Fence { kind });
+    }
+
+    /// `alloc words` from the shared heap.
+    pub fn alloc(&mut self, words: impl Into<Value>) -> Value {
+        self.push_val(InstKind::Alloc {
+            words: words.into(),
+        })
+    }
+
+    // ---- computation ----
+
+    /// Generic binary operation.
+    pub fn bin(&mut self, op: BinOp, lhs: impl Into<Value>, rhs: impl Into<Value>) -> Value {
+        self.push_val(InstKind::Bin {
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        })
+    }
+
+    /// `lhs + rhs`.
+    pub fn add(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.bin(BinOp::Add, l, r)
+    }
+
+    /// `lhs - rhs`.
+    pub fn sub(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.bin(BinOp::Sub, l, r)
+    }
+
+    /// `lhs * rhs`.
+    pub fn mul(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.bin(BinOp::Mul, l, r)
+    }
+
+    /// `lhs / rhs` (0 on division by zero).
+    pub fn div(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.bin(BinOp::Div, l, r)
+    }
+
+    /// `lhs % rhs` (0 on division by zero).
+    pub fn rem(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.bin(BinOp::Rem, l, r)
+    }
+
+    /// Bitwise and.
+    pub fn and(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.bin(BinOp::And, l, r)
+    }
+
+    /// Bitwise or.
+    pub fn or(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.bin(BinOp::Or, l, r)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.bin(BinOp::Xor, l, r)
+    }
+
+    /// Shift left (shift count masked to 6 bits).
+    pub fn shl(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.bin(BinOp::Shl, l, r)
+    }
+
+    /// Arithmetic shift right (shift count masked to 6 bits).
+    pub fn shr(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.bin(BinOp::Shr, l, r)
+    }
+
+    /// Generic comparison (0/1 result).
+    pub fn cmp(&mut self, op: CmpOp, lhs: impl Into<Value>, rhs: impl Into<Value>) -> Value {
+        self.push_val(InstKind::Cmp {
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        })
+    }
+
+    /// `lhs == rhs`.
+    pub fn eq(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.cmp(CmpOp::Eq, l, r)
+    }
+
+    /// `lhs != rhs`.
+    pub fn ne(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.cmp(CmpOp::Ne, l, r)
+    }
+
+    /// `lhs < rhs` (signed).
+    pub fn lt(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.cmp(CmpOp::Lt, l, r)
+    }
+
+    /// `lhs <= rhs` (signed).
+    pub fn le(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.cmp(CmpOp::Le, l, r)
+    }
+
+    /// `lhs > rhs` (signed).
+    pub fn gt(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.cmp(CmpOp::Gt, l, r)
+    }
+
+    /// `lhs >= rhs` (signed).
+    pub fn ge(&mut self, l: impl Into<Value>, r: impl Into<Value>) -> Value {
+        self.cmp(CmpOp::Ge, l, r)
+    }
+
+    /// `select cond, a, b`.
+    pub fn select(
+        &mut self,
+        cond: impl Into<Value>,
+        t: impl Into<Value>,
+        e: impl Into<Value>,
+    ) -> Value {
+        self.push_val(InstKind::Select {
+            cond: cond.into(),
+            then_val: t.into(),
+            else_val: e.into(),
+        })
+    }
+
+    /// Address arithmetic `base + index` (in words).
+    pub fn gep(&mut self, base: impl Into<Value>, index: impl Into<Value>) -> Value {
+        self.push_val(InstKind::Gep {
+            base: base.into(),
+            index: index.into(),
+        })
+    }
+
+    // ---- locals ----
+
+    /// Reads a local register.
+    pub fn read_local(&mut self, local: LocalId) -> Value {
+        self.push_val(InstKind::ReadLocal { local })
+    }
+
+    /// Writes a local register.
+    pub fn write_local(&mut self, local: LocalId, val: impl Into<Value>) {
+        self.push(InstKind::WriteLocal {
+            local,
+            val: val.into(),
+        });
+    }
+
+    // ---- calls ----
+
+    /// Calls a function in the same module.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Value>) -> Value {
+        self.push_val(InstKind::Call { callee, args })
+    }
+
+    /// Calls an intrinsic.
+    pub fn intrinsic(&mut self, intr: Intrinsic, args: Vec<Value>) -> InstId {
+        self.push(InstKind::CallIntrinsic { intr, args })
+    }
+
+    /// `thread_id()`.
+    pub fn thread_id(&mut self) -> Value {
+        Value::Inst(self.intrinsic(Intrinsic::ThreadId, vec![]))
+    }
+
+    /// `num_threads()`.
+    pub fn num_threads(&mut self) -> Value {
+        Value::Inst(self.intrinsic(Intrinsic::NumThreads, vec![]))
+    }
+
+    /// `lock_acquire(addr)`.
+    pub fn lock_acquire(&mut self, addr: impl Into<Value>) {
+        self.intrinsic(Intrinsic::LockAcquire, vec![addr.into()]);
+    }
+
+    /// `lock_release(addr)`.
+    pub fn lock_release(&mut self, addr: impl Into<Value>) {
+        self.intrinsic(Intrinsic::LockRelease, vec![addr.into()]);
+    }
+
+    /// `barrier_wait(addr, n)`.
+    pub fn barrier_wait(&mut self, addr: impl Into<Value>, n: impl Into<Value>) {
+        self.intrinsic(Intrinsic::BarrierWait, vec![addr.into(), n.into()]);
+    }
+
+    // ---- terminators ----
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(InstKind::Br { target });
+    }
+
+    /// Conditional branch.
+    pub fn condbr(&mut self, cond: impl Into<Value>, then_bb: BlockId, else_bb: BlockId) {
+        self.push(InstKind::CondBr {
+            cond: cond.into(),
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, val: Option<Value>) {
+        self.push(InstKind::Ret { val });
+    }
+
+    // ---- structured control flow ----
+
+    /// `for i in from..to { body(i) }` with unit stride.
+    ///
+    /// The induction variable lives in a fresh local; `body` receives its
+    /// value for the current iteration. After the call, the insertion point
+    /// is the loop exit block.
+    pub fn for_loop(
+        &mut self,
+        from: impl Into<Value>,
+        to: impl Into<Value>,
+        body: impl FnOnce(&mut Self, Value),
+    ) {
+        let from = from.into();
+        let to = to.into();
+        let name = self.fresh_name("i");
+        let ivar = self.local(name);
+        let header_name = self.fresh_name("for.header");
+        let header = self.new_block(header_name);
+        let body_bb_name = self.fresh_name("for.body");
+        let body_bb = self.new_block(body_bb_name);
+        let exit_name = self.fresh_name("for.exit");
+        let exit = self.new_block(exit_name);
+
+        self.write_local(ivar, from);
+        self.br(header);
+
+        self.switch_to(header);
+        let iv = self.read_local(ivar);
+        let c = self.lt(iv, to);
+        self.condbr(c, body_bb, exit);
+
+        self.switch_to(body_bb);
+        body(self, iv);
+        if !self.current_terminated() {
+            let iv2 = self.read_local(ivar);
+            let next = self.add(iv2, 1);
+            self.write_local(ivar, next);
+            self.br(header);
+        }
+
+        self.switch_to(exit);
+    }
+
+    /// `while cond() { body() }`. `cond` is re-evaluated each iteration.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Value,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let header_name = self.fresh_name("while.header");
+        let header = self.new_block(header_name);
+        let body_bb_name = self.fresh_name("while.body");
+        let body_bb = self.new_block(body_bb_name);
+        let exit_name = self.fresh_name("while.exit");
+        let exit = self.new_block(exit_name);
+
+        self.br(header);
+        self.switch_to(header);
+        let c = cond(self);
+        self.condbr(c, body_bb, exit);
+
+        self.switch_to(body_bb);
+        body(self);
+        if !self.current_terminated() {
+            self.br(header);
+        }
+        self.switch_to(exit);
+    }
+
+    /// Busy-waits while `*addr == val` — the classic ad hoc flag spin
+    /// (`while (flag == 0);`). The spinning load feeds the loop branch, so
+    /// it is a textbook *control acquire*.
+    pub fn spin_while_eq(&mut self, addr: impl Into<Value>, val: impl Into<Value>) {
+        let addr = addr.into();
+        let val = val.into();
+        self.while_loop(
+            |b| {
+                let cur = b.load(addr);
+                b.eq(cur, val)
+            },
+            |_| {},
+        );
+    }
+
+    /// `if cond { then_f() }`. Insertion point ends at the join block.
+    pub fn if_then(&mut self, cond: impl Into<Value>, then_f: impl FnOnce(&mut Self)) {
+        let then_bb_name = self.fresh_name("if.then");
+        let then_bb = self.new_block(then_bb_name);
+        let join_name = self.fresh_name("if.join");
+        let join = self.new_block(join_name);
+        self.condbr(cond, then_bb, join);
+        self.switch_to(then_bb);
+        then_f(self);
+        if !self.current_terminated() {
+            self.br(join);
+        }
+        self.switch_to(join);
+    }
+
+    /// `if cond { then_f() } else { else_f() }`.
+    pub fn if_then_else(
+        &mut self,
+        cond: impl Into<Value>,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        let then_bb_name = self.fresh_name("if.then");
+        let then_bb = self.new_block(then_bb_name);
+        let else_bb_name = self.fresh_name("if.else");
+        let else_bb = self.new_block(else_bb_name);
+        let join_name = self.fresh_name("if.join");
+        let join = self.new_block(join_name);
+        self.condbr(cond, then_bb, else_bb);
+        self.switch_to(then_bb);
+        then_f(self);
+        if !self.current_terminated() {
+            self.br(join);
+        }
+        self.switch_to(else_bb);
+        else_f(self);
+        if !self.current_terminated() {
+            self.br(join);
+        }
+        self.switch_to(join);
+    }
+
+    /// Finalizes. Panics if any block lacks a terminator (catching builder
+    /// bugs early; full checking is in [`crate::verify`]).
+    pub fn build(self) -> Function {
+        for (i, b) in self.func.blocks.iter().enumerate() {
+            let ok = b
+                .insts
+                .last()
+                .is_some_and(|&iid| self.func.inst(iid).kind.is_terminator());
+            assert!(
+                ok,
+                "block bb{i} ({}) of function {} lacks a terminator",
+                b.name, self.func.name
+            );
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_function;
+
+    #[test]
+    fn straight_line() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let g = GlobalId::new(0);
+        let v = fb.load(g);
+        let w = fb.add(v, Value::Arg(0));
+        fb.store(g, w);
+        fb.ret(None);
+        let f = fb.build();
+        assert_eq!(f.num_insts(), 4);
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a terminator")]
+    fn unterminated_block_panics() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.load(Value::c(0));
+        let _ = fb.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn append_after_terminator_panics() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.ret(None);
+        fb.load(Value::c(0));
+    }
+
+    #[test]
+    fn for_loop_shape() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let g = GlobalId::new(0);
+        fb.for_loop(0i64, 10i64, |b, i| {
+            let p = b.gep(g, i);
+            b.store(p, i);
+        });
+        fb.ret(None);
+        let f = fb.build();
+        // entry + header + body + exit
+        assert_eq!(f.num_blocks(), 4);
+        assert!(verify_function(&f, None).is_empty(), "loop verifies");
+    }
+
+    #[test]
+    fn nested_if_and_while() {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let g = GlobalId::new(0);
+        fb.while_loop(
+            |b| {
+                let v = b.load(g);
+                b.ne(v, 0)
+            },
+            |b| {
+                let v = b.load(g);
+                let c = b.gt(v, 5);
+                b.if_then_else(
+                    c,
+                    |b| b.store(g, 0i64),
+                    |b| {
+                        let v2 = b.load(g);
+                        let inc = b.add(v2, 1);
+                        b.store(g, inc);
+                    },
+                );
+            },
+        );
+        fb.ret(None);
+        let f = fb.build();
+        assert!(verify_function(&f, None).is_empty());
+    }
+
+    #[test]
+    fn spin_while_eq_creates_backedge() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let g = GlobalId::new(0);
+        fb.spin_while_eq(g, 0i64);
+        fb.ret(None);
+        let f = fb.build();
+        let cfg = crate::cfg::Cfg::new(&f);
+        let reach = crate::cfg::Reachability::new(&cfg);
+        // The spin header must reach itself (it's in a cycle).
+        let cyclic = (0..f.num_blocks())
+            .any(|b| reach.reaches(BlockId::new(b), BlockId::new(b)));
+        assert!(cyclic, "spin loop forms a CFG cycle");
+    }
+
+    #[test]
+    fn module_builder_declare_define() {
+        let mut mb = ModuleBuilder::new("m");
+        let callee = mb.declare_func("callee", 1);
+        let mut fb = FunctionBuilder::new("caller", 0);
+        let r = fb.call(callee, vec![Value::c(7)]);
+        fb.ret(Some(r));
+        mb.add_func(fb.build());
+        let mut fb2 = FunctionBuilder::new("callee", 1);
+        let v = fb2.add(Value::Arg(0), 1i64);
+        fb2.ret(Some(v));
+        mb.define_func(callee, fb2.build());
+        let m = mb.finish();
+        assert_eq!(m.funcs.len(), 2);
+        assert!(crate::verify::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate global")]
+    fn duplicate_global_panics() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.global("x", 1);
+        mb.global("x", 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! Control-flow-graph utilities: successors/predecessors, reverse
+//! postorder, reachability (the "lookup table" the paper's ordering
+//! generation queries), and dominators (used by the verifier).
+
+use crate::func::Function;
+use crate::ids::BlockId;
+use crate::util::BitSet;
+
+/// Successor / predecessor maps of a function's CFG.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// `succs[b]` = successor blocks of `b`.
+    pub succs: Vec<Vec<BlockId>>,
+    /// `preds[b]` = predecessor blocks of `b`.
+    pub preds: Vec<Vec<BlockId>>,
+    /// The function's entry block.
+    pub entry: BlockId,
+}
+
+impl Cfg {
+    /// Builds the CFG of `func` from its block terminators.
+    pub fn new(func: &Function) -> Self {
+        let n = func.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bid, block) in func.iter_blocks() {
+            if let Some(&term) = block.insts.last() {
+                for s in func.inst(term).kind.successors() {
+                    succs[bid.index()].push(s);
+                    preds[s.index()].push(bid);
+                }
+            }
+        }
+        Cfg {
+            succs,
+            preds,
+            entry: func.entry,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Reverse postorder starting from the entry block. Unreachable blocks
+    /// are appended at the end (in id order) so every block appears exactly
+    /// once.
+    pub fn rpo(&self) -> Vec<BlockId> {
+        let n = self.num_blocks();
+        let mut visited = BitSet::new(n);
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with explicit stack of (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = Vec::new();
+        visited.insert(self.entry.index());
+        stack.push((self.entry, 0));
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < self.succs[b.index()].len() {
+                let s = self.succs[b.index()][*i];
+                *i += 1;
+                if visited.insert(s.index()) {
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        for b in 0..n {
+            if !visited.contains(b) {
+                post.push(BlockId::new(b));
+            }
+        }
+        post
+    }
+}
+
+/// Transitive reachability over the CFG: `reaches(a, b)` means there is a
+/// path of **one or more** edges from `a` to `b`. In particular
+/// `reaches(b, b)` holds iff `b` lies on a cycle.
+///
+/// This is the lookup table that ordering generation consults (paper §4.3:
+/// "Whether there exists a path between basic blocks is determined prior to
+/// this process with an examination of the CFG, to create a lookup table of
+/// reachability").
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    rows: Vec<BitSet>,
+}
+
+impl Reachability {
+    /// Computes all-pairs reachability by a DFS from every block.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.num_blocks();
+        let mut rows = Vec::with_capacity(n);
+        let mut stack = Vec::new();
+        for b in 0..n {
+            let mut row = BitSet::new(n);
+            stack.clear();
+            // Seed with successors (path length >= 1).
+            for &s in &cfg.succs[b] {
+                if row.insert(s.index()) {
+                    stack.push(s);
+                }
+            }
+            while let Some(cur) = stack.pop() {
+                for &s in &cfg.succs[cur.index()] {
+                    if row.insert(s.index()) {
+                        stack.push(s);
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        Reachability { rows }
+    }
+
+    /// `true` if a path of >= 1 edge leads from `from` to `to`.
+    #[inline]
+    pub fn reaches(&self, from: BlockId, to: BlockId) -> bool {
+        self.rows[from.index()].contains(to.index())
+    }
+
+    /// `true` if `b` lies on a CFG cycle.
+    #[inline]
+    pub fn in_cycle(&self, b: BlockId) -> bool {
+        self.reaches(b, b)
+    }
+}
+
+/// Immediate-dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// `idom[b]` — immediate dominator; `idom[entry] == entry`; `None` for
+    /// unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for the reachable portion of the CFG.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.num_blocks();
+        let rpo = cfg.rpo();
+        // rpo may contain unreachable blocks at the tail; restrict to the
+        // reachable prefix by recomputing reachable set.
+        let mut reachable = BitSet::new(n);
+        reachable.insert(cfg.entry.index());
+        let mut stack = vec![cfg.entry];
+        while let Some(b) = stack.pop() {
+            for &s in &cfg.succs[b.index()] {
+                if reachable.insert(s.index()) {
+                    stack.push(s);
+                }
+            }
+        }
+        let rpo: Vec<BlockId> = rpo
+            .into_iter()
+            .filter(|b| reachable.contains(b.index()))
+            .collect();
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_num[b.index()] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[cfg.entry.index()] = Some(cfg.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &rpo_num, p, cur),
+                    });
+                }
+                if new_idom != idom[b.index()] && new_idom.is_some() {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators {
+            idom,
+            entry: cfg.entry,
+        }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_num: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_num[a.index()] > rpo_num[b.index()] {
+                a = idom[a.index()].expect("processed");
+            }
+            while rpo_num[b.index()] > rpo_num[a.index()] {
+                b = idom[b.index()].expect("processed");
+            }
+        }
+        a
+    }
+
+    /// `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            // b unreachable: vacuously dominated by anything reachable;
+            // report false to be conservative.
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = match self.idom[cur.index()] {
+                Some(d) => d,
+                None => return false,
+            };
+        }
+    }
+
+    /// The immediate dominator of `b` (`entry` maps to itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::value::Value;
+
+    /// Builds a diamond: entry -> (then | else) -> join -> ret.
+    fn diamond() -> Function {
+        let mut fb = FunctionBuilder::new("d", 0);
+        fb.if_then_else(Value::c(1), |_| {}, |_| {});
+        fb.ret(None);
+        fb.build()
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs[f.entry.index()].len(), 2);
+        let join = cfg
+            .preds
+            .iter()
+            .position(|p| p.len() == 2)
+            .expect("join block has two preds");
+        let reach = Reachability::new(&cfg);
+        assert!(reach.reaches(f.entry, BlockId::new(join)));
+        assert!(!reach.reaches(BlockId::new(join), f.entry));
+        assert!(!reach.in_cycle(f.entry));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let rpo = cfg.rpo();
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo.len(), f.num_blocks());
+    }
+
+    #[test]
+    fn loop_reachability() {
+        let mut fb = FunctionBuilder::new("l", 0);
+        fb.for_loop(0i64, 4i64, |_, _| {});
+        fb.ret(None);
+        let f = fb.build();
+        let cfg = Cfg::new(&f);
+        let reach = Reachability::new(&cfg);
+        let header = cfg
+            .preds
+            .iter()
+            .position(|p| p.len() == 2)
+            .map(BlockId::new)
+            .expect("loop header has 2 preds");
+        assert!(reach.in_cycle(header), "loop header is on a cycle");
+    }
+
+    #[test]
+    fn dominators_diamond() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::new(&cfg);
+        let join = cfg
+            .preds
+            .iter()
+            .position(|p| p.len() == 2)
+            .map(BlockId::new)
+            .unwrap();
+        assert!(dom.dominates(f.entry, join));
+        assert!(dom.dominates(f.entry, f.entry));
+        // Neither arm dominates the join.
+        for &arm in &cfg.succs[f.entry.index()] {
+            assert!(!dom.dominates(arm, join));
+            assert_eq!(dom.idom(arm), Some(f.entry));
+        }
+        assert_eq!(dom.idom(join), Some(f.entry));
+    }
+}

@@ -1,0 +1,213 @@
+//! Functions, basic blocks, and per-function instruction storage.
+
+use crate::ids::{BlockId, InstId, LocalId};
+use crate::inst::InstKind;
+
+/// One instruction, stored in the function's flat instruction table.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Inst {
+    /// What the instruction does.
+    pub kind: InstKind,
+}
+
+/// A basic block: a straight-line sequence of instructions ending in a
+/// single terminator.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Optional human-readable label (used by printer/parser).
+    pub name: String,
+    /// Instruction ids in execution order; the last is the terminator.
+    pub insts: Vec<InstId>,
+}
+
+/// The position of an instruction inside its function.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct InstPos {
+    /// Enclosing block.
+    pub block: BlockId,
+    /// Index within [`Block::insts`].
+    pub index: usize,
+}
+
+/// A function: parameters, local register slots, blocks, instructions.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Unique name within the module.
+    pub name: String,
+    /// Number of incoming arguments (`Value::Arg(0..n)`).
+    pub num_params: u16,
+    /// Names of mutable local register slots.
+    pub locals: Vec<String>,
+    /// Basic blocks; `entry` is executed first.
+    pub blocks: Vec<Block>,
+    /// Flat instruction table indexed by [`InstId`].
+    pub insts: Vec<Inst>,
+    /// The entry block.
+    pub entry: BlockId,
+}
+
+impl Function {
+    /// Creates an empty function with a single (empty) entry block.
+    pub fn new(name: impl Into<String>, num_params: u16) -> Self {
+        Function {
+            name: name.into(),
+            num_params,
+            locals: Vec::new(),
+            blocks: vec![Block {
+                name: "entry".to_string(),
+                insts: Vec::new(),
+            }],
+            insts: Vec::new(),
+            entry: BlockId::new(0),
+        }
+    }
+
+    /// Immutable access to an instruction.
+    #[inline]
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable access to an instruction.
+    #[inline]
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// Immutable access to a block.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Number of instructions (the `InstId` universe size).
+    #[inline]
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of blocks (the `BlockId` universe size).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterates `(BlockId, &Block)` in id order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::new(i), b))
+    }
+
+    /// Iterates `(InstId, &Inst)` over all instructions in id order.
+    ///
+    /// Note: id order is creation order, not necessarily execution order;
+    /// use [`Function::iter_insts_in_order`] for block-sequential order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (InstId, &Inst)> {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (InstId::new(i), inst))
+    }
+
+    /// Iterates instructions block by block, in execution order within each.
+    pub fn iter_insts_in_order(&self) -> impl Iterator<Item = (BlockId, InstId, &Inst)> {
+        self.iter_blocks().flat_map(move |(bid, b)| {
+            b.insts.iter().map(move |&iid| (bid, iid, self.inst(iid)))
+        })
+    }
+
+    /// Computes the position table: for every instruction, its block and
+    /// in-block index. Instructions not attached to a block map to `None`.
+    pub fn positions(&self) -> Vec<Option<InstPos>> {
+        let mut pos = vec![None; self.insts.len()];
+        for (bid, block) in self.iter_blocks() {
+            for (idx, &iid) in block.insts.iter().enumerate() {
+                pos[iid.index()] = Some(InstPos { block: bid, index: idx });
+            }
+        }
+        pos
+    }
+
+    /// The terminator instruction of a block, if the block is non-empty.
+    pub fn terminator(&self, block: BlockId) -> Option<InstId> {
+        self.block(block)
+            .insts
+            .last()
+            .copied()
+            .filter(|&iid| self.inst(iid).kind.is_terminator())
+    }
+
+    /// All `WriteLocal` instructions targeting `local`.
+    ///
+    /// This is the flow-insensitive "reaching definitions" used by the
+    /// backwards slicer for register reads: conservative, exactly like the
+    /// paper's use of alias analysis to find `potential_writers`.
+    pub fn writers_of_local(&self, local: LocalId) -> Vec<InstId> {
+        self.iter_insts()
+            .filter_map(|(iid, inst)| match inst.kind {
+                InstKind::WriteLocal { local: l, .. } if l == local => Some(iid),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Looks up a local slot by name.
+    pub fn local_by_name(&self, name: &str) -> Option<LocalId> {
+        self.locals
+            .iter()
+            .position(|n| n == name)
+            .map(LocalId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::builder::FunctionBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn positions_and_terminator() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let l = fb.local("x");
+        fb.write_local(l, Value::c(1));
+        let v = fb.read_local(l);
+        fb.ret(Some(v));
+        let f = fb.build();
+
+        let pos = f.positions();
+        assert!(pos.iter().all(|p| p.is_some()));
+        let term = f.terminator(f.entry).expect("entry has terminator");
+        assert!(f.inst(term).kind.is_terminator());
+    }
+
+    #[test]
+    fn writers_of_local_finds_all() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let l = fb.local("x");
+        fb.write_local(l, Value::c(1));
+        fb.write_local(l, Value::c(2));
+        let m = fb.local("y");
+        fb.write_local(m, Value::c(3));
+        fb.ret(None);
+        let f = fb.build();
+        assert_eq!(f.writers_of_local(l).len(), 2);
+        assert_eq!(f.writers_of_local(m).len(), 1);
+        assert_eq!(f.local_by_name("y"), Some(m));
+        assert_eq!(f.local_by_name("zz"), None);
+    }
+
+    #[test]
+    fn iter_insts_in_order_is_block_sequential() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let bb1 = fb.new_block("next");
+        fb.br(bb1);
+        fb.switch_to(bb1);
+        fb.ret(None);
+        let f = fb.build();
+        let order: Vec<_> = f.iter_insts_in_order().map(|(b, _, _)| b).collect();
+        assert_eq!(order, vec![f.entry, bb1]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Compact `u32` newtype identifiers for every IR entity.
+//!
+//! Following the standard compiler-engineering (and Rust perf-book) advice,
+//! all cross-references inside the IR are small dense indices into `Vec`
+//! side tables rather than pointers or strings.
+
+use std::fmt;
+
+/// Implements a dense `u32` index newtype.
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a dense index.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                Self(index as u32)
+            }
+
+            /// Returns the dense index this id wraps.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies an instruction within its enclosing [`crate::Function`].
+    InstId,
+    "%"
+);
+id_type!(
+    /// Identifies a basic block within its enclosing [`crate::Function`].
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// Identifies a function within its enclosing [`crate::Module`].
+    FuncId,
+    "fn"
+);
+id_type!(
+    /// Identifies a global memory region within its enclosing [`crate::Module`].
+    GlobalId,
+    "g"
+);
+id_type!(
+    /// Identifies a mutable local register slot within its enclosing function.
+    LocalId,
+    "l"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = InstId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "%42");
+        assert_eq!(format!("{:?}", BlockId::new(3)), "bb3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+        assert_eq!(FuncId::new(7), FuncId::new(7));
+    }
+}

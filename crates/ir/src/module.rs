@@ -1,0 +1,112 @@
+//! Modules: the translation unit the pipeline operates on.
+
+use crate::func::Function;
+use crate::ids::{FuncId, GlobalId};
+
+/// A named global memory region.
+#[derive(Clone, Debug)]
+pub struct GlobalDecl {
+    /// Unique name within the module.
+    pub name: String,
+    /// Size in 64-bit words.
+    pub words: u32,
+    /// Initial contents (zero-extended to `words`).
+    pub init: Vec<i64>,
+}
+
+/// A module: globals plus functions. The unit of analysis and simulation.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Module name (informational).
+    pub name: String,
+    /// Global regions, indexed by [`GlobalId`].
+    pub globals: Vec<GlobalDecl>,
+    /// Functions, indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            globals: Vec::new(),
+            funcs: Vec::new(),
+        }
+    }
+
+    /// Immutable access to a function.
+    #[inline]
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable access to a function.
+    #[inline]
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Immutable access to a global declaration.
+    #[inline]
+    pub fn global(&self, id: GlobalId) -> &GlobalDecl {
+        &self.globals[id.index()]
+    }
+
+    /// Iterates `(FuncId, &Function)`.
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId::new(i), f))
+    }
+
+    /// Iterates `(GlobalId, &GlobalDecl)`.
+    pub fn iter_globals(&self) -> impl Iterator<Item = (GlobalId, &GlobalDecl)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GlobalId::new(i), g))
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs.iter().position(|f| f.name == name).map(FuncId::new)
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(GlobalId::new)
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn total_insts(&self) -> usize {
+        self.funcs.iter().map(|f| f.insts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn lookups() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("flag", 1);
+        let f = mb.declare_func("main", 0);
+        let m = {
+            let mut fb = crate::builder::FunctionBuilder::new("main", 0);
+            fb.ret(None);
+            mb.define_func(f, fb.build());
+            mb.finish()
+        };
+        assert_eq!(m.global_by_name("flag"), Some(g));
+        assert_eq!(m.func_by_name("main"), Some(f));
+        assert_eq!(m.func_by_name("nope"), None);
+        assert_eq!(m.total_insts(), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Pretty-printing of modules to a stable, parseable textual form.
+//!
+//! The format round-trips through [`crate::parser::parse_module`]:
+//!
+//! ```text
+//! module mp
+//! global data 1
+//! global flag 1
+//!
+//! fn producer params=0 locals=() {
+//! bb0:
+//!   store @data, c42
+//!   store @flag, c1
+//!   ret
+//! }
+//! ```
+
+use crate::func::Function;
+use crate::inst::InstKind;
+use crate::module::Module;
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Renders a whole module.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", module.name);
+    for g in &module.globals {
+        if g.init.is_empty() {
+            let _ = writeln!(out, "global {} {}", g.name, g.words);
+        } else {
+            let inits: Vec<String> = g.init.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(out, "global {} {} = {}", g.name, g.words, inits.join(" "));
+        }
+    }
+    for func in &module.funcs {
+        let _ = writeln!(out);
+        out.push_str(&print_function(func, module));
+    }
+    out
+}
+
+/// Renders one function (needs the module for global/callee names).
+pub fn print_function(func: &Function, module: &Module) -> String {
+    let mut out = String::new();
+    let local_names = unique_local_names(func);
+    let _ = writeln!(
+        out,
+        "fn {} params={} locals=({}) {{",
+        func.name,
+        func.num_params,
+        local_names.join(" ")
+    );
+    for (bid, block) in func.iter_blocks() {
+        if block.name.is_empty() {
+            let _ = writeln!(out, "bb{}:", bid.index());
+        } else {
+            let _ = writeln!(out, "bb{}: ; {}", bid.index(), block.name);
+        }
+        for &iid in &block.insts {
+            let inst = func.inst(iid);
+            out.push_str("  ");
+            if inst.kind.has_result() {
+                let _ = write!(out, "%{} = ", iid.index());
+            }
+            out.push_str(&print_inst_kind(&inst.kind, module, &local_names));
+            out.push('\n');
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Sanitized, deduplicated local names used by the printer and parser.
+pub fn unique_local_names(func: &Function) -> Vec<String> {
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    func.locals
+        .iter()
+        .enumerate()
+        .map(|(i, raw)| {
+            let mut base: String = raw
+                .chars()
+                .map(|c| if c.is_alphanumeric() || c == '_' || c == '.' { c } else { '_' })
+                .collect();
+            if base.is_empty() || base.chars().next().unwrap().is_ascii_digit() {
+                base = format!("l{i}");
+            }
+            let mut name = base.clone();
+            let mut k = 1;
+            while !seen.insert(name.clone()) {
+                name = format!("{base}.{k}");
+                k += 1;
+            }
+            name
+        })
+        .collect()
+}
+
+fn val(v: Value, module: &Module) -> String {
+    match v {
+        Value::Const(c) => format!("c{c}"),
+        Value::Global(g) => format!("@{}", module.global(g).name),
+        Value::Arg(a) => format!("arg{a}"),
+        Value::Inst(i) => format!("%{}", i.index()),
+    }
+}
+
+fn print_inst_kind(kind: &InstKind, m: &Module, locals: &[String]) -> String {
+    match kind {
+        InstKind::Load { addr } => format!("load {}", val(*addr, m)),
+        InstKind::Store { addr, val: v } => {
+            format!("store {}, {}", val(*addr, m), val(*v, m))
+        }
+        InstKind::AtomicRmw { op, addr, val: v } => {
+            format!("rmw {} {}, {}", op.name(), val(*addr, m), val(*v, m))
+        }
+        InstKind::AtomicCas {
+            addr,
+            expected,
+            new,
+        } => format!(
+            "cas {}, {}, {}",
+            val(*addr, m),
+            val(*expected, m),
+            val(*new, m)
+        ),
+        InstKind::Fence { kind } => format!("fence {kind}"),
+        InstKind::Alloc { words } => format!("alloc {}", val(*words, m)),
+        InstKind::Bin { op, lhs, rhs } => {
+            format!("{} {}, {}", op.name(), val(*lhs, m), val(*rhs, m))
+        }
+        InstKind::Cmp { op, lhs, rhs } => {
+            format!("cmp {} {}, {}", op.name(), val(*lhs, m), val(*rhs, m))
+        }
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => format!(
+            "select {}, {}, {}",
+            val(*cond, m),
+            val(*then_val, m),
+            val(*else_val, m)
+        ),
+        InstKind::Gep { base, index } => {
+            format!("gep {}, {}", val(*base, m), val(*index, m))
+        }
+        InstKind::ReadLocal { local } => {
+            format!("read_local {}", locals[local.index()])
+        }
+        InstKind::WriteLocal { local, val: v } => {
+            format!("write_local {}, {}", locals[local.index()], val(*v, m))
+        }
+        InstKind::Call { callee, args } => {
+            let args: Vec<String> = args.iter().map(|&a| val(a, m)).collect();
+            format!("call {}({})", m.func(*callee).name, args.join(", "))
+        }
+        InstKind::CallIntrinsic { intr, args } => {
+            let args: Vec<String> = args.iter().map(|&a| val(a, m)).collect();
+            format!("intrinsic {}({})", intr.name(), args.join(", "))
+        }
+        InstKind::Br { target } => format!("br bb{}", target.index()),
+        InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!(
+            "condbr {}, bb{}, bb{}",
+            val(*cond, m),
+            then_bb.index(),
+            else_bb.index()
+        ),
+        InstKind::Ret { val: Some(v) } => format!("ret {}", val(*v, m)),
+        InstKind::Ret { val: None } => "ret".to_string(),
+    }
+}
+
+impl std::fmt::Display for Module {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&print_module(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ModuleBuilder};
+
+    #[test]
+    fn prints_mp_example() {
+        let mut mb = ModuleBuilder::new("mp");
+        let data = mb.global("data", 1);
+        let flag = mb.global("flag", 1);
+        let mut p = FunctionBuilder::new("producer", 0);
+        p.store(data, 42i64);
+        p.store(flag, 1i64);
+        p.ret(None);
+        mb.add_func(p.build());
+        let mut c = FunctionBuilder::new("consumer", 0);
+        c.spin_while_eq(flag, 0i64);
+        let v = c.load(data);
+        c.ret(Some(v));
+        mb.add_func(c.build());
+        let m = mb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("module mp"));
+        assert!(text.contains("global data 1"));
+        assert!(text.contains("store @flag, c1"));
+        assert!(text.contains("fn consumer"));
+        assert!(text.contains("condbr"));
+    }
+
+    #[test]
+    fn unique_names_dedupe() {
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.local("x");
+        fb.local("x");
+        fb.local("weird name!");
+        fb.ret(None);
+        let f = fb.build();
+        let names = unique_local_names(&f);
+        assert_eq!(names.len(), 3);
+        assert_eq!(names[0], "x");
+        assert_ne!(names[0], names[1]);
+        assert!(names[2].chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.'));
+    }
+}

@@ -1,0 +1,233 @@
+//! Small performance-oriented containers shared across the workspace:
+//! a dense [`BitSet`] and FxHash-style fast hash maps/sets.
+//!
+//! The default SipHash hasher is a poor fit for the hot integer-keyed maps
+//! used throughout the analyses (see the Rust Performance Book, "Hashing"),
+//! so we provide a tiny multiply-xor hasher equivalent in spirit to
+//! rustc's `FxHasher`.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher: very fast for small integer-like keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the fast hasher.
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// A fixed-capacity dense bitset over `usize` indices.
+///
+/// Used for reachability matrices, escape sets and worklist "seen" sets
+/// where the universe is a dense id space.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of elements in the universe (not the cardinality).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `idx`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bit {idx} out of universe {}", self.len);
+        let (w, b) = (idx / 64, idx % 64);
+        let old = self.words[w];
+        self.words[w] = old | (1 << b);
+        old & (1 << b) == 0
+    }
+
+    /// Removes `idx`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        let (w, b) = (idx / 64, idx % 64);
+        let old = self.words[w];
+        self.words[w] = old & !(1 << b);
+        old & (1 << b) != 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        let (w, b) = (idx / 64, idx % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Returns `true` if the sets share any element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Clears all bits, keeping the universe size.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_insert_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn bitset_iter_sorted() {
+        let mut s = BitSet::new(200);
+        for &i in &[5usize, 63, 64, 65, 190] {
+            s.insert(i);
+        }
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, vec![5, 63, 64, 65, 190]);
+    }
+
+    #[test]
+    fn bitset_union_and_intersect() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(3);
+        b.insert(70);
+        assert!(!a.intersects(&b));
+        assert!(a.union_with(&b));
+        assert!(a.contains(70));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn bitset_remove_and_clear() {
+        let mut s = BitSet::new(10);
+        s.insert(4);
+        assert!(s.remove(4));
+        assert!(!s.remove(4));
+        s.insert(9);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.universe(), 10);
+    }
+
+    #[test]
+    fn fast_map_smoke() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.get(&999), Some(&1998));
+        let mut s: FastSet<(u32, u32)> = FastSet::default();
+        s.insert((1, 2));
+        assert!(s.contains(&(1, 2)));
+    }
+}

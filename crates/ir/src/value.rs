@@ -1,0 +1,94 @@
+//! Operand values.
+
+use crate::ids::{GlobalId, InstId};
+use std::fmt;
+
+/// An operand of an instruction.
+///
+/// Values are 64-bit words. Addresses are plain words too: the machine is
+/// word-addressed, so `Gep` arithmetic is ordinary integer addition.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// An immediate constant.
+    Const(i64),
+    /// The base address of a global memory region.
+    Global(GlobalId),
+    /// The `n`-th argument of the enclosing function.
+    Arg(u16),
+    /// The result of an instruction in the enclosing function.
+    Inst(InstId),
+}
+
+impl Value {
+    /// Convenience constructor for constants.
+    #[inline]
+    pub fn c(v: i64) -> Self {
+        Value::Const(v)
+    }
+
+    /// Returns the defining instruction, if this value is an instruction result.
+    #[inline]
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Value::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this value is a compile-time constant (immediate or
+    /// global base address).
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_) | Value::Global(_))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Const(v)
+    }
+}
+
+impl From<InstId> for Value {
+    fn from(i: InstId) -> Self {
+        Value::Inst(i)
+    }
+}
+
+impl From<GlobalId> for Value {
+    fn from(g: GlobalId) -> Self {
+        Value::Global(g)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "c{c}"),
+            Value::Global(g) => write!(f, "{g}"),
+            Value::Arg(a) => write!(f, "arg{a}"),
+            Value::Inst(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::c(-3).to_string(), "c-3");
+        assert_eq!(Value::Arg(1).to_string(), "arg1");
+        assert_eq!(Value::Inst(InstId::new(9)).to_string(), "%9");
+        assert_eq!(Value::Global(GlobalId::new(2)).to_string(), "g2");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Const(5));
+        assert_eq!(Value::from(InstId::new(1)).as_inst(), Some(InstId::new(1)));
+        assert!(Value::Global(GlobalId::new(0)).is_const());
+        assert!(!Value::Arg(0).is_const());
+    }
+}

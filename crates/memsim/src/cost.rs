@@ -1,0 +1,33 @@
+//! The cycle cost model.
+//!
+//! Values are loosely calibrated to a Sandy-Bridge-class core (the paper's
+//! i3-2100): an MFENCE that has to drain a partially full store buffer
+//! costs tens of cycles, which is what makes superfluous fences in hot
+//! loops expensive. Absolute numbers are not meant to match silicon —
+//! only the *relative* cost of fence-free vs fence-heavy placements
+//! matters for reproducing Figure 10's shape.
+
+/// Cost of ALU / register / branch instructions.
+pub const COST_ALU: u64 = 1;
+/// Cost of a load served from memory (cache hit).
+pub const COST_LOAD: u64 = 3;
+/// Cost of a load forwarded from the thread's own store buffer.
+pub const COST_LOAD_FWD: u64 = 1;
+/// Cost of issuing a store into the store buffer.
+pub const COST_STORE_ISSUE: u64 = 1;
+/// Delay from store issue until the store retires to memory.
+pub const STORE_RETIRE_DELAY: u64 = 24;
+/// Store-buffer capacity (issue stalls when full).
+pub const STORE_BUFFER_CAP: usize = 8;
+/// Fixed cost of a full fence, in addition to waiting for the drain.
+pub const COST_FENCE_BASE: u64 = 18;
+/// Cost of a locked RMW / CAS (drains the buffer like a fence).
+pub const COST_RMW: u64 = 28;
+/// Cost of call/return bookkeeping.
+pub const COST_CALL: u64 = 2;
+/// Spin-retry delay while waiting on a lock or barrier.
+pub const COST_SPIN_RETRY: u64 = 12;
+/// Heap size in words available to `alloc`.
+pub const DEFAULT_HEAP_WORDS: usize = 1 << 21;
+/// Default execution step limit (guards against livelock in broken code).
+pub const DEFAULT_STEP_LIMIT: u64 = 200_000_000;

@@ -1,0 +1,76 @@
+//! Word-addressed memory layout for a module.
+//!
+//! Every global gets a contiguous base address; the heap (`alloc`) starts
+//! after the last global. Address 0 up to [`Layout::GUARD`] is a null
+//! guard that no region overlaps, so stray zero-pointers fault loudly.
+
+use fence_ir::{GlobalId, Module};
+
+/// Assigned base addresses for a module's memory.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// Base address of each global, indexed by [`GlobalId`].
+    pub global_base: Vec<i64>,
+    /// First heap address handed out by `alloc`.
+    pub heap_start: i64,
+}
+
+impl Layout {
+    /// Addresses below this are unmapped (null guard).
+    pub const GUARD: i64 = 16;
+
+    /// Computes the layout of `module`.
+    pub fn of(module: &Module) -> Self {
+        let mut next = Self::GUARD;
+        let mut global_base = Vec::with_capacity(module.globals.len());
+        for g in &module.globals {
+            global_base.push(next);
+            next += g.words as i64;
+        }
+        Layout {
+            global_base,
+            heap_start: next,
+        }
+    }
+
+    /// Base address of `g`.
+    #[inline]
+    pub fn base(&self, g: GlobalId) -> i64 {
+        self.global_base[g.index()]
+    }
+
+    /// Address of word `offset` within global `g`.
+    #[inline]
+    pub fn addr(&self, g: GlobalId, offset: usize) -> i64 {
+        self.global_base[g.index()] + offset as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fence_ir::builder::ModuleBuilder;
+
+    #[test]
+    fn contiguous_non_overlapping() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 4);
+        let b = mb.global("b", 2);
+        let c = mb.global("c", 1);
+        let m = mb.finish();
+        let l = Layout::of(&m);
+        assert_eq!(l.base(a), Layout::GUARD);
+        assert_eq!(l.base(b), Layout::GUARD + 4);
+        assert_eq!(l.base(c), Layout::GUARD + 6);
+        assert_eq!(l.heap_start, Layout::GUARD + 7);
+        assert_eq!(l.addr(a, 3), Layout::GUARD + 3);
+    }
+
+    #[test]
+    fn empty_module() {
+        let m = ModuleBuilder::new("m").finish();
+        let l = Layout::of(&m);
+        assert_eq!(l.heap_start, Layout::GUARD);
+        assert!(l.global_base.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # memsim
+//!
+//! The execution substrate: a multi-threaded interpreter for `fence-ir`
+//! modules under several memory models. It stands in for the paper's
+//! Intel i3-2100 testbed — the performance experiment (Figure 10) measures
+//! *dynamic full-fence overhead*, which a store-buffer cost model
+//! reproduces in simulated cycles.
+//!
+//! * [`sim`] — the timing simulator. `Tso` mode gives each thread a FIFO
+//!   store buffer (stores retire after a drain latency; loads forward from
+//!   the local buffer; `fence full` and atomic operations stall until the
+//!   buffer drains). `Sc` mode applies stores immediately — the reference
+//!   semantics. Threads advance in smallest-local-clock order, so runs are
+//!   deterministic.
+//! * [`litmus`] — exhaustive state-space enumeration of *small* programs
+//!   under SC, TSO, and a weak (bounded out-of-order window) model.
+//!   This is what validates the soundness story: SB/Dekker exhibit non-SC
+//!   outcomes under TSO without fences and lose them once the pipeline's
+//!   fences are inserted; MP breaks only under the weak model, matching
+//!   x86-TSO's `w→r`-only relaxation.
+//! * [`race`] — a vector-clock (FastTrack-flavoured) race detector over SC
+//!   execution traces, parameterized by a sync classification (which reads
+//!   are acquires, which writes are releases). Used to check that corpus
+//!   programs are well-synchronized *given the detected acquires*.
+//! * [`layout`] / [`cost`] — memory layout and the cycle cost model.
+
+pub mod cost;
+pub mod layout;
+pub mod litmus;
+pub mod race;
+pub mod sim;
+
+pub use layout::Layout;
+pub use litmus::{enumerate, LitmusModel, LitmusOutcome};
+pub use race::{detect_races, RaceReport, SyncClassification};
+pub use sim::{MemMode, SimConfig, SimResult, Simulator, ThreadSpec};

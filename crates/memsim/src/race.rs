@@ -1,0 +1,475 @@
+//! Vector-clock data-race detection over SC execution traces.
+//!
+//! Happens-before is built from program order plus synchronization edges:
+//!
+//! * a classified **acquire read** that reads-from a classified **release
+//!   write** joins the releaser's clock (the paper's ordering chain);
+//! * atomic RMW/CAS operations act as acquire+release;
+//! * lock acquire/release and barrier arrive/depart give the usual edges.
+//!
+//! A conflict (same address, at least one write) between accesses
+//! unordered by happens-before is a race — reported unless *both*
+//! accesses are synchronization operations (sync ops race by design;
+//! that is what makes them synchronization).
+//!
+//! This implements the paper's §3 story operationally: with the detected
+//! acquires (plus their potential writers as releases) a well-synchronized
+//! program shows **no data races**, while dropping a genuine acquire from
+//! the classification makes its guarded accesses racy.
+
+use crate::sim::{TraceEvent, TraceEventKind};
+use fence_ir::util::{FastMap, FastSet};
+use fence_ir::Module;
+
+/// Which instructions count as synchronization operations.
+#[derive(Clone, Debug, Default)]
+pub struct SyncClassification {
+    /// `(func index, inst index)` of acquire reads.
+    pub acquires: FastSet<(u32, u32)>,
+    /// `(func index, inst index)` of release writes.
+    pub releases: FastSet<(u32, u32)>,
+}
+
+impl SyncClassification {
+    /// Empty classification (only atomics/locks/barriers synchronize).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an acquire read.
+    pub fn add_acquire(&mut self, func: fence_ir::FuncId, inst: fence_ir::InstId) {
+        self.acquires.insert((func.index() as u32, inst.index() as u32));
+    }
+
+    /// Registers a release write.
+    pub fn add_release(&mut self, func: fence_ir::FuncId, inst: fence_ir::InstId) {
+        self.releases.insert((func.index() as u32, inst.index() as u32));
+    }
+
+    fn is_acquire(&self, e: &TraceEvent) -> bool {
+        self.acquires
+            .contains(&(e.func.index() as u32, e.inst.index() as u32))
+    }
+
+    fn is_release(&self, e: &TraceEvent) -> bool {
+        self.releases
+            .contains(&(e.func.index() as u32, e.inst.index() as u32))
+    }
+}
+
+/// A reported race: two conflicting, unordered accesses.
+#[derive(Clone, Debug)]
+pub struct Race {
+    /// The address both accesses touched.
+    pub addr: i64,
+    /// The earlier access (trace order).
+    pub prior: TraceEvent,
+    /// The later access.
+    pub current: TraceEvent,
+}
+
+/// The detector's verdict.
+#[derive(Clone, Debug, Default)]
+pub struct RaceReport {
+    /// Races found (capped at 100).
+    pub races: Vec<Race>,
+    /// Number of events processed.
+    pub events: usize,
+}
+
+impl RaceReport {
+    /// `true` if no races were found.
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+type Vc = Vec<u64>;
+
+fn join(a: &mut Vc, b: &Vc) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = (*x).max(*y);
+    }
+}
+
+struct LocState {
+    /// Per-thread clock at its last read of this address.
+    rvc: Vc,
+    /// Per-thread clock at its last write of this address.
+    wvc: Vc,
+    /// The release clock carried by the latest write (if it was a release).
+    rel: Option<Vc>,
+    /// Last write event (for reporting).
+    last_write: Option<TraceEvent>,
+    /// Last read event per thread (for reporting).
+    last_read: FastMap<u32, TraceEvent>,
+}
+
+impl LocState {
+    fn new(n: usize) -> Self {
+        LocState {
+            rvc: vec![0; n],
+            wvc: vec![0; n],
+            rel: None,
+            last_write: None,
+            last_read: FastMap::default(),
+        }
+    }
+}
+
+/// `true` if the event is an atomic (RMW/CAS) memory access.
+fn is_atomic(module: &Module, e: &TraceEvent) -> bool {
+    let k = &module.func(e.func).inst(e.inst).kind;
+    k.is_mem_read() && k.is_mem_write()
+}
+
+fn is_sync(module: &Module, class: &SyncClassification, e: &TraceEvent) -> bool {
+    match e.kind {
+        TraceEventKind::Read => class.is_acquire(e) || is_atomic(module, e),
+        TraceEventKind::Write => class.is_release(e) || is_atomic(module, e),
+        _ => true,
+    }
+}
+
+/// Runs the detector over an SC trace.
+#[allow(clippy::needless_range_loop)] // s cross-indexes clocks and loc VCs
+pub fn detect_races(
+    module: &Module,
+    trace: &[TraceEvent],
+    nthreads: usize,
+    class: &SyncClassification,
+) -> RaceReport {
+    let mut clocks: Vec<Vc> = (0..nthreads)
+        .map(|t| {
+            let mut v = vec![0u64; nthreads];
+            v[t] = 1;
+            v
+        })
+        .collect();
+    let mut locs: FastMap<i64, LocState> = FastMap::default();
+    let mut lock_rel: FastMap<i64, Vc> = FastMap::default();
+    let mut barrier_acc: FastMap<(i64, u64), Vc> = FastMap::default();
+    let mut report = RaceReport {
+        races: Vec::new(),
+        events: trace.len(),
+    };
+
+    for e in trace {
+        let t = e.tid as usize;
+        match e.kind {
+            TraceEventKind::Read => {
+                let loc = locs
+                    .entry(e.addr)
+                    .or_insert_with(|| LocState::new(nthreads));
+                // Race: some thread's last write is not ordered before us.
+                for s in 0..nthreads {
+                    if s != t && loc.wvc[s] > clocks[t][s]
+                        && report.races.len() < 100 {
+                            if let Some(w) = loc.last_write {
+                                if !(is_sync(module, class, &w) && is_sync(module, class, e)) {
+                                    report.races.push(Race {
+                                        addr: e.addr,
+                                        prior: w,
+                                        current: *e,
+                                    });
+                                }
+                            }
+                        }
+                }
+                // Acquire edge: reads-from a release.
+                if class.is_acquire(e) || is_atomic(module, e) {
+                    if let Some(rel) = &loc.rel {
+                        let rel = rel.clone();
+                        join(&mut clocks[t], &rel);
+                    }
+                }
+                loc.rvc[t] = clocks[t][t];
+                loc.last_read.insert(e.tid, *e);
+            }
+            TraceEventKind::Write => {
+                let loc = locs
+                    .entry(e.addr)
+                    .or_insert_with(|| LocState::new(nthreads));
+                for s in 0..nthreads {
+                    if s == t {
+                        continue;
+                    }
+                    if loc.wvc[s] > clocks[t][s]
+                        && report.races.len() < 100 {
+                            if let Some(w) = loc.last_write {
+                                if !(is_sync(module, class, &w) && is_sync(module, class, e)) {
+                                    report.races.push(Race {
+                                        addr: e.addr,
+                                        prior: w,
+                                        current: *e,
+                                    });
+                                }
+                            }
+                        }
+                    if loc.rvc[s] > clocks[t][s]
+                        && report.races.len() < 100 {
+                            if let Some(r) = loc.last_read.get(&(s as u32)).copied() {
+                                if !(is_sync(module, class, &r) && is_sync(module, class, e)) {
+                                    report.races.push(Race {
+                                        addr: e.addr,
+                                        prior: r,
+                                        current: *e,
+                                    });
+                                }
+                            }
+                        }
+                }
+                // Release edge bookkeeping.
+                if class.is_release(e) || is_atomic(module, e) {
+                    loc.rel = Some(clocks[t].clone());
+                    clocks[t][t] += 1;
+                } else {
+                    loc.rel = None;
+                }
+                loc.wvc[t] = clocks[t][t];
+                loc.last_write = Some(*e);
+            }
+            TraceEventKind::LockAcquire => {
+                if let Some(v) = lock_rel.get(&e.addr) {
+                    let v = v.clone();
+                    join(&mut clocks[t], &v);
+                }
+            }
+            TraceEventKind::LockRelease => {
+                let entry = lock_rel.entry(e.addr).or_insert_with(|| vec![0; nthreads]);
+                let snapshot = clocks[t].clone();
+                join(entry, &snapshot);
+                clocks[t][t] += 1;
+            }
+            TraceEventKind::BarrierArrive => {
+                let entry = barrier_acc
+                    .entry((e.addr, e.aux))
+                    .or_insert_with(|| vec![0; nthreads]);
+                let snapshot = clocks[t].clone();
+                join(entry, &snapshot);
+                clocks[t][t] += 1;
+            }
+            TraceEventKind::BarrierDepart => {
+                if let Some(v) = barrier_acc.get(&(e.addr, e.aux)) {
+                    let v = v.clone();
+                    join(&mut clocks[t], &v);
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{MemMode, SimConfig, Simulator, ThreadSpec};
+    use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use fence_ir::Module;
+
+    fn sc_trace(m: &Module, threads: &[ThreadSpec]) -> Vec<TraceEvent> {
+        let sim = Simulator::with_config(
+            m,
+            SimConfig {
+                mode: MemMode::Sc,
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        sim.run(threads).expect("runs").trace
+    }
+
+    /// MP with the flag read classified as acquire and flag write as
+    /// release: race free.
+    #[test]
+    fn mp_race_free_with_classification() {
+        let mut mb = ModuleBuilder::new("mp");
+        let data = mb.global("data", 1);
+        let flag = mb.global("flag", 1);
+        let mut p = FunctionBuilder::new("producer", 0);
+        p.store(data, 1i64);
+        p.store(flag, 1i64);
+        p.ret(None);
+        let pid = mb.add_func(p.build());
+        let mut c = FunctionBuilder::new("consumer", 0);
+        c.spin_while_eq(flag, 0i64);
+        let v = c.load(data);
+        c.ret(Some(v));
+        let cid = mb.add_func(c.build());
+        let m = mb.finish();
+
+        // Classify: the consumer's flag load (inside the spin) is the
+        // acquire; the producer's flag store is the release.
+        let mut class = SyncClassification::new();
+        let cons = m.func(cid);
+        for (iid, inst) in cons.iter_insts() {
+            if matches!(inst.kind, fence_ir::InstKind::Load { addr } if addr == fence_ir::Value::Global(flag))
+            {
+                class.add_acquire(cid, iid);
+            }
+        }
+        let prod = m.func(pid);
+        for (iid, inst) in prod.iter_insts() {
+            if matches!(inst.kind, fence_ir::InstKind::Store { addr, .. } if addr == fence_ir::Value::Global(flag))
+            {
+                class.add_release(pid, iid);
+            }
+        }
+
+        let trace = sc_trace(
+            &m,
+            &[
+                ThreadSpec {
+                    func: pid,
+                    args: vec![],
+                },
+                ThreadSpec {
+                    func: cid,
+                    args: vec![],
+                },
+            ],
+        );
+        let report = detect_races(&m, &trace, 2, &class);
+        assert!(report.is_race_free(), "races: {:?}", report.races);
+    }
+
+    /// Same MP with an *empty* classification: the data accesses race.
+    #[test]
+    fn mp_races_without_classification() {
+        let mut mb = ModuleBuilder::new("mp");
+        let data = mb.global("data", 1);
+        let flag = mb.global("flag", 1);
+        let mut p = FunctionBuilder::new("producer", 0);
+        p.store(data, 1i64);
+        p.store(flag, 1i64);
+        p.ret(None);
+        let pid = mb.add_func(p.build());
+        let mut c = FunctionBuilder::new("consumer", 0);
+        c.spin_while_eq(flag, 0i64);
+        let v = c.load(data);
+        c.ret(Some(v));
+        let cid = mb.add_func(c.build());
+        let m = mb.finish();
+        let trace = sc_trace(
+            &m,
+            &[
+                ThreadSpec {
+                    func: pid,
+                    args: vec![],
+                },
+                ThreadSpec {
+                    func: cid,
+                    args: vec![],
+                },
+            ],
+        );
+        let report = detect_races(&m, &trace, 2, &SyncClassification::new());
+        assert!(
+            !report.is_race_free(),
+            "unclassified MP must show the data race"
+        );
+    }
+
+    /// Lock-protected counter is race free with no explicit classification
+    /// (lock intrinsics synchronize by themselves).
+    #[test]
+    fn locks_synchronize() {
+        let mut mb = ModuleBuilder::new("m");
+        let lock = mb.global("lock", 1);
+        let ctr = mb.global("ctr", 1);
+        let mut fb = FunctionBuilder::new("w", 0);
+        fb.for_loop(0i64, 5i64, |f, _| {
+            f.lock_acquire(lock);
+            let v = f.load(ctr);
+            let nv = f.add(v, 1);
+            f.store(ctr, nv);
+            f.lock_release(lock);
+        });
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let spec = ThreadSpec {
+            func: fid,
+            args: vec![],
+        };
+        let trace = sc_trace(&m, &[spec.clone(), spec]);
+        let report = detect_races(&m, &trace, 2, &SyncClassification::new());
+        assert!(report.is_race_free(), "races: {:?}", report.races);
+    }
+
+    /// Unprotected concurrent increments race.
+    #[test]
+    fn unprotected_counter_races() {
+        let mut mb = ModuleBuilder::new("m");
+        let ctr = mb.global("ctr", 1);
+        let mut fb = FunctionBuilder::new("w", 0);
+        let v = fb.load(ctr);
+        let nv = fb.add(v, 1);
+        fb.store(ctr, nv);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let spec = ThreadSpec {
+            func: fid,
+            args: vec![],
+        };
+        let trace = sc_trace(&m, &[spec.clone(), spec]);
+        let report = detect_races(&m, &trace, 2, &SyncClassification::new());
+        assert!(!report.is_race_free());
+    }
+
+    /// Barrier separates phases: writes before / reads after don't race.
+    #[test]
+    fn barrier_synchronizes() {
+        let mut mb = ModuleBuilder::new("m");
+        let bar = mb.global("bar", 1);
+        let a = mb.global("a", 2);
+        let mut fb = FunctionBuilder::new("w", 1);
+        let tid = fence_ir::Value::Arg(0);
+        let p = fb.gep(a, tid);
+        fb.store(p, 1i64);
+        fb.barrier_wait(bar, 2i64);
+        let other = fb.sub(1i64, tid);
+        let q = fb.gep(a, other);
+        let _v = fb.load(q);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let trace = sc_trace(
+            &m,
+            &[
+                ThreadSpec {
+                    func: fid,
+                    args: vec![0],
+                },
+                ThreadSpec {
+                    func: fid,
+                    args: vec![1],
+                },
+            ],
+        );
+        let report = detect_races(&m, &trace, 2, &SyncClassification::new());
+        assert!(report.is_race_free(), "races: {:?}", report.races);
+    }
+
+    /// Atomic RMW on a shared counter does not race (atomic = sync).
+    #[test]
+    fn rmw_counter_race_free() {
+        let mut mb = ModuleBuilder::new("m");
+        let ctr = mb.global("ctr", 1);
+        let mut fb = FunctionBuilder::new("w", 0);
+        fb.for_loop(0i64, 5i64, |f, _| {
+            let _ = f.rmw(fence_ir::RmwOp::Add, ctr, 1i64);
+        });
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let spec = ThreadSpec {
+            func: fid,
+            args: vec![],
+        };
+        let trace = sc_trace(&m, &[spec.clone(), spec]);
+        let report = detect_races(&m, &trace, 2, &SyncClassification::new());
+        assert!(report.is_race_free(), "races: {:?}", report.races);
+    }
+}

@@ -1,0 +1,59 @@
+//! Exhaustively enumerate litmus-test outcomes under SC, TSO, and a weak
+//! model — with and without the fences the pipeline would place.
+//!
+//! ```text
+//! cargo run --example litmus_explorer
+//! ```
+
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::FenceKind;
+use memsim::{enumerate, LitmusModel};
+
+fn sb(with_fence: bool) -> (fence_ir::Module, Vec<(fence_ir::FuncId, Vec<i64>)>) {
+    let mut mb = ModuleBuilder::new("sb");
+    let x = mb.global("x", 1);
+    let y = mb.global("y", 1);
+    let mk = |mb: &mut ModuleBuilder, name: &str, a, b| {
+        let mut f = FunctionBuilder::new(name, 0);
+        f.store(a, 1i64);
+        if with_fence {
+            f.fence(FenceKind::Full);
+        }
+        let r = f.load(b);
+        f.ret(Some(r));
+        mb.add_func(f.build())
+    };
+    let p0 = mk(&mut mb, "p0", x, y);
+    let p1 = mk(&mut mb, "p1", y, x);
+    (mb.finish(), vec![(p0, vec![]), (p1, vec![])])
+}
+
+fn main() {
+    println!("SB (store buffering): x=1; r0=y  ||  y=1; r1=x\n");
+    for fenced in [false, true] {
+        let (m, t) = sb(fenced);
+        println!("{}fenced:", if fenced { "" } else { "un" });
+        for model in [
+            LitmusModel::Sc,
+            LitmusModel::Tso,
+            LitmusModel::Weak { window: 4 },
+        ] {
+            let outcomes = enumerate(&m, &t, model);
+            let names: Vec<String> = outcomes
+                .iter()
+                .map(|o| format!("(r0={},r1={})", o[0], o[1]))
+                .collect();
+            let violation = outcomes.contains(&vec![0, 0]);
+            println!(
+                "   {:<18} {:<40} {}",
+                format!("{model:?}"),
+                names.join(" "),
+                if violation { "<-- non-SC outcome!" } else { "" }
+            );
+        }
+        println!();
+    }
+    println!("TSO relaxes w->r: the (0,0) outcome appears without fences and");
+    println!("disappears once a full fence separates each store from its load —");
+    println!("exactly the orderings the pipeline keeps on x86-TSO.");
+}

@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) over randomly generated
+//! flag-synchronized programs: the detector is conservative (every
+//! generator-known acquire is found by Address+Control) and the pruning
+//! rules never drop an ordering whose source/sink the rules require.
+
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::Module;
+use fenceplace::acquire::{detect_acquires, pensieve_all_reads, DetectMode};
+use fenceplace::orderings::{FuncOrderings, OrderKind};
+use fenceplace::{run_pipeline, PipelineConfig, Variant};
+use proptest::prelude::*;
+
+/// A little random-program generator: a consumer function that spins on
+/// one of `n_flags` flags, then performs a shuffle of data reads/writes.
+#[derive(Debug, Clone)]
+struct Shape {
+    n_data: usize,
+    ops: Vec<(bool, usize)>, // (is_read, data index)
+    flag_idx: usize,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (1usize..5, 0usize..3).prop_flat_map(|(n_data, flag_idx)| {
+        proptest::collection::vec((any::<bool>(), 0usize..n_data), 1..8).prop_map(
+            move |ops| Shape {
+                n_data,
+                ops,
+                flag_idx,
+            },
+        )
+    })
+}
+
+fn build(shape: &Shape) -> (Module, fence_ir::FuncId, fence_ir::InstId) {
+    let mut mb = ModuleBuilder::new("gen");
+    let flags = mb.global("flags", 4);
+    let data = mb.global("data", shape.n_data.max(1) as u32);
+    let mut f = FunctionBuilder::new("consumer", 0);
+    let flag_p = f.gep(flags, shape.flag_idx as i64);
+    // The spin: its load is the known acquire.
+    let header = f.current_block();
+    let _ = header;
+    // Build spin manually so we can capture the load's id.
+    let spin = f.new_block("spin");
+    let cont = f.new_block("cont");
+    f.br(spin);
+    f.switch_to(spin);
+    let lv = f.load(flag_p);
+    let acquire_inst = lv.as_inst().unwrap();
+    let c = f.eq(lv, 0i64);
+    f.condbr(c, spin, cont);
+    f.switch_to(cont);
+    for &(is_read, idx) in &shape.ops {
+        let p = f.gep(data, idx as i64);
+        if is_read {
+            let _ = f.load(p);
+        } else {
+            f.store(p, 1i64);
+        }
+    }
+    f.ret(None);
+    let fid = mb.add_func(f.build());
+    (mb.finish(), fid, acquire_inst)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservatism: the generator's known acquire is always detected,
+    /// by both algorithms (it is a control acquire).
+    #[test]
+    fn known_acquire_always_detected(shape in shape_strategy()) {
+        let (m, fid, acquire) = build(&shape);
+        let an = fence_analysis::ModuleAnalysis::run(&m);
+        for mode in [DetectMode::Control, DetectMode::AddressControl] {
+            let info = detect_acquires(&m, &an.points_to, &an.escape, fid, mode);
+            prop_assert!(
+                info.sync_reads.contains(acquire.index()),
+                "{mode:?} missed the spin acquire"
+            );
+        }
+    }
+
+    /// Monotonicity: Control ⊆ Address+Control ⊆ escaping reads.
+    #[test]
+    fn detection_monotone(shape in shape_strategy()) {
+        let (m, fid, _) = build(&shape);
+        let an = fence_analysis::ModuleAnalysis::run(&m);
+        let ctrl = detect_acquires(&m, &an.points_to, &an.escape, fid, DetectMode::Control);
+        let both = detect_acquires(&m, &an.points_to, &an.escape, fid, DetectMode::AddressControl);
+        let pens = pensieve_all_reads(&m, &an.escape, fid);
+        for i in ctrl.sync_reads.iter() {
+            prop_assert!(both.sync_reads.contains(i));
+        }
+        for i in both.sync_reads.iter() {
+            prop_assert!(pens.sync_reads.contains(i));
+        }
+    }
+
+    /// Pruning-rule correctness (Table I): every surviving r→r pair has an
+    /// acquire source; every surviving w→r pair has an acquire sink; no
+    /// r→w / w→w pair is ever dropped.
+    #[test]
+    fn pruning_respects_table1(shape in shape_strategy()) {
+        let (m, fid, _) = build(&shape);
+        let an = fence_analysis::ModuleAnalysis::run(&m);
+        let info = detect_acquires(&m, &an.points_to, &an.escape, fid, DetectMode::Control);
+        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let kept = ords.prune(&info.sync_reads);
+        let kept_set: std::collections::HashSet<(u32, u32)> = kept.iter().copied().collect();
+        for &pair in &ords.pairs {
+            let (a, b) = pair;
+            let fa = &ords.accesses[a as usize];
+            let fb = &ords.accesses[b as usize];
+            let expected = match ords.kind(pair) {
+                OrderKind::RR => info.sync_reads.contains(fa.inst.index()),
+                OrderKind::WR => info.sync_reads.contains(fb.inst.index()),
+                OrderKind::RW | OrderKind::WW => true,
+            };
+            prop_assert_eq!(kept_set.contains(&pair), expected);
+        }
+    }
+
+    /// The full pipeline never panics and produces verifying modules on
+    /// arbitrary generated shapes.
+    #[test]
+    fn pipeline_total(shape in shape_strategy()) {
+        let (m, _, _) = build(&shape);
+        for variant in Variant::automatic() {
+            let r = run_pipeline(&m, &PipelineConfig::for_variant(variant));
+            prop_assert!(fence_ir::verify_module(&r.module).is_empty());
+        }
+    }
+
+    /// Printer/parser round-trip on generated programs.
+    #[test]
+    fn print_parse_roundtrip(shape in shape_strategy()) {
+        let (m, _, _) = build(&shape);
+        let text = fence_ir::printer::print_module(&m);
+        let parsed = fence_ir::parser::parse_module(&text).expect("parses");
+        let text2 = fence_ir::printer::print_module(&parsed);
+        prop_assert_eq!(text, text2);
+    }
+}
