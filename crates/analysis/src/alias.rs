@@ -29,7 +29,8 @@ impl<'a> AliasOracle<'a> {
         let mut writers = Vec::new();
         for (iid, inst) in func.iter_insts() {
             if let Some(addr) = inst.kind.mem_addr() {
-                access_locs[iid.index()] = Some(pt.addr_locs(func_id, addr));
+                access_locs[iid.index()] =
+                    Some(pt.addr_locs(func_id, addr).to_bitset(pt.num_locs()));
                 if inst.kind.is_mem_write() {
                     writers.push(iid);
                 }
@@ -38,7 +39,8 @@ impl<'a> AliasOracle<'a> {
                 // as opaque writers so loads of the same word see them.
                 if intr.is_sync_boundary() {
                     if let Some(&addr) = args.first() {
-                        access_locs[iid.index()] = Some(pt.addr_locs(func_id, addr));
+                        access_locs[iid.index()] =
+                            Some(pt.addr_locs(func_id, addr).to_bitset(pt.num_locs()));
                         writers.push(iid);
                     }
                 }
@@ -76,9 +78,10 @@ impl<'a> AliasOracle<'a> {
             Some(x) => x,
             None => return false,
         };
+        // Borrowed view — no allocation per query.
         let sb = self.pt.addr_locs(self.func_id, addr);
         let unk = self.pt.unknown_idx();
-        sa.contains(unk) || sb.contains(unk) || sa.intersects(&sb)
+        sa.contains(unk) || sb.contains(unk) || sb.intersects(sa)
     }
 
     /// All memory-writing instructions of this function that may have

@@ -44,13 +44,12 @@ impl EscapeInfo {
             }
         }
         // Closure: cells of escaped locations publish what they point to.
-        let mut changed = true;
-        while changed {
-            changed = false;
-            let current: Vec<usize> = escaped.iter().collect();
-            for l in current {
-                for p in pt.loc_pts(l).iter().collect::<Vec<_>>() {
-                    changed |= escaped.insert(p);
+        // Worklist formulation — every location is expanded exactly once.
+        let mut work: Vec<usize> = escaped.iter().collect();
+        while let Some(l) = work.pop() {
+            for p in pt.loc_pts(l).iter() {
+                if escaped.insert(p) {
+                    work.push(p);
                 }
             }
         }

@@ -1,4 +1,5 @@
-//! Andersen-style flow-insensitive, field-insensitive points-to analysis.
+//! Andersen-style flow-insensitive, field-insensitive points-to analysis,
+//! solved with a worklist over an explicit constraint graph.
 //!
 //! Abstract locations are globals, `alloc` sites (one per syntactic site),
 //! and a single `Unknown` top element modelling addresses the analysis
@@ -8,7 +9,7 @@
 //! whole global/array is one location) and **flow-insensitive** (one set
 //! per value for the whole program).
 //!
-//! Constraints (solved to fixpoint):
+//! Constraints (solved to least fixpoint):
 //!
 //! | instruction          | constraint                                        |
 //! |----------------------|---------------------------------------------------|
@@ -23,6 +24,51 @@
 //!
 //! `locs(p)` resolves an *address* operand: if `pts(p)` is empty, the
 //! address is unknown ⇒ `{Unknown}`.
+//!
+//! ## Solver architecture
+//!
+//! The old implementation re-applied every instruction's constraints each
+//! round until nothing changed — `O(rounds · insts · locs/64)` with two
+//! `BitSet` clones per operand per visit. This version builds the
+//! constraint graph **once** and then propagates **sparse deltas** only to
+//! affected nodes:
+//!
+//! 1. every value/argument/local/return and every abstract location gets
+//!    one dense *node* holding its points-to `BitSet`;
+//! 2. non-memory constraints become static copy edges (`pts(dst) ⊇
+//!    pts(src)`); memory constraints subscribe to their address node and
+//!    are wired lazily — when the address set gains a location `L`, the
+//!    solver adds `pts(L) → dst` (load) / `src → pts(L)` (store) edges on
+//!    the fly;
+//! 3. a single initial pass applies every instruction once in program
+//!    order (this replicates the old solver's first round bit-for-bit,
+//!    including the conservative `locs(p) = ∅ ⇒ {Unknown}` resolution
+//!    against in-round intermediate states), then the worklist drains
+//!    deltas until fixpoint.
+//!
+//! Each location/edge/constraint is touched `O(1)` times per new bit, so
+//! solving is near-linear in `constraints + propagated bits` instead of
+//! quadratic in program size.
+//!
+//! **Equivalence contract.** The `∅ ⇒ {Unknown}` fallback is the one
+//! non-monotone rule, so the re-execution solver's result was defined by
+//! its sweep schedule, not by the constraint system alone. This solver
+//! reproduces it exactly except in one corner: a `{Unknown}`-resolved
+//! constraint stays wired to `Unknown` even after its address set later
+//! becomes non-empty, so anything stored to `Unknown` *after* that
+//! transition still reaches the constraint — where the old solver's
+//! last empty-address round would have cut it off. In that corner the
+//! result is a strict (still sound, more conservative) superset. No
+//! corpus program hits it: `tests/golden_pipeline.rs` pins every
+//! pipeline output, and the `matches_naive_fixpoint_reference` oracle
+//! test below diffs every set against the old algorithm verbatim.
+//!
+//! ## Borrowed query API
+//!
+//! [`PointsTo::value_set`] / [`PointsTo::addr_locs`] return a [`PtsView`]
+//! — a borrowed view (`Empty` / `Singleton` / `&BitSet`) instead of a
+//! freshly allocated `BitSet`, so downstream consumers (`escape`,
+//! `alias`, the acquire detector) no longer allocate per query.
 
 use fence_ir::util::BitSet;
 use fence_ir::{FuncId, GlobalId, InstId, InstKind, LocalId, Module, Value};
@@ -38,215 +84,189 @@ pub enum AbsLoc {
     Unknown,
 }
 
+/// A borrowed view of a points-to set — no allocation per query.
+#[derive(Copy, Clone, Debug)]
+pub enum PtsView<'a> {
+    /// The empty set (constants, non-pointer values).
+    Empty,
+    /// A one-element set (a `Value::Global`, or the `Unknown` fallback).
+    Singleton(usize),
+    /// A borrowed solver set.
+    Set(&'a BitSet),
+}
+
+impl<'a> PtsView<'a> {
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        match self {
+            PtsView::Empty => false,
+            PtsView::Singleton(s) => *s == idx,
+            PtsView::Set(b) => b.contains(idx),
+        }
+    }
+
+    /// `true` if no locations are in the set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            PtsView::Empty => true,
+            PtsView::Singleton(_) => false,
+            PtsView::Set(b) => b.is_empty(),
+        }
+    }
+
+    /// Number of locations in the set.
+    pub fn count(&self) -> usize {
+        match self {
+            PtsView::Empty => 0,
+            PtsView::Singleton(_) => 1,
+            PtsView::Set(b) => b.count(),
+        }
+    }
+
+    /// `true` if the view shares an element with `other`.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        match self {
+            PtsView::Empty => false,
+            PtsView::Singleton(s) => other.contains(*s),
+            PtsView::Set(b) => b.intersects(other),
+        }
+    }
+
+    /// Iterates the locations in ascending order.
+    pub fn iter(&self) -> PtsIter<'a> {
+        match self {
+            PtsView::Empty => PtsIter::Done,
+            PtsView::Singleton(s) => PtsIter::Once(Some(*s)),
+            PtsView::Set(b) => PtsIter::Bits { set: b, next: 0 },
+        }
+    }
+
+    /// Materializes the view into an owned `BitSet` over `universe`
+    /// elements (used by callers that cache sets).
+    pub fn to_bitset(&self, universe: usize) -> BitSet {
+        match self {
+            PtsView::Empty => BitSet::new(universe),
+            PtsView::Singleton(s) => {
+                let mut b = BitSet::new(universe);
+                b.insert(*s);
+                b
+            }
+            PtsView::Set(src) => (*src).clone(),
+        }
+    }
+}
+
+/// Iterator over a [`PtsView`].
+pub enum PtsIter<'a> {
+    /// Exhausted.
+    Done,
+    /// Singleton state.
+    Once(Option<usize>),
+    /// Walking a borrowed bitset word by word.
+    Bits {
+        /// Underlying set.
+        set: &'a BitSet,
+        /// Next candidate index.
+        next: usize,
+    },
+}
+
+impl Iterator for PtsIter<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            PtsIter::Done => None,
+            PtsIter::Once(v) => v.take(),
+            PtsIter::Bits { set, next } => {
+                let found = set.next_set_bit(*next)?;
+                *next = found + 1;
+                Some(found)
+            }
+        }
+    }
+}
+
+/// The value a `store`-side constraint copies from.
+#[derive(Copy, Clone, Debug)]
+enum Src {
+    /// A solver node.
+    Node(u32),
+    /// A constant global address (singleton contribution).
+    Global(u32),
+}
+
+/// One memory constraint, wired lazily as its address set grows.
+struct MemCon {
+    /// Destination node of the read part (`load`/`rmw`/`cas` result).
+    load_to: Option<u32>,
+    /// Source of the written value, if any.
+    store_src: Option<Src>,
+    /// Locations already wired for this constraint.
+    resolved: BitSet,
+}
+
 /// Result of the points-to analysis for a whole module.
 pub struct PointsTo {
     /// All abstract locations; `locs[i]` is the location with index `i`.
     locs: Vec<AbsLoc>,
     /// Index of the `Unknown` location (always last).
     unknown: usize,
-    /// `val_pts[f][inst]` — points-to set of each instruction result.
-    val_pts: Vec<Vec<BitSet>>,
-    /// `arg_pts[f][param]`.
-    arg_pts: Vec<Vec<BitSet>>,
-    /// `local_pts[f][slot]`.
-    local_pts: Vec<Vec<BitSet>>,
-    /// `loc_pts[loc]` — what the cells of each location may point to.
-    loc_pts: Vec<BitSet>,
-    /// `ret_pts[f]`.
-    ret_pts: Vec<BitSet>,
+    /// One points-to set per node; locations occupy nodes `0..locs.len()`.
+    pts: Vec<BitSet>,
+    /// First argument node of each function.
+    arg_base: Vec<u32>,
+    /// First local-slot node of each function.
+    local_base: Vec<u32>,
+    /// First instruction-result node of each function.
+    val_base: Vec<u32>,
+    /// Return-value node of each function.
+    ret_node: Vec<u32>,
 }
 
 impl PointsTo {
     /// Runs the analysis to fixpoint over the whole module.
     pub fn analyze(module: &Module) -> Self {
-        // ---- enumerate abstract locations ----
-        let mut locs: Vec<AbsLoc> = module
-            .iter_globals()
-            .map(|(g, _)| AbsLoc::Global(g))
-            .collect();
-        for (fid, func) in module.iter_funcs() {
-            for (iid, inst) in func.iter_insts() {
-                if matches!(inst.kind, InstKind::Alloc { .. }) {
-                    locs.push(AbsLoc::Alloc(fid, iid));
-                }
-            }
-        }
-        let unknown = locs.len();
-        locs.push(AbsLoc::Unknown);
-        let n = locs.len();
-
-        // Map alloc sites to their location index.
-        let mut alloc_idx: fence_ir::util::FastMap<(u32, u32), usize> =
-            fence_ir::util::FastMap::default();
-        for (i, l) in locs.iter().enumerate() {
-            if let AbsLoc::Alloc(f, inst) = l {
-                alloc_idx.insert((f.index() as u32, inst.index() as u32), i);
-            }
-        }
-
-        let mut this = PointsTo {
-            locs,
-            unknown,
-            val_pts: module
-                .funcs
-                .iter()
-                .map(|f| vec![BitSet::new(n); f.num_insts()])
-                .collect(),
-            arg_pts: module
-                .funcs
-                .iter()
-                .map(|f| vec![BitSet::new(n); f.num_params as usize])
-                .collect(),
-            local_pts: module
-                .funcs
-                .iter()
-                .map(|f| vec![BitSet::new(n); f.locals.len()])
-                .collect(),
-            loc_pts: vec![BitSet::new(n); n],
-            ret_pts: vec![BitSet::new(n); module.funcs.len()],
-        };
-
-        // Unknown memory points to unknown memory.
-        this.loc_pts[unknown].insert(unknown);
-
-        // ---- fixpoint ----
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for (fid, func) in module.iter_funcs() {
-                for (iid, inst) in func.iter_insts() {
-                    changed |= this.apply(module, fid, iid, &inst.kind, &alloc_idx);
-                }
-            }
-        }
-        this
+        Solver::build(module).solve()
     }
 
-    /// Applies one instruction's constraints; returns true if sets grew.
-    fn apply(
-        &mut self,
-        module: &Module,
-        f: FuncId,
-        iid: InstId,
-        kind: &InstKind,
-        alloc_idx: &fence_ir::util::FastMap<(u32, u32), usize>,
-    ) -> bool {
-        let fi = f.index();
-        let mut changed = false;
-        match kind {
-            InstKind::Alloc { .. } => {
-                let li = alloc_idx[&(fi as u32, iid.index() as u32)];
-                changed |= self.val_pts[fi][iid.index()].insert(li);
-            }
-            InstKind::Gep { base, .. } => {
-                let s = self.value_set(f, *base);
-                changed |= self.val_pts[fi][iid.index()].union_with(&s);
-            }
-            InstKind::Bin { lhs, rhs, .. } => {
-                let s = self.value_set(f, *lhs);
-                changed |= self.val_pts[fi][iid.index()].union_with(&s);
-                let s = self.value_set(f, *rhs);
-                changed |= self.val_pts[fi][iid.index()].union_with(&s);
-            }
-            InstKind::Select {
-                then_val, else_val, ..
-            } => {
-                let s = self.value_set(f, *then_val);
-                changed |= self.val_pts[fi][iid.index()].union_with(&s);
-                let s = self.value_set(f, *else_val);
-                changed |= self.val_pts[fi][iid.index()].union_with(&s);
-            }
-            InstKind::Load { addr } => {
-                let addr_locs = self.addr_locs(f, *addr);
-                let mut acc = BitSet::new(self.locs.len());
-                for l in addr_locs.iter() {
-                    acc.union_with(&self.loc_pts[l]);
-                }
-                changed |= self.val_pts[fi][iid.index()].union_with(&acc);
-            }
-            InstKind::Store { addr, val } => {
-                let v = self.value_set(f, *val);
-                let addr_locs = self.addr_locs(f, *addr);
-                for l in addr_locs.iter() {
-                    changed |= self.loc_pts[l].union_with(&v);
-                }
-            }
-            InstKind::AtomicRmw { addr, val, .. } => {
-                let addr_locs = self.addr_locs(f, *addr);
-                let mut acc = BitSet::new(self.locs.len());
-                for l in addr_locs.iter() {
-                    acc.union_with(&self.loc_pts[l]);
-                }
-                changed |= self.val_pts[fi][iid.index()].union_with(&acc);
-                let v = self.value_set(f, *val);
-                for l in addr_locs.iter() {
-                    changed |= self.loc_pts[l].union_with(&v);
-                }
-            }
-            InstKind::AtomicCas { addr, new, .. } => {
-                let addr_locs = self.addr_locs(f, *addr);
-                let mut acc = BitSet::new(self.locs.len());
-                for l in addr_locs.iter() {
-                    acc.union_with(&self.loc_pts[l]);
-                }
-                changed |= self.val_pts[fi][iid.index()].union_with(&acc);
-                let v = self.value_set(f, *new);
-                for l in addr_locs.iter() {
-                    changed |= self.loc_pts[l].union_with(&v);
-                }
-            }
-            InstKind::ReadLocal { local } => {
-                let s = self.local_pts[fi][local.index()].clone();
-                changed |= self.val_pts[fi][iid.index()].union_with(&s);
-            }
-            InstKind::WriteLocal { local, val } => {
-                let s = self.value_set(f, *val);
-                changed |= self.local_pts[fi][local.index()].union_with(&s);
-            }
-            InstKind::Call { callee, args } => {
-                let cf = callee.index();
-                for (k, a) in args.iter().enumerate() {
-                    if k < module.funcs[cf].num_params as usize {
-                        let s = self.value_set(f, *a);
-                        changed |= self.arg_pts[cf][k].union_with(&s);
-                    }
-                }
-                let r = self.ret_pts[cf].clone();
-                changed |= self.val_pts[fi][iid.index()].union_with(&r);
-            }
-            InstKind::Ret { val: Some(v) } => {
-                let s = self.value_set(f, *v);
-                changed |= self.ret_pts[fi].union_with(&s);
-            }
-            // Cmp results, fences, intrinsics, branches: no pointer flow.
-            _ => {}
-        }
-        changed
-    }
-
-    /// The points-to set of a value (empty for constants/integers).
-    pub fn value_set(&self, f: FuncId, v: Value) -> BitSet {
-        let fi = f.index();
+    #[inline]
+    fn node_of(&self, f: FuncId, v: Value) -> Option<u32> {
         match v {
-            Value::Const(_) => BitSet::new(self.locs.len()),
-            Value::Global(g) => {
-                let mut s = BitSet::new(self.locs.len());
-                s.insert(g.index());
-                s
+            Value::Const(_) | Value::Global(_) => None,
+            Value::Arg(a) => Some(self.arg_base[f.index()] + a as u32),
+            Value::Inst(i) => Some(self.val_base[f.index()] + i.index() as u32),
+        }
+    }
+
+    /// The points-to set of a value (empty for constants/integers),
+    /// borrowed from the solver — no allocation.
+    pub fn value_set(&self, f: FuncId, v: Value) -> PtsView<'_> {
+        match v {
+            Value::Const(_) => PtsView::Empty,
+            Value::Global(g) => PtsView::Singleton(g.index()),
+            _ => {
+                let node = self.node_of(f, v).expect("arg/inst has a node");
+                let set = &self.pts[node as usize];
+                if set.is_empty() {
+                    PtsView::Empty
+                } else {
+                    PtsView::Set(set)
+                }
             }
-            Value::Arg(a) => self.arg_pts[fi][a as usize].clone(),
-            Value::Inst(i) => self.val_pts[fi][i.index()].clone(),
         }
     }
 
     /// Resolves an *address* operand to abstract locations; an empty set
     /// means "statically unknown address" and becomes `{Unknown}`.
-    pub fn addr_locs(&self, f: FuncId, addr: Value) -> BitSet {
-        let mut s = self.value_set(f, addr);
-        if s.is_empty() {
-            s.insert(self.unknown);
+    pub fn addr_locs(&self, f: FuncId, addr: Value) -> PtsView<'_> {
+        let v = self.value_set(f, addr);
+        if v.is_empty() {
+            PtsView::Singleton(self.unknown)
+        } else {
+            v
         }
-        s
     }
 
     /// Index of the `Unknown` location.
@@ -270,12 +290,436 @@ impl PointsTo {
     /// Pointee set of a location.
     #[inline]
     pub fn loc_pts(&self, i: usize) -> &BitSet {
-        &self.loc_pts[i]
+        &self.pts[i]
     }
 
     /// The points-to set of a local slot.
     pub fn local_set(&self, f: FuncId, l: LocalId) -> &BitSet {
-        &self.local_pts[f.index()][l.index()]
+        &self.pts[(self.local_base[f.index()] + l.index() as u32) as usize]
+    }
+}
+
+/// Constraint-graph solver state.
+struct Solver<'m> {
+    module: &'m Module,
+    result: PointsTo,
+    /// Copy edges `from → to` (`pts(to) ⊇ pts(from)`).
+    edges: Vec<Vec<u32>>,
+    /// Memory constraints, wired lazily.
+    mem_cons: Vec<MemCon>,
+    /// `subs[node]` — memory constraints whose address is `node`.
+    subs: Vec<Vec<u32>>,
+    /// Per-instruction constraint index: `con_of[(func, inst)]`.
+    con_of: fence_ir::util::FastMap<(u32, u32), u32>,
+    /// Per-node pending delta bits.
+    delta: Vec<BitSet>,
+    /// Worklist of nodes with nonempty deltas.
+    worklist: Vec<u32>,
+    on_list: Vec<bool>,
+    /// Reusable empty set swapped through `drain` (no per-step allocation).
+    scratch: BitSet,
+    /// Dense map from alloc site to its location index.
+    alloc_idx: fence_ir::util::FastMap<(u32, u32), usize>,
+}
+
+impl<'m> Solver<'m> {
+    /// Enumerates locations and nodes, registers all static copy edges
+    /// and memory-constraint subscriptions.
+    fn build(module: &'m Module) -> Self {
+        // ---- enumerate abstract locations ----
+        let mut locs: Vec<AbsLoc> = module
+            .iter_globals()
+            .map(|(g, _)| AbsLoc::Global(g))
+            .collect();
+        for (fid, func) in module.iter_funcs() {
+            for (iid, inst) in func.iter_insts() {
+                if matches!(inst.kind, InstKind::Alloc { .. }) {
+                    locs.push(AbsLoc::Alloc(fid, iid));
+                }
+            }
+        }
+        let unknown = locs.len();
+        locs.push(AbsLoc::Unknown);
+        let n = locs.len();
+
+        let mut alloc_idx: fence_ir::util::FastMap<(u32, u32), usize> =
+            fence_ir::util::FastMap::default();
+        for (i, l) in locs.iter().enumerate() {
+            if let AbsLoc::Alloc(f, inst) = l {
+                alloc_idx.insert((f.index() as u32, inst.index() as u32), i);
+            }
+        }
+
+        // ---- node layout: locations first, then per-function groups ----
+        let nf = module.funcs.len();
+        let mut arg_base = Vec::with_capacity(nf);
+        let mut local_base = Vec::with_capacity(nf);
+        let mut val_base = Vec::with_capacity(nf);
+        let mut ret_node = Vec::with_capacity(nf);
+        let mut next = n as u32;
+        for func in &module.funcs {
+            arg_base.push(next);
+            next += func.num_params as u32;
+            local_base.push(next);
+            next += func.locals.len() as u32;
+            val_base.push(next);
+            next += func.num_insts() as u32;
+            ret_node.push(next);
+            next += 1;
+        }
+        let num_nodes = next as usize;
+
+        let mut result = PointsTo {
+            locs,
+            unknown,
+            pts: vec![BitSet::new(n); num_nodes],
+            arg_base,
+            local_base,
+            val_base,
+            ret_node,
+        };
+        // Unknown memory points to unknown memory.
+        result.pts[unknown].insert(unknown);
+
+        let mut this = Solver {
+            module,
+            result,
+            edges: vec![Vec::new(); num_nodes],
+            mem_cons: Vec::new(),
+            subs: vec![Vec::new(); num_nodes],
+            con_of: fence_ir::util::FastMap::default(),
+            delta: vec![BitSet::new(n); num_nodes],
+            worklist: Vec::new(),
+            on_list: vec![false; num_nodes],
+            scratch: BitSet::new(n),
+            alloc_idx,
+        };
+        this.register_constraints();
+        this
+    }
+
+    #[inline]
+    fn node_of(&self, f: FuncId, v: Value) -> Option<u32> {
+        self.result.node_of(f, v)
+    }
+
+    /// Registers the static copy edge `pts(dst) ⊇ pts(src_value)` for node
+    /// sources. Global/constant contributions are fixed singletons; they
+    /// are applied by the initial pass at their program point, never grow,
+    /// and therefore need no edge.
+    fn add_copy_edge(&mut self, f: FuncId, src: Value, dst: u32) {
+        if let Some(s) = self.node_of(f, src) {
+            self.edges[s as usize].push(dst);
+        }
+    }
+
+    /// Applies `pts(dst) ∪= pts(src_value)` *now* (delta-tracked), exactly
+    /// like one visit of the legacy solver.
+    fn union_value_into(&mut self, f: FuncId, src: Value, dst: u32) {
+        match src {
+            Value::Const(_) => {}
+            Value::Global(g) => self.insert_bit(dst, g.index()),
+            _ => {
+                let s = self.node_of(f, src).expect("arg/inst node");
+                self.propagate_full(s, dst);
+            }
+        }
+    }
+
+    /// Registers one memory constraint; `addr` decides wiring mode.
+    fn add_mem_con(
+        &mut self,
+        f: FuncId,
+        iid: InstId,
+        addr: Value,
+        load_to: Option<u32>,
+        store_val: Option<Value>,
+    ) {
+        let n = self.result.num_locs();
+        let store_src = match store_val {
+            None | Some(Value::Const(_)) => None,
+            Some(Value::Global(g)) => Some(Src::Global(g.index() as u32)),
+            Some(v) => Some(Src::Node(self.node_of(f, v).expect("arg/inst node"))),
+        };
+        if load_to.is_none() && store_src.is_none() {
+            return; // stores of constants through any address move no pointers
+        }
+        let idx = self.mem_cons.len() as u32;
+        self.mem_cons.push(MemCon {
+            load_to,
+            store_src,
+            resolved: BitSet::new(n),
+        });
+        self.con_of
+            .insert((f.index() as u32, iid.index() as u32), idx);
+        // Node addresses are wired lazily as their sets grow; global and
+        // constant addresses resolve to fixed sets and are wired once by
+        // the initial pass at their program point.
+        if let Some(node) = self.node_of(f, addr) {
+            self.subs[node as usize].push(idx);
+        }
+    }
+
+    /// Wires constraint `con` against location `l` (idempotent).
+    fn wire(&mut self, con: u32, l: usize) {
+        let c = &mut self.mem_cons[con as usize];
+        if !c.resolved.insert(l) {
+            return;
+        }
+        let load_to = c.load_to;
+        let store_src = c.store_src;
+        if let Some(dst) = load_to {
+            self.edges[l].push(dst);
+            self.propagate_full(l as u32, dst);
+        }
+        match store_src {
+            Some(Src::Node(s)) => {
+                self.edges[s as usize].push(l as u32);
+                self.propagate_full(s, l as u32);
+            }
+            Some(Src::Global(g)) => {
+                self.insert_bit(l as u32, g as usize);
+            }
+            None => {}
+        }
+    }
+
+    /// Pushes `pts(src)` into `dst` (used when an edge appears late).
+    fn propagate_full(&mut self, src: u32, dst: u32) {
+        if src == dst {
+            return;
+        }
+        let (s, d) = (src as usize, dst as usize);
+        // Split-borrow the pts table around the two nodes.
+        let (a, b) = if s < d {
+            let (lo, hi) = self.result.pts.split_at_mut(d);
+            (&lo[s], &mut hi[0])
+        } else {
+            let (lo, hi) = self.result.pts.split_at_mut(s);
+            (&hi[0], &mut lo[d])
+        };
+        if b.union_with_into(a, &mut self.delta[d]) {
+            self.enqueue(dst);
+        }
+    }
+
+    fn insert_bit(&mut self, node: u32, bit: usize) {
+        if self.result.pts[node as usize].insert(bit) {
+            self.delta[node as usize].insert(bit);
+            self.enqueue(node);
+        }
+    }
+
+    fn enqueue(&mut self, node: u32) {
+        if !self.on_list[node as usize] {
+            self.on_list[node as usize] = true;
+            self.worklist.push(node);
+        }
+    }
+
+    /// Walks every instruction once, registering static copy edges and
+    /// memory-constraint subscriptions. Never mutates points-to sets:
+    /// initial contents are applied by [`Solver::initial_pass`] in program
+    /// order.
+    fn register_constraints(&mut self) {
+        for (fid, func) in self.module.iter_funcs() {
+            let fi = fid.index();
+            for (iid, inst) in func.iter_insts() {
+                let dst = self.result.val_base[fi] + iid.index() as u32;
+                match &inst.kind {
+                    InstKind::Gep { base, .. } => self.add_copy_edge(fid, *base, dst),
+                    InstKind::Bin { lhs, rhs, .. } => {
+                        self.add_copy_edge(fid, *lhs, dst);
+                        self.add_copy_edge(fid, *rhs, dst);
+                    }
+                    InstKind::Select {
+                        then_val, else_val, ..
+                    } => {
+                        self.add_copy_edge(fid, *then_val, dst);
+                        self.add_copy_edge(fid, *else_val, dst);
+                    }
+                    InstKind::Load { addr } => {
+                        self.add_mem_con(fid, iid, *addr, Some(dst), None);
+                    }
+                    InstKind::Store { addr, val } => {
+                        self.add_mem_con(fid, iid, *addr, None, Some(*val));
+                    }
+                    InstKind::AtomicRmw { addr, val, .. } => {
+                        self.add_mem_con(fid, iid, *addr, Some(dst), Some(*val));
+                    }
+                    InstKind::AtomicCas { addr, new, .. } => {
+                        self.add_mem_con(fid, iid, *addr, Some(dst), Some(*new));
+                    }
+                    InstKind::ReadLocal { local } => {
+                        let l = self.result.local_base[fi] + local.index() as u32;
+                        self.edges[l as usize].push(dst);
+                    }
+                    InstKind::WriteLocal { local, val } => {
+                        let l = self.result.local_base[fi] + local.index() as u32;
+                        self.add_copy_edge(fid, *val, l);
+                    }
+                    InstKind::Call { callee, args } => {
+                        let cf = callee.index();
+                        let nparams = self.module.funcs[cf].num_params as usize;
+                        for (k, a) in args.iter().enumerate() {
+                            if k < nparams {
+                                let p = self.result.arg_base[cf] + k as u32;
+                                self.add_copy_edge(fid, *a, p);
+                            }
+                        }
+                        let r = self.result.ret_node[cf];
+                        self.edges[r as usize].push(dst);
+                    }
+                    InstKind::Ret { val: Some(v) } => {
+                        let r = self.result.ret_node[fi];
+                        self.add_copy_edge(fid, *v, r);
+                    }
+                    // Alloc seeds are applied by the initial pass; cmp
+                    // results, fences, intrinsics, branches: no flow.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Replays the legacy solver's first round: every constraint is
+    /// applied exactly once, in program order, against the in-round
+    /// intermediate state — direct unions only, no transitive
+    /// propagation. This pins down the conservative `∅ ⇒ {Unknown}`
+    /// address resolutions exactly as the fixpoint-by-re-execution solver
+    /// made them (the empty-set fallback is the one non-monotone rule, so
+    /// *when* a set was empty matters); every union the pass performs is
+    /// one the worklist closure implies anyway.
+    fn initial_pass(&mut self) {
+        for (fid, func) in self.module.iter_funcs() {
+            let fi = fid.index();
+            for (iid, inst) in func.iter_insts() {
+                let dst = self.result.val_base[fi] + iid.index() as u32;
+                match &inst.kind {
+                    InstKind::Alloc { .. } => {
+                        let li = self.alloc_idx[&(fi as u32, iid.index() as u32)];
+                        self.insert_bit(dst, li);
+                    }
+                    InstKind::Gep { base, .. } => self.union_value_into(fid, *base, dst),
+                    InstKind::Bin { lhs, rhs, .. } => {
+                        self.union_value_into(fid, *lhs, dst);
+                        self.union_value_into(fid, *rhs, dst);
+                    }
+                    InstKind::Select {
+                        then_val, else_val, ..
+                    } => {
+                        self.union_value_into(fid, *then_val, dst);
+                        self.union_value_into(fid, *else_val, dst);
+                    }
+                    InstKind::Load { addr }
+                    | InstKind::Store { addr, .. }
+                    | InstKind::AtomicRmw { addr, .. }
+                    | InstKind::AtomicCas { addr, .. } => {
+                        let Some(&con) = self
+                            .con_of
+                            .get(&(fi as u32, iid.index() as u32))
+                        else {
+                            continue; // store of a constant: moves no pointers
+                        };
+                        let locs: Vec<usize> = match self.result.value_set(fid, *addr) {
+                            PtsView::Empty => vec![self.result.unknown],
+                            view => view.iter().collect(),
+                        };
+                        for l in locs {
+                            self.wire(con, l);
+                        }
+                    }
+                    InstKind::ReadLocal { local } => {
+                        let l = self.result.local_base[fi] + local.index() as u32;
+                        self.propagate_full(l, dst);
+                    }
+                    InstKind::WriteLocal { local, val } => {
+                        let l = self.result.local_base[fi] + local.index() as u32;
+                        self.union_value_into(fid, *val, l);
+                    }
+                    InstKind::Call { callee, args } => {
+                        let cf = callee.index();
+                        let nparams = self.module.funcs[cf].num_params as usize;
+                        for (k, a) in args.iter().enumerate() {
+                            if k < nparams {
+                                let p = self.result.arg_base[cf] + k as u32;
+                                self.union_value_into(fid, *a, p);
+                            }
+                        }
+                        let r = self.result.ret_node[cf];
+                        self.propagate_full(r, dst);
+                    }
+                    InstKind::Ret { val: Some(v) } => {
+                        let r = self.result.ret_node[fi];
+                        self.union_value_into(fid, *v, r);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Drains the worklist: propagate per-node deltas along copy edges and
+    /// wire subscribed memory constraints for newly seen locations.
+    fn drain(&mut self) {
+        while let Some(node) = self.worklist.pop() {
+            self.on_list[node as usize] = false;
+            // Swap the node's delta out through the reusable scratch set so
+            // a drain step allocates nothing.
+            let spare = std::mem::take(&mut self.scratch);
+            let d = std::mem::replace(&mut self.delta[node as usize], spare);
+            if d.is_empty() {
+                self.scratch = {
+                    let mut d = d;
+                    d.clear();
+                    d
+                };
+                continue;
+            }
+            // Copy edges: pushing just the delta is enough because every
+            // edge propagates the full source set when first created.
+            let targets = std::mem::take(&mut self.edges[node as usize]);
+            for &t in &targets {
+                let dsti = t as usize;
+                if dsti != node as usize
+                    && self.result.pts[dsti].union_with_into(&d, &mut self.delta[dsti])
+                {
+                    self.enqueue(t);
+                }
+            }
+            self.edges[node as usize] = targets;
+            // Memory constraints subscribed to this address node.
+            let subs = std::mem::take(&mut self.subs[node as usize]);
+            for &con in &subs {
+                for l in d.iter() {
+                    self.wire(con, l);
+                }
+            }
+            self.subs[node as usize] = subs;
+            self.scratch = {
+                let mut d = d;
+                d.clear();
+                d
+            };
+        }
+    }
+
+    /// Runs initial pass + worklist to fixpoint and returns the result.
+    fn solve(mut self) -> PointsTo {
+        self.initial_pass();
+        // Seed the worklist with every nonempty node's full set so every
+        // static edge sees its source's initial contents at least once;
+        // from then on only deltas travel.
+        for node in 0..self.result.pts.len() {
+            if !self.result.pts[node].is_empty() {
+                // Split borrow: delta and result.pts are disjoint fields.
+                let (pts, delta) = (&self.result.pts, &mut self.delta);
+                delta[node].union_with(&pts[node]);
+                self.enqueue(node as u32);
+            }
+        }
+        self.drain();
+        self.result
     }
 }
 
@@ -404,5 +848,249 @@ mod tests {
         let pt = PointsTo::analyze(&m);
         let s = pt.value_set(fid, p);
         assert!(s.contains(a.index()) && s.contains(b.index()));
+    }
+
+    #[test]
+    fn views_are_borrowed_and_consistent() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("x", 1);
+        let mut fb = FunctionBuilder::new("f", 0);
+        let p = fb.gep(g, 0i64);
+        let _ = fb.load(p);
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        // A constant has the empty view; a global is a singleton view.
+        assert!(pt.value_set(fid, Value::c(3)).is_empty());
+        let gv = pt.value_set(fid, Value::Global(g));
+        assert_eq!(gv.iter().collect::<Vec<_>>(), vec![g.index()]);
+        // Materialization matches the view.
+        let owned = pt.value_set(fid, p).to_bitset(pt.num_locs());
+        assert_eq!(
+            owned.iter().collect::<Vec<_>>(),
+            pt.value_set(fid, p).iter().collect::<Vec<_>>()
+        );
+        // intersects() across view shapes.
+        let mut esc = fence_ir::util::BitSet::new(pt.num_locs());
+        esc.insert(g.index());
+        assert!(pt.value_set(fid, p).intersects(&esc));
+        assert!(gv.intersects(&esc));
+        assert!(!PtsView::Empty.intersects(&esc));
+    }
+
+    /// The worklist solver and a naive re-execution fixpoint must agree.
+    /// This re-implements the legacy algorithm inline and diffs every
+    /// queryable set on a module exercising loads/stores through memory,
+    /// locals, calls, selects, RMW and unknown addresses.
+    #[test]
+    fn matches_naive_fixpoint_reference() {
+        let mut mb = ModuleBuilder::new("m");
+        let head = mb.global("head", 1);
+        let swap = mb.global("swap", 1);
+        let callee = mb.declare_func("pub_node", 1);
+        let mut fb = FunctionBuilder::new("pub_node", 1);
+        let node = fb.alloc(2i64);
+        fb.store(node, Value::Arg(0)); // node.next = arg
+        fb.store(head, node); // publish
+        fb.ret(Some(node));
+        mb.define_func(callee, fb.build());
+
+        let mut fb2 = FunctionBuilder::new("driver", 1);
+        let l = fb2.local("cur");
+        let got = fb2.call(callee, vec![Value::Global(swap)]);
+        fb2.write_local(l, got);
+        let cur = fb2.read_local(l);
+        let inner = fb2.load(cur); // through the alloc site
+        let _ = fb2.load(inner);
+        let sel = fb2.select(Value::Arg(0), cur, inner);
+        let _ = fb2.rmw(fence_ir::RmwOp::Add, sel, 1i64);
+        let through_arg = fb2.load(Value::Arg(0)); // unknown address
+        fb2.store(Value::Arg(0), through_arg);
+        fb2.ret(None);
+        let driver = mb.add_func(fb2.build());
+        let m = mb.finish();
+
+        let pt = PointsTo::analyze(&m);
+        let reference = naive_reference(&m);
+        for (fid, func) in m.iter_funcs() {
+            for (iid, _) in func.iter_insts() {
+                let got: Vec<usize> = pt.value_set(fid, Value::Inst(iid)).iter().collect();
+                let want: Vec<usize> = reference.val[fid.index()][iid.index()]
+                    .iter()
+                    .collect();
+                assert_eq!(got, want, "{}/%{} value set", func.name, iid.index());
+            }
+            for a in 0..func.num_params {
+                let got: Vec<usize> =
+                    pt.value_set(fid, Value::Arg(a)).iter().collect();
+                let want: Vec<usize> =
+                    reference.arg[fid.index()][a as usize].iter().collect();
+                assert_eq!(got, want, "{}/arg{a} set", func.name);
+            }
+        }
+        for l in 0..pt.num_locs() {
+            let got: Vec<usize> = pt.loc_pts(l).iter().collect();
+            let want: Vec<usize> = reference.loc[l].iter().collect();
+            assert_eq!(got, want, "loc {l} pointees");
+        }
+        // Sanity: driver's through-arg load hits Unknown.
+        assert!(pt
+            .addr_locs(driver, Value::Arg(0))
+            .contains(pt.unknown_idx()));
+    }
+
+    /// The legacy solver, verbatim (apply-until-no-change), kept as the
+    /// test oracle for the worklist implementation.
+    struct NaiveRef {
+        val: Vec<Vec<fence_ir::util::BitSet>>,
+        arg: Vec<Vec<fence_ir::util::BitSet>>,
+        loc: Vec<fence_ir::util::BitSet>,
+    }
+
+    fn naive_reference(module: &fence_ir::Module) -> NaiveRef {
+        use fence_ir::util::BitSet;
+        let mut locs: Vec<AbsLoc> = module
+            .iter_globals()
+            .map(|(g, _)| AbsLoc::Global(g))
+            .collect();
+        for (fid, func) in module.iter_funcs() {
+            for (iid, inst) in func.iter_insts() {
+                if matches!(inst.kind, InstKind::Alloc { .. }) {
+                    locs.push(AbsLoc::Alloc(fid, iid));
+                }
+            }
+        }
+        let unknown = locs.len();
+        locs.push(AbsLoc::Unknown);
+        let n = locs.len();
+        let alloc_of = |f: FuncId, i: InstId| {
+            locs.iter()
+                .position(|l| matches!(l, AbsLoc::Alloc(af, ai) if *af == f && *ai == i))
+                .unwrap()
+        };
+
+        let mut val: Vec<Vec<BitSet>> = module
+            .funcs
+            .iter()
+            .map(|f| vec![BitSet::new(n); f.num_insts()])
+            .collect();
+        let mut arg: Vec<Vec<BitSet>> = module
+            .funcs
+            .iter()
+            .map(|f| vec![BitSet::new(n); f.num_params as usize])
+            .collect();
+        let mut local: Vec<Vec<BitSet>> = module
+            .funcs
+            .iter()
+            .map(|f| vec![BitSet::new(n); f.locals.len()])
+            .collect();
+        let mut loc = vec![BitSet::new(n); n];
+        let mut ret = vec![BitSet::new(n); module.funcs.len()];
+        loc[unknown].insert(unknown);
+
+        let value_set = |val: &[Vec<BitSet>], arg: &[Vec<BitSet>], f: FuncId, v: Value| match v {
+            Value::Const(_) => BitSet::new(n),
+            Value::Global(g) => {
+                let mut s = BitSet::new(n);
+                s.insert(g.index());
+                s
+            }
+            Value::Arg(a) => arg[f.index()][a as usize].clone(),
+            Value::Inst(i) => val[f.index()][i.index()].clone(),
+        };
+        let addr_locs = |val: &[Vec<BitSet>], arg: &[Vec<BitSet>], f: FuncId, a: Value| {
+            let mut s = value_set(val, arg, f, a);
+            if s.is_empty() {
+                s.insert(unknown);
+            }
+            s
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (fid, func) in module.iter_funcs() {
+                let fi = fid.index();
+                for (iid, inst) in func.iter_insts() {
+                    match &inst.kind {
+                        InstKind::Alloc { .. } => {
+                            changed |= val[fi][iid.index()].insert(alloc_of(fid, iid));
+                        }
+                        InstKind::Gep { base, .. } => {
+                            let s = value_set(&val, &arg, fid, *base);
+                            changed |= val[fi][iid.index()].union_with(&s);
+                        }
+                        InstKind::Bin { lhs, rhs, .. } => {
+                            for v in [*lhs, *rhs] {
+                                let s = value_set(&val, &arg, fid, v);
+                                changed |= val[fi][iid.index()].union_with(&s);
+                            }
+                        }
+                        InstKind::Select {
+                            then_val, else_val, ..
+                        } => {
+                            for v in [*then_val, *else_val] {
+                                let s = value_set(&val, &arg, fid, v);
+                                changed |= val[fi][iid.index()].union_with(&s);
+                            }
+                        }
+                        InstKind::Load { addr } => {
+                            let als = addr_locs(&val, &arg, fid, *addr);
+                            let mut acc = BitSet::new(n);
+                            for l in als.iter() {
+                                acc.union_with(&loc[l]);
+                            }
+                            changed |= val[fi][iid.index()].union_with(&acc);
+                        }
+                        InstKind::Store { addr, val: v } => {
+                            let s = value_set(&val, &arg, fid, *v);
+                            let als = addr_locs(&val, &arg, fid, *addr);
+                            for l in als.iter() {
+                                changed |= loc[l].union_with(&s);
+                            }
+                        }
+                        InstKind::AtomicRmw { addr, val: v, .. }
+                        | InstKind::AtomicCas { addr, new: v, .. } => {
+                            let als = addr_locs(&val, &arg, fid, *addr);
+                            let mut acc = BitSet::new(n);
+                            for l in als.iter() {
+                                acc.union_with(&loc[l]);
+                            }
+                            changed |= val[fi][iid.index()].union_with(&acc);
+                            let s = value_set(&val, &arg, fid, *v);
+                            for l in als.iter() {
+                                changed |= loc[l].union_with(&s);
+                            }
+                        }
+                        InstKind::ReadLocal { local: lo } => {
+                            let s = local[fi][lo.index()].clone();
+                            changed |= val[fi][iid.index()].union_with(&s);
+                        }
+                        InstKind::WriteLocal { local: lo, val: v } => {
+                            let s = value_set(&val, &arg, fid, *v);
+                            changed |= local[fi][lo.index()].union_with(&s);
+                        }
+                        InstKind::Call { callee, args } => {
+                            let cf = callee.index();
+                            for (k, a) in args.iter().enumerate() {
+                                if k < module.funcs[cf].num_params as usize {
+                                    let s = value_set(&val, &arg, fid, *a);
+                                    changed |= arg[cf][k].union_with(&s);
+                                }
+                            }
+                            let r = ret[cf].clone();
+                            changed |= val[fi][iid.index()].union_with(&r);
+                        }
+                        InstKind::Ret { val: Some(v) } => {
+                            let s = value_set(&val, &arg, fid, *v);
+                            changed |= ret[fi].union_with(&s);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        NaiveRef { val, arg, loc }
     }
 }

@@ -1,0 +1,52 @@
+//! Scaling bench: the ordering stage (generation → pruning → counting →
+//! fence minimization) on `corpus::synthetic_scaled(n)`, seed algorithm
+//! vs. the block-aggregated one.
+//!
+//! The seed stage is `O(A²)` in per-function escaping accesses (pair
+//! list) on top of `O(B·E)` reachability; the optimized stage is linear
+//! in accesses + reachable block pairs on SCC-condensed reachability.
+//! The gap must widen with `n` — the acceptance bar for this PR is ≥5×
+//! at the largest size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fence_analysis::ModuleAnalysis;
+use fence_bench::naive::{naive_ordering_stage, optimized_ordering_stage};
+use fence_ir::util::BitSet;
+use fenceplace::acquire::{detect_acquires, DetectMode};
+use fenceplace::TargetModel;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering_scaling");
+    for n in [250usize, 1000, 4000, 16000] {
+        let module = corpus::synthetic_scaled(n);
+        let an = ModuleAnalysis::run(&module);
+        let sync: Vec<BitSet> = module
+            .iter_funcs()
+            .map(|(fid, _)| {
+                detect_acquires(&module, &an.points_to, &an.escape, fid, DetectMode::Control)
+                    .sync_reads
+            })
+            .collect();
+
+        // The two stages must agree before we time anything.
+        let naive = naive_ordering_stage(&module, &an.escape, &sync, TargetModel::X86Tso);
+        let fast = optimized_ordering_stage(&module, &an.escape, &sync, TargetModel::X86Tso);
+        assert_eq!(naive.0, fast.0, "kept-pair totals diverge at n={n}");
+        assert_eq!(naive.1, fast.1, "fence points diverge at n={n}");
+
+        group.bench_with_input(BenchmarkId::new("seed", n), &n, |b, _| {
+            b.iter(|| naive_ordering_stage(&module, &an.escape, &sync, TargetModel::X86Tso).0)
+        });
+        group.bench_with_input(BenchmarkId::new("aggregated", n), &n, |b, _| {
+            b.iter(|| optimized_ordering_stage(&module, &an.escape, &sync, TargetModel::X86Tso).0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+}
+criterion_main!(benches);

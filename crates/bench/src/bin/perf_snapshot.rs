@@ -1,0 +1,141 @@
+//! Wall-clock snapshot of the static-analysis pipeline, stage by stage,
+//! over the full corpus plus a synthetic scaling point. Emits
+//! `BENCH_analysis.json` so future PRs have a perf trajectory to compare
+//! against:
+//!
+//! ```text
+//! cargo run --release -p fence_bench --bin perf_snapshot
+//! ```
+//!
+//! Stages: points-to (worklist Andersen), escape closure, acquire
+//! detection (Address+Control — the superset detector), ordering
+//! generation, and pruning + fence minimization (x86-TSO). Each stage is
+//! run `REPS` times and the minimum is reported, which is the usual
+//! low-noise estimator for short deterministic workloads.
+
+use corpus::Params;
+use fence_analysis::{EscapeInfo, ModuleAnalysis, PointsTo};
+use fence_ir::Module;
+use fenceplace::acquire::{detect_acquires, DetectMode};
+use fenceplace::minimize::minimize_function;
+use fenceplace::orderings::FuncOrderings;
+use fenceplace::TargetModel;
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+#[derive(Default, Clone, Copy)]
+struct StageMs {
+    points_to: f64,
+    escape: f64,
+    acquire: f64,
+    orderings: f64,
+    minimize: f64,
+}
+
+impl StageMs {
+    fn total(&self) -> f64 {
+        self.points_to + self.escape + self.acquire + self.orderings + self.minimize
+    }
+
+    fn add(&mut self, o: &StageMs) {
+        self.points_to += o.points_to;
+        self.escape += o.escape;
+        self.acquire += o.acquire;
+        self.orderings += o.orderings;
+        self.minimize += o.minimize;
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"points_to\": {:.3}, \"escape\": {:.3}, \"acquire\": {:.3}, \"orderings\": {:.3}, \"minimize\": {:.3}, \"total\": {:.3}}}",
+            self.points_to, self.escape, self.acquire, self.orderings, self.minimize, self.total()
+        )
+    }
+}
+
+fn time_min<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn snapshot(module: &Module) -> StageMs {
+    let mut s = StageMs::default();
+    s.points_to = time_min(|| PointsTo::analyze(module));
+    let pt = PointsTo::analyze(module);
+    s.escape = time_min(|| EscapeInfo::analyze(module, &pt));
+    let an = ModuleAnalysis::run(module);
+    s.acquire = time_min(|| {
+        for (fid, _) in module.iter_funcs() {
+            std::hint::black_box(
+                detect_acquires(module, &an.points_to, &an.escape, fid, DetectMode::AddressControl)
+                    .count(),
+            );
+        }
+    });
+    s.orderings = time_min(|| {
+        for (fid, _) in module.iter_funcs() {
+            std::hint::black_box(FuncOrderings::generate(module, &an.escape, fid).counts());
+        }
+    });
+    // Pruning + minimization against the Control detector on x86-TSO (the
+    // pipeline default).
+    let sync: Vec<_> = module
+        .iter_funcs()
+        .map(|(fid, _)| {
+            detect_acquires(module, &an.points_to, &an.escape, fid, DetectMode::Control).sync_reads
+        })
+        .collect();
+    let ords: Vec<_> = module
+        .iter_funcs()
+        .map(|(fid, _)| FuncOrderings::generate(module, &an.escape, fid))
+        .collect();
+    s.minimize = time_min(|| {
+        for (fid, func) in module.iter_funcs() {
+            let kept = ords[fid.index()].prune(&sync[fid.index()]);
+            let entry = !sync[fid.index()].is_empty();
+            std::hint::black_box(minimize_function(func, fid, &kept, TargetModel::X86Tso, entry));
+        }
+    });
+    s
+}
+
+fn main() {
+    let mut rows: Vec<(String, StageMs)> = Vec::new();
+
+    for kernel in corpus::kernels::all() {
+        rows.push((format!("kernel:{}", kernel.name), snapshot(&kernel.module)));
+    }
+    let p = Params::default();
+    for prog in corpus::programs(&p) {
+        rows.push((format!("corpus:{}", prog.name), snapshot(&prog.module)));
+    }
+    for n in [4000usize, 16000] {
+        let m = corpus::synthetic_scaled(n);
+        rows.push((format!("synthetic:{n}"), snapshot(&m)));
+    }
+
+    let mut totals = StageMs::default();
+    for (_, s) in &rows {
+        totals.add(s);
+    }
+
+    let mut out = String::from("{\n  \"unit\": \"ms\",\n  \"programs\": [\n");
+    for (i, (name, s)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"stages\": {}}}{}\n",
+            s.json(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!("  ],\n  \"totals\": {}\n}}\n", totals.json()));
+
+    std::fs::write("BENCH_analysis.json", &out).expect("write BENCH_analysis.json");
+    println!("{out}");
+    println!("wrote BENCH_analysis.json ({} programs)", rows.len());
+}

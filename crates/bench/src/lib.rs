@@ -5,6 +5,8 @@
 //! and the criterion benches. See `EXPERIMENTS.md` at the repository
 //! root for paper-vs-measured numbers.
 
+pub mod naive;
+
 use corpus::{Params, Program};
 use fence_analysis::ModuleAnalysis;
 use fenceplace::acquire::{detect_acquires, DetectMode};

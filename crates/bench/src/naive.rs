@@ -1,0 +1,324 @@
+//! The seed (pre-optimization) ordering stage, preserved verbatim as the
+//! baseline the `ordering_scaling` bench measures against:
+//!
+//! * per-block DFS all-pairs reachability (`O(B·E)`),
+//! * `O(A²)` double loop materializing the `Vec<(u32, u32)>` pair list,
+//! * pair-sweep pruning and interval-per-pair fence minimization.
+//!
+//! Nothing in the pipeline uses this module; it exists so the
+//! quadratic→near-linear win stays measurable after the seed code is
+//! gone.
+
+use fence_analysis::escape::EscapeInfo;
+use fence_ir::cfg::Cfg;
+use fence_ir::util::BitSet;
+use fence_ir::{BlockId, FuncId, InstKind, Module};
+use fenceplace::minimize::{FencePoint, TargetModel};
+use fenceplace::orderings::{Access, AccessKind, OrderKind};
+use fence_ir::FenceKind;
+
+/// Seed reachability: one DFS per block.
+pub struct NaiveReachability {
+    rows: Vec<BitSet>,
+}
+
+impl NaiveReachability {
+    /// Computes all-pairs reachability by a DFS from every block.
+    pub fn new(cfg: &Cfg) -> Self {
+        let n = cfg.num_blocks();
+        let mut rows = Vec::with_capacity(n);
+        let mut stack = Vec::new();
+        for b in 0..n {
+            let mut row = BitSet::new(n);
+            stack.clear();
+            for &s in &cfg.succs[b] {
+                if row.insert(s.index()) {
+                    stack.push(s);
+                }
+            }
+            while let Some(cur) = stack.pop() {
+                for &s in &cfg.succs[cur.index()] {
+                    if row.insert(s.index()) {
+                        stack.push(s);
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        NaiveReachability { rows }
+    }
+
+    fn reaches(&self, from: BlockId, to: BlockId) -> bool {
+        self.rows[from.index()].contains(to.index())
+    }
+
+    fn in_cycle(&self, b: BlockId) -> bool {
+        self.reaches(b, b)
+    }
+}
+
+/// Seed orderings: the explicit pair list.
+pub struct NaiveOrderings {
+    /// All escaping access occurrences, block-sequential.
+    pub accesses: Vec<Access>,
+    /// The materialized `O(A²)` pair list.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl NaiveOrderings {
+    /// The seed generation algorithm, verbatim.
+    pub fn generate(module: &Module, escape: &EscapeInfo, fid: FuncId) -> Self {
+        let func = module.func(fid);
+        let cfg = Cfg::new(func);
+        let reach = NaiveReachability::new(&cfg);
+
+        let mut accesses = Vec::new();
+        for (bid, block) in func.iter_blocks() {
+            for (index, &iid) in block.insts.iter().enumerate() {
+                let kind = &func.inst(iid).kind;
+                if kind.is_mem_access() {
+                    if !escape.is_escaping(fid, iid) {
+                        continue;
+                    }
+                    let atomic = kind.is_mem_read() && kind.is_mem_write();
+                    if kind.is_mem_read() {
+                        accesses.push(Access {
+                            inst: iid,
+                            kind: AccessKind::Read,
+                            atomic,
+                            block: bid,
+                            index,
+                        });
+                    }
+                    if kind.is_mem_write() {
+                        accesses.push(Access {
+                            inst: iid,
+                            kind: AccessKind::Write,
+                            atomic,
+                            block: bid,
+                            index,
+                        });
+                    }
+                } else if let InstKind::CallIntrinsic { intr, .. } = kind {
+                    if intr.is_sync_boundary() {
+                        for k in [AccessKind::Read, AccessKind::Write] {
+                            accesses.push(Access {
+                                inst: iid,
+                                kind: k,
+                                atomic: true,
+                                block: bid,
+                                index,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut pairs = Vec::new();
+        for (i, a) in accesses.iter().enumerate() {
+            for (j, b) in accesses.iter().enumerate() {
+                if i == j {
+                    if reach.in_cycle(a.block) {
+                        pairs.push((i as u32, j as u32));
+                    }
+                    continue;
+                }
+                if a.inst == b.inst && a.index == b.index {
+                    if a.kind == AccessKind::Read && b.kind == AccessKind::Write {
+                        pairs.push((i as u32, j as u32));
+                    } else if reach.in_cycle(a.block) {
+                        pairs.push((i as u32, j as u32));
+                    }
+                    continue;
+                }
+                let ordered = if a.block == b.block {
+                    a.index < b.index || reach.in_cycle(a.block)
+                } else {
+                    reach.reaches(a.block, b.block)
+                };
+                if ordered {
+                    pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+
+        NaiveOrderings { accesses, pairs }
+    }
+
+    fn kind(&self, p: (u32, u32)) -> OrderKind {
+        let of = |a: AccessKind, b: AccessKind| match (a, b) {
+            (AccessKind::Read, AccessKind::Read) => OrderKind::RR,
+            (AccessKind::Read, AccessKind::Write) => OrderKind::RW,
+            (AccessKind::Write, AccessKind::Read) => OrderKind::WR,
+            (AccessKind::Write, AccessKind::Write) => OrderKind::WW,
+        };
+        of(
+            self.accesses[p.0 as usize].kind,
+            self.accesses[p.1 as usize].kind,
+        )
+    }
+
+    /// Seed pruning: a full sweep of the pair list.
+    pub fn prune(&self, sync_reads: &BitSet) -> Vec<(u32, u32)> {
+        self.pairs
+            .iter()
+            .copied()
+            .filter(|&(a, b)| {
+                let fa = &self.accesses[a as usize];
+                let fb = &self.accesses[b as usize];
+                match self.kind((a, b)) {
+                    OrderKind::RR => sync_reads.contains(fa.inst.index()),
+                    OrderKind::WR => sync_reads.contains(fb.inst.index()),
+                    OrderKind::RW | OrderKind::WW => true,
+                }
+            })
+            .collect()
+    }
+
+    /// Seed per-kind pair counts: a sweep.
+    pub fn counts_of(&self, pairs: &[(u32, u32)]) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        for &p in pairs {
+            c[self.kind(p).idx()] += 1;
+        }
+        c
+    }
+
+    /// Seed fence minimization: one interval per kept pair.
+    pub fn minimize(
+        &self,
+        func: &fence_ir::Function,
+        fid: FuncId,
+        kept: &[(u32, u32)],
+        target: TargetModel,
+        entry_fence: bool,
+    ) -> Vec<FencePoint> {
+        struct Interval {
+            block: u32,
+            lo: u32,
+            hi: u32,
+            full: bool,
+        }
+        let mut intervals = Vec::with_capacity(kept.len());
+        for &(ai, bi) in kept {
+            let a = &self.accesses[ai as usize];
+            let b = &self.accesses[bi as usize];
+            if a.atomic || b.atomic {
+                continue;
+            }
+            let kind = self.kind((ai, bi));
+            let full = target.needs_full(kind);
+            let term = func.block(a.block).insts.len() - 1;
+            let (lo, hi) = if a.block == b.block && a.index < b.index {
+                (a.index + 1, b.index)
+            } else {
+                (a.index + 1, term)
+            };
+            intervals.push(Interval {
+                block: a.block.index() as u32,
+                lo: lo as u32,
+                hi: hi as u32,
+                full,
+            });
+        }
+        let mut by_block: Vec<Vec<Interval>> = (0..func.num_blocks()).map(|_| Vec::new()).collect();
+        for iv in intervals {
+            by_block[iv.block as usize].push(iv);
+        }
+        let mut points = Vec::new();
+        if entry_fence {
+            let kind = if target == TargetModel::ScHardware {
+                FenceKind::Compiler
+            } else {
+                FenceKind::Full
+            };
+            points.push(FencePoint {
+                func: fid,
+                block: func.entry,
+                gap: 0,
+                kind,
+            });
+        }
+        for (b, mut ivs) in by_block.into_iter().enumerate() {
+            if ivs.is_empty() {
+                continue;
+            }
+            ivs.sort_by_key(|iv| iv.hi);
+            let mut full_pts: Vec<u32> = Vec::new();
+            for iv in ivs.iter().filter(|iv| iv.full) {
+                if !full_pts.last().is_some_and(|&p| p >= iv.lo) {
+                    full_pts.push(iv.hi);
+                }
+            }
+            let mut dir_pts: Vec<u32> = Vec::new();
+            for iv in ivs.iter().filter(|iv| !iv.full) {
+                let by_full = full_pts.iter().any(|&p| p >= iv.lo && p <= iv.hi);
+                let by_dir = dir_pts.last().is_some_and(|&p| p >= iv.lo);
+                if !by_full && !by_dir {
+                    dir_pts.push(iv.hi);
+                }
+            }
+            for p in full_pts {
+                points.push(FencePoint {
+                    func: fid,
+                    block: BlockId::new(b),
+                    gap: p as usize,
+                    kind: FenceKind::Full,
+                });
+            }
+            for p in dir_pts {
+                points.push(FencePoint {
+                    func: fid,
+                    block: BlockId::new(b),
+                    gap: p as usize,
+                    kind: FenceKind::Compiler,
+                });
+            }
+        }
+        points
+    }
+}
+
+/// Runs the whole seed ordering stage (generate → prune → counts →
+/// minimize) over every function; returns a checksum so callers can
+/// compare against the optimized stage.
+pub fn naive_ordering_stage(
+    module: &Module,
+    escape: &EscapeInfo,
+    sync_reads: &[BitSet],
+    target: TargetModel,
+) -> (usize, Vec<FencePoint>) {
+    let mut total_kept = 0usize;
+    let mut points = Vec::new();
+    for (fid, func) in module.iter_funcs() {
+        let ords = NaiveOrderings::generate(module, escape, fid);
+        let kept = ords.prune(&sync_reads[fid.index()]);
+        total_kept += ords.counts_of(&kept).iter().sum::<usize>();
+        let entry = !sync_reads[fid.index()].is_empty();
+        points.extend(ords.minimize(func, fid, &kept, target, entry));
+    }
+    (total_kept, points)
+}
+
+/// The optimized ordering stage over every function (same work, new
+/// algorithms) for apples-to-apples comparison.
+pub fn optimized_ordering_stage(
+    module: &Module,
+    escape: &EscapeInfo,
+    sync_reads: &[BitSet],
+    target: TargetModel,
+) -> (usize, Vec<FencePoint>) {
+    use fenceplace::minimize::minimize_function;
+    use fenceplace::orderings::FuncOrderings;
+    let mut total_kept = 0usize;
+    let mut points = Vec::new();
+    for (fid, func) in module.iter_funcs() {
+        let ords = FuncOrderings::generate(module, escape, fid);
+        let kept = ords.prune(&sync_reads[fid.index()]);
+        total_kept += kept.counts().iter().sum::<usize>();
+        let entry = !sync_reads[fid.index()].is_empty();
+        points.extend(minimize_function(func, fid, &kept, target, entry));
+    }
+    (total_kept, points)
+}

@@ -1,0 +1,247 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small slice of criterion's API its benches use:
+//! [`Criterion`], [`Bencher::iter`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark runs one untimed warmup batch, then
+//! `sample_size` timed samples; the reported numbers are the minimum,
+//! median, and maximum per-iteration wall time. Output mimics criterion's
+//! `name  time: [lo mid hi]` line so humans and scripts can read it the
+//! same way.
+
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    /// Per-sample wall times, filled by [`Bencher::iter`].
+    samples: Vec<Duration>,
+    /// Iterations per sample (chosen so a sample is long enough to time).
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size,
+        }
+    }
+
+    /// Times `routine`, criterion-style: warm up, pick an iteration count
+    /// that makes one sample take ≳1ms, then record `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: grow the batch until it costs ≥1ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Per-iteration `(min, median, max)` over the recorded samples.
+    fn stats(&self) -> Option<(f64, f64, f64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        let med = per_iter[per_iter.len() / 2];
+        Some((min, med, max))
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    match b.stats() {
+        Some((lo, mid, hi)) => println!(
+            "{name:<40} time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(mid),
+            fmt_time(hi)
+        ),
+        None => println!("{name:<40} time: [no samples]"),
+    }
+}
+
+/// Benchmark driver: holds configuration, runs and reports benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            c: self,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{param}"),
+        }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.c.sample_size);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.c.sample_size);
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(3);
+        b.iter(|| std::hint::black_box(1 + 1));
+        let (lo, mid, hi) = b.stats().unwrap();
+        assert!(lo <= mid && mid <= hi);
+        assert!(lo > 0.0);
+    }
+
+    #[test]
+    fn group_and_function_api_compile() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("smoke", |b| b.iter(|| 42u64.wrapping_mul(7)));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 1), &1usize, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        g.finish();
+    }
+}

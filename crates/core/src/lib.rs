@@ -35,6 +35,6 @@ pub mod report;
 
 pub use acquire::{AcquireInfo, DetectMode};
 pub use minimize::{FencePoint, TargetModel};
-pub use orderings::{Access, AccessKind, FuncOrderings, OrderKind};
+pub use orderings::{Access, AccessKind, FuncOrderings, OrderKind, OrderingSelection};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult, Variant};
 pub use report::{FuncReport, ModuleReport};

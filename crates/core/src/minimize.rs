@@ -26,8 +26,24 @@
 //! placed at function entry **only if the function contains sync reads**
 //! (this is what enforces interprocedural `w → r` orderings whose read
 //! side could be an acquire).
+//!
+//! ## Interval aggregation
+//!
+//! The kept-ordering relation is quadratic, but the greedy sweep only
+//! ever *places* a point at an interval's right end and an interval
+//! `[lo, hi₂]` is irrelevant whenever `[lo, hi₁]` with `hi₁ ≤ hi₂` from
+//! the same source exists (any stab of the narrow interval stabs the wide
+//! one, and the sweep visits the narrow one first — the wide interval can
+//! never trigger a placement). All kept orderings out of one source
+//! access therefore collapse to **at most two intervals** — the nearest
+//! kept same-block target per fence strength, falling back to the
+//! source-side `[u+1, terminator]` when any loop-carried or cross-block
+//! target survives pruning. The [`OrderingSelection`] aggregates answer
+//! those queries in `O(1)` per source after an `O(accesses)` per-block
+//! precomputation, so minimization is linear in accesses + reachable
+//! block pairs, with identical output to the exhaustive sweep.
 
-use crate::orderings::{FuncOrderings, OrderKind};
+use crate::orderings::{AccessKind, OrderKind, OrderingSelection};
 use fence_ir::{BlockId, FenceKind, FuncId, Function, Module};
 
 /// The hardware memory model fences are minimized against.
@@ -70,7 +86,6 @@ pub struct FencePoint {
 /// An enforcement requirement localized to one block.
 #[derive(Copy, Clone, Debug)]
 struct Interval {
-    block: u32,
     lo: u32,
     hi: u32,
     full: bool,
@@ -81,42 +96,11 @@ struct Interval {
 pub fn minimize_function(
     func: &Function,
     fid: FuncId,
-    ords: &FuncOrderings,
-    kept: &[(u32, u32)],
+    sel: &OrderingSelection<'_>,
     target: TargetModel,
     entry_fence: bool,
 ) -> Vec<FencePoint> {
-    let mut intervals = Vec::with_capacity(kept.len());
-    for &(ai, bi) in kept {
-        let a = &ords.accesses[ai as usize];
-        let b = &ords.accesses[bi as usize];
-        if a.atomic || b.atomic {
-            continue; // the atomic operation itself enforces the ordering
-        }
-        let kind = ords.kind((ai, bi));
-        let full = target.needs_full(kind);
-        let term = func.block(a.block).insts.len() - 1;
-        let (lo, hi) = if a.block == b.block && a.index < b.index {
-            (a.index + 1, b.index)
-        } else {
-            // Cross-block or loop-carried: cut at the source side.
-            (a.index + 1, term)
-        };
-        debug_assert!(lo <= hi, "access cannot be the terminator");
-        intervals.push(Interval {
-            block: a.block.index() as u32,
-            lo: lo as u32,
-            hi: hi as u32,
-            full,
-        });
-    }
-
-    // Group by block.
-    let mut by_block: Vec<Vec<Interval>> = vec![Vec::new(); func.num_blocks()];
-    for iv in intervals {
-        by_block[iv.block as usize].push(iv);
-    }
-
+    let ords = sel.ords;
     let mut points = Vec::new();
     if entry_fence {
         // Interprocedural w→r orderings need a real fence only on targets
@@ -134,15 +118,130 @@ pub fn minimize_function(
         });
     }
 
-    for (b, mut ivs) in by_block.into_iter().enumerate() {
-        if ivs.is_empty() {
+    let mut intervals: Vec<Interval> = Vec::new();
+    let sync_tally = sel.sync_tallies();
+    // `occupied` ascends, so blocks are visited — and points emitted — in
+    // the same order as the exhaustive per-pair sweep.
+    for (si, &b) in ords.occupied.iter().enumerate() {
+        let bi = b as usize;
+        let (s, e) = ords.block_range[bi];
+        let accs = &ords.accesses[s as usize..e as usize];
+        let m = accs.len();
+        let cyclic = ords.cyclic[bi];
+        let term = func.block(BlockId::new(bi)).insts.len() - 1;
+
+        // Cross-block kept-target availability (non-atomic), aggregated
+        // once per reachable block pair.
+        let mut cx_reads = 0usize;
+        let mut cx_writes = 0usize;
+        let mut cx_sync = 0usize;
+        for &tb in &ords.cross[si] {
+            let t = &ords.tally[tb as usize];
+            cx_reads += t.na_reads;
+            cx_writes += t.na_writes;
+            cx_sync += sync_tally[tb as usize].1;
+        }
+
+        // Nearest kept non-atomic same-block target *after* each position
+        // (by in-block instruction index), one backwards sweep.
+        const NONE: usize = usize::MAX;
+        let mut next_read = vec![NONE; m + 1];
+        let mut next_write = vec![NONE; m + 1];
+        let mut next_sync = vec![NONE; m + 1];
+        for p in (0..m).rev() {
+            next_read[p] = next_read[p + 1];
+            next_write[p] = next_write[p + 1];
+            next_sync[p] = next_sync[p + 1];
+            let t = &accs[p];
+            if !t.atomic {
+                match t.kind {
+                    AccessKind::Read => {
+                        next_read[p] = t.index;
+                        if sel.is_sync(t) {
+                            next_sync[p] = t.index;
+                        }
+                    }
+                    AccessKind::Write => next_write[p] = t.index,
+                }
+            }
+        }
+
+        // Per source access: at most one full and one directive interval
+        // (the nearest kept target of each strength; see module docs for
+        // why dominated wider intervals can be dropped).
+        intervals.clear();
+        let mut pre_reads = 0usize;
+        let mut pre_writes = 0usize;
+        let mut pre_sync = 0usize;
+        for (p, a) in accs.iter().enumerate() {
+            if !a.atomic {
+                match a.kind {
+                    AccessKind::Read => {
+                        pre_reads += 1;
+                        if sel.is_sync(a) {
+                            pre_sync += 1;
+                        }
+                    }
+                    AccessKind::Write => pre_writes += 1,
+                }
+            }
+            if a.atomic {
+                continue;
+            }
+            let lo = a.index + 1;
+            // Loop-carried targets are the block's own prefix (self
+            // included); cross-block targets come from the aggregates.
+            let long_reads = cx_reads + if cyclic { pre_reads } else { 0 };
+            let long_writes = cx_writes + if cyclic { pre_writes } else { 0 };
+            let long_sync = cx_sync + if cyclic { pre_sync } else { 0 };
+
+            let mut full_hi = NONE;
+            let mut dir_hi = NONE;
+            let mut consider = |kind: OrderKind, short_next: usize, long_avail: bool| {
+                let slot = if target.needs_full(kind) {
+                    &mut full_hi
+                } else {
+                    &mut dir_hi
+                };
+                if short_next != NONE {
+                    *slot = (*slot).min(short_next);
+                } else if long_avail {
+                    *slot = (*slot).min(term);
+                }
+            };
+            match a.kind {
+                AccessKind::Read => {
+                    // r → r kept only for sync-read sources; r → w always.
+                    if sel.is_sync(a) {
+                        consider(OrderKind::RR, next_read[p + 1], long_reads > 0);
+                    }
+                    consider(OrderKind::RW, next_write[p + 1], long_writes > 0);
+                }
+                AccessKind::Write => {
+                    // w → r kept only toward sync reads; w → w always.
+                    consider(OrderKind::WR, next_sync[p + 1], long_sync > 0);
+                    consider(OrderKind::WW, next_write[p + 1], long_writes > 0);
+                }
+            }
+            for (hi, full) in [(full_hi, true), (dir_hi, false)] {
+                if hi != NONE {
+                    debug_assert!(lo <= hi, "access cannot be the terminator");
+                    intervals.push(Interval {
+                        lo: lo as u32,
+                        hi: hi as u32,
+                        full,
+                    });
+                }
+            }
+        }
+        if intervals.is_empty() {
             continue;
         }
-        ivs.sort_by_key(|iv| iv.hi);
+        intervals.sort_by_key(|iv| iv.hi);
 
         // Pass 1: full-fence intervals, greedy stabbing at right endpoints.
         let mut full_pts: Vec<u32> = Vec::new();
-        for iv in ivs.iter().filter(|iv| iv.full) {
+        for iv in intervals.iter().filter(|iv| iv.full) {
             let covered = full_pts.last().is_some_and(|&p| p >= iv.lo);
             if !covered {
                 full_pts.push(iv.hi);
@@ -150,7 +249,7 @@ pub fn minimize_function(
         }
         // Pass 2: remaining intervals may be satisfied by any placed point.
         let mut dir_pts: Vec<u32> = Vec::new();
-        for iv in ivs.iter().filter(|iv| !iv.full) {
+        for iv in intervals.iter().filter(|iv| !iv.full) {
             let by_full = full_pts.iter().any(|&p| p >= iv.lo && p <= iv.hi);
             let by_dir = dir_pts.last().is_some_and(|&p| p >= iv.lo);
             if !by_full && !by_dir {
@@ -161,7 +260,7 @@ pub fn minimize_function(
         for p in full_pts {
             points.push(FencePoint {
                 func: fid,
-                block: BlockId::new(b),
+                block: BlockId::new(bi),
                 gap: p as usize,
                 kind: FenceKind::Full,
             });
@@ -169,7 +268,7 @@ pub fn minimize_function(
         for p in dir_pts {
             points.push(FencePoint {
                 func: fid,
-                block: BlockId::new(b),
+                block: BlockId::new(bi),
                 gap: p as usize,
                 kind: FenceKind::Compiler,
             });
@@ -232,9 +331,8 @@ mod tests {
         } else {
             BitSet::new(func.num_insts())
         };
-        let kept = ords.prune(&sync);
         let has_sync = !sync.is_empty();
-        let pts = minimize_function(func, fid, &ords, &kept, target, has_sync);
+        let pts = minimize_function(func, fid, &ords.prune(&sync), target, has_sync);
         (ords, pts)
     }
 
@@ -323,12 +421,10 @@ mod tests {
                 sync.insert(iid.index());
             }
         }
-        let kept = ords.prune(&sync);
         let pts = minimize_function(
             m.func(fid),
             fid,
-            &ords,
-            &kept,
+            &ords.prune(&sync),
             TargetModel::ScHardware,
             false,
         );
@@ -350,10 +446,10 @@ mod tests {
         let m = mb.finish();
         let an = ModuleAnalysis::run(&m);
         let ords = FuncOrderings::generate(&m, &an.escape, fid);
-        let kept = ords.prune(&BitSet::new(m.func(fid).num_insts()));
+        let sync = BitSet::new(m.func(fid).num_insts());
+        let kept = ords.prune(&sync);
         assert_eq!(kept.len(), 1, "r→w survives pruning");
-        let pts =
-            minimize_function(m.func(fid), fid, &ords, &kept, TargetModel::Weak, false);
+        let pts = minimize_function(m.func(fid), fid, &kept, TargetModel::Weak, false);
         assert_eq!(count_fences(&pts), (1, 0));
     }
 

@@ -22,6 +22,25 @@
 //! * `r1 → r2` is kept iff `r1` is a sync read (`racq → r/w`),
 //! * `w → r` is kept iff `r` is a sync read (`wrel → racq`),
 //! * `r → w` and `w → w` are always kept (`r/w → wrel`).
+//!
+//! ## Block-aggregated representation
+//!
+//! The ordering relation of a function is quadratic in its escaping
+//! accesses, so this module never materializes it. Within a block,
+//! access-order makes a pair ordered iff the source precedes the target
+//! (every pair, in both directions, once the block sits on a CFG cycle);
+//! across blocks *all* accesses of a reachable block are ordered after
+//! *all* accesses of the source block. [`FuncOrderings`] therefore stores
+//! only the per-block access ranges, per-block cycle flags, and — once
+//! per *block pair*, answered by the SCC-condensed reachability table —
+//! the list of reachable access-bearing blocks.
+//!
+//! [`FuncOrderings::counts`] and [`OrderingSelection::counts`] evaluate
+//! the per-kind pair counts analytically from per-block read/write
+//! tallies (`O(accesses + block pairs)`), and fence minimization consumes
+//! per-source interval aggregates. The explicit pair list survives only
+//! as the lazy [`FuncOrderings::iter_pairs`] iterator for tests, reports
+//! and cross-checks; nothing on the hot path allocates per pair.
 
 use fence_analysis::escape::EscapeInfo;
 use fence_ir::cfg::{Cfg, Reachability};
@@ -97,13 +116,35 @@ impl OrderKind {
     }
 }
 
-/// The orderings of one function: the access table plus ordered pairs
-/// (indices into the table).
+/// Per-block access tallies used by the analytic counting paths.
+#[derive(Copy, Clone, Default, Debug)]
+pub(crate) struct BlockTally {
+    /// All reads / writes (for pair counts).
+    pub(crate) reads: usize,
+    pub(crate) writes: usize,
+    /// Non-atomic reads / writes (for fence minimization, which skips
+    /// atomic endpoints).
+    pub(crate) na_reads: usize,
+    pub(crate) na_writes: usize,
+}
+
+/// The orderings of one function, in block-aggregated form.
 pub struct FuncOrderings {
-    /// All escaping access occurrences, in block-sequential order.
+    /// All escaping access occurrences, in block-sequential order; the
+    /// accesses of one block occupy a contiguous index range.
     pub accesses: Vec<Access>,
-    /// Ordered pairs `(from, to)` indexing into `accesses`.
-    pub pairs: Vec<(u32, u32)>,
+    /// Per block: `[start, end)` into `accesses`.
+    pub(crate) block_range: Vec<(u32, u32)>,
+    /// Per block: lies on a CFG cycle.
+    pub(crate) cyclic: Vec<bool>,
+    /// Ascending block ids that contain at least one access.
+    pub(crate) occupied: Vec<u32>,
+    /// Per occupied block (same indexing as `occupied`): ascending list of
+    /// *other* access-bearing blocks reachable from it. One reachability
+    /// answer per block pair — never per access pair.
+    pub(crate) cross: Vec<Vec<u32>>,
+    /// Per block tallies.
+    pub(crate) tally: Vec<BlockTally>,
 }
 
 impl FuncOrderings {
@@ -113,9 +154,12 @@ impl FuncOrderings {
         let cfg = Cfg::new(func);
         let reach = Reachability::new(&cfg);
 
-        // ---- collect escaping access occurrences ----
+        // ---- collect escaping access occurrences, block-sequential ----
+        let nb = func.num_blocks();
         let mut accesses = Vec::new();
+        let mut block_range = vec![(0u32, 0u32); nb];
         for (bid, block) in func.iter_blocks() {
+            let start = accesses.len() as u32;
             for (index, &iid) in block.insts.iter().enumerate() {
                 let kind = &func.inst(iid).kind;
                 if kind.is_mem_access() {
@@ -156,43 +200,60 @@ impl FuncOrderings {
                     }
                 }
             }
+            block_range[bid.index()] = (start, accesses.len() as u32);
         }
 
-        // ---- enumerate ordered pairs ----
-        let mut pairs = Vec::new();
-        for (i, a) in accesses.iter().enumerate() {
-            for (j, b) in accesses.iter().enumerate() {
-                if i == j {
-                    // Same occurrence with itself: ordered only across loop
-                    // iterations.
-                    if reach.in_cycle(a.block) {
-                        pairs.push((i as u32, j as u32));
+        // ---- per-block structure ----
+        let mut cyclic = vec![false; nb];
+        let mut tally = vec![BlockTally::default(); nb];
+        let mut occupied = Vec::new();
+        for b in 0..nb {
+            cyclic[b] = reach.in_cycle(BlockId::new(b));
+            let (s, e) = block_range[b];
+            if s == e {
+                continue;
+            }
+            occupied.push(b as u32);
+            let t = &mut tally[b];
+            for a in &accesses[s as usize..e as usize] {
+                match a.kind {
+                    AccessKind::Read => {
+                        t.reads += 1;
+                        if !a.atomic {
+                            t.na_reads += 1;
+                        }
                     }
-                    continue;
-                }
-                if a.inst == b.inst && a.index == b.index {
-                    // Read and write part of one RMW occurrence: the read
-                    // precedes the write within the atomic operation.
-                    if a.kind == AccessKind::Read && b.kind == AccessKind::Write {
-                        pairs.push((i as u32, j as u32));
-                    } else if reach.in_cycle(a.block) {
-                        // write(iter k) → read(iter k+1)
-                        pairs.push((i as u32, j as u32));
+                    AccessKind::Write => {
+                        t.writes += 1;
+                        if !a.atomic {
+                            t.na_writes += 1;
+                        }
                     }
-                    continue;
-                }
-                let ordered = if a.block == b.block {
-                    a.index < b.index || reach.in_cycle(a.block)
-                } else {
-                    reach.reaches(a.block, b.block)
-                };
-                if ordered {
-                    pairs.push((i as u32, j as u32));
                 }
             }
         }
 
-        FuncOrderings { accesses, pairs }
+        // ---- one reachability answer per occupied block pair ----
+        let mut cross = Vec::with_capacity(occupied.len());
+        for &b in &occupied {
+            let mut targets = Vec::new();
+            for t in reach.row(BlockId::new(b as usize)).iter() {
+                let (s, e) = block_range[t];
+                if t != b as usize && s != e {
+                    targets.push(t as u32);
+                }
+            }
+            cross.push(targets);
+        }
+
+        FuncOrderings {
+            accesses,
+            block_range,
+            cyclic,
+            occupied,
+            cross,
+            tally,
+        }
     }
 
     /// The kind of pair `p`.
@@ -203,41 +264,235 @@ impl FuncOrderings {
         )
     }
 
-    /// Counts of all pairs by kind (`[rr, rw, wr, ww]`).
-    pub fn counts(&self) -> [usize; 4] {
-        let mut c = [0usize; 4];
-        for &p in &self.pairs {
-            c[self.kind(p).idx()] += 1;
+    /// Keeps every ordering — the Pensieve baseline selection. No pair
+    /// list is cloned or even materialized.
+    pub fn all(&self) -> OrderingSelection<'_> {
+        OrderingSelection {
+            ords: self,
+            sync: None,
         }
-        c
     }
 
     /// Applies the Table I pruning rules given the function's detected
-    /// sync reads (bit-indexed by `InstId`). Returns the kept pairs.
-    pub fn prune(&self, sync_reads: &BitSet) -> Vec<(u32, u32)> {
-        self.pairs
-            .iter()
-            .copied()
-            .filter(|&(a, b)| {
-                let fa = &self.accesses[a as usize];
-                let fb = &self.accesses[b as usize];
-                match OrderKind::of(fa.kind, fb.kind) {
-                    // racq → r : first read must be an acquire.
-                    OrderKind::RR => sync_reads.contains(fa.inst.index()),
-                    // wrel → racq : second read must be an acquire.
-                    OrderKind::WR => sync_reads.contains(fb.inst.index()),
-                    // r/w → wrel : second write is conservatively a release.
-                    OrderKind::RW | OrderKind::WW => true,
-                }
-            })
-            .collect()
+    /// sync reads (bit-indexed by `InstId`). The selection is a lazy
+    /// filter over the aggregated relation.
+    pub fn prune<'a>(&'a self, sync_reads: &'a BitSet) -> OrderingSelection<'a> {
+        OrderingSelection {
+            ords: self,
+            sync: Some(sync_reads),
+        }
     }
 
-    /// Counts a pair subset by kind.
-    pub fn counts_of(&self, pairs: &[(u32, u32)]) -> [usize; 4] {
+    /// Counts of all generated pairs by kind (`[rr, rw, wr, ww]`),
+    /// computed analytically from the block aggregates.
+    pub fn counts(&self) -> [usize; 4] {
+        self.all().counts()
+    }
+
+    /// Whether pair `(a, b)` is in the generated ordering relation.
+    pub fn ordered(&self, a: u32, b: u32) -> bool {
+        let fa = &self.accesses[a as usize];
+        let fb = &self.accesses[b as usize];
+        if fa.block == fb.block {
+            self.cyclic[fa.block.index()] || a < b
+        } else {
+            // Cross-block orderings exist exactly for the recorded
+            // reachable block pairs.
+            let si = self
+                .occupied
+                .binary_search(&(fa.block.index() as u32))
+                .expect("source block has accesses");
+            self.cross[si]
+                .binary_search(&(fb.block.index() as u32))
+                .is_ok()
+        }
+    }
+
+    /// Explicit pair iterator in the legacy lexicographic `(from, to)`
+    /// order — for tests, reports and cross-checks only; the pipeline
+    /// never materializes pairs.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.accesses.len() as u32).flat_map(move |i| self.pairs_from(i))
+    }
+
+    /// All ordered pairs with source `i`, ascending target index.
+    fn pairs_from(&self, i: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let a = &self.accesses[i as usize];
+        let b = a.block.index() as u32;
+        let si = self
+            .occupied
+            .binary_search(&b)
+            .expect("source block has accesses");
+        let (s, e) = self.block_range[b as usize];
+        let own: std::ops::Range<u32> = if self.cyclic[b as usize] {
+            s..e
+        } else {
+            i + 1..e
+        };
+        let before = self.cross[si]
+            .iter()
+            .take_while(move |&&t| t < b)
+            .flat_map(move |&t| {
+                let (ts, te) = self.block_range[t as usize];
+                ts..te
+            });
+        let after = self.cross[si]
+            .iter()
+            .skip_while(move |&&t| t < b)
+            .flat_map(move |&t| {
+                let (ts, te) = self.block_range[t as usize];
+                ts..te
+            });
+        before
+            .chain(own)
+            .chain(after)
+            .map(move |j| (i, j))
+    }
+}
+
+/// A pruned (or complete) view of a function's orderings: the aggregated
+/// relation plus the sync-read filter. Consumed by counting and fence
+/// minimization without ever materializing pairs.
+#[derive(Copy, Clone)]
+pub struct OrderingSelection<'a> {
+    /// The underlying aggregated relation.
+    pub ords: &'a FuncOrderings,
+    /// `None` keeps everything (Pensieve); `Some` applies Table I.
+    sync: Option<&'a BitSet>,
+}
+
+impl<'a> OrderingSelection<'a> {
+    /// Is the (generated) pair kept by the pruning rules?
+    pub fn keeps(&self, a: u32, b: u32) -> bool {
+        let Some(sync) = self.sync else { return true };
+        let fa = &self.ords.accesses[a as usize];
+        let fb = &self.ords.accesses[b as usize];
+        match OrderKind::of(fa.kind, fb.kind) {
+            // racq → r : first read must be an acquire.
+            OrderKind::RR => sync.contains(fa.inst.index()),
+            // wrel → racq : second read must be an acquire.
+            OrderKind::WR => sync.contains(fb.inst.index()),
+            // r/w → wrel : second write is conservatively a release.
+            OrderKind::RW | OrderKind::WW => true,
+        }
+    }
+
+    /// `true` if an access (by table index) counts as a sync read under
+    /// this selection.
+    #[inline]
+    pub(crate) fn is_sync(&self, a: &Access) -> bool {
+        a.kind == AccessKind::Read
+            && self.sync.is_none_or(|s| s.contains(a.inst.index()))
+    }
+
+    /// Per-block `(sync_reads, non_atomic_sync_reads)` tallies under this
+    /// selection — one `O(accesses)` pass, so per-block-pair aggregation
+    /// never rescans access lists.
+    pub(crate) fn sync_tallies(&self) -> Vec<(usize, usize)> {
+        let ords = self.ords;
+        let mut t = vec![(0usize, 0usize); ords.block_range.len()];
+        match self.sync {
+            None => {
+                for &b in &ords.occupied {
+                    let bt = &ords.tally[b as usize];
+                    t[b as usize] = (bt.reads, bt.na_reads);
+                }
+            }
+            Some(_) => {
+                for a in &ords.accesses {
+                    if self.is_sync(a) {
+                        let slot = &mut t[a.block.index()];
+                        slot.0 += 1;
+                        if !a.atomic {
+                            slot.1 += 1;
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Kept pairs, lazily, in legacy order (tests/reports only).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + 'a {
+        let this = *self;
+        this.ords
+            .iter_pairs()
+            .filter(move |&(a, b)| this.keeps(a, b))
+    }
+
+    /// Number of kept pairs.
+    pub fn len(&self) -> usize {
+        self.counts().iter().sum()
+    }
+
+    /// `true` if nothing survives.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Kept-pair counts by kind, computed analytically: per-block tallies
+    /// plus one term per reachable block pair — `O(accesses + block
+    /// pairs)` instead of a sweep over the quadratic pair list.
+    pub fn counts(&self) -> [usize; 4] {
+        let ords = self.ords;
+        let sync_tally = self.sync_tallies();
         let mut c = [0usize; 4];
-        for &p in pairs {
-            c[self.kind(p).idx()] += 1;
+        for (si, &b) in ords.occupied.iter().enumerate() {
+            let bi = b as usize;
+            let range = ords.block_range[bi];
+            let accs = &ords.accesses[range.0 as usize..range.1 as usize];
+            let t = &ords.tally[bi];
+            // Sync-read tally of this block under the selection.
+            let sync_reads = sync_tally[bi].0;
+
+            // -- same-block pairs --
+            if ords.cyclic[bi] {
+                // Every (i, j) pair, both directions and i == j.
+                c[OrderKind::RR.idx()] += sync_reads * t.reads;
+                c[OrderKind::RW.idx()] += t.reads * t.writes;
+                c[OrderKind::WR.idx()] += t.writes * sync_reads;
+                c[OrderKind::WW.idx()] += t.writes * t.writes;
+            } else {
+                // Pairs i < j: walk once with suffix tallies.
+                let mut suf_reads = t.reads;
+                let mut suf_writes = t.writes;
+                let mut suf_sync = sync_reads;
+                for a in accs {
+                    match a.kind {
+                        AccessKind::Read => {
+                            suf_reads -= 1;
+                            if self.is_sync(a) {
+                                suf_sync -= 1;
+                            }
+                            c[OrderKind::RW.idx()] += suf_writes;
+                            if self.is_sync(a) {
+                                c[OrderKind::RR.idx()] += suf_reads;
+                            }
+                        }
+                        AccessKind::Write => {
+                            suf_writes -= 1;
+                            c[OrderKind::WW.idx()] += suf_writes;
+                            c[OrderKind::WR.idx()] += suf_sync;
+                        }
+                    }
+                }
+            }
+
+            // -- cross-block pairs: one term per reachable block pair --
+            let mut tgt_reads = 0usize;
+            let mut tgt_writes = 0usize;
+            let mut tgt_sync = 0usize;
+            for &tb in &ords.cross[si] {
+                let tt = &ords.tally[tb as usize];
+                tgt_reads += tt.reads;
+                tgt_writes += tt.writes;
+                tgt_sync += sync_tally[tb as usize].0;
+            }
+            c[OrderKind::RR.idx()] += sync_reads * tgt_reads;
+            c[OrderKind::RW.idx()] += t.reads * tgt_writes;
+            c[OrderKind::WR.idx()] += t.writes * tgt_sync;
+            c[OrderKind::WW.idx()] += t.writes * tgt_writes;
         }
         c
     }
@@ -288,8 +543,7 @@ mod tests {
         let an = ModuleAnalysis::run(&m);
         let ords = FuncOrderings::generate(&m, &an.escape, fid);
         let none = BitSet::new(m.func(fid).num_insts());
-        let kept = ords.prune(&none);
-        let counts = ords.counts_of(&kept);
+        let counts = ords.prune(&none).counts();
         assert_eq!(counts[OrderKind::RR.idx()], 0, "all r→r pruned");
         assert_eq!(counts[OrderKind::WR.idx()], 0, "all w→r pruned");
         assert_eq!(
@@ -321,8 +575,9 @@ mod tests {
         assert_eq!(ords.counts(), [0, 0, 1, 0]);
         let mut sync = BitSet::new(m.func(fid).num_insts());
         sync.insert(r.as_inst().unwrap().index());
-        let kept = ords.prune(&sync);
-        assert_eq!(kept.len(), 1, "w→racq kept");
+        let sel = ords.prune(&sync);
+        assert_eq!(sel.len(), 1, "w→racq kept");
+        assert_eq!(sel.iter().count(), 1);
     }
 
     /// Accesses inside a loop are ordered with themselves across
@@ -403,5 +658,133 @@ mod tests {
         let ords = FuncOrderings::generate(&m, &an.escape, fid);
         // store a → store b : one w→w. Nothing backwards.
         assert_eq!(ords.counts(), [0, 0, 0, 1]);
+    }
+
+    /// The seed algorithm, verbatim, as a test oracle: the aggregated
+    /// representation must reproduce its pair list, counts, and pruning
+    /// on representative shapes (loops, branches, RMW, intrinsics).
+    #[test]
+    fn matches_naive_pair_enumeration() {
+        use fence_ir::cfg::{Cfg, Reachability};
+        let shapes: Vec<fence_ir::Module> = vec![
+            {
+                // Mixed straight-line + branch + loop.
+                let mut mb = ModuleBuilder::new("m1");
+                let a = mb.global("a", 1);
+                let b = mb.global("b", 1);
+                let c = mb.global("c", 1);
+                let mut fb = FunctionBuilder::new("f", 1);
+                let _ = fb.load(a);
+                fb.store(b, 1i64);
+                fb.if_then(fence_ir::Value::Arg(0), |f| {
+                    let v = f.load(c);
+                    f.store(c, v);
+                });
+                fb.for_loop(0i64, 3i64, |f, _| {
+                    let v = f.load(a);
+                    f.store(b, v);
+                    let _ = f.rmw(fence_ir::RmwOp::Add, c, 1i64);
+                });
+                let _ = fb.load(b);
+                fb.ret(None);
+                mb.add_func(fb.build());
+                mb.finish()
+            },
+            {
+                // Locks + spin + CAS.
+                let mut mb = ModuleBuilder::new("m2");
+                let l = mb.global("lock", 1);
+                let d = mb.global("d", 1);
+                let f1 = mb.global("flag", 1);
+                let mut fb = FunctionBuilder::new("g", 0);
+                fb.lock_acquire(l);
+                fb.store(d, 1i64);
+                fb.lock_release(l);
+                fb.spin_while_eq(f1, 0i64);
+                let _ = fb.cas(d, 0i64, 1i64);
+                let _ = fb.load(d);
+                fb.ret(None);
+                mb.add_func(fb.build());
+                mb.finish()
+            },
+        ];
+        for m in &shapes {
+            let an = ModuleAnalysis::run(m);
+            for (fid, func) in m.iter_funcs() {
+                let ords = FuncOrderings::generate(m, &an.escape, fid);
+                // -- the seed enumeration, verbatim --
+                let cfg = Cfg::new(func);
+                let reach = Reachability::new(&cfg);
+                let mut naive = Vec::new();
+                for (i, a) in ords.accesses.iter().enumerate() {
+                    for (j, b) in ords.accesses.iter().enumerate() {
+                        if i == j {
+                            if reach.in_cycle(a.block) {
+                                naive.push((i as u32, j as u32));
+                            }
+                            continue;
+                        }
+                        if a.inst == b.inst && a.index == b.index {
+                            if a.kind == AccessKind::Read && b.kind == AccessKind::Write {
+                                naive.push((i as u32, j as u32));
+                            } else if reach.in_cycle(a.block) {
+                                naive.push((i as u32, j as u32));
+                            }
+                            continue;
+                        }
+                        let ordered = if a.block == b.block {
+                            a.index < b.index || reach.in_cycle(a.block)
+                        } else {
+                            reach.reaches(a.block, b.block)
+                        };
+                        if ordered {
+                            naive.push((i as u32, j as u32));
+                        }
+                    }
+                }
+                let got: Vec<(u32, u32)> = ords.iter_pairs().collect();
+                assert_eq!(got, naive, "{}: pair list", func.name);
+                for &(a, b) in &naive {
+                    assert!(ords.ordered(a, b), "{}: ordered({a},{b})", func.name);
+                }
+                // Counts agree with a sweep over the naive list.
+                let mut expect = [0usize; 4];
+                for &p in &naive {
+                    expect[ords.kind(p).idx()] += 1;
+                }
+                assert_eq!(ords.counts(), expect, "{}: counts", func.name);
+                // Pruned counts agree for an arbitrary sync set (every
+                // other escaping read).
+                let mut sync = BitSet::new(func.num_insts());
+                for (k, a) in ords.accesses.iter().enumerate() {
+                    if a.kind == AccessKind::Read && k % 2 == 0 {
+                        sync.insert(a.inst.index());
+                    }
+                }
+                let sel = ords.prune(&sync);
+                let mut expect_kept = [0usize; 4];
+                let mut kept_list = Vec::new();
+                for &(pa, pb) in &naive {
+                    let fa = &ords.accesses[pa as usize];
+                    let fb = &ords.accesses[pb as usize];
+                    let keep = match OrderKind::of(fa.kind, fb.kind) {
+                        OrderKind::RR => sync.contains(fa.inst.index()),
+                        OrderKind::WR => sync.contains(fb.inst.index()),
+                        _ => true,
+                    };
+                    if keep {
+                        expect_kept[ords.kind((pa, pb)).idx()] += 1;
+                        kept_list.push((pa, pb));
+                    }
+                }
+                assert_eq!(sel.counts(), expect_kept, "{}: pruned counts", func.name);
+                assert_eq!(
+                    sel.iter().collect::<Vec<_>>(),
+                    kept_list,
+                    "{}: pruned list",
+                    func.name
+                );
+            }
+        }
     }
 }

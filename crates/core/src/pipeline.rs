@@ -13,8 +13,11 @@
 //!   baseline).
 //!
 //! Functions are independent after the module-wide analysis, so the
-//! per-function stage optionally runs on a crossbeam thread pool
-//! ([`PipelineConfig::parallel`]).
+//! per-function stage optionally runs on std scoped threads
+//! ([`PipelineConfig::parallel`]): workers pull function indices from an
+//! atomic counter and channel `(index, result)` pairs back to the driver,
+//! which writes them into disjoint slots — no lock is ever contended on
+//! the hot path, and the result order is deterministic by construction.
 
 use crate::acquire::{detect_acquires, pensieve_all_reads, AcquireInfo, DetectMode};
 use crate::insert::insert_fences;
@@ -23,7 +26,7 @@ use crate::orderings::FuncOrderings;
 use crate::report::{FuncReport, ModuleReport};
 use fence_analysis::ModuleAnalysis;
 use fence_ir::{FenceKind, FuncId, Module};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which sync-read set drives pruning.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -123,12 +126,14 @@ fn process_function(
     };
 
     let ords = FuncOrderings::generate(module, &analysis.escape, fid);
+    // A lazy selection over the aggregated relation — Pensieve keeps
+    // everything without cloning a pair list.
     let kept = match config.variant {
-        Variant::Pensieve => ords.pairs.clone(),
+        Variant::Pensieve => ords.all(),
         _ => ords.prune(&info.sync_reads),
     };
     let entry_fence = !info.sync_reads.is_empty();
-    let points = minimize_function(func, fid, &ords, &kept, config.target, entry_fence);
+    let points = minimize_function(func, fid, &kept, config.target, entry_fence);
 
     let (full, dir) = crate::minimize::count_fences(&points);
     let report = FuncReport {
@@ -140,7 +145,7 @@ fn process_function(
         address_acquires: info.address.count(),
         pure_address_acquires: info.pure_address_ids().len(),
         orderings_total: ords.counts(),
-        orderings_kept: ords.counts_of(&kept),
+        orderings_kept: kept.counts(),
         full_fences: full,
         compiler_fences: dir,
     };
@@ -175,32 +180,36 @@ pub fn run_pipeline(module: &Module, config: &PipelineConfig) -> PipelineResult 
     let mut slots: Vec<Option<(FuncReport, Vec<FencePoint>)>> = (0..n).map(|_| None).collect();
 
     if config.parallel && n > 1 {
-        let results: Mutex<Vec<(usize, (FuncReport, Vec<FencePoint>))>> =
-            Mutex::new(Vec::with_capacity(n));
         let nthreads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(4)
             .min(n);
-        crossbeam::thread::scope(|scope| {
-            for t in 0..nthreads {
-                let results = &results;
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, (FuncReport, Vec<FencePoint>))>();
+        std::thread::scope(|scope| {
+            for _ in 0..nthreads {
+                let tx = tx.clone();
+                let next = &next;
                 let analysis = &analysis;
-                scope.spawn(move |_| {
-                    let mut local = Vec::new();
-                    let mut i = t;
-                    while i < n {
-                        let fid = FuncId::new(i);
-                        local.push((i, process_function(module, analysis, fid, config)));
-                        i += nthreads;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
                     }
-                    results.lock().extend(local);
+                    let fid = FuncId::new(i);
+                    let r = process_function(module, analysis, fid, config);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
                 });
             }
-        })
-        .expect("pipeline worker panicked");
-        for (i, r) in results.into_inner() {
-            slots[i] = Some(r);
-        }
+            drop(tx);
+            // Fill disjoint slots as results stream in; function index keys
+            // the slot, so arrival order cannot affect the output.
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+        });
     } else {
         for i in 0..n {
             slots[i] = Some(process_function(module, &analysis, FuncId::new(i), config));

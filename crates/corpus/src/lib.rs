@@ -21,6 +21,9 @@
 pub mod kernels;
 pub mod lockfree;
 pub mod splash;
+pub mod synthetic;
+
+pub use synthetic::synthetic_scaled;
 
 use fence_ir::Module;
 use memsim::ThreadSpec;

@@ -1,0 +1,148 @@
+//! Deterministic scaling corpus: modules with a tunable number of
+//! escaping accesses spread across many blocks and functions.
+//!
+//! The evaluation corpus tops out at SPLASH-2-kernel size; the analysis
+//! hot paths only show their asymptotics on much larger inputs. This
+//! generator produces structurally varied fence-free modules — straight
+//! runs, branches, loops, and spin acquires over a shared global pool —
+//! whose escaping-access count grows linearly with `n`, for the
+//! `ordering_scaling` bench and future large-workload PRs.
+
+use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+use fence_ir::{GlobalId, Module};
+
+/// Deterministic splitmix64, so every build of the corpus is identical.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Builds a module with roughly `n` escaping accesses (all on shared
+/// globals, so escape analysis marks every one), spread across functions
+/// whose bodies mix straight-line runs, conditional branches, counted
+/// loops, and flag spins.
+///
+/// Function size grows with `n` (at `n = 16` functions' worth, each
+/// function holds `n / 16` accesses): per-function quadratic hot paths
+/// blow up on it while near-linear ones stay flat, which is exactly what
+/// the `ordering_scaling` bench wants to expose. Block count grows with
+/// function size, so accesses stay spread across many blocks.
+pub fn synthetic_scaled(n: usize) -> Module {
+    let mut rng = Rng(0x5eed_0ff_ace ^ n as u64);
+    let mut mb = ModuleBuilder::new(format!("synthetic_{n}"));
+
+    // A shared global pool: data words plus spin flags.
+    let num_globals = 24.max(n / 64);
+    let globals: Vec<GlobalId> = (0..num_globals)
+        .map(|i| mb.global(format!("g{i}"), 1 + (i % 7) as u32))
+        .collect();
+    let flags: Vec<GlobalId> = (0..8).map(|i| mb.global(format!("flag{i}"), 1)).collect();
+
+    let per_func = (n / 16).clamp(48, 8192);
+    let num_funcs = (n / per_func).max(1);
+    for f in 0..num_funcs {
+        let mut fb = FunctionBuilder::new(format!("worker{f}"), 1);
+        let mut placed = 0usize;
+        while placed < per_func {
+            let g = globals[rng.below(globals.len() as u64) as usize];
+            let h = globals[rng.below(globals.len() as u64) as usize];
+            match rng.below(4) {
+                // Straight run: load/store burst in the current block.
+                0 => {
+                    let v = fb.load(g);
+                    fb.store(h, v);
+                    let _ = fb.load(h);
+                    placed += 3;
+                }
+                // Conditional branch guarding a store (control shape).
+                1 => {
+                    let v = fb.load(g);
+                    let c = fb.ne(v, 0i64);
+                    fb.if_then(c, |b| {
+                        b.store(h, 1i64);
+                        let _ = b.load(g);
+                    });
+                    placed += 3;
+                }
+                // Counted loop carrying accesses across iterations.
+                2 => {
+                    fb.for_loop(0i64, 4i64, |b, i| {
+                        let p = b.gep(g, i);
+                        let v = b.load(p);
+                        b.store(h, v);
+                    });
+                    placed += 2;
+                }
+                // Spin on a flag: a genuine sync read for the pruning path.
+                _ => {
+                    let flag = flags[rng.below(flags.len() as u64) as usize];
+                    fb.spin_while_eq(flag, 0i64);
+                    let v = fb.load(g);
+                    fb.store(h, v);
+                    placed += 3;
+                }
+            }
+        }
+        fb.ret(None);
+        mb.add_func(fb.build());
+    }
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_linearly_and_verifies() {
+        let mut last = 0usize;
+        for n in [64, 256, 1024] {
+            let m = synthetic_scaled(n);
+            assert!(
+                fence_ir::verify_module(&m).is_empty(),
+                "synthetic_scaled({n}) verifies"
+            );
+            let accesses: usize = m
+                .funcs
+                .iter()
+                .map(|f| {
+                    f.insts
+                        .iter()
+                        .filter(|i| i.kind.is_mem_access())
+                        .count()
+                })
+                .sum();
+            assert!(
+                accesses >= n / 2,
+                "n={n}: expected ≥{} accesses, got {accesses}",
+                n / 2
+            );
+            assert!(accesses > last, "access count grows with n");
+            last = accesses;
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = fence_ir::printer::print_module(&synthetic_scaled(256));
+        let b = fence_ir::printer::print_module(&synthetic_scaled(256));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fence_free_by_construction() {
+        let m = synthetic_scaled(256);
+        assert_eq!(crate::Program::count_manual_fences(&m), 0);
+    }
+}

@@ -101,12 +101,22 @@ impl BitSet {
     }
 
     /// Removes `idx`; returns `true` if it was present.
+    ///
+    /// Like [`BitSet::contains`] (and unlike the old direct indexing, which
+    /// panicked), an out-of-universe index is a debug assertion but a safe
+    /// no-op returning `false` in release builds.
     #[inline]
     pub fn remove(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bit {idx} out of universe {}", self.len);
         let (w, b) = (idx / 64, idx % 64);
-        let old = self.words[w];
-        self.words[w] = old & !(1 << b);
-        old & (1 << b) != 0
+        match self.words.get_mut(w) {
+            Some(word) => {
+                let old = *word;
+                *word = old & !(1 << b);
+                old & (1 << b) != 0
+            }
+            None => false,
+        }
     }
 
     /// Membership test.
@@ -124,6 +134,32 @@ impl BitSet {
             let new = *a | *b;
             changed |= new != *a;
             *a = new;
+        }
+        changed
+    }
+
+    /// Unions `other` into `self` and records the bits that were actually
+    /// new into `delta` (word-level). Returns `true` if `self` changed.
+    ///
+    /// This is the primitive behind sparse worklist propagation: a solver
+    /// keeps one `delta` accumulator per node and only ever re-propagates
+    /// the genuinely new bits.
+    pub fn union_with_into(&mut self, other: &BitSet, delta: &mut BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        debug_assert_eq!(self.len, delta.len);
+        let mut changed = false;
+        for ((a, b), d) in self
+            .words
+            .iter_mut()
+            .zip(&other.words)
+            .zip(&mut delta.words)
+        {
+            let new = b & !*a;
+            if new != 0 {
+                *a |= new;
+                *d |= new;
+                changed = true;
+            }
         }
         changed
     }
@@ -146,6 +182,26 @@ impl BitSet {
         self.words.iter().all(|&w| w == 0)
     }
 
+    /// The smallest set index `>= from`, or `None` (word-level scan; the
+    /// primitive behind borrowed-set iterators).
+    pub fn next_set_bit(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let (mut w, b) = (from / 64, from % 64);
+        let mut word = self.words[w] & (!0u64 << b);
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
     /// Iterates over set indices in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -166,6 +222,7 @@ impl BitSet {
     pub fn clear(&mut self) {
         self.words.fill(0);
     }
+
 }
 
 #[cfg(test)]
@@ -217,6 +274,68 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.universe(), 10);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of universe")]
+    fn remove_out_of_universe_asserts_in_debug() {
+        let mut s = BitSet::new(10);
+        s.remove(10);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn remove_out_of_universe_is_safe_in_release() {
+        // Harmonized with `contains`: no panic, nothing to remove.
+        let mut s = BitSet::new(10);
+        assert!(!s.remove(10));
+        assert!(!s.remove(1_000_000));
+    }
+
+    #[test]
+    fn remove_and_contains_agree_on_word_slack() {
+        // Universe 10 occupies one 64-bit word; indices 10..64 are slack.
+        // `contains` reports false there and `remove` must behave the same
+        // way (modulo the debug assertion), never panic.
+        let mut s = BitSet::new(70);
+        s.insert(69);
+        assert!(!s.contains(68));
+        assert!(!s.remove(68));
+        assert!(s.remove(69));
+        assert!(!s.contains(69));
+    }
+
+    #[test]
+    fn union_with_into_records_only_new_bits() {
+        let mut a = BitSet::new(130);
+        a.insert(5);
+        a.insert(64);
+        let mut b = BitSet::new(130);
+        b.insert(64); // already present — must not land in delta
+        b.insert(65);
+        b.insert(129);
+        let mut delta = BitSet::new(130);
+        assert!(a.union_with_into(&b, &mut delta));
+        assert_eq!(delta.iter().collect::<Vec<_>>(), vec![65, 129]);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![5, 64, 65, 129]);
+        let mut delta2 = BitSet::new(130);
+        assert!(!a.union_with_into(&b, &mut delta2), "second union is a no-op");
+        assert!(delta2.is_empty());
+    }
+
+    #[test]
+    fn next_set_bit_scans_words() {
+        let mut s = BitSet::new(300);
+        for i in [0usize, 63, 64, 200] {
+            s.insert(i);
+        }
+        assert_eq!(s.next_set_bit(0), Some(0));
+        assert_eq!(s.next_set_bit(1), Some(63));
+        assert_eq!(s.next_set_bit(64), Some(64));
+        assert_eq!(s.next_set_bit(65), Some(200));
+        assert_eq!(s.next_set_bit(201), None);
+        assert_eq!(s.next_set_bit(1000), None);
     }
 
     #[test]

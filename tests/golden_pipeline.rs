@@ -1,0 +1,152 @@
+//! Golden equivalence test for the analysis hot-path rearchitecture.
+//!
+//! `tests/golden/pipeline.txt` records, for every corpus program and
+//! Table II kernel, under every automatic [`Variant`] and every
+//! [`TargetModel`], the exact fence points (count + order-sensitive hash)
+//! and every per-function `ModuleReport` counter, as produced by the
+//! *seed* implementation (naive whole-module points-to fixpoint, O(A²)
+//! pair materialization, per-block DFS reachability). The optimized
+//! implementations must reproduce these outputs bit-for-bit, sequential
+//! and parallel.
+//!
+//! Regenerate (only legitimate when intentionally changing semantics):
+//! `GOLDEN_REGEN=1 cargo test --test golden_pipeline`.
+
+use corpus::Params;
+use fenceplace::{run_pipeline, PipelineConfig, PipelineResult, TargetModel, Variant};
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = "tests/golden/pipeline.txt";
+
+fn target_name(t: TargetModel) -> &'static str {
+    match t {
+        TargetModel::X86Tso => "x86tso",
+        TargetModel::ScHardware => "sc",
+        TargetModel::Weak => "weak",
+    }
+}
+
+/// Order-sensitive FNV-1a hash of the fence-point list.
+fn points_hash(r: &PipelineResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for p in &r.points {
+        mix(p.func.index() as u64);
+        mix(p.block.index() as u64);
+        mix(p.gap as u64);
+        mix(matches!(p.kind, fence_ir::FenceKind::Full) as u64);
+    }
+    h
+}
+
+fn snapshot_one(label: &str, module: &fence_ir::Module, out: &mut String) {
+    for variant in Variant::automatic() {
+        for target in [
+            TargetModel::X86Tso,
+            TargetModel::ScHardware,
+            TargetModel::Weak,
+        ] {
+            let seq = run_pipeline(
+                module,
+                &PipelineConfig {
+                    variant,
+                    target,
+                    parallel: false,
+                },
+            );
+            let par = run_pipeline(
+                module,
+                &PipelineConfig {
+                    variant,
+                    target,
+                    parallel: true,
+                },
+            );
+            assert_eq!(
+                seq.points, par.points,
+                "{label}/{}/{}: parallel fence points diverge from sequential",
+                variant.name(),
+                target_name(target)
+            );
+            assert_eq!(
+                format!("{:?}", seq.report),
+                format!("{:?}", par.report),
+                "{label}/{}/{}: parallel report diverges from sequential",
+                variant.name(),
+                target_name(target)
+            );
+
+            let key = format!("{label}|{}|{}", variant.name(), target_name(target));
+            writeln!(
+                out,
+                "{key}|points={}|phash={:016x}",
+                seq.points.len(),
+                points_hash(&seq)
+            )
+            .unwrap();
+            for f in &seq.report.funcs {
+                writeln!(
+                    out,
+                    "{key}|fn={}|er={}|ew={}|acq={}|ctrl={}|addr={}|pure={}|ot={:?}|ok={:?}|full={}|dir={}",
+                    f.name,
+                    f.escaping_reads,
+                    f.escaping_writes,
+                    f.acquires,
+                    f.control_acquires,
+                    f.address_acquires,
+                    f.pure_address_acquires,
+                    f.orderings_total,
+                    f.orderings_kept,
+                    f.full_fences,
+                    f.compiler_fences
+                )
+                .unwrap();
+            }
+        }
+    }
+}
+
+fn full_snapshot() -> String {
+    let mut out = String::new();
+    for kernel in corpus::kernels::all() {
+        snapshot_one(&format!("kernel:{}", kernel.name), &kernel.module, &mut out);
+    }
+    for params in [Params::tiny(), Params::default()] {
+        for prog in corpus::programs(&params) {
+            snapshot_one(
+                &format!("corpus:{}@s{}", prog.name, params.scale),
+                &prog.module,
+                &mut out,
+            );
+        }
+    }
+    out
+}
+
+#[test]
+fn pipeline_outputs_match_seed_golden() {
+    let snapshot = full_snapshot();
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::create_dir_all("tests/golden").unwrap();
+        std::fs::write(GOLDEN_PATH, &snapshot).unwrap();
+        eprintln!("regenerated {GOLDEN_PATH} ({} lines)", snapshot.lines().count());
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run GOLDEN_REGEN=1 cargo test --test golden_pipeline");
+    if golden == snapshot {
+        return;
+    }
+    // Pinpoint the first divergence instead of dumping both files.
+    for (i, (g, s)) in golden.lines().zip(snapshot.lines()).enumerate() {
+        assert_eq!(g, s, "first divergence at golden line {}", i + 1);
+    }
+    assert_eq!(
+        golden.lines().count(),
+        snapshot.lines().count(),
+        "snapshot line count changed"
+    );
+}

@@ -107,8 +107,10 @@ proptest! {
         let info = detect_acquires(&m, &an.points_to, &an.escape, fid, DetectMode::Control);
         let ords = FuncOrderings::generate(&m, &an.escape, fid);
         let kept = ords.prune(&info.sync_reads);
-        let kept_set: std::collections::HashSet<(u32, u32)> = kept.iter().copied().collect();
-        for &pair in &ords.pairs {
+        let kept_set: std::collections::HashSet<(u32, u32)> = kept.iter().collect();
+        let mut n_pairs = 0usize;
+        for pair in ords.iter_pairs() {
+            n_pairs += 1;
             let (a, b) = pair;
             let fa = &ords.accesses[a as usize];
             let fb = &ords.accesses[b as usize];
@@ -118,7 +120,11 @@ proptest! {
                 OrderKind::RW | OrderKind::WW => true,
             };
             prop_assert_eq!(kept_set.contains(&pair), expected);
+            prop_assert_eq!(kept.keeps(a, b), expected);
         }
+        // The analytic counts agree with the explicit enumeration.
+        prop_assert_eq!(ords.counts().iter().sum::<usize>(), n_pairs);
+        prop_assert_eq!(kept.len(), kept_set.len());
     }
 
     /// The full pipeline never panics and produces verifying modules on
