@@ -6,57 +6,164 @@
 //! read"*). It is intraprocedural: only writers in the same function are
 //! returned, which matches the paper's intraprocedural slicing assumption
 //! (§4: the synchronizing read and the use occur in the same function).
+//!
+//! ## Inverted writer index
+//!
+//! The seed oracle answered `potential_writers(read)` by scanning every
+//! writer of the function and intersecting location sets — `O(writers)`
+//! per slice step, which made acquire detection the dominant pipeline
+//! stage on large modules. This oracle instead builds, once per function:
+//!
+//! * an **inverted index** `loc → writers`: every non-top writer is filed
+//!   under each abstract location its address may touch;
+//! * a dedicated **unknown-top bucket** for writers whose location set
+//!   contains `Unknown` — they may alias *everything*, so they are
+//!   returned for every read instead of being filed under every location;
+//! * an `occupied` bitmask of locations that have at least one indexed
+//!   writer, so a read's location set is walked with
+//!   [`BitSet::iter_intersection`] and empty buckets are skipped a word
+//!   at a time.
+//!
+//! A query now enumerates only writers whose location sets actually
+//! intersect the read's. Queries are **push-style**
+//! ([`AliasOracle::for_each_potential_writer`]): callers hand in a
+//! reusable [`WriterScratch`] for cross-bucket dedup and receive writers
+//! through a callback, so the slicer's hot loop allocates nothing.
+//!
+//! Per-access location sets are kept as *interned borrowed views*
+//! ([`PtsView`]) into the points-to results — one table entry per
+//! distinct set, no per-access `BitSet` clone.
 
-use crate::pointsto::PointsTo;
-use fence_ir::util::BitSet;
+use crate::pointsto::{PointsTo, PtsView};
+use fence_ir::util::{BitSet, FastMap};
 use fence_ir::{FuncId, Function, InstId, InstKind, Intrinsic, Module, Value};
+
+/// Reusable scratch state for [`AliasOracle::for_each_potential_writer`]:
+/// a dedup bitset (a writer filed under several locations must be
+/// reported once) cleared between queries by undoing only the bits the
+/// previous query touched.
+#[derive(Default)]
+pub struct WriterScratch {
+    seen: BitSet,
+    touched: Vec<u32>,
+}
+
+impl WriterScratch {
+    /// Creates an empty scratch; the oracle sizes it on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares for a query over a universe of `n` instructions.
+    fn begin(&mut self, n: usize) {
+        if self.seen.universe() < n {
+            self.seen = BitSet::new(n);
+        } else {
+            for &i in &self.touched {
+                self.seen.remove(i as usize);
+            }
+        }
+        self.touched.clear();
+    }
+
+    /// Marks `i`; returns `true` the first time.
+    #[inline]
+    fn mark(&mut self, i: usize) -> bool {
+        if self.seen.insert(i) {
+            self.touched.push(i as u32);
+            true
+        } else {
+            false
+        }
+    }
+}
 
 /// Per-function alias oracle (borrowing module-wide points-to results).
 pub struct AliasOracle<'a> {
     pt: &'a PointsTo,
     func_id: FuncId,
-    /// Cached location sets of every memory access's address operand.
-    access_locs: Vec<Option<BitSet>>,
-    /// Memory-writing instructions of the function (incl. lock intrinsics).
+    /// Interned location-set id of every memory access's address operand
+    /// (`None` for non-accesses).
+    access_set: Vec<Option<u32>>,
+    /// Distinct interned location sets, as borrowed views — no clones.
+    sets: Vec<PtsView<'a>>,
+    /// Memory-writing instructions of the function (incl. lock
+    /// intrinsics), in program order.
     writers: Vec<InstId>,
+    /// Writers whose location set contains `Unknown`: they may alias
+    /// every access, so they live in this bucket instead of the index.
+    top_writers: Vec<InstId>,
+    /// Inverted index: `loc_writers[l]` lists the non-top writers whose
+    /// location set contains `l`, in program order.
+    loc_writers: Vec<Vec<InstId>>,
+    /// Locations with at least one indexed writer (intersection mask).
+    occupied: BitSet,
 }
 
 impl<'a> AliasOracle<'a> {
     /// Builds the oracle for `func_id`.
     pub fn new(module: &Module, pt: &'a PointsTo, func_id: FuncId) -> Self {
         let func = module.func(func_id);
-        let mut access_locs = vec![None; func.num_insts()];
-        let mut writers = Vec::new();
+        let num_locs = pt.num_locs();
+        let unk = pt.unknown_idx();
+        let mut this = AliasOracle {
+            pt,
+            func_id,
+            access_set: vec![None; func.num_insts()],
+            sets: Vec::new(),
+            writers: Vec::new(),
+            top_writers: Vec::new(),
+            loc_writers: vec![Vec::new(); num_locs],
+            occupied: BitSet::new(num_locs),
+        };
+        // Interning key: views borrow directly from the points-to results,
+        // so identity (singleton index / borrowed set address) dedups all
+        // accesses sharing an address node without content hashing.
+        let mut intern: FastMap<(u8, usize), u32> = FastMap::default();
         for (iid, inst) in func.iter_insts() {
-            if let Some(addr) = inst.kind.mem_addr() {
-                access_locs[iid.index()] =
-                    Some(pt.addr_locs(func_id, addr).to_bitset(pt.num_locs()));
-                if inst.kind.is_mem_write() {
-                    writers.push(iid);
-                }
+            let (addr, is_write) = if let Some(addr) = inst.kind.mem_addr() {
+                (addr, inst.kind.is_mem_write())
             } else if let InstKind::CallIntrinsic { intr, args } = &inst.kind {
                 // Lock/barrier intrinsics write their lock word; model them
                 // as opaque writers so loads of the same word see them.
-                if intr.is_sync_boundary() {
-                    if let Some(&addr) = args.first() {
-                        access_locs[iid.index()] =
-                            Some(pt.addr_locs(func_id, addr).to_bitset(pt.num_locs()));
-                        writers.push(iid);
+                match args.first() {
+                    Some(&addr) if intr.is_sync_boundary() => (addr, true),
+                    _ => continue,
+                }
+            } else {
+                continue;
+            };
+            let view = pt.addr_locs(func_id, addr);
+            let key = match view {
+                PtsView::Empty => (0u8, 0usize),
+                PtsView::Singleton(s) => (1u8, s),
+                PtsView::Set(b) => (2u8, b as *const BitSet as usize),
+            };
+            let sets = &mut this.sets;
+            let sid = *intern.entry(key).or_insert_with(|| {
+                sets.push(view);
+                (sets.len() - 1) as u32
+            });
+            this.access_set[iid.index()] = Some(sid);
+            if is_write {
+                this.writers.push(iid);
+                if view.contains(unk) {
+                    this.top_writers.push(iid);
+                } else {
+                    for l in view.iter() {
+                        this.loc_writers[l].push(iid);
+                        this.occupied.insert(l);
                     }
                 }
             }
         }
-        AliasOracle {
-            pt,
-            func_id,
-            access_locs,
-            writers,
-        }
+        this
     }
 
-    /// The abstract locations access `iid` may touch (None for non-accesses).
-    pub fn locs_of(&self, iid: InstId) -> Option<&BitSet> {
-        self.access_locs[iid.index()].as_ref()
+    /// The abstract locations access `iid` may touch, as a borrowed view
+    /// (`None` for non-accesses).
+    pub fn locs_of(&self, iid: InstId) -> Option<PtsView<'a>> {
+        self.access_set[iid.index()].map(|sid| self.sets[sid as usize])
     }
 
     /// May two accesses of this function touch the same memory?
@@ -64,12 +171,18 @@ impl<'a> AliasOracle<'a> {
     /// Two accesses may alias if their location sets intersect, or either
     /// set contains `Unknown` (top).
     pub fn may_alias(&self, a: InstId, b: InstId) -> bool {
-        let (sa, sb) = match (self.locs_of(a), self.locs_of(b)) {
-            (Some(x), Some(y)) => (x, y),
+        let (sa, sb) = match (self.access_set[a.index()], self.access_set[b.index()]) {
+            (Some(x), Some(y)) => {
+                if x == y {
+                    // Same interned set; address sets are never empty.
+                    return true;
+                }
+                (self.sets[x as usize], self.sets[y as usize])
+            }
             _ => return false,
         };
         let unk = self.pt.unknown_idx();
-        sa.contains(unk) || sb.contains(unk) || sa.intersects(sb)
+        sa.contains(unk) || sb.contains(unk) || sa.intersects_view(&sb)
     }
 
     /// May an access alias a raw value used as an address?
@@ -81,17 +194,75 @@ impl<'a> AliasOracle<'a> {
         // Borrowed view — no allocation per query.
         let sb = self.pt.addr_locs(self.func_id, addr);
         let unk = self.pt.unknown_idx();
-        sa.contains(unk) || sb.contains(unk) || sb.intersects(sa)
+        sa.contains(unk) || sb.contains(unk) || sb.intersects_view(&sa)
     }
 
-    /// All memory-writing instructions of this function that may have
-    /// written the value read by `read` (paper Listing 2, line 17).
+    /// Calls `f` for every memory-writing instruction of this function
+    /// that may have written the value read by `read` (paper Listing 2,
+    /// line 17) — the push-style, allocation-free form of
+    /// [`AliasOracle::potential_writers`].
+    ///
+    /// Only buckets whose location intersects the read's set are visited;
+    /// unknown-top writers are reported for every read, and a read whose
+    /// own set contains `Unknown` receives all writers.
+    pub fn for_each_potential_writer(
+        &self,
+        read: InstId,
+        scratch: &mut WriterScratch,
+        mut f: impl FnMut(InstId),
+    ) {
+        let Some(sid) = self.access_set[read.index()] else {
+            return;
+        };
+        let rset = self.sets[sid as usize];
+        let unk = self.pt.unknown_idx();
+        if rset.contains(unk) {
+            // Top read: every writer may have produced the value.
+            for &w in &self.writers {
+                if w != read {
+                    f(w);
+                }
+            }
+            return;
+        }
+        // Unknown-top writers alias every access.
+        for &w in &self.top_writers {
+            if w != read {
+                f(w);
+            }
+        }
+        match rset {
+            PtsView::Empty => {}
+            // A single bucket lists each writer at most once: no dedup.
+            PtsView::Singleton(l) => {
+                for &w in &self.loc_writers[l] {
+                    if w != read {
+                        f(w);
+                    }
+                }
+            }
+            PtsView::Set(b) => {
+                scratch.begin(self.access_set.len());
+                for l in b.iter_intersection(&self.occupied) {
+                    for &w in &self.loc_writers[l] {
+                        if w != read && scratch.mark(w.index()) {
+                            f(w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materialized form of [`AliasOracle::for_each_potential_writer`]
+    /// (tests, reports, one-off callers). Writer *sets* are identical to
+    /// the seed's linear filter; enumeration order may differ (bucket
+    /// order instead of program order).
     pub fn potential_writers(&self, read: InstId) -> Vec<InstId> {
-        self.writers
-            .iter()
-            .copied()
-            .filter(|&w| w != read && self.may_alias(read, w))
-            .collect()
+        let mut scratch = WriterScratch::new();
+        let mut out = Vec::new();
+        self.for_each_potential_writer(read, &mut scratch, |w| out.push(w));
+        out
     }
 
     /// All writer instructions of the function (debug / stats).
@@ -165,6 +336,65 @@ mod tests {
             1,
             "unknown pointer may alias the global store"
         );
+    }
+
+    /// Writers through an unknown pointer land in the dedicated top
+    /// bucket and are returned for *every* read, without being filed
+    /// under any concrete location.
+    #[test]
+    fn unknown_top_writer_bucket() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let y = mb.global("y", 1);
+        let mut fb = FunctionBuilder::new("f", 1);
+        let lx = fb.load(x).as_inst().unwrap();
+        let ly = fb.load(y).as_inst().unwrap();
+        fb.store(Value::Arg(0), 1i64); // *p = 1 — unknown-top writer
+        fb.store(x, 2i64); // concrete writer
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let oracle = AliasOracle::new(&m, &pt, fid);
+        assert_eq!(oracle.top_writers.len(), 1, "one unknown-top writer");
+        let top = oracle.top_writers[0];
+        // The top writer is not filed under any location bucket.
+        assert!(oracle.loc_writers.iter().all(|b| !b.contains(&top)));
+        // It is reported for reads of unrelated locations.
+        let wy = oracle.potential_writers(ly);
+        assert_eq!(wy, vec![top], "read of y sees only the top writer");
+        // Reads of x see both the top writer and the concrete store.
+        let wx = oracle.potential_writers(lx);
+        assert_eq!(wx.len(), 2);
+        assert!(wx.contains(&top));
+    }
+
+    /// A read whose own address is unknown-top receives every writer,
+    /// and cross-bucket dedup reports multi-location writers once.
+    #[test]
+    fn top_read_sees_all_writers_once() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let b = mb.global("b", 1);
+        let mut fb = FunctionBuilder::new("f", 2);
+        // p selects between two globals: its set is {a, b}.
+        let p = fb.select(Value::Arg(1), a, b);
+        fb.store(p, 1i64); // writer filed under both a and b
+        let lr = fb.load(Value::Arg(0)).as_inst().unwrap(); // top read
+        let la = fb.load(a).as_inst().unwrap();
+        fb.ret(None);
+        let fid = mb.add_func(fb.build());
+        let m = mb.finish();
+        let pt = PointsTo::analyze(&m);
+        let oracle = AliasOracle::new(&m, &pt, fid);
+        assert_eq!(
+            oracle.potential_writers(lr).len(),
+            1,
+            "top read: all writers"
+        );
+        // The two-location writer is reported once despite two buckets.
+        let wa = oracle.potential_writers(la);
+        assert_eq!(wa.len(), 1, "dedup across buckets");
     }
 
     #[test]

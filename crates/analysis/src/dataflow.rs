@@ -100,7 +100,11 @@ pub fn solve(problem: &impl GenKill, cfg: &Cfg) -> DataflowResult {
         new.union_with(&masked);
         if &new != out_slot {
             *out_slot = new;
-            let affected = if forward { &cfg.succs[b] } else { &cfg.preds[b] };
+            let affected = if forward {
+                &cfg.succs[b]
+            } else {
+                &cfg.preds[b]
+            };
             for a in affected {
                 worklist.push(a.index());
             }
@@ -144,10 +148,9 @@ impl GenKill for LocalLiveness<'_> {
         let mut written = BitSet::new(self.domain_size());
         for &iid in &self.func.block(block).insts {
             match &self.func.inst(iid).kind {
-                InstKind::ReadLocal { local }
-                    if !written.contains(local.index()) => {
-                        g.insert(local.index());
-                    }
+                InstKind::ReadLocal { local } if !written.contains(local.index()) => {
+                    g.insert(local.index());
+                }
                 InstKind::WriteLocal { local, .. } => {
                     written.insert(local.index());
                 }

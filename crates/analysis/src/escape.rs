@@ -113,6 +113,25 @@ impl EscapeInfo {
             .filter(|&iid| func.inst(iid).kind.is_mem_write())
             .collect()
     }
+
+    /// Number of escaping reads — [`EscapeInfo::escaping_reads`] without
+    /// materializing the id list (report counters).
+    pub fn escaping_read_count(&self, module: &Module, f: FuncId) -> usize {
+        let func = module.func(f);
+        self.escaping_accesses[f.index()]
+            .iter()
+            .filter(|&i| func.inst(InstId::new(i)).kind.is_mem_read())
+            .count()
+    }
+
+    /// Number of escaping writes, without materializing the id list.
+    pub fn escaping_write_count(&self, module: &Module, f: FuncId) -> usize {
+        let func = module.func(f);
+        self.escaping_accesses[f.index()]
+            .iter()
+            .filter(|&i| func.inst(InstId::new(i)).kind.is_mem_write())
+            .count()
+    }
 }
 
 #[cfg(test)]

@@ -134,6 +134,18 @@ impl<'a> PtsView<'a> {
         }
     }
 
+    /// `true` if two views share an element (no materialization).
+    pub fn intersects_view(&self, other: &PtsView<'_>) -> bool {
+        match (self, other) {
+            (PtsView::Empty, _) | (_, PtsView::Empty) => false,
+            (PtsView::Singleton(a), PtsView::Singleton(b)) => a == b,
+            (PtsView::Singleton(a), PtsView::Set(s)) | (PtsView::Set(s), PtsView::Singleton(a)) => {
+                s.contains(*a)
+            }
+            (PtsView::Set(a), PtsView::Set(b)) => a.intersects(b),
+        }
+    }
+
     /// Iterates the locations in ascending order.
     pub fn iter(&self) -> PtsIter<'a> {
         match self {
@@ -615,10 +627,7 @@ impl<'m> Solver<'m> {
                     | InstKind::Store { addr, .. }
                     | InstKind::AtomicRmw { addr, .. }
                     | InstKind::AtomicCas { addr, .. } => {
-                        let Some(&con) = self
-                            .con_of
-                            .get(&(fi as u32, iid.index() as u32))
-                        else {
+                        let Some(&con) = self.con_of.get(&(fi as u32, iid.index() as u32)) else {
                             continue; // store of a constant: moves no pointers
                         };
                         let locs: Vec<usize> = match self.result.value_set(fid, *addr) {
@@ -916,16 +925,12 @@ mod tests {
         for (fid, func) in m.iter_funcs() {
             for (iid, _) in func.iter_insts() {
                 let got: Vec<usize> = pt.value_set(fid, Value::Inst(iid)).iter().collect();
-                let want: Vec<usize> = reference.val[fid.index()][iid.index()]
-                    .iter()
-                    .collect();
+                let want: Vec<usize> = reference.val[fid.index()][iid.index()].iter().collect();
                 assert_eq!(got, want, "{}/%{} value set", func.name, iid.index());
             }
             for a in 0..func.num_params {
-                let got: Vec<usize> =
-                    pt.value_set(fid, Value::Arg(a)).iter().collect();
-                let want: Vec<usize> =
-                    reference.arg[fid.index()][a as usize].iter().collect();
+                let got: Vec<usize> = pt.value_set(fid, Value::Arg(a)).iter().collect();
+                let want: Vec<usize> = reference.arg[fid.index()][a as usize].iter().collect();
                 assert_eq!(got, want, "{}/arg{a} set", func.name);
             }
         }

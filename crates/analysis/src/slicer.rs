@@ -17,7 +17,7 @@
 //! in Listing 1/3 where `seen` is initialized once per function) prevents
 //! cycles and re-traversal.
 
-use crate::alias::AliasOracle;
+use crate::alias::{AliasOracle, WriterScratch};
 use fence_ir::util::BitSet;
 use fence_ir::{Function, InstId, InstKind, Value};
 
@@ -32,23 +32,40 @@ pub struct Slicer<'a> {
     pub seen: BitSet,
     /// Escaping reads found in any slice so far.
     pub sync_reads: BitSet,
-    /// Cached writers of each local slot.
-    local_writers: Vec<Vec<InstId>>,
+    /// Writers of every local slot, built lazily — only when slicing
+    /// actually reads a local, and then with a single pass over the
+    /// function (the seed's eager per-slot scans were
+    /// `O(locals × insts)` even for functions whose slices never touch
+    /// a local).
+    local_writers: Option<Vec<Vec<InstId>>>,
+    /// Dedup scratch for the oracle's push-style writer queries.
+    scratch: WriterScratch,
+}
+
+/// One pass over `func` collecting the `WriteLocal` instructions of
+/// every slot (flow-insensitive reaching definitions, as in
+/// [`Function::writers_of_local`] but for all slots at once).
+fn local_writer_table(func: &Function) -> Vec<Vec<InstId>> {
+    let mut table = vec![Vec::new(); func.locals.len()];
+    for (iid, inst) in func.iter_insts() {
+        if let InstKind::WriteLocal { local, .. } = inst.kind {
+            table[local.index()].push(iid);
+        }
+    }
+    table
 }
 
 impl<'a> Slicer<'a> {
     /// Creates a fresh slicer for `func`.
     pub fn new(func: &'a Function, oracle: &'a AliasOracle<'a>, escaping: &'a BitSet) -> Self {
-        let local_writers = (0..func.locals.len())
-            .map(|l| func.writers_of_local(fence_ir::LocalId::new(l)))
-            .collect();
         Slicer {
             func,
             oracle,
             escaping,
             seen: BitSet::new(func.num_insts()),
             sync_reads: BitSet::new(func.num_insts()),
-            local_writers,
+            local_writers: None,
+            scratch: WriterScratch::new(),
         }
     }
 
@@ -71,9 +88,10 @@ impl<'a> Slicer<'a> {
                 if self.escaping.contains(inst.index()) {
                     self.sync_reads.insert(inst.index());
                 }
-                for w in self.oracle.potential_writers(inst) {
-                    work_list.push(w);
-                }
+                self.oracle
+                    .for_each_potential_writer(inst, &mut self.scratch, |w| {
+                        work_list.push(w);
+                    });
                 // RMW/CAS also *write* a value computed from their
                 // operands; when reached as a potential writer the written
                 // value flows onward, so follow their operands too.
@@ -82,9 +100,14 @@ impl<'a> Slicer<'a> {
                 }
             } else {
                 match kind {
-                    // Local reads flow through the slot's writers.
+                    // Local reads flow through the slot's writers,
+                    // computed lazily (one pass, first read only).
                     InstKind::ReadLocal { local } => {
-                        work_list.extend_from_slice(&self.local_writers[local.index()]);
+                        let func = self.func;
+                        let table = self
+                            .local_writers
+                            .get_or_insert_with(|| local_writer_table(func));
+                        work_list.extend_from_slice(&table[local.index()]);
                     }
                     // Everything else: operand definitions (Listing 2,
                     // lines 20–23).

@@ -1,0 +1,80 @@
+//! Scaling bench: acquire detection (oracle construction + both slicer
+//! passes, Address+Control) on `corpus::synthetic_scaled(n)`, seed
+//! algorithm vs. the inverted-writer-index one.
+//!
+//! The seed stage pays an `O(writers)` linear scan per memory read
+//! reached by a slice plus one owned `BitSet` clone per access; the
+//! optimized stage enumerates only the writers whose location sets
+//! intersect the read's (inverted `loc → writers` index, unknown-top
+//! bucket, interned borrowed views, push-style queries). The gap must
+//! widen with `n` — the acceptance bar for this PR is ≥5× at the
+//! largest size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fence_analysis::ModuleAnalysis;
+use fence_bench::naive::naive_detect_acquires;
+use fenceplace::acquire::{detect_acquires, DetectMode};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acquire_scaling");
+    for n in [250usize, 1000, 4000, 16000] {
+        let module = corpus::synthetic_scaled(n);
+        let an = ModuleAnalysis::run(&module);
+
+        // The two detectors must agree before we time anything.
+        for (fid, func) in module.iter_funcs() {
+            for mode in [DetectMode::Control, DetectMode::AddressControl] {
+                let seed = naive_detect_acquires(&module, &an.points_to, &an.escape, fid, mode);
+                let fast = detect_acquires(&module, &an.points_to, &an.escape, fid, mode);
+                assert_eq!(
+                    seed.sync_reads, fast.sync_reads,
+                    "{}: sync reads diverge at n={n} under {mode:?}",
+                    func.name
+                );
+                assert_eq!(seed.control, fast.control, "{}: control", func.name);
+                assert_eq!(seed.address, fast.address, "{}: address", func.name);
+            }
+        }
+
+        group.bench_with_input(BenchmarkId::new("seed", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for (fid, _) in module.iter_funcs() {
+                    total += naive_detect_acquires(
+                        &module,
+                        &an.points_to,
+                        &an.escape,
+                        fid,
+                        DetectMode::AddressControl,
+                    )
+                    .count();
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inverted", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for (fid, _) in module.iter_funcs() {
+                    total += detect_acquires(
+                        &module,
+                        &an.points_to,
+                        &an.escape,
+                        fid,
+                        DetectMode::AddressControl,
+                    )
+                    .count();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,12 +1,13 @@
 //! Criterion benches for the static side: points-to + escape analysis,
 //! acquire detection, and the full pipeline over the whole corpus
-//! (sequential vs. the crossbeam-parallel per-function driver).
+//! (sequential vs. the persistent-thread-pool per-function driver, and
+//! per-config `run_pipeline` sweeps vs. one `run_pipeline_batch`).
 
 use corpus::Params;
 use criterion::{criterion_group, criterion_main, Criterion};
 use fence_analysis::ModuleAnalysis;
 use fenceplace::acquire::{detect_acquires, DetectMode};
-use fenceplace::{run_pipeline, PipelineConfig, TargetModel, Variant};
+use fenceplace::{run_pipeline, run_pipeline_batch, PipelineConfig, TargetModel, Variant};
 
 fn bench_analysis(c: &mut Criterion) {
     let p = Params::default();
@@ -59,6 +60,42 @@ fn bench_analysis(c: &mut Criterion) {
             })
         });
     }
+
+    // The golden-test / figure-binary access pattern: every automatic
+    // variant × target, as individual runs vs. one batch sharing the
+    // module analysis, contexts, and per-variant acquire detection.
+    let mut sweep = Vec::new();
+    for variant in Variant::automatic() {
+        for target in [
+            TargetModel::X86Tso,
+            TargetModel::ScHardware,
+            TargetModel::Weak,
+        ] {
+            sweep.push(PipelineConfig {
+                variant,
+                target,
+                parallel: false,
+            });
+        }
+    }
+    c.bench_function("pipeline_sweep_individual", |b| {
+        b.iter(|| {
+            for prog in &programs {
+                for config in &sweep {
+                    let r = run_pipeline(&prog.module, config);
+                    std::hint::black_box(r.report.full_fences());
+                }
+            }
+        })
+    });
+    c.bench_function("pipeline_sweep_batch", |b| {
+        b.iter(|| {
+            for prog in &programs {
+                let rs = run_pipeline_batch(&prog.module, &sweep);
+                std::hint::black_box(rs.iter().map(|r| r.report.full_fences()).sum::<usize>());
+            }
+        })
+    });
 }
 
 criterion_group! {

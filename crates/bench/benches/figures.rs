@@ -26,11 +26,9 @@ fn bench_placements(c: &mut Criterion) {
             Variant::AddressControl,
             Variant::Control,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, variant.name()),
-                &variant,
-                |b, &v| b.iter(|| simulate_variant(prog, v).cycles),
-            );
+            group.bench_with_input(BenchmarkId::new(name, variant.name()), &variant, |b, &v| {
+                b.iter(|| simulate_variant(prog, v).cycles)
+            });
         }
     }
     group.finish();

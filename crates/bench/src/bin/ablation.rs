@@ -25,21 +25,25 @@ fn main() {
         "Program", "SC-hw", "x86-TSO", "Weak"
     );
     for prog in &programs {
-        let counts: Vec<usize> = [TargetModel::ScHardware, TargetModel::X86Tso, TargetModel::Weak]
-            .into_iter()
-            .map(|target| {
-                run_pipeline(
-                    &prog.module,
-                    &PipelineConfig {
-                        variant: Variant::Control,
-                        target,
-                        parallel: false,
-                    },
-                )
-                .report
-                .full_fences()
-            })
-            .collect();
+        let counts: Vec<usize> = [
+            TargetModel::ScHardware,
+            TargetModel::X86Tso,
+            TargetModel::Weak,
+        ]
+        .into_iter()
+        .map(|target| {
+            run_pipeline(
+                &prog.module,
+                &PipelineConfig {
+                    variant: Variant::Control,
+                    target,
+                    parallel: false,
+                },
+            )
+            .report
+            .full_fences()
+        })
+        .collect();
         println!(
             "{:<16} {:>10} {:>10} {:>10}",
             prog.name, counts[0], counts[1], counts[2]

@@ -32,7 +32,13 @@ fn main() {
             .map(|r| r.acquire_fraction(Variant::AddressControl)),
     );
     let g_c = summary(rows.iter().map(|r| r.acquire_fraction(Variant::Control)));
-    println!("{:<16} {:>7} {:>9} {:>9}", "geomean", "", pct(g_ac), pct(g_c));
+    println!(
+        "{:<16} {:>7} {:>9} {:>9}",
+        "geomean",
+        "",
+        pct(g_ac),
+        pct(g_c)
+    );
     println!();
     println!("Paper: Control ≈ 18% geomean (best 7%, worst 33%); Address+Control ≈ 60%.");
 }

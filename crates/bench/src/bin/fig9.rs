@@ -35,7 +35,12 @@ fn main() {
     let g_c = summary(rows.iter().map(|r| r.fence_fraction(Variant::Control)));
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "geomean", "", "", "", pct(g_ac), pct(g_c)
+        "geomean",
+        "",
+        "",
+        "",
+        pct(g_ac),
+        pct(g_c)
     );
     println!();
     println!("Paper: ~73% of Pensieve's fences remain under Address+Control,");

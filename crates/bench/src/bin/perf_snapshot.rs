@@ -65,16 +65,24 @@ fn time_min<T>(mut f: impl FnMut() -> T) -> f64 {
 }
 
 fn snapshot(module: &Module) -> StageMs {
-    let mut s = StageMs::default();
-    s.points_to = time_min(|| PointsTo::analyze(module));
+    let mut s = StageMs {
+        points_to: time_min(|| PointsTo::analyze(module)),
+        ..StageMs::default()
+    };
     let pt = PointsTo::analyze(module);
     s.escape = time_min(|| EscapeInfo::analyze(module, &pt));
     let an = ModuleAnalysis::run(module);
     s.acquire = time_min(|| {
         for (fid, _) in module.iter_funcs() {
             std::hint::black_box(
-                detect_acquires(module, &an.points_to, &an.escape, fid, DetectMode::AddressControl)
-                    .count(),
+                detect_acquires(
+                    module,
+                    &an.points_to,
+                    &an.escape,
+                    fid,
+                    DetectMode::AddressControl,
+                )
+                .count(),
             );
         }
     });
@@ -99,7 +107,13 @@ fn snapshot(module: &Module) -> StageMs {
         for (fid, func) in module.iter_funcs() {
             let kept = ords[fid.index()].prune(&sync[fid.index()]);
             let entry = !sync[fid.index()].is_empty();
-            std::hint::black_box(minimize_function(func, fid, &kept, TargetModel::X86Tso, entry));
+            std::hint::black_box(minimize_function(
+                func,
+                fid,
+                &kept,
+                TargetModel::X86Tso,
+                entry,
+            ));
         }
     });
     s

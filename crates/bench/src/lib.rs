@@ -11,7 +11,7 @@ use corpus::{Params, Program};
 use fence_analysis::ModuleAnalysis;
 use fenceplace::acquire::{detect_acquires, DetectMode};
 use fenceplace::report::geomean;
-use fenceplace::{run_pipeline, PipelineConfig, Variant};
+use fenceplace::{run_pipeline, run_pipeline_batch, PipelineConfig, Variant};
 use memsim::{SimConfig, Simulator};
 
 /// One row of Table II.
@@ -142,12 +142,21 @@ pub fn static_rows(p: &Params) -> Vec<StaticRow> {
     corpus::programs(p)
         .iter()
         .map(|prog| {
-            let pens = run_pipeline(&prog.module, &PipelineConfig::for_variant(Variant::Pensieve));
-            let ac = run_pipeline(
+            // One batch per program: the module analysis, per-function
+            // contexts, and acquire detection run once for all three
+            // variants instead of once per variant.
+            let mut results = run_pipeline_batch(
                 &prog.module,
-                &PipelineConfig::for_variant(Variant::AddressControl),
-            );
-            let ctrl = run_pipeline(&prog.module, &PipelineConfig::for_variant(Variant::Control));
+                &[
+                    PipelineConfig::for_variant(Variant::Pensieve),
+                    PipelineConfig::for_variant(Variant::AddressControl),
+                    PipelineConfig::for_variant(Variant::Control),
+                ],
+            )
+            .into_iter();
+            let pens = results.next().expect("pensieve result");
+            let ac = results.next().expect("address+control result");
+            let ctrl = results.next().expect("control result");
             StaticRow {
                 name: prog.name,
                 escaping_reads: pens.report.escaping_reads(),

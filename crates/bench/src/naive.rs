@@ -1,21 +1,28 @@
-//! The seed (pre-optimization) ordering stage, preserved verbatim as the
-//! baseline the `ordering_scaling` bench measures against:
+//! The seed (pre-optimization) analysis stages, preserved verbatim as
+//! the baselines the scaling benches measure against:
 //!
-//! * per-block DFS all-pairs reachability (`O(B·E)`),
-//! * `O(A²)` double loop materializing the `Vec<(u32, u32)>` pair list,
-//! * pair-sweep pruning and interval-per-pair fence minimization.
+//! * **ordering stage** (`ordering_scaling`): per-block DFS all-pairs
+//!   reachability (`O(B·E)`), `O(A²)` double loop materializing the
+//!   `Vec<(u32, u32)>` pair list, pair-sweep pruning and
+//!   interval-per-pair fence minimization;
+//! * **acquire stage** (`acquire_scaling`): the seed alias oracle with a
+//!   cloned `BitSet` per access and an `O(writers)` linear scan per
+//!   `potential_writers` query, plus the seed slicer with its eager
+//!   all-locals writer cache and `Vec`-returning writer queries.
 //!
 //! Nothing in the pipeline uses this module; it exists so the
-//! quadratic→near-linear win stays measurable after the seed code is
+//! quadratic→near-linear wins stay measurable after the seed code is
 //! gone.
 
 use fence_analysis::escape::EscapeInfo;
+use fence_analysis::pointsto::PointsTo;
 use fence_ir::cfg::Cfg;
 use fence_ir::util::BitSet;
-use fence_ir::{BlockId, FuncId, InstKind, Module};
+use fence_ir::FenceKind;
+use fence_ir::{BlockId, FuncId, Function, InstId, InstKind, Module, Value};
+use fenceplace::acquire::{AcquireInfo, DetectMode};
 use fenceplace::minimize::{FencePoint, TargetModel};
 use fenceplace::orderings::{Access, AccessKind, OrderKind};
-use fence_ir::FenceKind;
 
 /// Seed reachability: one DFS per block.
 pub struct NaiveReachability {
@@ -67,6 +74,7 @@ pub struct NaiveOrderings {
 
 impl NaiveOrderings {
     /// The seed generation algorithm, verbatim.
+    #[allow(clippy::if_same_then_else)] // seed control flow, kept verbatim
     pub fn generate(module: &Module, escape: &EscapeInfo, fid: FuncId) -> Self {
         let func = module.func(fid);
         let cfg = Cfg::new(func);
@@ -247,7 +255,7 @@ impl NaiveOrderings {
             ivs.sort_by_key(|iv| iv.hi);
             let mut full_pts: Vec<u32> = Vec::new();
             for iv in ivs.iter().filter(|iv| iv.full) {
-                if !full_pts.last().is_some_and(|&p| p >= iv.lo) {
+                if full_pts.last().is_none_or(|&p| p < iv.lo) {
                     full_pts.push(iv.hi);
                 }
             }
@@ -299,6 +307,180 @@ pub fn naive_ordering_stage(
         points.extend(ords.minimize(func, fid, &kept, target, entry));
     }
     (total_kept, points)
+}
+
+/// The seed per-function alias oracle, verbatim: one owned `BitSet`
+/// clone per access (`to_bitset`), and `potential_writers` as a linear
+/// filter over *all* writers of the function.
+pub struct NaiveAliasOracle {
+    unknown: usize,
+    access_locs: Vec<Option<BitSet>>,
+    writers: Vec<InstId>,
+}
+
+impl NaiveAliasOracle {
+    /// Builds the seed oracle for `func_id`.
+    pub fn new(module: &Module, pt: &PointsTo, func_id: FuncId) -> Self {
+        let func = module.func(func_id);
+        let mut access_locs = vec![None; func.num_insts()];
+        let mut writers = Vec::new();
+        for (iid, inst) in func.iter_insts() {
+            if let Some(addr) = inst.kind.mem_addr() {
+                access_locs[iid.index()] =
+                    Some(pt.addr_locs(func_id, addr).to_bitset(pt.num_locs()));
+                if inst.kind.is_mem_write() {
+                    writers.push(iid);
+                }
+            } else if let InstKind::CallIntrinsic { intr, args } = &inst.kind {
+                if intr.is_sync_boundary() {
+                    if let Some(&addr) = args.first() {
+                        access_locs[iid.index()] =
+                            Some(pt.addr_locs(func_id, addr).to_bitset(pt.num_locs()));
+                        writers.push(iid);
+                    }
+                }
+            }
+        }
+        NaiveAliasOracle {
+            unknown: pt.unknown_idx(),
+            access_locs,
+            writers,
+        }
+    }
+
+    fn may_alias(&self, a: InstId, b: InstId) -> bool {
+        let (sa, sb) = match (
+            self.access_locs[a.index()].as_ref(),
+            self.access_locs[b.index()].as_ref(),
+        ) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return false,
+        };
+        sa.contains(self.unknown) || sb.contains(self.unknown) || sa.intersects(sb)
+    }
+
+    /// The seed `O(writers)` linear filter.
+    pub fn potential_writers(&self, read: InstId) -> Vec<InstId> {
+        self.writers
+            .iter()
+            .copied()
+            .filter(|&w| w != read && self.may_alias(read, w))
+            .collect()
+    }
+}
+
+/// The seed backwards slicer: eager writer cache for *every* local slot
+/// and a `Vec` allocation per memory-read slice step.
+struct NaiveSlicer<'a> {
+    func: &'a Function,
+    oracle: &'a NaiveAliasOracle,
+    escaping: &'a BitSet,
+    seen: BitSet,
+    sync_reads: BitSet,
+    local_writers: Vec<Vec<InstId>>,
+}
+
+impl<'a> NaiveSlicer<'a> {
+    fn new(func: &'a Function, oracle: &'a NaiveAliasOracle, escaping: &'a BitSet) -> Self {
+        let local_writers = (0..func.locals.len())
+            .map(|l| func.writers_of_local(fence_ir::LocalId::new(l)))
+            .collect();
+        NaiveSlicer {
+            func,
+            oracle,
+            escaping,
+            seen: BitSet::new(func.num_insts()),
+            sync_reads: BitSet::new(func.num_insts()),
+            local_writers,
+        }
+    }
+
+    fn push_def(work_list: &mut Vec<InstId>, v: Value) {
+        if let Value::Inst(i) = v {
+            work_list.push(i);
+        }
+    }
+
+    fn slice(&mut self, mut work_list: Vec<InstId>) {
+        while let Some(inst) = work_list.pop() {
+            if !self.seen.insert(inst.index()) {
+                continue;
+            }
+            let kind = &self.func.inst(inst).kind;
+            if kind.is_mem_read() {
+                if self.escaping.contains(inst.index()) {
+                    self.sync_reads.insert(inst.index());
+                }
+                for w in self.oracle.potential_writers(inst) {
+                    work_list.push(w);
+                }
+                if kind.is_mem_write() {
+                    kind.for_each_operand(|v| Self::push_def(&mut work_list, v));
+                }
+            } else {
+                match kind {
+                    InstKind::ReadLocal { local } => {
+                        work_list.extend_from_slice(&self.local_writers[local.index()]);
+                    }
+                    _ => {
+                        kind.for_each_operand(|v| Self::push_def(&mut work_list, v));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The seed acquire detector: fresh oracle, linear writer scans, eager
+/// slicer caches — the `acquire_scaling` baseline.
+pub fn naive_detect_acquires(
+    module: &Module,
+    pt: &PointsTo,
+    escape: &EscapeInfo,
+    fid: FuncId,
+    mode: DetectMode,
+) -> AcquireInfo {
+    let func = module.func(fid);
+    let oracle = NaiveAliasOracle::new(module, pt, fid);
+    let escaping = escape.escaping_set(fid);
+
+    let mut control_slicer = NaiveSlicer::new(func, &oracle, escaping);
+    let mut roots = Vec::new();
+    for (_, inst) in func.iter_insts() {
+        if let InstKind::CondBr { cond, .. } = inst.kind {
+            NaiveSlicer::push_def(&mut roots, cond);
+        }
+    }
+    control_slicer.slice(roots);
+    let control = control_slicer.sync_reads.clone();
+
+    let address = if mode == DetectMode::AddressControl {
+        let mut addr_slicer = NaiveSlicer::new(func, &oracle, escaping);
+        let mut roots = Vec::new();
+        for (_, inst) in func.iter_insts() {
+            match &inst.kind {
+                InstKind::Gep { index, .. } => NaiveSlicer::push_def(&mut roots, *index),
+                k if k.is_mem_access() => {
+                    if let Some(addr) = k.mem_addr() {
+                        NaiveSlicer::push_def(&mut roots, addr);
+                    }
+                }
+                _ => {}
+            }
+        }
+        addr_slicer.slice(roots);
+        addr_slicer.sync_reads
+    } else {
+        BitSet::new(func.num_insts())
+    };
+
+    let mut sync_reads = control.clone();
+    sync_reads.union_with(&address);
+    AcquireInfo {
+        control,
+        address,
+        sync_reads,
+    }
 }
 
 /// The optimized ordering stage over every function (same work, new

@@ -239,9 +239,7 @@ mod tests {
         let mut c = Criterion::default().sample_size(2);
         c.bench_function("smoke", |b| b.iter(|| 42u64.wrapping_mul(7)));
         let mut g = c.benchmark_group("g");
-        g.bench_with_input(BenchmarkId::new("f", 1), &1usize, |b, &n| {
-            b.iter(|| n + 1)
-        });
+        g.bench_with_input(BenchmarkId::new("f", 1), &1usize, |b, &n| b.iter(|| n + 1));
         g.finish();
     }
 }

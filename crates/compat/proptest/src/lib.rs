@@ -21,7 +21,9 @@ impl TestRng {
     /// Creates an RNG for one test case.
     pub fn from_seed(seed: u64) -> Self {
         TestRng {
-            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0xd1b5_4a32_d192_ed03),
+            state: seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0xd1b5_4a32_d192_ed03),
         }
     }
 

@@ -26,7 +26,7 @@ use fence_analysis::escape::EscapeInfo;
 use fence_analysis::pointsto::PointsTo;
 use fence_analysis::slicer::Slicer;
 use fence_ir::util::BitSet;
-use fence_ir::{FuncId, InstId, InstKind, Module};
+use fence_ir::{FuncId, Function, InstId, InstKind, Module};
 
 /// Which detection algorithm to run.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -69,9 +69,17 @@ impl AcquireInfo {
             .map(InstId::new)
             .collect()
     }
+
+    /// Number of pure-address acquires — [`AcquireInfo::pure_address_ids`]
+    /// without materializing the id list (word-level set difference).
+    pub fn pure_address_count(&self) -> usize {
+        self.address.difference_count(&self.control)
+    }
 }
 
-/// Runs acquire detection on one function.
+/// Runs acquire detection on one function, building a fresh
+/// [`AliasOracle`]. Batch callers that already hold a per-function
+/// context should use [`detect_acquires_with`] instead.
 pub fn detect_acquires(
     module: &Module,
     pt: &PointsTo,
@@ -79,12 +87,22 @@ pub fn detect_acquires(
     fid: FuncId,
     mode: DetectMode,
 ) -> AcquireInfo {
-    let func = module.func(fid);
     let oracle = AliasOracle::new(module, pt, fid);
-    let escaping = escape.escaping_set(fid);
+    detect_acquires_with(module.func(fid), &oracle, escape.escaping_set(fid), mode)
+}
 
+/// Runs acquire detection against a caller-provided oracle and escaping
+/// set — the shared-context form: the oracle is built once per function
+/// (see `fenceplace::pipeline::FuncContext`) and reused across both
+/// slicer passes here and across every variant/target of a batch run.
+pub fn detect_acquires_with(
+    func: &Function,
+    oracle: &AliasOracle<'_>,
+    escaping: &BitSet,
+    mode: DetectMode,
+) -> AcquireInfo {
     // ---- control signature (Listing 1) ----
-    let mut control_slicer = Slicer::new(func, &oracle, escaping);
+    let mut control_slicer = Slicer::new(func, oracle, escaping);
     let mut roots = Vec::new();
     for (_, inst) in func.iter_insts() {
         if let InstKind::CondBr { cond, .. } = inst.kind {
@@ -96,7 +114,7 @@ pub fn detect_acquires(
 
     // ---- address signature (Listing 3 extras) ----
     let address = if mode == DetectMode::AddressControl {
-        let mut addr_slicer = Slicer::new(func, &oracle, escaping);
+        let mut addr_slicer = Slicer::new(func, oracle, escaping);
         let mut roots = Vec::new();
         for (_, inst) in func.iter_insts() {
             match &inst.kind {
@@ -194,13 +212,7 @@ mod tests {
         let ctrl = detect_acquires(&m, &a.points_to, &a.escape, fid, DetectMode::Control);
         assert_eq!(ctrl.count(), 0, "Control misses the pure address acquire");
 
-        let both = detect_acquires(
-            &m,
-            &a.points_to,
-            &a.escape,
-            fid,
-            DetectMode::AddressControl,
-        );
+        let both = detect_acquires(&m, &a.points_to, &a.escape, fid, DetectMode::AddressControl);
         assert_eq!(both.count(), 1, "Address+Control finds the read of y");
         assert_eq!(both.pure_address_ids().len(), 1);
         let found = both.pure_address_ids()[0];
@@ -268,13 +280,7 @@ mod tests {
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
         let a = analyze(&m);
-        let both = detect_acquires(
-            &m,
-            &a.points_to,
-            &a.escape,
-            fid,
-            DetectMode::AddressControl,
-        );
+        let both = detect_acquires(&m, &a.points_to, &a.escape, fid, DetectMode::AddressControl);
         assert!(both.address.count() >= 1);
         let ctrl = detect_acquires(&m, &a.points_to, &a.escape, fid, DetectMode::Control);
         assert_eq!(ctrl.count(), 0);
@@ -298,13 +304,7 @@ mod tests {
         let m = mb.finish();
         let a = analyze(&m);
         let ctrl = detect_acquires(&m, &a.points_to, &a.escape, fid, DetectMode::Control);
-        let both = detect_acquires(
-            &m,
-            &a.points_to,
-            &a.escape,
-            fid,
-            DetectMode::AddressControl,
-        );
+        let both = detect_acquires(&m, &a.points_to, &a.escape, fid, DetectMode::AddressControl);
         let pens = pensieve_all_reads(&m, &a.escape, fid);
         for i in ctrl.sync_reads.iter() {
             assert!(both.sync_reads.contains(i), "Control ⊆ A+C");

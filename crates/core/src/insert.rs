@@ -104,7 +104,9 @@ mod tests {
             .insts
             .iter()
             .map(|&i| match &f.inst(i).kind {
-                InstKind::Fence { kind: FenceKind::Full } => "F".into(),
+                InstKind::Fence {
+                    kind: FenceKind::Full,
+                } => "F".into(),
                 InstKind::Fence {
                     kind: FenceKind::Compiler,
                 } => "C".into(),

@@ -31,10 +31,13 @@ pub mod insert;
 pub mod minimize;
 pub mod orderings;
 pub mod pipeline;
+pub mod pool;
 pub mod report;
 
 pub use acquire::{AcquireInfo, DetectMode};
 pub use minimize::{FencePoint, TargetModel};
 pub use orderings::{Access, AccessKind, FuncOrderings, OrderKind, OrderingSelection};
-pub use pipeline::{run_pipeline, PipelineConfig, PipelineResult, Variant};
+pub use pipeline::{
+    run_pipeline, run_pipeline_batch, FuncContext, PipelineConfig, PipelineResult, Variant,
+};
 pub use report::{FuncReport, ModuleReport};

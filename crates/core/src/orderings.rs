@@ -343,10 +343,7 @@ impl FuncOrderings {
                 let (ts, te) = self.block_range[t as usize];
                 ts..te
             });
-        before
-            .chain(own)
-            .chain(after)
-            .map(move |j| (i, j))
+        before.chain(own).chain(after).map(move |j| (i, j))
     }
 }
 
@@ -381,8 +378,7 @@ impl<'a> OrderingSelection<'a> {
     /// this selection.
     #[inline]
     pub(crate) fn is_sync(&self, a: &Access) -> bool {
-        a.kind == AccessKind::Read
-            && self.sync.is_none_or(|s| s.contains(a.inst.index()))
+        a.kind == AccessKind::Read && self.sync.is_none_or(|s| s.contains(a.inst.index()))
     }
 
     /// Per-block `(sync_reads, non_atomic_sync_reads)` tallies under this
@@ -664,6 +660,7 @@ mod tests {
     /// representation must reproduce its pair list, counts, and pruning
     /// on representative shapes (loops, branches, RMW, intrinsics).
     #[test]
+    #[allow(clippy::if_same_then_else)] // seed control flow, kept verbatim
     fn matches_naive_pair_enumeration() {
         use fence_ir::cfg::{Cfg, Reachability};
         let shapes: Vec<fence_ir::Module> = vec![

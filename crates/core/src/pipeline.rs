@@ -12,21 +12,39 @@
 //!   placed `fence` instructions *are* the placement (the paper's expert
 //!   baseline).
 //!
+//! ## Batch architecture
+//!
+//! A module's analysis stack is config-independent: points-to, the escape
+//! closure, the per-function [`AliasOracle`] and [`FuncOrderings`] are
+//! identical for every variant×target×(seq|par) combination, and the
+//! [`AcquireInfo`] depends only on the variant. [`run_pipeline_batch`]
+//! therefore runs the module analysis **once**, builds one [`FuncContext`]
+//! per function (oracle + escaping set + orderings), computes acquire
+//! info once per *distinct variant*, and only the cheap tail — pruning,
+//! fence minimization, fence insertion, report assembly — runs per
+//! config. Callers sweeping variants and targets (golden tests, figure
+//! binaries) get the whole sweep for roughly the price of one run.
+//! [`run_pipeline`] is the single-config special case.
+//!
 //! Functions are independent after the module-wide analysis, so the
-//! per-function stage optionally runs on std scoped threads
-//! ([`PipelineConfig::parallel`]): workers pull function indices from an
-//! atomic counter and channel `(index, result)` pairs back to the driver,
-//! which writes them into disjoint slots — no lock is ever contended on
-//! the hot path, and the result order is deterministic by construction.
+//! per-function stages optionally run on the persistent
+//! [`crate::pool::ThreadPool`] ([`PipelineConfig::parallel`]): instances
+//! pull function indices from an atomic counter and results are keyed by
+//! function index, so arrival order cannot affect any output and
+//! parallel runs are bit-identical to sequential ones.
 
-use crate::acquire::{detect_acquires, pensieve_all_reads, AcquireInfo, DetectMode};
+use crate::acquire::{detect_acquires_with, pensieve_all_reads, AcquireInfo, DetectMode};
 use crate::insert::insert_fences;
 use crate::minimize::{count_module_fences, minimize_function, FencePoint, TargetModel};
 use crate::orderings::FuncOrderings;
+use crate::pool::ThreadPool;
 use crate::report::{FuncReport, ModuleReport};
+use fence_analysis::alias::AliasOracle;
 use fence_analysis::ModuleAnalysis;
+use fence_ir::util::BitSet;
 use fence_ir::{FenceKind, FuncId, Module};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Which sync-read set drives pruning.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -56,6 +74,16 @@ impl Variant {
     pub fn automatic() -> [Variant; 3] {
         [Variant::Pensieve, Variant::AddressControl, Variant::Control]
     }
+
+    /// Dense index for per-variant caches.
+    fn idx(self) -> usize {
+        match self {
+            Variant::Pensieve => 0,
+            Variant::Control => 1,
+            Variant::AddressControl => 2,
+            Variant::Manual => 3,
+        }
+    }
 }
 
 /// Pipeline configuration.
@@ -65,7 +93,7 @@ pub struct PipelineConfig {
     pub variant: Variant,
     /// Hardware model fences are minimized against.
     pub target: TargetModel,
-    /// Run the per-function stage on a thread pool.
+    /// Run the per-function stage on the persistent thread pool.
     pub parallel: bool,
 }
 
@@ -99,52 +127,137 @@ pub struct PipelineResult {
     pub report: ModuleReport,
 }
 
-fn process_function(
+/// The per-function analysis cache: everything acquire detection and
+/// ordering pruning need that does not depend on the pipeline config.
+/// Built once per function and shared across both slicer passes of
+/// `detect_acquires` and across every config of a batch run.
+pub struct FuncContext<'a> {
+    /// The function this context describes.
+    pub fid: FuncId,
+    /// May-alias oracle with the inverted writer index.
+    pub oracle: AliasOracle<'a>,
+    /// The function's escaping-access set (borrowed from the analysis).
+    pub escaping: &'a BitSet,
+    /// Block-aggregated ordering relation.
+    pub orderings: FuncOrderings,
+}
+
+impl<'a> FuncContext<'a> {
+    /// Builds the context for `fid` on top of the module analysis.
+    pub fn build(module: &Module, analysis: &'a ModuleAnalysis, fid: FuncId) -> Self {
+        FuncContext {
+            fid,
+            oracle: AliasOracle::new(module, &analysis.points_to, fid),
+            escaping: analysis.escape.escaping_set(fid),
+            orderings: FuncOrderings::generate(module, &analysis.escape, fid),
+        }
+    }
+
+    /// Acquire detection for one automatic variant using the cached
+    /// oracle/escaping set.
+    fn acquire_info(
+        &self,
+        module: &Module,
+        analysis: &ModuleAnalysis,
+        variant: Variant,
+    ) -> AcquireInfo {
+        match variant {
+            Variant::Pensieve => pensieve_all_reads(module, &analysis.escape, self.fid),
+            Variant::Control => detect_acquires_with(
+                module.func(self.fid),
+                &self.oracle,
+                self.escaping,
+                DetectMode::Control,
+            ),
+            Variant::AddressControl => detect_acquires_with(
+                module.func(self.fid),
+                &self.oracle,
+                self.escaping,
+                DetectMode::AddressControl,
+            ),
+            Variant::Manual => unreachable!("Manual has no acquire info"),
+        }
+    }
+}
+
+thread_local! {
+    static MODULE_ANALYSIS_RUNS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of module-wide analysis passes (`ModuleAnalysis::run`) the
+/// pipeline entry points have executed **on this thread** — the
+/// observable that lets tests assert [`run_pipeline_batch`] shares one
+/// analysis across a whole config sweep.
+pub fn module_analysis_runs() -> usize {
+    MODULE_ANALYSIS_RUNS.with(|c| c.get())
+}
+
+/// Runs `f(0..n)` either inline or work-stealing on the persistent pool,
+/// returning results in index order (deterministic regardless of mode).
+fn map_indexed<T: Send>(n: usize, parallel: bool, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if parallel && n > 1 {
+        let pool = ThreadPool::global();
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        pool.run_scoped(n, &|| {
+            let mut local: Vec<(usize, T)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                local.push((i, f(i)));
+            }
+            if !local.is_empty() {
+                collected.lock().unwrap().extend(local);
+            }
+        });
+        // Fill disjoint slots; the function index keys the slot, so
+        // arrival order cannot affect the output.
+        for (i, v) in collected.into_inner().unwrap() {
+            slots[i] = Some(v);
+        }
+    } else {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item processed"))
+        .collect()
+}
+
+/// Pruning + minimization + report tail for one function under one
+/// config, from cached context and acquire info.
+fn finish_function(
     module: &Module,
     analysis: &ModuleAnalysis,
-    fid: FuncId,
+    ctx: &FuncContext<'_>,
+    info: &AcquireInfo,
     config: &PipelineConfig,
 ) -> (FuncReport, Vec<FencePoint>) {
-    let func = module.func(fid);
-    let info: AcquireInfo = match config.variant {
-        Variant::Pensieve => pensieve_all_reads(module, &analysis.escape, fid),
-        Variant::Control => detect_acquires(
-            module,
-            &analysis.points_to,
-            &analysis.escape,
-            fid,
-            DetectMode::Control,
-        ),
-        Variant::AddressControl => detect_acquires(
-            module,
-            &analysis.points_to,
-            &analysis.escape,
-            fid,
-            DetectMode::AddressControl,
-        ),
-        Variant::Manual => unreachable!("Manual never reaches process_function"),
-    };
-
-    let ords = FuncOrderings::generate(module, &analysis.escape, fid);
+    let func = module.func(ctx.fid);
     // A lazy selection over the aggregated relation — Pensieve keeps
     // everything without cloning a pair list.
     let kept = match config.variant {
-        Variant::Pensieve => ords.all(),
-        _ => ords.prune(&info.sync_reads),
+        Variant::Pensieve => ctx.orderings.all(),
+        _ => ctx.orderings.prune(&info.sync_reads),
     };
     let entry_fence = !info.sync_reads.is_empty();
-    let points = minimize_function(func, fid, &kept, config.target, entry_fence);
+    let points = minimize_function(func, ctx.fid, &kept, config.target, entry_fence);
 
     let (full, dir) = crate::minimize::count_fences(&points);
     let report = FuncReport {
         name: func.name.clone(),
-        escaping_reads: analysis.escape.escaping_reads(module, fid).len(),
-        escaping_writes: analysis.escape.escaping_writes(module, fid).len(),
+        escaping_reads: analysis.escape.escaping_read_count(module, ctx.fid),
+        escaping_writes: analysis.escape.escaping_write_count(module, ctx.fid),
         acquires: info.count(),
         control_acquires: info.control.count(),
         address_acquires: info.address.count(),
-        pure_address_acquires: info.pure_address_ids().len(),
-        orderings_total: ords.counts(),
+        pure_address_acquires: info.pure_address_count(),
+        orderings_total: ctx.orderings.counts(),
         orderings_kept: kept.counts(),
         full_fences: full,
         compiler_fences: dir,
@@ -152,88 +265,95 @@ fn process_function(
     (report, points)
 }
 
-/// Runs the pipeline on a module.
-#[allow(clippy::type_complexity, clippy::needless_range_loop)]
-pub fn run_pipeline(module: &Module, config: &PipelineConfig) -> PipelineResult {
-    if config.variant == Variant::Manual {
-        // Nothing to place: the module's explicit fences are the placement.
-        let (full, dir) = count_module_fences(module);
-        let report = ModuleReport {
-            module_name: module.name.clone(),
-            variant: config.variant.name().to_string(),
-            funcs: vec![FuncReport {
-                name: "<module>".to_string(),
-                full_fences: full,
-                compiler_fences: dir,
-                ..Default::default()
-            }],
-        };
-        return PipelineResult {
-            module: module.clone(),
-            points: Vec::new(),
-            report,
-        };
+/// The `Manual` result: nothing placed, explicit fences counted.
+fn manual_result(module: &Module, config: &PipelineConfig) -> PipelineResult {
+    let (full, dir) = count_module_fences(module);
+    let report = ModuleReport {
+        module_name: module.name.clone(),
+        variant: config.variant.name().to_string(),
+        funcs: vec![FuncReport {
+            name: "<module>".to_string(),
+            full_fences: full,
+            compiler_fences: dir,
+            ..Default::default()
+        }],
+    };
+    PipelineResult {
+        module: module.clone(),
+        points: Vec::new(),
+        report,
     }
+}
 
+/// Runs the pipeline once per config, sharing the module analysis, the
+/// per-function [`FuncContext`]s, and per-variant acquire detection
+/// across all of them. Results are returned in `configs` order and are
+/// bit-identical to running [`run_pipeline`] per config.
+pub fn run_pipeline_batch(module: &Module, configs: &[PipelineConfig]) -> Vec<PipelineResult> {
+    if !configs.iter().any(|c| c.variant != Variant::Manual) {
+        // Nothing to place: the modules' explicit fences are the placement.
+        return configs.iter().map(|c| manual_result(module, c)).collect();
+    }
+    let any_parallel = configs.iter().any(|c| c.parallel);
+    MODULE_ANALYSIS_RUNS.with(|c| c.set(c.get() + 1));
     let analysis = ModuleAnalysis::run(module);
     let n = module.funcs.len();
-    let mut slots: Vec<Option<(FuncReport, Vec<FencePoint>)>> = (0..n).map(|_| None).collect();
 
-    if config.parallel && n > 1 {
-        let nthreads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-            .min(n);
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, (FuncReport, Vec<FencePoint>))>();
-        std::thread::scope(|scope| {
-            for _ in 0..nthreads {
-                let tx = tx.clone();
-                let next = &next;
-                let analysis = &analysis;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let fid = FuncId::new(i);
-                    let r = process_function(module, analysis, fid, config);
-                    if tx.send((i, r)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            // Fill disjoint slots as results stream in; function index keys
-            // the slot, so arrival order cannot affect the output.
-            for (i, r) in rx {
-                slots[i] = Some(r);
-            }
-        });
-    } else {
-        for i in 0..n {
-            slots[i] = Some(process_function(module, &analysis, FuncId::new(i), config));
+    // Config-independent per-function contexts, built once.
+    let contexts: Vec<FuncContext<'_>> = map_indexed(n, any_parallel, |i| {
+        FuncContext::build(module, &analysis, FuncId::new(i))
+    });
+
+    // Acquire info per *distinct* automatic variant, shared across
+    // targets and parallel modes.
+    let mut acquire_cache: [Option<Vec<AcquireInfo>>; 4] = [None, None, None, None];
+    for config in configs {
+        let slot = config.variant.idx();
+        if config.variant == Variant::Manual || acquire_cache[slot].is_some() {
+            continue;
         }
+        acquire_cache[slot] = Some(map_indexed(n, any_parallel, |i| {
+            contexts[i].acquire_info(module, &analysis, config.variant)
+        }));
     }
 
-    let mut funcs = Vec::with_capacity(n);
-    let mut points = Vec::new();
-    for slot in slots {
-        let (report, pts) = slot.expect("every function processed");
-        funcs.push(report);
-        points.extend(pts);
-    }
+    configs
+        .iter()
+        .map(|config| {
+            if config.variant == Variant::Manual {
+                return manual_result(module, config);
+            }
+            let infos = acquire_cache[config.variant.idx()]
+                .as_ref()
+                .expect("acquire info cached for every automatic variant");
+            let per_func = map_indexed(n, config.parallel, |i| {
+                finish_function(module, &analysis, &contexts[i], &infos[i], config)
+            });
+            let mut funcs = Vec::with_capacity(n);
+            let mut points = Vec::new();
+            for (report, pts) in per_func {
+                funcs.push(report);
+                points.extend(pts);
+            }
+            let instrumented = insert_fences(module, &points);
+            PipelineResult {
+                module: instrumented,
+                points,
+                report: ModuleReport {
+                    module_name: module.name.clone(),
+                    variant: config.variant.name().to_string(),
+                    funcs,
+                },
+            }
+        })
+        .collect()
+}
 
-    let instrumented = insert_fences(module, &points);
-    PipelineResult {
-        module: instrumented,
-        points,
-        report: ModuleReport {
-            module_name: module.name.clone(),
-            variant: config.variant.name().to_string(),
-            funcs,
-        },
-    }
+/// Runs the pipeline on a module for one config (the batch of one).
+pub fn run_pipeline(module: &Module, config: &PipelineConfig) -> PipelineResult {
+    run_pipeline_batch(module, std::slice::from_ref(config))
+        .pop()
+        .expect("one result per config")
 }
 
 /// Re-export used by reports: count explicit fences of a module by kind.
@@ -375,5 +495,92 @@ mod tests {
         let ctrl = run_pipeline(&m, &PipelineConfig::for_variant(Variant::Control));
         assert!(ctrl.report.acquires() <= ac.report.acquires());
         assert!(ac.report.acquires() <= pens.report.acquires());
+    }
+
+    /// A batch over every variant × target × (seq|par) must (a) run the
+    /// module analysis exactly once, and (b) reproduce the per-config
+    /// `run_pipeline` outputs bit-for-bit.
+    #[test]
+    fn batch_shares_analysis_and_matches_individual_runs() {
+        let m = figure2_module();
+        let mut configs = Vec::new();
+        for variant in [
+            Variant::Pensieve,
+            Variant::Control,
+            Variant::AddressControl,
+            Variant::Manual,
+        ] {
+            for target in [
+                TargetModel::X86Tso,
+                TargetModel::ScHardware,
+                TargetModel::Weak,
+            ] {
+                for parallel in [false, true] {
+                    configs.push(PipelineConfig {
+                        variant,
+                        target,
+                        parallel,
+                    });
+                }
+            }
+        }
+
+        let runs_before = module_analysis_runs();
+        let batch = run_pipeline_batch(&m, &configs);
+        let batch_runs = module_analysis_runs() - runs_before;
+        assert_eq!(
+            batch_runs,
+            1,
+            "batch of {} configs re-ran the module analysis {batch_runs} times",
+            configs.len()
+        );
+
+        // Individual runs: one analysis per call.
+        let individual: Vec<PipelineResult> = configs.iter().map(|c| run_pipeline(&m, c)).collect();
+        let individual_runs = module_analysis_runs() - runs_before - batch_runs;
+        assert_eq!(
+            individual_runs,
+            configs
+                .iter()
+                .filter(|c| c.variant != Variant::Manual)
+                .count(),
+            "each non-Manual run_pipeline call runs one analysis"
+        );
+
+        assert_eq!(batch.len(), individual.len());
+        for ((b, i), config) in batch.iter().zip(&individual).zip(&configs) {
+            assert_eq!(b.points, i.points, "points diverge under {config:?}");
+            assert_eq!(
+                format!("{:?}", b.report),
+                format!("{:?}", i.report),
+                "report diverges under {config:?}"
+            );
+            assert_eq!(
+                fence_ir::printer::print_module(&b.module),
+                fence_ir::printer::print_module(&i.module),
+                "instrumented module diverges under {config:?}"
+            );
+        }
+    }
+
+    /// An all-Manual batch never runs the analysis at all.
+    #[test]
+    fn manual_only_batch_skips_analysis() {
+        let m = figure2_module();
+        let before = module_analysis_runs();
+        let r = run_pipeline_batch(
+            &m,
+            &[
+                PipelineConfig::for_variant(Variant::Manual),
+                PipelineConfig {
+                    variant: Variant::Manual,
+                    target: TargetModel::Weak,
+                    parallel: true,
+                },
+            ],
+        );
+        assert_eq!(module_analysis_runs(), before);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.points.is_empty()));
     }
 }

@@ -44,11 +44,7 @@ pub fn build() -> Kernel {
             let tv2d = f.sub(tv2, 1);
             let hv2 = f.load(h);
             let lost = f.gt(hv2, tv2d);
-            f.if_then_else(
-                lost,
-                |f| f.write_local(ok, 0i64),
-                |f| f.store(t, tv2d),
-            );
+            f.if_then_else(lost, |f| f.write_local(ok, 0i64), |f| f.store(t, tv2d));
             f.lock_release(lock);
         });
         let r = f.read_local(ok);

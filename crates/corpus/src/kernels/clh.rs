@@ -32,7 +32,8 @@ pub fn build() -> Kernel {
     {
         let mut f = FunctionBuilder::new("lock", 1);
         let me = Value::Arg(0);
-        f.store(me, 1i64); // my locked := 1
+        // my locked := 1
+        f.store(me, 1i64);
         // pred = XCHG(tail, me): the returned pointer is a shared read.
         let pred = f.rmw(RmwOp::Exchange, tail, me);
         // Fast path when the lock was never contended (David et al.'s
@@ -120,12 +121,10 @@ mod tests {
         // rewrite only races before any lock). Serialize by running one
         // thread with many rounds plus three with fewer.
         let r = Simulator::new(&m2)
-            .run(&[
-                ThreadSpec {
-                    func: main0,
-                    args: vec![25],
-                },
-            ])
+            .run(&[ThreadSpec {
+                func: main0,
+                args: vec![25],
+            }])
             .expect("runs");
         assert_eq!(r.read_global(&m2, "counter", 0), 25);
     }

@@ -224,11 +224,7 @@ fn f_add1(f: &mut FunctionBuilder, v: Value) -> Value {
     f.add(v, 1i64)
 }
 
-fn check(
-    r: &memsim::SimResult,
-    m: &Module,
-    p: &Params,
-) -> Result<(), String> {
+fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
     // Every body's force equals the total tree mass Σ(1..=n).
     let n = (p.threads * p.scale) as i64;
     let expect = n * (n + 1) / 2;

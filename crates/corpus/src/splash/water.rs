@@ -16,7 +16,11 @@ const CUTOFF: i64 = 1 << 40; // effectively "always within range"
 
 fn build(p: &Params, spatial: bool, _manual: bool) -> Module {
     let n = (p.threads * p.scale) as i64; // molecules
-    let mut mb = ModuleBuilder::new(if spatial { "water_spatial" } else { "water_nsquared" });
+    let mut mb = ModuleBuilder::new(if spatial {
+        "water_spatial"
+    } else {
+        "water_nsquared"
+    });
     let pos = mb.global("pos", n as u32);
     let vel = mb.global("vel", n as u32);
     let acc_g = mb.global("acc", n as u32);
@@ -187,9 +191,7 @@ fn check(r: &memsim::SimResult, m: &Module, p: &Params) -> Result<(), String> {
     // Momentum conservation: the pair updates are antisymmetric, so
     // Σ force == 0; and the kinetic reduction must be the sum over vel.
     let n = (p.threads * p.scale) as i64;
-    let sum_force: i64 = (0..n as usize)
-        .map(|i| r.read_global(m, "force", i))
-        .sum();
+    let sum_force: i64 = (0..n as usize).map(|i| r.read_global(m, "force", i)).sum();
     if sum_force != 0 {
         return Err(format!("Σ force = {sum_force}, expected 0"));
     }
@@ -205,7 +207,11 @@ fn make(p: &Params, spatial: bool) -> Program {
     let module = build(p, spatial, false);
     let worker = module.func_by_name("worker").expect("worker");
     Program {
-        name: if spatial { "Water-Spatial" } else { "Water-NSquared" },
+        name: if spatial {
+            "Water-Spatial"
+        } else {
+            "Water-NSquared"
+        },
         suite: Suite::Splash2,
         module,
         manual_module: build(p, spatial, true),

@@ -39,7 +39,7 @@ impl Rng {
 /// the `ordering_scaling` bench wants to expose. Block count grows with
 /// function size, so accesses stay spread across many blocks.
 pub fn synthetic_scaled(n: usize) -> Module {
-    let mut rng = Rng(0x5eed_0ff_ace ^ n as u64);
+    let mut rng = Rng(0x5eed0fface ^ n as u64);
     let mut mb = ModuleBuilder::new(format!("synthetic_{n}"));
 
     // A shared global pool: data words plus spin flags.
@@ -116,12 +116,7 @@ mod tests {
             let accesses: usize = m
                 .funcs
                 .iter()
-                .map(|f| {
-                    f.insts
-                        .iter()
-                        .filter(|i| i.kind.is_mem_access())
-                        .count()
-                })
+                .map(|f| f.insts.iter().filter(|i| i.kind.is_mem_access()).count())
                 .sum();
             assert!(
                 accesses >= n / 2,

@@ -30,12 +30,7 @@ impl ModuleBuilder {
     }
 
     /// Declares a global with explicit initial contents.
-    pub fn global_init(
-        &mut self,
-        name: impl Into<String>,
-        words: u32,
-        init: Vec<i64>,
-    ) -> GlobalId {
+    pub fn global_init(&mut self, name: impl Into<String>, words: u32, init: Vec<i64>) -> GlobalId {
         let name = name.into();
         assert!(
             self.module.global_by_name(&name).is_none(),
@@ -66,7 +61,10 @@ impl ModuleBuilder {
     pub fn define_func(&mut self, id: FuncId, func: Function) {
         let slot = &mut self.module.funcs[id.index()];
         assert_eq!(slot.name, func.name, "define_func name mismatch");
-        assert_eq!(slot.num_params, func.num_params, "define_func arity mismatch");
+        assert_eq!(
+            slot.num_params, func.num_params,
+            "define_func arity mismatch"
+        );
         *slot = func;
     }
 
@@ -635,8 +633,7 @@ mod tests {
         let cfg = crate::cfg::Cfg::new(&f);
         let reach = crate::cfg::Reachability::new(&cfg);
         // The spin header must reach itself (it's in a cycle).
-        let cyclic = (0..f.num_blocks())
-            .any(|b| reach.reaches(BlockId::new(b), BlockId::new(b)));
+        let cyclic = (0..f.num_blocks()).any(|b| reach.reaches(BlockId::new(b), BlockId::new(b)));
         assert!(cyclic, "spin loop forms a CFG cycle");
     }
 

@@ -123,9 +123,11 @@ impl Reachability {
         let mut cyclic = vec![false; num_sccs];
         for (s, ms) in members.iter().enumerate() {
             cyclic[s] = ms.len() > 1
-                || ms
-                    .iter()
-                    .any(|&b| cfg.succs[b as usize].iter().any(|t| t.index() == b as usize));
+                || ms.iter().any(|&b| {
+                    cfg.succs[b as usize]
+                        .iter()
+                        .any(|t| t.index() == b as usize)
+                });
         }
 
         // Reverse-topological sweep: SCC ids increase from sinks to
@@ -456,7 +458,10 @@ mod tests {
             // Two-block cycle plus exit.
             (4, vec![(0, 1), (1, 2), (2, 1), (2, 3)]),
             // Nested loops sharing a header.
-            (6, vec![(0, 1), (1, 2), (2, 1), (2, 3), (3, 1), (3, 4), (4, 5)]),
+            (
+                6,
+                vec![(0, 1), (1, 2), (2, 1), (2, 3), (3, 1), (3, 4), (4, 5)],
+            ),
             // Disconnected component + multi-exit diamond.
             (7, vec![(0, 1), (0, 2), (1, 3), (2, 3), (5, 6), (6, 5)]),
             // Dense: every block to every later block, plus one back edge.
@@ -470,6 +475,7 @@ mod tests {
             // Parallel edges (condbr with equal targets).
             (3, vec![(0, 1), (0, 1), (1, 2), (1, 2)]),
         ];
+        #[allow(clippy::needless_range_loop)] // a/b index two structures
         for (i, (n, edges)) in shapes.iter().enumerate() {
             let cfg = cfg_from_edges(*n, edges);
             let reference = dfs_reachability(&cfg);
@@ -496,7 +502,10 @@ mod tests {
         // 1 <-> 2 is one SCC: both blocks must share one row including both.
         let cfg = cfg_from_edges(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
         let reach = Reachability::new(&cfg);
-        assert!(std::ptr::eq(reach.row(BlockId::new(1)), reach.row(BlockId::new(2))));
+        assert!(std::ptr::eq(
+            reach.row(BlockId::new(1)),
+            reach.row(BlockId::new(2))
+        ));
         assert!(reach.row(BlockId::new(1)).contains(1));
         assert!(reach.row(BlockId::new(1)).contains(2));
         assert!(reach.row(BlockId::new(1)).contains(3));

@@ -113,9 +113,8 @@ impl Function {
 
     /// Iterates instructions block by block, in execution order within each.
     pub fn iter_insts_in_order(&self) -> impl Iterator<Item = (BlockId, InstId, &Inst)> {
-        self.iter_blocks().flat_map(move |(bid, b)| {
-            b.insts.iter().map(move |&iid| (bid, iid, self.inst(iid)))
-        })
+        self.iter_blocks()
+            .flat_map(move |(bid, b)| b.insts.iter().map(move |&iid| (bid, iid, self.inst(iid))))
     }
 
     /// Computes the position table: for every instruction, its block and
@@ -124,7 +123,10 @@ impl Function {
         let mut pos = vec![None; self.insts.len()];
         for (bid, block) in self.iter_blocks() {
             for (idx, &iid) in block.insts.iter().enumerate() {
-                pos[iid.index()] = Some(InstPos { block: bid, index: idx });
+                pos[iid.index()] = Some(InstPos {
+                    block: bid,
+                    index: idx,
+                });
             }
         }
         pos
@@ -155,16 +157,13 @@ impl Function {
 
     /// Looks up a local slot by name.
     pub fn local_by_name(&self, name: &str) -> Option<LocalId> {
-        self.locals
-            .iter()
-            .position(|n| n == name)
-            .map(LocalId::new)
+        self.locals.iter().position(|n| n == name).map(LocalId::new)
     }
 }
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::builder::FunctionBuilder;
     use crate::value::Value;
 

@@ -509,7 +509,10 @@ mod tests {
             addr: Value::Arg(0),
             val: Value::c(1),
         };
-        assert!(rmw.is_mem_read() && rmw.is_mem_write(), "rmw = read + write");
+        assert!(
+            rmw.is_mem_read() && rmw.is_mem_write(),
+            "rmw = read + write"
+        );
         assert!(InstKind::Ret { val: None }.is_terminator());
     }
 

@@ -71,7 +71,10 @@ impl Module {
 
     /// Looks up a function by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.funcs.iter().position(|f| f.name == name).map(FuncId::new)
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::new)
     }
 
     /// Looks up a global by name.
@@ -90,7 +93,7 @@ impl Module {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::builder::ModuleBuilder;
 
     #[test]

@@ -112,11 +112,7 @@ fn parse_block_ref(tok: &str, line: usize) -> Result<BlockId, ParseError> {
 }
 
 /// Parses operand lists of the shape `a, b, c` (given already-split tokens).
-fn parse_args(
-    toks: &[String],
-    ctx: &FuncCtx,
-    line: usize,
-) -> Result<Vec<Value>, ParseError> {
+fn parse_args(toks: &[String], ctx: &FuncCtx, line: usize) -> Result<Vec<Value>, ParseError> {
     let mut args = Vec::new();
     let mut expect_value = true;
     for t in toks {
@@ -377,15 +373,15 @@ fn parse_function_body(
         if toks.is_empty() {
             continue;
         }
-        let block_label = if toks[0].starts_with("bb") && toks.get(1).map(String::as_str) == Some(":")
-        {
-            Some(toks[0].clone())
-        } else {
-            toks[0]
-                .strip_suffix(':')
-                .filter(|s| s.starts_with("bb"))
-                .map(str::to_string)
-        };
+        let block_label =
+            if toks[0].starts_with("bb") && toks.get(1).map(String::as_str) == Some(":") {
+                Some(toks[0].clone())
+            } else {
+                toks[0]
+                    .strip_suffix(':')
+                    .filter(|s| s.starts_with("bb"))
+                    .map(str::to_string)
+            };
         if let Some(lbl) = block_label {
             let b = parse_block_ref(&lbl, *ln)?;
             // A trailing comment on the label line is the block's name.
@@ -400,13 +396,12 @@ fn parse_function_body(
             None => return err(*ln, "instruction before any block label"),
         };
         // Strip `%label =` prefix.
-        let (has_result, body) = if toks[0].starts_with('%')
-            && toks.get(1).map(String::as_str) == Some("=")
-        {
-            (true, &toks[2..])
-        } else {
-            (false, &toks[..])
-        };
+        let (has_result, body) =
+            if toks[0].starts_with('%') && toks.get(1).map(String::as_str) == Some("=") {
+                (true, &toks[2..])
+            } else {
+                (false, &toks[..])
+            };
         let kind = parse_inst(body, &ctx, module, *ln)?;
         if has_result && !kind.has_result() {
             return err(*ln, "instruction produces no result but one is bound");
@@ -453,8 +448,10 @@ fn parse_inst(
             if rest.is_empty() {
                 return err(ln, "rmw needs an operator");
             }
-            let op = RmwOp::from_name(&rest[0])
-                .ok_or(ParseError { line: ln, message: format!("bad rmw op `{}`", rest[0]) })?;
+            let op = RmwOp::from_name(&rest[0]).ok_or(ParseError {
+                line: ln,
+                message: format!("bad rmw op `{}`", rest[0]),
+            })?;
             let a = parse_args(&rest[1..], ctx, ln)?;
             if a.len() != 2 {
                 return err(ln, "rmw takes 2 operands");
@@ -495,8 +492,10 @@ fn parse_inst(
             if rest.is_empty() {
                 return err(ln, "cmp needs an operator");
             }
-            let op = CmpOp::from_name(&rest[0])
-                .ok_or(ParseError { line: ln, message: format!("bad cmp op `{}`", rest[0]) })?;
+            let op = CmpOp::from_name(&rest[0]).ok_or(ParseError {
+                line: ln,
+                message: format!("bad cmp op `{}`", rest[0]),
+            })?;
             let a = parse_args(&rest[1..], ctx, ln)?;
             if a.len() != 2 {
                 return err(ln, "cmp takes 2 operands");

@@ -80,7 +80,13 @@ pub fn unique_local_names(func: &Function) -> Vec<String> {
         .map(|(i, raw)| {
             let mut base: String = raw
                 .chars()
-                .map(|c| if c.is_alphanumeric() || c == '_' || c == '.' { c } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             if base.is_empty() || base.chars().next().unwrap().is_ascii_digit() {
                 base = format!("l{i}");
@@ -222,6 +228,8 @@ mod tests {
         assert_eq!(names.len(), 3);
         assert_eq!(names[0], "x");
         assert_ne!(names[0], names[1]);
-        assert!(names[2].chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.'));
+        assert!(names[2]
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '.'));
     }
 }

@@ -166,10 +166,44 @@ impl BitSet {
 
     /// Returns `true` if the sets share any element.
     pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates the elements of `self ∩ other` in ascending order without
+    /// materializing the intersection (word-level AND, then bit-walk).
+    ///
+    /// This is the primitive behind the alias oracle's inverted writer
+    /// index: a read's location set is intersected against the set of
+    /// locations that actually have writers, so empty buckets are skipped
+    /// a word at a time.
+    pub fn iter_intersection<'a>(&'a self, other: &'a BitSet) -> impl Iterator<Item = usize> + 'a {
         self.words
             .iter()
             .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+            .enumerate()
+            .flat_map(|(wi, (&a, &b))| {
+                let mut bits = a & b;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let bit = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(wi * 64 + bit)
+                    }
+                })
+            })
+    }
+
+    /// Number of elements in `self \ other` (word-level popcount; no
+    /// iteration, no allocation).
+    pub fn difference_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
     }
 
     /// Number of set bits.
@@ -222,7 +256,6 @@ impl BitSet {
     pub fn clear(&mut self) {
         self.words.fill(0);
     }
-
 }
 
 #[cfg(test)]
@@ -320,7 +353,10 @@ mod tests {
         assert_eq!(delta.iter().collect::<Vec<_>>(), vec![65, 129]);
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![5, 64, 65, 129]);
         let mut delta2 = BitSet::new(130);
-        assert!(!a.union_with_into(&b, &mut delta2), "second union is a no-op");
+        assert!(
+            !a.union_with_into(&b, &mut delta2),
+            "second union is a no-op"
+        );
         assert!(delta2.is_empty());
     }
 
@@ -336,6 +372,38 @@ mod tests {
         assert_eq!(s.next_set_bit(65), Some(200));
         assert_eq!(s.next_set_bit(201), None);
         assert_eq!(s.next_set_bit(1000), None);
+    }
+
+    #[test]
+    fn iter_intersection_matches_filtered_iter() {
+        let mut a = BitSet::new(300);
+        let mut b = BitSet::new(300);
+        for i in [0usize, 5, 63, 64, 65, 128, 299] {
+            a.insert(i);
+        }
+        for i in [5usize, 64, 66, 128, 299] {
+            b.insert(i);
+        }
+        let got: Vec<_> = a.iter_intersection(&b).collect();
+        let want: Vec<_> = a.iter().filter(|&i| b.contains(i)).collect();
+        assert_eq!(got, want);
+        assert_eq!(got, vec![5, 64, 128, 299]);
+        let empty = BitSet::new(300);
+        assert_eq!(a.iter_intersection(&empty).count(), 0);
+    }
+
+    #[test]
+    fn difference_count_is_set_minus() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        for i in [1usize, 64, 65, 129] {
+            a.insert(i);
+        }
+        b.insert(64);
+        b.insert(2);
+        assert_eq!(a.difference_count(&b), 3);
+        assert_eq!(b.difference_count(&a), 1);
+        assert_eq!(a.difference_count(&a), 0);
     }
 
     #[test]

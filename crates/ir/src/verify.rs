@@ -79,10 +79,9 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Vec<VerifyEr
     // Branch targets, locals, intrinsic arity, callee arity.
     for (iid, inst) in func.iter_insts() {
         match &inst.kind {
-            InstKind::Br { target }
-                if target.index() >= func.num_blocks() => {
-                    err(format!("{iid}: branch target {target} out of range"));
-                }
+            InstKind::Br { target } if target.index() >= func.num_blocks() => {
+                err(format!("{iid}: branch target {target} out of range"));
+            }
             InstKind::CondBr {
                 then_bb, else_bb, ..
             } => {
@@ -93,18 +92,18 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Vec<VerifyEr
                 }
             }
             InstKind::ReadLocal { local } | InstKind::WriteLocal { local, .. }
-                if local.index() >= func.locals.len() => {
-                    err(format!("{iid}: local {local} out of range"));
-                }
-            InstKind::CallIntrinsic { intr, args }
-                if args.len() != intr.arity() => {
-                    err(format!(
-                        "{iid}: intrinsic {} expects {} args, got {}",
-                        intr.name(),
-                        intr.arity(),
-                        args.len()
-                    ));
-                }
+                if local.index() >= func.locals.len() =>
+            {
+                err(format!("{iid}: local {local} out of range"));
+            }
+            InstKind::CallIntrinsic { intr, args } if args.len() != intr.arity() => {
+                err(format!(
+                    "{iid}: intrinsic {} expects {} args, got {}",
+                    intr.name(),
+                    intr.arity(),
+                    args.len()
+                ));
+            }
             InstKind::Call { callee, args } => {
                 if let Some(m) = module {
                     if callee.index() >= m.funcs.len() {
@@ -130,51 +129,49 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Vec<VerifyEr
     let positions = func.positions();
     let cfg = Cfg::new(func);
     let dom = Dominators::new(&cfg);
-    let check_operand = |use_site: InstId,
-                         use_pos: (BlockId, usize),
-                         v: Value,
-                         errors: &mut Vec<VerifyError>| {
-        let mut err = |message: String| {
-            errors.push(VerifyError {
-                func: func.name.clone(),
-                message,
-            })
-        };
-        match v {
-            Value::Const(_) | Value::Global(_) => {}
-            Value::Arg(a) => {
-                if a >= func.num_params {
-                    err(format!("{use_site}: argument arg{a} out of range"));
+    let check_operand =
+        |use_site: InstId, use_pos: (BlockId, usize), v: Value, errors: &mut Vec<VerifyError>| {
+            let mut err = |message: String| {
+                errors.push(VerifyError {
+                    func: func.name.clone(),
+                    message,
+                })
+            };
+            match v {
+                Value::Const(_) | Value::Global(_) => {}
+                Value::Arg(a) => {
+                    if a >= func.num_params {
+                        err(format!("{use_site}: argument arg{a} out of range"));
+                    }
                 }
-            }
-            Value::Inst(def) => {
-                if def.index() >= func.num_insts() {
-                    err(format!("{use_site}: operand {def} out of range"));
-                    return;
-                }
-                if !func.inst(def).kind.has_result() {
-                    err(format!("{use_site}: operand {def} produces no result"));
-                    return;
-                }
-                match positions[def.index()] {
-                    None => err(format!("{use_site}: operand {def} is unattached")),
-                    Some(dp) => {
-                        let (ub, ui) = use_pos;
-                        let ok = if dp.block == ub {
-                            dp.index < ui
-                        } else {
-                            dom.dominates(dp.block, ub)
-                        };
-                        if !ok {
-                            err(format!(
-                                "{use_site}: use of {def} not dominated by its definition"
-                            ));
+                Value::Inst(def) => {
+                    if def.index() >= func.num_insts() {
+                        err(format!("{use_site}: operand {def} out of range"));
+                        return;
+                    }
+                    if !func.inst(def).kind.has_result() {
+                        err(format!("{use_site}: operand {def} produces no result"));
+                        return;
+                    }
+                    match positions[def.index()] {
+                        None => err(format!("{use_site}: operand {def} is unattached")),
+                        Some(dp) => {
+                            let (ub, ui) = use_pos;
+                            let ok = if dp.block == ub {
+                                dp.index < ui
+                            } else {
+                                dom.dominates(dp.block, ub)
+                            };
+                            if !ok {
+                                err(format!(
+                                    "{use_site}: use of {def} not dominated by its definition"
+                                ));
+                            }
                         }
                     }
                 }
             }
-        }
-    };
+        };
     for (bid, block) in func.iter_blocks() {
         for (idx, &iid) in block.insts.iter().enumerate() {
             if iid.index() >= func.num_insts() {

@@ -223,7 +223,12 @@ fn step_po(
         }
         InstKind::Load { addr } => {
             let a = ev(t, addr);
-            let fwd = t.buffer.iter().rev().find(|&&(ba, _)| ba == a).map(|&(_, v)| v);
+            let fwd = t
+                .buffer
+                .iter()
+                .rev()
+                .find(|&&(ba, _)| ba == a)
+                .map(|&(_, v)| v);
             t.results[iid.index()] = fwd.unwrap_or_else(|| mem_at(&state.mem, a));
         }
         InstKind::Store { addr, val } => {
@@ -763,9 +768,11 @@ mod tests {
         c.ret(Some(r1));
         let cid = mb.add_func(c.build());
         let m = mb.finish();
-        let weak = enumerate(&m, &[(pid, vec![]), (cid, vec![])], LitmusModel::Weak {
-            window: 4,
-        });
+        let weak = enumerate(
+            &m,
+            &[(pid, vec![]), (cid, vec![])],
+            LitmusModel::Weak { window: 4 },
+        );
         // If consumer saw y=&x (r!=0) it must read x=1 (address dep), never 0.
         // If it saw y=0 it reads z=7.
         for o in &weak {

@@ -38,12 +38,14 @@ impl SyncClassification {
 
     /// Registers an acquire read.
     pub fn add_acquire(&mut self, func: fence_ir::FuncId, inst: fence_ir::InstId) {
-        self.acquires.insert((func.index() as u32, inst.index() as u32));
+        self.acquires
+            .insert((func.index() as u32, inst.index() as u32));
     }
 
     /// Registers a release write.
     pub fn add_release(&mut self, func: fence_ir::FuncId, inst: fence_ir::InstId) {
-        self.releases.insert((func.index() as u32, inst.index() as u32));
+        self.releases
+            .insert((func.index() as u32, inst.index() as u32));
     }
 
     fn is_acquire(&self, e: &TraceEvent) -> bool {
@@ -163,18 +165,17 @@ pub fn detect_races(
                     .or_insert_with(|| LocState::new(nthreads));
                 // Race: some thread's last write is not ordered before us.
                 for s in 0..nthreads {
-                    if s != t && loc.wvc[s] > clocks[t][s]
-                        && report.races.len() < 100 {
-                            if let Some(w) = loc.last_write {
-                                if !(is_sync(module, class, &w) && is_sync(module, class, e)) {
-                                    report.races.push(Race {
-                                        addr: e.addr,
-                                        prior: w,
-                                        current: *e,
-                                    });
-                                }
+                    if s != t && loc.wvc[s] > clocks[t][s] && report.races.len() < 100 {
+                        if let Some(w) = loc.last_write {
+                            if !(is_sync(module, class, &w) && is_sync(module, class, e)) {
+                                report.races.push(Race {
+                                    addr: e.addr,
+                                    prior: w,
+                                    current: *e,
+                                });
                             }
                         }
+                    }
                 }
                 // Acquire edge: reads-from a release.
                 if class.is_acquire(e) || is_atomic(module, e) {
@@ -194,30 +195,28 @@ pub fn detect_races(
                     if s == t {
                         continue;
                     }
-                    if loc.wvc[s] > clocks[t][s]
-                        && report.races.len() < 100 {
-                            if let Some(w) = loc.last_write {
-                                if !(is_sync(module, class, &w) && is_sync(module, class, e)) {
-                                    report.races.push(Race {
-                                        addr: e.addr,
-                                        prior: w,
-                                        current: *e,
-                                    });
-                                }
+                    if loc.wvc[s] > clocks[t][s] && report.races.len() < 100 {
+                        if let Some(w) = loc.last_write {
+                            if !(is_sync(module, class, &w) && is_sync(module, class, e)) {
+                                report.races.push(Race {
+                                    addr: e.addr,
+                                    prior: w,
+                                    current: *e,
+                                });
                             }
                         }
-                    if loc.rvc[s] > clocks[t][s]
-                        && report.races.len() < 100 {
-                            if let Some(r) = loc.last_read.get(&(s as u32)).copied() {
-                                if !(is_sync(module, class, &r) && is_sync(module, class, e)) {
-                                    report.races.push(Race {
-                                        addr: e.addr,
-                                        prior: r,
-                                        current: *e,
-                                    });
-                                }
+                    }
+                    if loc.rvc[s] > clocks[t][s] && report.races.len() < 100 {
+                        if let Some(r) = loc.last_read.get(&(s as u32)).copied() {
+                            if !(is_sync(module, class, &r) && is_sync(module, class, e)) {
+                                report.races.push(Race {
+                                    addr: e.addr,
+                                    prior: r,
+                                    current: *e,
+                                });
                             }
                         }
+                    }
                 }
                 // Release edge bookkeeping.
                 if class.is_release(e) || is_atomic(module, e) {

@@ -531,7 +531,9 @@ impl<'m, 's> RunState<'m, 's> {
                 }
                 frame!().idx += 1;
             }
-            InstKind::Fence { kind: FenceKind::Full } => {
+            InstKind::Fence {
+                kind: FenceKind::Full,
+            } => {
                 self.full_fences += 1;
                 let t = &mut self.threads[tid];
                 let drained = t.buffer.back().map_or(t.clock, |e| e.retire);
@@ -1116,7 +1118,9 @@ mod tests {
             func: fid,
             args: vec![],
         };
-        let r1 = Simulator::new(&m).run(&[spec.clone(), spec.clone()]).unwrap();
+        let r1 = Simulator::new(&m)
+            .run(&[spec.clone(), spec.clone()])
+            .unwrap();
         let r2 = Simulator::new(&m).run(&[spec.clone(), spec]).unwrap();
         assert_eq!(r1.cycles, r2.cycles);
         assert_eq!(r1.insts, r2.insts);

@@ -38,7 +38,10 @@ fn lb_forbidden_everywhere() {
     // Our weak model permits LB (stores may execute before older loads
     // once data-independent) — like real Power/ARM.
     let weak = enumerate(&m, &t, LitmusModel::Weak { window: 4 });
-    assert!(weak.contains(&vec![1, 1]), "LB observable on weak: {weak:?}");
+    assert!(
+        weak.contains(&vec![1, 1]),
+        "LB observable on weak: {weak:?}"
+    );
 }
 
 /// CoRR (coherence of read-read): two reads of the same location by one

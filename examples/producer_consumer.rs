@@ -46,7 +46,10 @@ fn main() {
         pensieve.report.full_fences()
     );
     for p in &pensieve.points {
-        println!("   fence at func {:?} block {:?} gap {}", p.func, p.block, p.gap);
+        println!(
+            "   fence at func {:?} block {:?} gap {}",
+            p.func, p.block, p.gap
+        );
     }
     println!(
         "\nPruned placement (Control):     {} full fences  (paper: 2 — F2, F4)",
@@ -54,7 +57,10 @@ fn main() {
     );
     for p in &control.points {
         if p.kind == fence_ir::FenceKind::Full {
-            println!("   fence at func {:?} block {:?} gap {}", p.func, p.block, p.gap);
+            println!(
+                "   fence at func {:?} block {:?} gap {}",
+                p.func, p.block, p.gap
+            );
         }
     }
     println!(

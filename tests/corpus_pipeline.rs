@@ -58,8 +58,13 @@ fn detection_is_monotone_across_corpus() {
     for prog in corpus::programs(&p) {
         let an = ModuleAnalysis::run(&prog.module);
         for (fid, func) in prog.module.iter_funcs() {
-            let ctrl =
-                detect_acquires(&prog.module, &an.points_to, &an.escape, fid, DetectMode::Control);
+            let ctrl = detect_acquires(
+                &prog.module,
+                &an.points_to,
+                &an.escape,
+                fid,
+                DetectMode::Control,
+            );
             let both = detect_acquires(
                 &prog.module,
                 &an.points_to,
@@ -77,8 +82,7 @@ fn detection_is_monotone_across_corpus() {
             }
             for i in both.sync_reads.iter() {
                 assert!(
-                    an.escape
-                        .is_escaping(fid, fence_ir::InstId::new(i)),
+                    an.escape.is_escaping(fid, fence_ir::InstId::new(i)),
                     "{}::{}: acquires are escaping reads",
                     prog.name,
                     func.name
@@ -174,22 +178,25 @@ fn corpus_ir_text_roundtrip() {
     let mut modules: Vec<(String, fence_ir::Module)> = Vec::new();
     for prog in corpus::programs(&p) {
         modules.push((prog.name.to_string(), prog.module.clone()));
-        modules.push((format!("{} (manual)", prog.name), prog.manual_module.clone()));
+        modules.push((
+            format!("{} (manual)", prog.name),
+            prog.manual_module.clone(),
+        ));
     }
     for k in corpus::kernels::all() {
         modules.push((k.name.to_string(), k.module));
     }
     for (name, m) in modules {
         let text = fence_ir::printer::print_module(&m);
-        let normalized = fence_ir::parser::parse_module(&text)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let normalized =
+            fence_ir::parser::parse_module(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
             fence_ir::verify_module(&normalized).is_empty(),
             "{name} reparsed module verifies"
         );
         let text1 = fence_ir::printer::print_module(&normalized);
-        let reparsed = fence_ir::parser::parse_module(&text1)
-            .unwrap_or_else(|e| panic!("{name} (2nd): {e}"));
+        let reparsed =
+            fence_ir::parser::parse_module(&text1).unwrap_or_else(|e| panic!("{name} (2nd): {e}"));
         let text2 = fence_ir::printer::print_module(&reparsed);
         assert_eq!(text1, text2, "{name} normalized round-trip fixpoint");
     }

@@ -66,7 +66,8 @@ fn snapshot_one(label: &str, module: &fence_ir::Module, out: &mut String) {
                 },
             );
             assert_eq!(
-                seq.points, par.points,
+                seq.points,
+                par.points,
                 "{label}/{}/{}: parallel fence points diverge from sequential",
                 variant.name(),
                 target_name(target)
@@ -132,7 +133,10 @@ fn pipeline_outputs_match_seed_golden() {
     if std::env::var("GOLDEN_REGEN").is_ok() {
         std::fs::create_dir_all("tests/golden").unwrap();
         std::fs::write(GOLDEN_PATH, &snapshot).unwrap();
-        eprintln!("regenerated {GOLDEN_PATH} ({} lines)", snapshot.lines().count());
+        eprintln!(
+            "regenerated {GOLDEN_PATH} ({} lines)",
+            snapshot.lines().count()
+        );
         return;
     }
     let golden = std::fs::read_to_string(GOLDEN_PATH)
