@@ -79,6 +79,26 @@ impl WriterScratch {
 }
 
 /// Per-function alias oracle (borrowing module-wide points-to results).
+///
+/// ```
+/// use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+/// use fence_analysis::{AliasOracle, PointsTo};
+///
+/// let mut mb = ModuleBuilder::new("m");
+/// let x = mb.global("x", 1);
+/// let y = mb.global("y", 1);
+/// let mut fb = FunctionBuilder::new("f", 0);
+/// let read = fb.load(x).as_inst().unwrap();
+/// fb.store(x, 1i64); // may have written the value `read` sees
+/// fb.store(y, 2i64); // distinct global: cannot
+/// fb.ret(None);
+/// let fid = mb.add_func(fb.build());
+/// let m = mb.finish();
+///
+/// let pt = PointsTo::analyze(&m);
+/// let oracle = AliasOracle::new(&m, &pt, fid);
+/// assert_eq!(oracle.potential_writers(read).len(), 1);
+/// ```
 pub struct AliasOracle<'a> {
     pt: &'a PointsTo,
     func_id: FuncId,

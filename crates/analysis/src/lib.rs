@@ -40,9 +40,17 @@ pub struct ModuleAnalysis {
 }
 
 impl ModuleAnalysis {
-    /// Runs points-to followed by escape analysis.
+    /// Runs points-to followed by escape analysis, sequentially.
     pub fn run(module: &fence_ir::Module) -> Self {
-        let points_to = PointsTo::analyze(module);
+        Self::run_on(module, false)
+    }
+
+    /// Runs the analyses with the points-to fixpoint rounds optionally
+    /// sharded per function on the persistent [`fence_ir::pool`] thread
+    /// pool. Results are bit-identical to the sequential run (see the
+    /// [`pointsto`] module docs for why).
+    pub fn run_on(module: &fence_ir::Module, parallel: bool) -> Self {
+        let points_to = PointsTo::analyze_on(module, parallel);
         let escape = EscapeInfo::analyze(module, &points_to);
         ModuleAnalysis { points_to, escape }
     }

@@ -25,28 +25,46 @@
 //! `locs(p)` resolves an *address* operand: if `pts(p)` is empty, the
 //! address is unknown ⇒ `{Unknown}`.
 //!
-//! ## Solver architecture
+//! ## Solver architecture: a function-sharded constraint graph
 //!
-//! The old implementation re-applied every instruction's constraints each
-//! round until nothing changed — `O(rounds · insts · locs/64)` with two
-//! `BitSet` clones per operand per visit. This version builds the
-//! constraint graph **once** and then propagates **sparse deltas** only to
-//! affected nodes:
+//! The first rewrite replaced fixpoint-by-re-execution with a worklist
+//! over an explicit constraint graph. This version additionally
+//! **shards the graph by function** around a small shared frontier:
 //!
 //! 1. every value/argument/local/return and every abstract location gets
-//!    one dense *node* holding its points-to `BitSet`;
+//!    one dense *node* holding its points-to `BitSet`. Node ids are laid
+//!    out **location nodes first, then one contiguous group per
+//!    function** — the group *is* the shard, so per-shard state splits
+//!    into disjoint slices;
 //! 2. non-memory constraints become static copy edges (`pts(dst) ⊇
-//!    pts(src)`); memory constraints subscribe to their address node and
-//!    are wired lazily — when the address set gains a location `L`, the
-//!    solver adds `pts(L) → dst` (load) / `src → pts(L)` (store) edges on
-//!    the fly;
-//! 3. a single initial pass applies every instruction once in program
-//!    order (this replicates the old solver's first round bit-for-bit,
-//!    including the conservative `locs(p) = ∅ ⇒ {Unknown}` resolution
-//!    against in-round intermediate states), then the worklist drains
-//!    deltas until fixpoint.
+//!    pts(src)`) in one CSR table (two counting passes, two allocations —
+//!    the old per-node `Vec`s and per-node delta `BitSet`s made graph
+//!    construction the dominant cost of the whole analysis); memory
+//!    constraints subscribe to their address node and are wired lazily —
+//!    when the address set gains a location `L`, the solver adds
+//!    `pts(L) → dst` (load) / `src → pts(L)` (store) edges on the fly;
+//!    deltas live in one flat word matrix, wired edges in sparse
+//!    overflow lists;
+//! 3. a single **sequential** initial pass applies every instruction once
+//!    in program order (this replicates the old solver's first round
+//!    bit-for-bit, including the conservative `locs(p) = ∅ ⇒ {Unknown}`
+//!    resolution against in-round intermediate states — the one
+//!    order-sensitive rule, which is why this pass never shards);
+//! 4. the remaining fixpoint rounds drain **per-function worklists**.
+//!    Each shard propagates deltas entirely within its own node group;
+//!    effects that cross the shard boundary — copies into the shared
+//!    location frontier, call/return edges into other functions, and
+//!    memory-constraint wiring — are buffered and merged between rounds.
+//!    With `parallel` solving, the shards of one round run on the
+//!    persistent [`fence_ir::pool`] thread pool and the frontier merge
+//!    stays sequential.
 //!
-//! Each location/edge/constraint is touched `O(1)` times per new bit, so
+//! Sharding cannot change the answer: after the initial pass pins the
+//! `∅ ⇒ {Unknown}` wiring decisions, the constraint system is monotone,
+//! so its least fixpoint is schedule-independent — parallel and
+//! sequential runs produce bit-identical sets (a golden test and a
+//! property test against the legacy solver pin this). Each
+//! location/edge/constraint is touched `O(1)` times per new bit, so
 //! solving is near-linear in `constraints + propagated bits` instead of
 //! quadratic in program size.
 //!
@@ -85,6 +103,25 @@ pub enum AbsLoc {
 }
 
 /// A borrowed view of a points-to set — no allocation per query.
+///
+/// ```
+/// use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+/// use fence_ir::Value;
+/// use fence_analysis::pointsto::{PointsTo, PtsView};
+///
+/// let mut mb = ModuleBuilder::new("m");
+/// let g = mb.global("g", 1);
+/// let mut fb = FunctionBuilder::new("f", 0);
+/// fb.ret(None);
+/// let fid = mb.add_func(fb.build());
+/// let pt = PointsTo::analyze(&mb.finish());
+///
+/// // Constants have the empty view; globals are singletons.
+/// assert!(pt.value_set(fid, Value::c(7)).is_empty());
+/// let view = pt.value_set(fid, Value::Global(g));
+/// assert!(view.contains(g.index()));
+/// assert_eq!(view.iter().collect::<Vec<_>>(), vec![g.index()]);
+/// ```
 #[derive(Copy, Clone, Debug)]
 pub enum PtsView<'a> {
     /// The empty set (constants, non-pointer values).
@@ -209,14 +246,16 @@ enum Src {
     Global(u32),
 }
 
-/// One memory constraint, wired lazily as its address set grows.
+/// One memory constraint, wired lazily as its address set grows. The
+/// already-wired location set lives in the solver's flat `resolved`
+/// matrix (one row per constraint) rather than one `BitSet` per
+/// constraint.
+#[derive(Copy, Clone)]
 struct MemCon {
     /// Destination node of the read part (`load`/`rmw`/`cas` result).
     load_to: Option<u32>,
     /// Source of the written value, if any.
     store_src: Option<Src>,
-    /// Locations already wired for this constraint.
-    resolved: BitSet,
 }
 
 /// Result of the points-to analysis for a whole module.
@@ -238,9 +277,36 @@ pub struct PointsTo {
 }
 
 impl PointsTo {
-    /// Runs the analysis to fixpoint over the whole module.
+    /// Runs the analysis to fixpoint over the whole module,
+    /// sequentially.
+    ///
+    /// ```
+    /// use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+    /// use fence_analysis::pointsto::PointsTo;
+    ///
+    /// let mut mb = ModuleBuilder::new("m");
+    /// let x = mb.global("x", 1);
+    /// let y = mb.global("y", 1);
+    /// let mut fb = FunctionBuilder::new("f", 0);
+    /// fb.store(y, x);        // y := &x
+    /// let p = fb.load(y);    // p points to x
+    /// fb.ret(None);
+    /// let fid = mb.add_func(fb.build());
+    /// let m = mb.finish();
+    ///
+    /// let pt = PointsTo::analyze(&m);
+    /// assert!(pt.value_set(fid, p).contains(x.index()));
+    /// ```
     pub fn analyze(module: &Module) -> Self {
-        Solver::build(module).solve()
+        Self::analyze_on(module, false)
+    }
+
+    /// Runs the analysis with the post-initial-pass fixpoint rounds
+    /// sharded per function; with `parallel`, shards of one round run on
+    /// the persistent [`fence_ir::pool`] thread pool. Bit-identical to
+    /// [`PointsTo::analyze`] (see the module docs).
+    pub fn analyze_on(module: &Module, parallel: bool) -> Self {
+        Solver::build(module).solve(parallel)
     }
 
     #[inline]
@@ -311,32 +377,93 @@ impl PointsTo {
     }
 }
 
-/// Constraint-graph solver state.
+/// Cross-shard effect buffered by a function shard during a parallel
+/// round, applied by the sequential frontier merge.
+#[derive(Copy, Clone)]
+enum Out {
+    /// `pts(dst) ⊇ pts(src)` across a shard boundary (a store into the
+    /// location frontier, or a call/return edge into another function).
+    /// The merge propagates the *full* source set, which subsumes
+    /// whatever delta the shard held when it buffered the effect.
+    Copy { src: u32, dst: u32 },
+    /// Wire memory constraint `con` against location `loc`.
+    Wire { con: u32, loc: u32 },
+}
+
+/// Worklist control of one shard (the shared location frontier, or one
+/// function's node group).
+struct ShardCtl {
+    /// First node id of the shard's contiguous range.
+    base: u32,
+    /// Pending nodes (global ids).
+    wl: Vec<u32>,
+    /// Dedup mask over the shard's local index space.
+    on_list: BitSet,
+    /// Cross-shard effects buffered during a parallel round.
+    outbox: Vec<Out>,
+}
+
+/// The per-shard working set a parallel round hands to the pool: the
+/// shard's disjoint slices of the points-to table and delta matrix, plus
+/// its worklist control.
+struct ShardJob<'a> {
+    base: u32,
+    len: u32,
+    pts: &'a mut [BitSet],
+    delta: &'a mut [u64],
+    ctl: &'a mut ShardCtl,
+}
+
+/// Constraint-graph solver state, sharded by function.
+///
+/// Node ids are laid out location nodes first (`0..num_locs`, the shared
+/// frontier), then one contiguous group per function — so shard state
+/// splits into disjoint slices and per-function rounds can run on the
+/// thread pool without locks on the hot path.
 struct Solver<'m> {
     module: &'m Module,
     result: PointsTo,
-    /// Copy edges `from → to` (`pts(to) ⊇ pts(from)`).
-    edges: Vec<Vec<u32>>,
+    /// Words per points-to row (`num_locs.div_ceil(64)`).
+    words: usize,
+    /// First node of each function's group (ascending; the group of
+    /// function `f` ends where group `f + 1` begins, or at `num_nodes`).
+    group_base: Vec<u32>,
+    /// Owning shard of each node (0 = location frontier, `1 + f` =
+    /// function `f`), precomputed so `enqueue` stays O(1) on the
+    /// propagation hot path.
+    shard_of: Vec<u32>,
+    /// Static copy edges `from → to`, CSR (`csr_off[n]..csr_off[n + 1]`
+    /// indexes `csr_dst`). Built with two counting passes — no per-node
+    /// `Vec` growth, which used to dominate analysis time.
+    csr_off: Vec<u32>,
+    csr_dst: Vec<u32>,
+    /// Dynamically wired edges (loads: `loc → dst`; stores:
+    /// `src → loc`). Sparse: only location nodes and store sources are
+    /// ever touched.
+    dyn_edges: Vec<Vec<u32>>,
     /// Memory constraints, wired lazily.
     mem_cons: Vec<MemCon>,
+    /// Already-wired locations, one flat row per constraint.
+    resolved: Vec<u64>,
+    /// Memory-constraint index of an instruction's *result node*
+    /// (`u32::MAX` = none); replaces the old hash map.
+    con_of: Vec<u32>,
     /// `subs[node]` — memory constraints whose address is `node`.
     subs: Vec<Vec<u32>>,
-    /// Per-instruction constraint index: `con_of[(func, inst)]`.
-    con_of: fence_ir::util::FastMap<(u32, u32), u32>,
-    /// Per-node pending delta bits.
-    delta: Vec<BitSet>,
-    /// Worklist of nodes with nonempty deltas.
-    worklist: Vec<u32>,
-    on_list: Vec<bool>,
-    /// Reusable empty set swapped through `drain` (no per-step allocation).
-    scratch: BitSet,
+    /// Per-node pending delta bits, one flat row per node.
+    delta: Vec<u64>,
+    /// Worklists: `shards[0]` is the shared location frontier,
+    /// `shards[1 + f]` is function `f`.
+    shards: Vec<ShardCtl>,
+    /// Reusable delta-row snapshot for direct drains.
+    scratch: Vec<u64>,
     /// Dense map from alloc site to its location index.
     alloc_idx: fence_ir::util::FastMap<(u32, u32), usize>,
 }
 
 impl<'m> Solver<'m> {
-    /// Enumerates locations and nodes, registers all static copy edges
-    /// and memory-constraint subscriptions.
+    /// Enumerates locations and nodes, builds the static CSR copy-edge
+    /// table and the memory-constraint records.
     fn build(module: &'m Module) -> Self {
         // ---- enumerate abstract locations ----
         let mut locs: Vec<AbsLoc> = module
@@ -353,6 +480,7 @@ impl<'m> Solver<'m> {
         let unknown = locs.len();
         locs.push(AbsLoc::Unknown);
         let n = locs.len();
+        let words = n.div_ceil(64);
 
         let mut alloc_idx: fence_ir::util::FastMap<(u32, u32), usize> =
             fence_ir::util::FastMap::default();
@@ -362,14 +490,16 @@ impl<'m> Solver<'m> {
             }
         }
 
-        // ---- node layout: locations first, then per-function groups ----
+        // ---- node layout: locations first, then per-function shards ----
         let nf = module.funcs.len();
         let mut arg_base = Vec::with_capacity(nf);
         let mut local_base = Vec::with_capacity(nf);
         let mut val_base = Vec::with_capacity(nf);
         let mut ret_node = Vec::with_capacity(nf);
+        let mut group_base = Vec::with_capacity(nf);
         let mut next = n as u32;
         for func in &module.funcs {
+            group_base.push(next);
             arg_base.push(next);
             next += func.num_params as u32;
             local_base.push(next);
@@ -393,20 +523,58 @@ impl<'m> Solver<'m> {
         // Unknown memory points to unknown memory.
         result.pts[unknown].insert(unknown);
 
+        // ---- shard worklists ----
+        let mut shards = Vec::with_capacity(nf + 1);
+        shards.push(ShardCtl {
+            base: 0,
+            wl: Vec::new(),
+            on_list: BitSet::new(n),
+            outbox: Vec::new(),
+        });
+        for f in 0..nf {
+            let end = if f + 1 < nf {
+                group_base[f + 1]
+            } else {
+                num_nodes as u32
+            };
+            shards.push(ShardCtl {
+                base: group_base[f],
+                wl: Vec::new(),
+                on_list: BitSet::new((end - group_base[f]) as usize),
+                outbox: Vec::new(),
+            });
+        }
+
+        let mut shard_of = vec![0u32; num_nodes];
+        for f in 0..nf {
+            let end = if f + 1 < nf {
+                group_base[f + 1] as usize
+            } else {
+                num_nodes
+            };
+            shard_of[group_base[f] as usize..end].fill((f + 1) as u32);
+        }
+
         let mut this = Solver {
             module,
             result,
-            edges: vec![Vec::new(); num_nodes],
+            words,
+            group_base,
+            shard_of,
+            csr_off: Vec::new(),
+            csr_dst: Vec::new(),
+            dyn_edges: vec![Vec::new(); num_nodes],
             mem_cons: Vec::new(),
+            resolved: Vec::new(),
+            con_of: vec![u32::MAX; num_nodes],
             subs: vec![Vec::new(); num_nodes],
-            con_of: fence_ir::util::FastMap::default(),
-            delta: vec![BitSet::new(n); num_nodes],
-            worklist: Vec::new(),
-            on_list: vec![false; num_nodes],
-            scratch: BitSet::new(n),
+            delta: vec![0u64; num_nodes * words],
+            shards,
+            scratch: vec![0u64; words],
             alloc_idx,
         };
-        this.register_constraints();
+        this.build_static_csr(num_nodes);
+        this.register_mem_cons();
         this
     }
 
@@ -415,14 +583,129 @@ impl<'m> Solver<'m> {
         self.result.node_of(f, v)
     }
 
-    /// Registers the static copy edge `pts(dst) ⊇ pts(src_value)` for node
-    /// sources. Global/constant contributions are fixed singletons; they
-    /// are applied by the initial pass at their program point, never grow,
-    /// and therefore need no edge.
-    fn add_copy_edge(&mut self, f: FuncId, src: Value, dst: u32) {
-        if let Some(s) = self.node_of(f, src) {
-            self.edges[s as usize].push(dst);
+    /// Walks every instruction once per pass, reporting each static copy
+    /// edge `src → dst` (node sources only — global/constant
+    /// contributions are fixed singletons applied by the initial pass).
+    fn for_each_static_edge(&self, mut f: impl FnMut(u32, u32)) {
+        let r = &self.result;
+        for (fid, func) in self.module.iter_funcs() {
+            let fi = fid.index();
+            let copy = |src: Value, dst: u32, f: &mut dyn FnMut(u32, u32)| {
+                if let Some(s) = r.node_of(fid, src) {
+                    f(s, dst);
+                }
+            };
+            for (iid, inst) in func.iter_insts() {
+                let dst = r.val_base[fi] + iid.index() as u32;
+                match &inst.kind {
+                    InstKind::Gep { base, .. } => copy(*base, dst, &mut f),
+                    InstKind::Bin { lhs, rhs, .. } => {
+                        copy(*lhs, dst, &mut f);
+                        copy(*rhs, dst, &mut f);
+                    }
+                    InstKind::Select {
+                        then_val, else_val, ..
+                    } => {
+                        copy(*then_val, dst, &mut f);
+                        copy(*else_val, dst, &mut f);
+                    }
+                    InstKind::ReadLocal { local } => {
+                        f(r.local_base[fi] + local.index() as u32, dst);
+                    }
+                    InstKind::WriteLocal { local, val } => {
+                        copy(*val, r.local_base[fi] + local.index() as u32, &mut f);
+                    }
+                    InstKind::Call { callee, args } => {
+                        let cf = callee.index();
+                        let nparams = self.module.funcs[cf].num_params as usize;
+                        for (k, a) in args.iter().enumerate() {
+                            if k < nparams {
+                                copy(*a, r.arg_base[cf] + k as u32, &mut f);
+                            }
+                        }
+                        f(r.ret_node[cf], dst);
+                    }
+                    InstKind::Ret { val: Some(v) } => copy(*v, r.ret_node[fi], &mut f),
+                    // Alloc seeds are applied by the initial pass; cmp
+                    // results, fences, intrinsics, branches: no flow.
+                    _ => {}
+                }
+            }
         }
+    }
+
+    /// Two-pass CSR construction (count, prefix-sum, fill).
+    fn build_static_csr(&mut self, num_nodes: usize) {
+        let mut count = vec![0u32; num_nodes + 1];
+        self.for_each_static_edge(|s, _| count[s as usize + 1] += 1);
+        for i in 0..num_nodes {
+            count[i + 1] += count[i];
+        }
+        let total = count[num_nodes] as usize;
+        let mut dst = vec![0u32; total];
+        let mut cursor = count.clone();
+        self.for_each_static_edge(|s, d| {
+            dst[cursor[s as usize] as usize] = d;
+            cursor[s as usize] += 1;
+        });
+        self.csr_off = count;
+        self.csr_dst = dst;
+    }
+
+    /// Registers one memory constraint per load/store/RMW/CAS that moves
+    /// pointers, and its address-node subscription.
+    fn register_mem_cons(&mut self) {
+        for (fid, func) in self.module.iter_funcs() {
+            let fi = fid.index();
+            for (iid, inst) in func.iter_insts() {
+                let dst = self.result.val_base[fi] + iid.index() as u32;
+                let (addr, load_to, store_val) = match &inst.kind {
+                    InstKind::Load { addr } => (*addr, Some(dst), None),
+                    InstKind::Store { addr, val } => (*addr, None, Some(*val)),
+                    InstKind::AtomicRmw { addr, val, .. } => (*addr, Some(dst), Some(*val)),
+                    InstKind::AtomicCas { addr, new, .. } => (*addr, Some(dst), Some(*new)),
+                    _ => continue,
+                };
+                let store_src = match store_val {
+                    None | Some(Value::Const(_)) => None,
+                    Some(Value::Global(g)) => Some(Src::Global(g.index() as u32)),
+                    Some(v) => Some(Src::Node(self.node_of(fid, v).expect("arg/inst node"))),
+                };
+                if load_to.is_none() && store_src.is_none() {
+                    continue; // stores of constants move no pointers
+                }
+                let idx = self.mem_cons.len() as u32;
+                self.mem_cons.push(MemCon { load_to, store_src });
+                self.con_of[dst as usize] = idx;
+                // Node addresses are wired lazily as their sets grow;
+                // global addresses resolve to fixed singletons and are
+                // wired once by the initial pass at their program point.
+                if let Some(node) = self.node_of(fid, addr) {
+                    self.subs[node as usize].push(idx);
+                }
+            }
+        }
+        self.resolved = vec![0u64; self.mem_cons.len() * self.words];
+    }
+
+    #[inline]
+    fn delta_row(delta: &mut [u64], words: usize, node: usize) -> &mut [u64] {
+        &mut delta[node * words..(node + 1) * words]
+    }
+
+    fn enqueue(&mut self, node: u32) {
+        let s = self.shard_of[node as usize] as usize;
+        let ctl = &mut self.shards[s];
+        if ctl.on_list.insert((node - ctl.base) as usize) {
+            ctl.wl.push(node);
+        }
+    }
+
+    fn pop_shard(&mut self, s: usize) -> Option<u32> {
+        let ctl = &mut self.shards[s];
+        let g = ctl.wl.pop()?;
+        ctl.on_list.remove((g - ctl.base) as usize);
+        Some(g)
     }
 
     /// Applies `pts(dst) ∪= pts(src_value)` *now* (delta-tracked), exactly
@@ -438,70 +721,15 @@ impl<'m> Solver<'m> {
         }
     }
 
-    /// Registers one memory constraint; `addr` decides wiring mode.
-    fn add_mem_con(
-        &mut self,
-        f: FuncId,
-        iid: InstId,
-        addr: Value,
-        load_to: Option<u32>,
-        store_val: Option<Value>,
-    ) {
-        let n = self.result.num_locs();
-        let store_src = match store_val {
-            None | Some(Value::Const(_)) => None,
-            Some(Value::Global(g)) => Some(Src::Global(g.index() as u32)),
-            Some(v) => Some(Src::Node(self.node_of(f, v).expect("arg/inst node"))),
-        };
-        if load_to.is_none() && store_src.is_none() {
-            return; // stores of constants through any address move no pointers
-        }
-        let idx = self.mem_cons.len() as u32;
-        self.mem_cons.push(MemCon {
-            load_to,
-            store_src,
-            resolved: BitSet::new(n),
-        });
-        self.con_of
-            .insert((f.index() as u32, iid.index() as u32), idx);
-        // Node addresses are wired lazily as their sets grow; global and
-        // constant addresses resolve to fixed sets and are wired once by
-        // the initial pass at their program point.
-        if let Some(node) = self.node_of(f, addr) {
-            self.subs[node as usize].push(idx);
-        }
-    }
-
-    /// Wires constraint `con` against location `l` (idempotent).
-    fn wire(&mut self, con: u32, l: usize) {
-        let c = &mut self.mem_cons[con as usize];
-        if !c.resolved.insert(l) {
-            return;
-        }
-        let load_to = c.load_to;
-        let store_src = c.store_src;
-        if let Some(dst) = load_to {
-            self.edges[l].push(dst);
-            self.propagate_full(l as u32, dst);
-        }
-        match store_src {
-            Some(Src::Node(s)) => {
-                self.edges[s as usize].push(l as u32);
-                self.propagate_full(s, l as u32);
-            }
-            Some(Src::Global(g)) => {
-                self.insert_bit(l as u32, g as usize);
-            }
-            None => {}
-        }
-    }
-
-    /// Pushes `pts(src)` into `dst` (used when an edge appears late).
+    /// Pushes `pts(src)` into `dst` (used when an edge appears late, and
+    /// by the frontier merge, where the full set subsumes any buffered
+    /// delta).
     fn propagate_full(&mut self, src: u32, dst: u32) {
         if src == dst {
             return;
         }
         let (s, d) = (src as usize, dst as usize);
+        let drow = Self::delta_row(&mut self.delta, self.words, d);
         // Split-borrow the pts table around the two nodes.
         let (a, b) = if s < d {
             let (lo, hi) = self.result.pts.split_at_mut(d);
@@ -510,87 +738,40 @@ impl<'m> Solver<'m> {
             let (lo, hi) = self.result.pts.split_at_mut(s);
             (&hi[0], &mut lo[d])
         };
-        if b.union_with_into(a, &mut self.delta[d]) {
+        if b.union_words(a.words(), drow) {
             self.enqueue(dst);
         }
     }
 
     fn insert_bit(&mut self, node: u32, bit: usize) {
         if self.result.pts[node as usize].insert(bit) {
-            self.delta[node as usize].insert(bit);
+            self.delta[node as usize * self.words + bit / 64] |= 1u64 << (bit % 64);
             self.enqueue(node);
         }
     }
 
-    fn enqueue(&mut self, node: u32) {
-        if !self.on_list[node as usize] {
-            self.on_list[node as usize] = true;
-            self.worklist.push(node);
+    /// Wires constraint `con` against location `l` (idempotent).
+    fn wire(&mut self, con: u32, l: usize) {
+        let slot = con as usize * self.words + l / 64;
+        let bit = 1u64 << (l % 64);
+        if self.resolved[slot] & bit != 0 {
+            return;
         }
-    }
-
-    /// Walks every instruction once, registering static copy edges and
-    /// memory-constraint subscriptions. Never mutates points-to sets:
-    /// initial contents are applied by [`Solver::initial_pass`] in program
-    /// order.
-    fn register_constraints(&mut self) {
-        for (fid, func) in self.module.iter_funcs() {
-            let fi = fid.index();
-            for (iid, inst) in func.iter_insts() {
-                let dst = self.result.val_base[fi] + iid.index() as u32;
-                match &inst.kind {
-                    InstKind::Gep { base, .. } => self.add_copy_edge(fid, *base, dst),
-                    InstKind::Bin { lhs, rhs, .. } => {
-                        self.add_copy_edge(fid, *lhs, dst);
-                        self.add_copy_edge(fid, *rhs, dst);
-                    }
-                    InstKind::Select {
-                        then_val, else_val, ..
-                    } => {
-                        self.add_copy_edge(fid, *then_val, dst);
-                        self.add_copy_edge(fid, *else_val, dst);
-                    }
-                    InstKind::Load { addr } => {
-                        self.add_mem_con(fid, iid, *addr, Some(dst), None);
-                    }
-                    InstKind::Store { addr, val } => {
-                        self.add_mem_con(fid, iid, *addr, None, Some(*val));
-                    }
-                    InstKind::AtomicRmw { addr, val, .. } => {
-                        self.add_mem_con(fid, iid, *addr, Some(dst), Some(*val));
-                    }
-                    InstKind::AtomicCas { addr, new, .. } => {
-                        self.add_mem_con(fid, iid, *addr, Some(dst), Some(*new));
-                    }
-                    InstKind::ReadLocal { local } => {
-                        let l = self.result.local_base[fi] + local.index() as u32;
-                        self.edges[l as usize].push(dst);
-                    }
-                    InstKind::WriteLocal { local, val } => {
-                        let l = self.result.local_base[fi] + local.index() as u32;
-                        self.add_copy_edge(fid, *val, l);
-                    }
-                    InstKind::Call { callee, args } => {
-                        let cf = callee.index();
-                        let nparams = self.module.funcs[cf].num_params as usize;
-                        for (k, a) in args.iter().enumerate() {
-                            if k < nparams {
-                                let p = self.result.arg_base[cf] + k as u32;
-                                self.add_copy_edge(fid, *a, p);
-                            }
-                        }
-                        let r = self.result.ret_node[cf];
-                        self.edges[r as usize].push(dst);
-                    }
-                    InstKind::Ret { val: Some(v) } => {
-                        let r = self.result.ret_node[fi];
-                        self.add_copy_edge(fid, *v, r);
-                    }
-                    // Alloc seeds are applied by the initial pass; cmp
-                    // results, fences, intrinsics, branches: no flow.
-                    _ => {}
-                }
+        self.resolved[slot] |= bit;
+        let c = self.mem_cons[con as usize];
+        if let Some(dst) = c.load_to {
+            self.dyn_edges[l].push(dst);
+            self.propagate_full(l as u32, dst);
+        }
+        match c.store_src {
+            Some(Src::Node(s)) => {
+                self.dyn_edges[s as usize].push(l as u32);
+                self.propagate_full(s, l as u32);
             }
+            Some(Src::Global(g)) => {
+                self.insert_bit(l as u32, g as usize);
+            }
+            None => {}
         }
     }
 
@@ -601,8 +782,13 @@ impl<'m> Solver<'m> {
     /// address resolutions exactly as the fixpoint-by-re-execution solver
     /// made them (the empty-set fallback is the one non-monotone rule, so
     /// *when* a set was empty matters); every union the pass performs is
-    /// one the worklist closure implies anyway.
+    /// one the worklist closure implies anyway. Because the rule is
+    /// order-sensitive **across functions** (callers fill callee argument
+    /// nodes, stores fill the shared location frontier), this pass always
+    /// runs sequentially — sharding begins only at the monotone fixpoint
+    /// rounds that follow.
     fn initial_pass(&mut self) {
+        let mut locs_scratch: Vec<u32> = Vec::new();
         for (fid, func) in self.module.iter_funcs() {
             let fi = fid.index();
             for (iid, inst) in func.iter_insts() {
@@ -627,15 +813,17 @@ impl<'m> Solver<'m> {
                     | InstKind::Store { addr, .. }
                     | InstKind::AtomicRmw { addr, .. }
                     | InstKind::AtomicCas { addr, .. } => {
-                        let Some(&con) = self.con_of.get(&(fi as u32, iid.index() as u32)) else {
+                        let con = self.con_of[dst as usize];
+                        if con == u32::MAX {
                             continue; // store of a constant: moves no pointers
-                        };
-                        let locs: Vec<usize> = match self.result.value_set(fid, *addr) {
-                            PtsView::Empty => vec![self.result.unknown],
-                            view => view.iter().collect(),
-                        };
-                        for l in locs {
-                            self.wire(con, l);
+                        }
+                        locs_scratch.clear();
+                        match self.result.value_set(fid, *addr) {
+                            PtsView::Empty => locs_scratch.push(self.result.unknown as u32),
+                            view => locs_scratch.extend(view.iter().map(|l| l as u32)),
+                        }
+                        for &l in &locs_scratch {
+                            self.wire(con, l as usize);
                         }
                     }
                     InstKind::ReadLocal { local } => {
@@ -668,67 +856,256 @@ impl<'m> Solver<'m> {
         }
     }
 
-    /// Drains the worklist: propagate per-node deltas along copy edges and
-    /// wire subscribed memory constraints for newly seen locations.
-    fn drain(&mut self) {
-        while let Some(node) = self.worklist.pop() {
-            self.on_list[node as usize] = false;
-            // Swap the node's delta out through the reusable scratch set so
-            // a drain step allocates nothing.
-            let spare = std::mem::take(&mut self.scratch);
-            let d = std::mem::replace(&mut self.delta[node as usize], spare);
-            if d.is_empty() {
-                self.scratch = {
-                    let mut d = d;
-                    d.clear();
-                    d
-                };
-                continue;
-            }
-            // Copy edges: pushing just the delta is enough because every
-            // edge propagates the full source set when first created.
-            let targets = std::mem::take(&mut self.edges[node as usize]);
-            for &t in &targets {
-                let dsti = t as usize;
-                if dsti != node as usize
-                    && self.result.pts[dsti].union_with_into(&d, &mut self.delta[dsti])
-                {
-                    self.enqueue(t);
-                }
-            }
-            self.edges[node as usize] = targets;
-            // Memory constraints subscribed to this address node.
-            let subs = std::mem::take(&mut self.subs[node as usize]);
-            for &con in &subs {
-                for l in d.iter() {
-                    self.wire(con, l);
-                }
-            }
-            self.subs[node as usize] = subs;
-            self.scratch = {
-                let mut d = d;
-                d.clear();
-                d
-            };
-        }
-    }
-
-    /// Runs initial pass + worklist to fixpoint and returns the result.
-    fn solve(mut self) -> PointsTo {
-        self.initial_pass();
-        // Seed the worklist with every nonempty node's full set so every
-        // static edge sees its source's initial contents at least once;
-        // from then on only deltas travel.
+    /// Seeds the worklists with every nonempty node's full set so every
+    /// static edge sees its source's initial contents at least once;
+    /// from then on only deltas travel.
+    fn seed(&mut self) {
+        let w = self.words;
         for node in 0..self.result.pts.len() {
             if !self.result.pts[node].is_empty() {
-                // Split borrow: delta and result.pts are disjoint fields.
                 let (pts, delta) = (&self.result.pts, &mut self.delta);
-                delta[node].union_with(&pts[node]);
+                for (d, s) in Self::delta_row(delta, w, node)
+                    .iter_mut()
+                    .zip(pts[node].words())
+                {
+                    *d |= s;
+                }
                 self.enqueue(node as u32);
             }
         }
-        self.drain();
+    }
+
+    /// Drains one node, applying every effect directly (used by the
+    /// sequential drain for all shards, and by the sharded drain for the
+    /// shared location frontier and the inter-round merge).
+    fn drain_node_direct(&mut self, g: u32) {
+        let gi = g as usize;
+        let w = self.words;
+        // Snapshot the delta row through the reusable scratch, then clear
+        // it — a drain step allocates nothing.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let drow = Self::delta_row(&mut self.delta, w, gi);
+        scratch.copy_from_slice(drow);
+        drow.fill(0);
+        if scratch.iter().all(|&x| x == 0) {
+            self.scratch = scratch;
+            return;
+        }
+        // Static copy edges: pushing just the delta is enough because
+        // every edge propagates the full source set when first created.
+        for k in self.csr_off[gi]..self.csr_off[gi + 1] {
+            let t = self.csr_dst[k as usize];
+            self.apply_delta(&scratch, t, gi);
+        }
+        // Dynamically wired edges.
+        let dyns = std::mem::take(&mut self.dyn_edges[gi]);
+        for &t in &dyns {
+            self.apply_delta(&scratch, t, gi);
+        }
+        self.dyn_edges[gi] = dyns;
+        // Memory constraints subscribed to this address node.
+        let subs = std::mem::take(&mut self.subs[gi]);
+        for &con in &subs {
+            for l in fence_ir::util::iter_words(&scratch) {
+                self.wire(con, l);
+            }
+        }
+        self.subs[gi] = subs;
+        self.scratch = scratch;
+    }
+
+    /// `pts(t) ∪= delta_words` with delta tracking and enqueue.
+    fn apply_delta(&mut self, delta_words: &[u64], t: u32, src: usize) {
+        let ti = t as usize;
+        if ti == src {
+            return;
+        }
+        let drow = Self::delta_row(&mut self.delta, self.words, ti);
+        if self.result.pts[ti].union_words(delta_words, drow) {
+            self.enqueue(t);
+        }
+    }
+
+    /// Sequential fixpoint: round-robin over the shards, draining each
+    /// directly until everything is quiescent.
+    fn drain_sequential(&mut self) {
+        loop {
+            let mut any = false;
+            for s in 0..self.shards.len() {
+                while let Some(g) = self.pop_shard(s) {
+                    any = true;
+                    self.drain_node_direct(g);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+
+    /// Sharded fixpoint rounds: the shared location frontier drains
+    /// sequentially, then every pending function shard drains its local
+    /// worklist concurrently on the pool (each confined to its own node
+    /// slices), buffering cross-shard copies and constraint wiring into
+    /// its outbox; the merge applies those effects and the next round
+    /// begins. The constraint system is monotone at this point, so any
+    /// schedule converges to the same least fixpoint — parallel runs are
+    /// bit-identical to sequential ones.
+    fn drain_sharded(&mut self) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let nf = self.module.funcs.len();
+        let w = self.words;
+        loop {
+            // 1. Shared frontier (and anything the merge re-enqueued).
+            while let Some(g) = self.pop_shard(0) {
+                self.drain_node_direct(g);
+            }
+            let pending: Vec<usize> = (0..nf)
+                .filter(|&f| !self.shards[f + 1].wl.is_empty())
+                .collect();
+            if pending.is_empty() {
+                if self.shards[0].wl.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            // 2. Function shards in parallel, each on its own slices.
+            {
+                let n_locs = self.group_base.first().copied().unwrap_or(0) as usize;
+                let Solver {
+                    ref mut result,
+                    ref mut delta,
+                    ref mut shards,
+                    ref csr_off,
+                    ref csr_dst,
+                    ref dyn_edges,
+                    ref subs,
+                    ref group_base,
+                    ..
+                } = *self;
+                let num_nodes = result.pts.len();
+                let (_, mut rest_pts) = result.pts.split_at_mut(n_locs);
+                let (_, mut rest_delta) = delta.split_at_mut(n_locs * w);
+                let (_, func_ctls) = shards.split_at_mut(1);
+                let mut jobs: Vec<Mutex<ShardJob<'_>>> = Vec::with_capacity(nf);
+                for (f, ctl) in func_ctls.iter_mut().enumerate() {
+                    let end = if f + 1 < nf {
+                        group_base[f + 1] as usize
+                    } else {
+                        num_nodes
+                    };
+                    let len = end - ctl.base as usize;
+                    let (p, rp) = rest_pts.split_at_mut(len);
+                    rest_pts = rp;
+                    let (d, rd) = rest_delta.split_at_mut(len * w);
+                    rest_delta = rd;
+                    jobs.push(Mutex::new(ShardJob {
+                        base: ctl.base,
+                        len: len as u32,
+                        pts: p,
+                        delta: d,
+                        ctl,
+                    }));
+                }
+                let next = AtomicUsize::new(0);
+                fence_ir::pool::ThreadPool::global().run_scoped(pending.len(), &|| {
+                    let mut scratch = vec![0u64; w];
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= pending.len() {
+                            break;
+                        }
+                        let mut job = jobs[pending[i]].lock().unwrap();
+                        drain_shard_local(
+                            &mut job,
+                            csr_off,
+                            csr_dst,
+                            dyn_edges,
+                            subs,
+                            w,
+                            &mut scratch,
+                        );
+                    }
+                });
+            }
+            // 3. Sequential frontier merge: apply buffered cross-shard
+            // copies (full source sets subsume the buffered deltas) and
+            // constraint wiring.
+            for s in 1..=nf {
+                let outbox = std::mem::take(&mut self.shards[s].outbox);
+                for out in outbox {
+                    match out {
+                        Out::Copy { src, dst } => self.propagate_full(src, dst),
+                        Out::Wire { con, loc } => self.wire(con, loc as usize),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs initial pass + fixpoint rounds and returns the result.
+    fn solve(mut self, parallel: bool) -> PointsTo {
+        self.initial_pass();
+        self.seed();
+        if parallel && self.module.funcs.len() > 1 {
+            self.drain_sharded();
+        } else {
+            self.drain_sequential();
+        }
         self.result
+    }
+}
+
+/// Drains one function shard's local worklist: propagation among the
+/// shard's own nodes is applied directly on its disjoint slices;
+/// anything that crosses the shard boundary (stores into the location
+/// frontier, call/return edges, constraint wiring) is buffered into the
+/// shard's outbox for the sequential merge.
+fn drain_shard_local(
+    job: &mut ShardJob<'_>,
+    csr_off: &[u32],
+    csr_dst: &[u32],
+    dyn_edges: &[Vec<u32>],
+    subs: &[Vec<u32>],
+    w: usize,
+    scratch: &mut [u64],
+) {
+    let base = job.base;
+    while let Some(g) = job.ctl.wl.pop() {
+        let li = (g - base) as usize;
+        job.ctl.on_list.remove(li);
+        let drow = &mut job.delta[li * w..(li + 1) * w];
+        scratch.copy_from_slice(drow);
+        drow.fill(0);
+        if scratch.iter().all(|&x| x == 0) {
+            continue;
+        }
+        let gi = g as usize;
+        let statics = csr_dst[csr_off[gi] as usize..csr_off[gi + 1] as usize].iter();
+        for &t in statics.chain(dyn_edges[gi].iter()) {
+            if t == g {
+                continue;
+            }
+            let tl = t.wrapping_sub(base);
+            if tl < job.len {
+                // Shard-local target: apply directly.
+                let tli = tl as usize;
+                let trow = &mut job.delta[tli * w..(tli + 1) * w];
+                if job.pts[tli].union_words(scratch, trow) && job.ctl.on_list.insert(tli) {
+                    job.ctl.wl.push(t);
+                }
+            } else {
+                // Crosses the shard boundary: the merge propagates the
+                // full (monotone) source set, subsuming this delta.
+                job.ctl.outbox.push(Out::Copy { src: g, dst: t });
+            }
+        }
+        for &con in &subs[gi] {
+            for l in fence_ir::util::iter_words(scratch) {
+                job.ctl.outbox.push(Out::Wire { con, loc: l as u32 });
+            }
+        }
     }
 }
 
@@ -888,12 +1265,192 @@ mod tests {
         assert!(!PtsView::Empty.intersects(&esc));
     }
 
+    /// Cross-shard frontier: a pointer published through a global by one
+    /// function is observed by a load in another function (the flow goes
+    /// function-shard → location frontier → function-shard).
+    #[test]
+    fn frontier_publish_crosses_functions() {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let cell = mb.global("cell", 1);
+        let mut pb = FunctionBuilder::new("publisher", 0);
+        pb.store(cell, x); // cell := &x
+        pb.ret(None);
+        mb.add_func(pb.build());
+        let mut cb = FunctionBuilder::new("consumer", 0);
+        let p = cb.load(cell);
+        let _ = cb.load(p);
+        cb.ret(None);
+        let consumer = mb.add_func(cb.build());
+        let m = mb.finish();
+        for parallel in [false, true] {
+            let pt = PointsTo::analyze_on(&m, parallel);
+            assert!(
+                pt.value_set(consumer, p).contains(x.index()),
+                "consumer sees the published pointer (parallel={parallel})"
+            );
+        }
+    }
+
+    /// Cross-shard call edges: arguments flow *forward* into a
+    /// later-defined callee and return values flow *back* into an
+    /// earlier-defined caller, across shard boundaries both ways.
+    #[test]
+    fn frontier_call_and_return_edges_cross_shards() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let callee = mb.declare_func("callee", 1);
+        let mut fb = FunctionBuilder::new("caller", 0);
+        let r = fb.call(callee, vec![Value::Global(g)]);
+        let _ = fb.load(r); // deref the returned pointer
+        fb.ret(None);
+        let caller = mb.add_func(fb.build());
+        let mut cb = FunctionBuilder::new("callee", 1);
+        cb.ret(Some(Value::Arg(0))); // identity: arg flows back out
+        mb.define_func(callee, cb.build());
+        let m = mb.finish();
+        for parallel in [false, true] {
+            let pt = PointsTo::analyze_on(&m, parallel);
+            assert!(
+                pt.value_set(callee, Value::Arg(0)).contains(g.index()),
+                "arg crosses into the callee shard (parallel={parallel})"
+            );
+            assert!(
+                pt.value_set(caller, r).contains(g.index()),
+                "return value crosses back (parallel={parallel})"
+            );
+        }
+    }
+
+    /// Cross-shard `Unknown` frontier: a store through an unresolvable
+    /// address in one function reaches unresolvable loads in *another*
+    /// function via the shared `Unknown` location.
+    #[test]
+    fn frontier_unknown_store_reaches_other_functions() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let mut wb = FunctionBuilder::new("writer", 1);
+        wb.store(Value::Arg(0), g); // *unknown := &g
+        wb.ret(None);
+        mb.add_func(wb.build());
+        let mut rb = FunctionBuilder::new("reader", 1);
+        let v = rb.load(Value::Arg(0)); // load *unknown
+        rb.ret(None);
+        let reader = mb.add_func(rb.build());
+        let m = mb.finish();
+        for parallel in [false, true] {
+            let pt = PointsTo::analyze_on(&m, parallel);
+            assert!(
+                pt.value_set(reader, v).contains(g.index()),
+                "unknown-channel flow crosses shards (parallel={parallel})"
+            );
+        }
+    }
+
+    /// Mutually recursive functions exchanging pointers: the cross-shard
+    /// cycle must still converge to the same fixpoint in both modes.
+    #[test]
+    fn frontier_mutual_recursion_converges() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 1);
+        let b = mb.global("b", 1);
+        let fa = mb.declare_func("fa", 1);
+        let fb_id = mb.declare_func("fb", 1);
+        let mut f1 = FunctionBuilder::new("fa", 1);
+        let r1 = f1.call(fb_id, vec![Value::Arg(0)]);
+        f1.ret(Some(r1));
+        mb.define_func(fa, f1.build());
+        let mut f2 = FunctionBuilder::new("fb", 1);
+        let _ = f2.call(fa, vec![Value::Global(b)]);
+        f2.ret(Some(Value::Arg(0))); // returns its arg, seeding the ret cycle
+        mb.define_func(fb_id, f2.build());
+        let mut root = FunctionBuilder::new("root", 0);
+        let r = root.call(fa, vec![Value::Global(a)]);
+        root.ret(Some(r));
+        let root_id = mb.add_func(root.build());
+        let m = mb.finish();
+        for parallel in [false, true] {
+            let pt = PointsTo::analyze_on(&m, parallel);
+            for (who, v) in [
+                ("fa arg", (fa, Value::Arg(0))),
+                ("fb arg", (fb_id, Value::Arg(0))),
+            ] {
+                let set = pt.value_set(v.0, v.1);
+                assert!(
+                    set.contains(a.index()) && set.contains(b.index()),
+                    "{who} sees both roots (parallel={parallel})"
+                );
+            }
+            let out = pt.value_set(root_id, r);
+            assert!(out.contains(a.index()) && out.contains(b.index()));
+        }
+    }
+
+    /// The parallel sharded solve is bit-identical to the sequential one
+    /// on a module exercising every constraint kind.
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let (m, _, _) = reference_module();
+        let seq = PointsTo::analyze(&m);
+        let par = PointsTo::analyze_on(&m, true);
+        for (fid, func) in m.iter_funcs() {
+            for (iid, _) in func.iter_insts() {
+                assert_eq!(
+                    seq.value_set(fid, Value::Inst(iid))
+                        .iter()
+                        .collect::<Vec<_>>(),
+                    par.value_set(fid, Value::Inst(iid))
+                        .iter()
+                        .collect::<Vec<_>>(),
+                    "{}/%{}",
+                    func.name,
+                    iid.index()
+                );
+            }
+        }
+        for l in 0..seq.num_locs() {
+            assert_eq!(
+                seq.loc_pts(l).iter().collect::<Vec<_>>(),
+                par.loc_pts(l).iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
     /// The worklist solver and a naive re-execution fixpoint must agree.
     /// This re-implements the legacy algorithm inline and diffs every
     /// queryable set on a module exercising loads/stores through memory,
     /// locals, calls, selects, RMW and unknown addresses.
     #[test]
     fn matches_naive_fixpoint_reference() {
+        let (m, _, driver) = reference_module();
+        let pt = PointsTo::analyze(&m);
+        let reference = naive_reference(&m);
+        for (fid, func) in m.iter_funcs() {
+            for (iid, _) in func.iter_insts() {
+                let got: Vec<usize> = pt.value_set(fid, Value::Inst(iid)).iter().collect();
+                let want: Vec<usize> = reference.val[fid.index()][iid.index()].iter().collect();
+                assert_eq!(got, want, "{}/%{} value set", func.name, iid.index());
+            }
+            for a in 0..func.num_params {
+                let got: Vec<usize> = pt.value_set(fid, Value::Arg(a)).iter().collect();
+                let want: Vec<usize> = reference.arg[fid.index()][a as usize].iter().collect();
+                assert_eq!(got, want, "{}/arg{a} set", func.name);
+            }
+        }
+        for l in 0..pt.num_locs() {
+            let got: Vec<usize> = pt.loc_pts(l).iter().collect();
+            let want: Vec<usize> = reference.loc[l].iter().collect();
+            assert_eq!(got, want, "loc {l} pointees");
+        }
+        // Sanity: driver's through-arg load hits Unknown.
+        assert!(pt
+            .addr_locs(driver, Value::Arg(0))
+            .contains(pt.unknown_idx()));
+    }
+
+    /// A module exercising loads/stores through memory, locals, calls,
+    /// selects, RMW and unknown addresses — the oracle workload.
+    fn reference_module() -> (Module, FuncId, FuncId) {
         let mut mb = ModuleBuilder::new("m");
         let head = mb.global("head", 1);
         let swap = mb.global("swap", 1);
@@ -918,31 +1475,7 @@ mod tests {
         fb2.store(Value::Arg(0), through_arg);
         fb2.ret(None);
         let driver = mb.add_func(fb2.build());
-        let m = mb.finish();
-
-        let pt = PointsTo::analyze(&m);
-        let reference = naive_reference(&m);
-        for (fid, func) in m.iter_funcs() {
-            for (iid, _) in func.iter_insts() {
-                let got: Vec<usize> = pt.value_set(fid, Value::Inst(iid)).iter().collect();
-                let want: Vec<usize> = reference.val[fid.index()][iid.index()].iter().collect();
-                assert_eq!(got, want, "{}/%{} value set", func.name, iid.index());
-            }
-            for a in 0..func.num_params {
-                let got: Vec<usize> = pt.value_set(fid, Value::Arg(a)).iter().collect();
-                let want: Vec<usize> = reference.arg[fid.index()][a as usize].iter().collect();
-                assert_eq!(got, want, "{}/arg{a} set", func.name);
-            }
-        }
-        for l in 0..pt.num_locs() {
-            let got: Vec<usize> = pt.loc_pts(l).iter().collect();
-            let want: Vec<usize> = reference.loc[l].iter().collect();
-            assert_eq!(got, want, "loc {l} pointees");
-        }
-        // Sanity: driver's through-arg load hits Unknown.
-        assert!(pt
-            .addr_locs(driver, Value::Arg(0))
-            .contains(pt.unknown_idx()));
+        (mb.finish(), callee, driver)
     }
 
     /// The legacy solver, verbatim (apply-until-no-change), kept as the

@@ -7,15 +7,18 @@
 //! cargo run --release -p fence_bench --bin perf_snapshot
 //! ```
 //!
-//! Stages: points-to (worklist Andersen), escape closure, acquire
-//! detection (Address+Control — the superset detector), ordering
-//! generation, and pruning + fence minimization (x86-TSO). Each stage is
-//! run `REPS` times and the minimum is reported, which is the usual
-//! low-noise estimator for short deterministic workloads.
+//! Stages: points-to (function-sharded worklist Andersen), escape
+//! closure, acquire detection (Address+Control — the superset detector),
+//! cfg (the cache-once `FuncSubstrate` builds: `Cfg` + `Reachability`,
+//! once per function, exactly as the batch pipeline amortizes them),
+//! ordering generation over the prebuilt substrates, and pruning + fence
+//! minimization (x86-TSO). Each stage is run `REPS` times and the
+//! minimum is reported, which is the usual low-noise estimator for short
+//! deterministic workloads.
 
 use corpus::Params;
 use fence_analysis::{EscapeInfo, ModuleAnalysis, PointsTo};
-use fence_ir::Module;
+use fence_ir::{FuncSubstrate, Module};
 use fenceplace::acquire::{detect_acquires, DetectMode};
 use fenceplace::minimize::minimize_function;
 use fenceplace::orderings::FuncOrderings;
@@ -29,27 +32,29 @@ struct StageMs {
     points_to: f64,
     escape: f64,
     acquire: f64,
+    cfg: f64,
     orderings: f64,
     minimize: f64,
 }
 
 impl StageMs {
     fn total(&self) -> f64 {
-        self.points_to + self.escape + self.acquire + self.orderings + self.minimize
+        self.points_to + self.escape + self.acquire + self.cfg + self.orderings + self.minimize
     }
 
     fn add(&mut self, o: &StageMs) {
         self.points_to += o.points_to;
         self.escape += o.escape;
         self.acquire += o.acquire;
+        self.cfg += o.cfg;
         self.orderings += o.orderings;
         self.minimize += o.minimize;
     }
 
     fn json(&self) -> String {
         format!(
-            "{{\"points_to\": {:.3}, \"escape\": {:.3}, \"acquire\": {:.3}, \"orderings\": {:.3}, \"minimize\": {:.3}, \"total\": {:.3}}}",
-            self.points_to, self.escape, self.acquire, self.orderings, self.minimize, self.total()
+            "{{\"points_to\": {:.3}, \"escape\": {:.3}, \"acquire\": {:.3}, \"cfg\": {:.3}, \"orderings\": {:.3}, \"minimize\": {:.3}, \"total\": {:.3}}}",
+            self.points_to, self.escape, self.acquire, self.cfg, self.orderings, self.minimize, self.total()
         )
     }
 }
@@ -86,9 +91,22 @@ fn snapshot(module: &Module) -> StageMs {
             );
         }
     });
+    // The cache-once CFG substrate: built exactly once per function per
+    // batch by the pipeline; measured as its own stage here.
+    s.cfg = time_min(|| {
+        for (_, func) in module.iter_funcs() {
+            std::hint::black_box(FuncSubstrate::new(func));
+        }
+    });
+    let substrates: Vec<FuncSubstrate> = module
+        .iter_funcs()
+        .map(|(_, func)| FuncSubstrate::new(func))
+        .collect();
     s.orderings = time_min(|| {
         for (fid, _) in module.iter_funcs() {
-            std::hint::black_box(FuncOrderings::generate(module, &an.escape, fid).counts());
+            std::hint::black_box(
+                FuncOrderings::generate(module, &an.escape, fid, &substrates[fid.index()]).counts(),
+            );
         }
     });
     // Pruning + minimization against the Control detector on x86-TSO (the
@@ -101,7 +119,7 @@ fn snapshot(module: &Module) -> StageMs {
         .collect();
     let ords: Vec<_> = module
         .iter_funcs()
-        .map(|(fid, _)| FuncOrderings::generate(module, &an.escape, fid))
+        .map(|(fid, _)| FuncOrderings::generate(module, &an.escape, fid, &substrates[fid.index()]))
         .collect();
     s.minimize = time_min(|| {
         for (fid, func) in module.iter_funcs() {

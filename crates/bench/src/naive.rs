@@ -8,14 +8,18 @@
 //! * **acquire stage** (`acquire_scaling`): the seed alias oracle with a
 //!   cloned `BitSet` per access and an `O(writers)` linear scan per
 //!   `potential_writers` query, plus the seed slicer with its eager
-//!   all-locals writer cache and `Vec`-returning writer queries.
+//!   all-locals writer cache and `Vec`-returning writer queries;
+//! * **points-to** (`pointsto_scaling`): the seed fixpoint-by-
+//!   re-execution Andersen solver — every constraint re-applied every
+//!   round with two owned `BitSet` clones per operand visit — measured
+//!   against the sharded constraint-graph worklist solver.
 //!
 //! Nothing in the pipeline uses this module; it exists so the
 //! quadratic→near-linear wins stay measurable after the seed code is
 //! gone.
 
 use fence_analysis::escape::EscapeInfo;
-use fence_analysis::pointsto::PointsTo;
+use fence_analysis::pointsto::{AbsLoc, PointsTo};
 use fence_ir::cfg::Cfg;
 use fence_ir::util::BitSet;
 use fence_ir::FenceKind;
@@ -496,11 +500,181 @@ pub fn optimized_ordering_stage(
     let mut total_kept = 0usize;
     let mut points = Vec::new();
     for (fid, func) in module.iter_funcs() {
-        let ords = FuncOrderings::generate(module, escape, fid);
+        let substrate = fence_ir::FuncSubstrate::new(func);
+        let ords = FuncOrderings::generate(module, escape, fid, &substrate);
         let kept = ords.prune(&sync_reads[fid.index()]);
         total_kept += kept.counts().iter().sum::<usize>();
         let entry = !sync_reads[fid.index()].is_empty();
         points.extend(minimize_function(func, fid, &kept, target, entry));
     }
     (total_kept, points)
+}
+
+/// The seed points-to solver's result: one owned set per value, argument,
+/// local and abstract location.
+pub struct SeedPointsTo {
+    /// Per function, per instruction result.
+    pub val: Vec<Vec<BitSet>>,
+    /// Per function, per argument.
+    pub arg: Vec<Vec<BitSet>>,
+    /// Per abstract location (same dense indexing as [`PointsTo`]).
+    pub loc: Vec<BitSet>,
+}
+
+/// The seed Andersen solver, verbatim: apply every instruction's
+/// constraints in program order, repeat until a whole round changes
+/// nothing. `O(rounds · insts · locs/64)` with owned `BitSet` clones on
+/// every operand visit — the baseline `pointsto_scaling` measures the
+/// sharded constraint-graph solver against.
+#[allow(clippy::needless_range_loop)] // seed control flow, kept verbatim
+pub fn seed_points_to(module: &Module) -> SeedPointsTo {
+    let mut locs: Vec<AbsLoc> = module
+        .iter_globals()
+        .map(|(g, _)| AbsLoc::Global(g))
+        .collect();
+    for (fid, func) in module.iter_funcs() {
+        for (iid, inst) in func.iter_insts() {
+            if matches!(inst.kind, InstKind::Alloc { .. }) {
+                locs.push(AbsLoc::Alloc(fid, iid));
+            }
+        }
+    }
+    let unknown = locs.len();
+    locs.push(AbsLoc::Unknown);
+    let n = locs.len();
+    // Prebuilt alloc-site map, exactly as the seed solver had it — an
+    // O(locs) scan here would inflate the baseline on alloc-heavy
+    // modules and overstate the sharded solver's speedup.
+    let alloc_idx: fence_ir::util::FastMap<(u32, u32), usize> = locs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| match l {
+            AbsLoc::Alloc(f, inst) => Some(((f.index() as u32, inst.index() as u32), i)),
+            _ => None,
+        })
+        .collect();
+    let alloc_of = |f: FuncId, i: InstId| alloc_idx[&(f.index() as u32, i.index() as u32)];
+
+    let mut val: Vec<Vec<BitSet>> = module
+        .funcs
+        .iter()
+        .map(|f| vec![BitSet::new(n); f.num_insts()])
+        .collect();
+    let mut arg: Vec<Vec<BitSet>> = module
+        .funcs
+        .iter()
+        .map(|f| vec![BitSet::new(n); f.num_params as usize])
+        .collect();
+    let mut local: Vec<Vec<BitSet>> = module
+        .funcs
+        .iter()
+        .map(|f| vec![BitSet::new(n); f.locals.len()])
+        .collect();
+    let mut loc = vec![BitSet::new(n); n];
+    let mut ret = vec![BitSet::new(n); module.funcs.len()];
+    loc[unknown].insert(unknown);
+
+    let value_set = |val: &[Vec<BitSet>], arg: &[Vec<BitSet>], f: FuncId, v: Value| match v {
+        Value::Const(_) => BitSet::new(n),
+        Value::Global(g) => {
+            let mut s = BitSet::new(n);
+            s.insert(g.index());
+            s
+        }
+        Value::Arg(a) => arg[f.index()][a as usize].clone(),
+        Value::Inst(i) => val[f.index()][i.index()].clone(),
+    };
+    let addr_locs = |val: &[Vec<BitSet>], arg: &[Vec<BitSet>], f: FuncId, a: Value| {
+        let mut s = value_set(val, arg, f, a);
+        if s.is_empty() {
+            s.insert(unknown);
+        }
+        s
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (fid, func) in module.iter_funcs() {
+            let fi = fid.index();
+            for (iid, inst) in func.iter_insts() {
+                match &inst.kind {
+                    InstKind::Alloc { .. } => {
+                        changed |= val[fi][iid.index()].insert(alloc_of(fid, iid));
+                    }
+                    InstKind::Gep { base, .. } => {
+                        let s = value_set(&val, &arg, fid, *base);
+                        changed |= val[fi][iid.index()].union_with(&s);
+                    }
+                    InstKind::Bin { lhs, rhs, .. } => {
+                        for v in [*lhs, *rhs] {
+                            let s = value_set(&val, &arg, fid, v);
+                            changed |= val[fi][iid.index()].union_with(&s);
+                        }
+                    }
+                    InstKind::Select {
+                        then_val, else_val, ..
+                    } => {
+                        for v in [*then_val, *else_val] {
+                            let s = value_set(&val, &arg, fid, v);
+                            changed |= val[fi][iid.index()].union_with(&s);
+                        }
+                    }
+                    InstKind::Load { addr } => {
+                        let als = addr_locs(&val, &arg, fid, *addr);
+                        let mut acc = BitSet::new(n);
+                        for l in als.iter() {
+                            acc.union_with(&loc[l]);
+                        }
+                        changed |= val[fi][iid.index()].union_with(&acc);
+                    }
+                    InstKind::Store { addr, val: v } => {
+                        let s = value_set(&val, &arg, fid, *v);
+                        let als = addr_locs(&val, &arg, fid, *addr);
+                        for l in als.iter() {
+                            changed |= loc[l].union_with(&s);
+                        }
+                    }
+                    InstKind::AtomicRmw { addr, val: v, .. }
+                    | InstKind::AtomicCas { addr, new: v, .. } => {
+                        let als = addr_locs(&val, &arg, fid, *addr);
+                        let mut acc = BitSet::new(n);
+                        for l in als.iter() {
+                            acc.union_with(&loc[l]);
+                        }
+                        changed |= val[fi][iid.index()].union_with(&acc);
+                        let s = value_set(&val, &arg, fid, *v);
+                        for l in als.iter() {
+                            changed |= loc[l].union_with(&s);
+                        }
+                    }
+                    InstKind::ReadLocal { local: lo } => {
+                        let s = local[fi][lo.index()].clone();
+                        changed |= val[fi][iid.index()].union_with(&s);
+                    }
+                    InstKind::WriteLocal { local: lo, val: v } => {
+                        let s = value_set(&val, &arg, fid, *v);
+                        changed |= local[fi][lo.index()].union_with(&s);
+                    }
+                    InstKind::Call { callee, args } => {
+                        let cf = callee.index();
+                        for (k, a) in args.iter().enumerate() {
+                            if k < module.funcs[cf].num_params as usize {
+                                let s = value_set(&val, &arg, fid, *a);
+                                changed |= arg[cf][k].union_with(&s);
+                            }
+                        }
+                        let r = ret[cf].clone();
+                        changed |= val[fi][iid.index()].union_with(&r);
+                    }
+                    InstKind::Ret { val: Some(v) } => {
+                        let s = value_set(&val, &arg, fid, *v);
+                        changed |= ret[fi].union_with(&s);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    SeedPointsTo { val, arg, loc }
 }

@@ -25,14 +25,27 @@
 //! `Pensieve` (every escaping read — the baseline), `Control`,
 //! `AddressControl`, or `Manual` (no automatic placement; the module's
 //! hand-placed fences are the placement).
+//!
+//! Batch callers should prefer [`run_pipeline_batch`]: it runs the
+//! module analysis and builds the per-function analysis contexts
+//! ([`FuncContext`]: alias oracle, escape set, cache-once CFG substrate,
+//! block-aggregated orderings) exactly once for a whole
+//! variant × target × (seq|par) sweep.
+
+#![warn(missing_docs)]
 
 pub mod acquire;
 pub mod insert;
 pub mod minimize;
 pub mod orderings;
 pub mod pipeline;
-pub mod pool;
 pub mod report;
+
+/// The persistent per-function thread pool, re-exported from `fence_ir`
+/// (it moved down a layer so the analysis crate can shard its solvers on
+/// the same pool; `fenceplace::pool::ThreadPool` remains the stable
+/// path).
+pub use fence_ir::pool;
 
 pub use acquire::{AcquireInfo, DetectMode};
 pub use minimize::{FencePoint, TargetModel};

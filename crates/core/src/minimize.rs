@@ -39,9 +39,12 @@
 //! kept same-block target per fence strength, falling back to the
 //! source-side `[u+1, terminator]` when any loop-carried or cross-block
 //! target survives pruning. The [`OrderingSelection`] aggregates answer
-//! those queries in `O(1)` per source after an `O(accesses)` per-block
-//! precomputation, so minimization is linear in accesses + reachable
-//! block pairs, with identical output to the exhaustive sweep.
+//! those queries in `O(1)` per source: the selection-independent sums are
+//! cached per SCC on the orderings (one shared reachability row per SCC),
+//! and the sync-read sums intersect each active SCC's row against the
+//! sparse mask of sync-read blocks — so minimization is linear in
+//! accesses plus those row intersections, with identical output to the
+//! exhaustive sweep.
 
 use crate::orderings::{AccessKind, OrderKind, OrderingSelection};
 use fence_ir::{BlockId, FenceKind, FuncId, Function, Module};
@@ -120,9 +123,12 @@ pub fn minimize_function(
 
     let mut intervals: Vec<Interval> = Vec::new();
     let sync_tally = sel.sync_tallies();
+    // Selection-dependent per-SCC aggregates (one sparse row walk per
+    // SCC); the selection-independent ones are cached on `ords`.
+    let scc_na_sync = sel.scc_sync_sums(&sync_tally, |t| t.1);
     // `occupied` ascends, so blocks are visited — and points emitted — in
     // the same order as the exhaustive per-pair sweep.
-    for (si, &b) in ords.occupied.iter().enumerate() {
+    for &b in &ords.occupied {
         let bi = b as usize;
         let (s, e) = ords.block_range[bi];
         let accs = &ords.accesses[s as usize..e as usize];
@@ -130,16 +136,17 @@ pub fn minimize_function(
         let cyclic = ords.cyclic[bi];
         let term = func.block(BlockId::new(bi)).insts.len() - 1;
 
-        // Cross-block kept-target availability (non-atomic), aggregated
-        // once per reachable block pair.
-        let mut cx_reads = 0usize;
-        let mut cx_writes = 0usize;
-        let mut cx_sync = 0usize;
-        for &tb in &ords.cross[si] {
-            let t = &ords.tally[tb as usize];
-            cx_reads += t.na_reads;
-            cx_writes += t.na_writes;
-            cx_sync += sync_tally[tb as usize].1;
+        // Cross-block kept-target availability (non-atomic), from the
+        // per-SCC aggregates over the shared reachability rows: the
+        // cached sums minus this block's own contribution when its SCC
+        // is cyclic (the shared row then includes the block itself,
+        // which is not a *cross*-block target).
+        let tgt = ords.cross_sums(bi);
+        let cx_reads = tgt.na_reads;
+        let cx_writes = tgt.na_writes;
+        let mut cx_sync = scc_na_sync[ords.reach.scc_of(BlockId::new(bi))];
+        if cyclic {
+            cx_sync -= sync_tally[bi].1;
         }
 
         // Nearest kept non-atomic same-block target *after* each position
@@ -316,9 +323,10 @@ mod tests {
         fid: FuncId,
         sync_all: bool,
         target: TargetModel,
-    ) -> (FuncOrderings, Vec<FencePoint>) {
+    ) -> Vec<FencePoint> {
         let an = ModuleAnalysis::run(m);
-        let ords = FuncOrderings::generate(m, &an.escape, fid);
+        let sub = fence_ir::FuncSubstrate::new(m.func(fid));
+        let ords = FuncOrderings::generate(m, &an.escape, fid, &sub);
         let func = m.func(fid);
         let sync = if sync_all {
             let mut s = BitSet::new(func.num_insts());
@@ -332,8 +340,13 @@ mod tests {
             BitSet::new(func.num_insts())
         };
         let has_sync = !sync.is_empty();
-        let pts = minimize_function(func, fid, &ords.prune(&sync), target, has_sync);
-        (ords, pts)
+        minimize_function(func, fid, &ords.prune(&sync), target, has_sync)
+    }
+
+    fn ord_counts(m: &Module, fid: FuncId) -> [usize; 4] {
+        let an = ModuleAnalysis::run(m);
+        let sub = fence_ir::FuncSubstrate::new(m.func(fid));
+        FuncOrderings::generate(m, &an.escape, fid, &sub).counts()
     }
 
     /// store x; load y  — the classic SB half: one full fence between them
@@ -349,7 +362,7 @@ mod tests {
         fb.ret(None);
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
-        let (_, pts) = pipeline_one(&m, fid, true, TargetModel::X86Tso);
+        let pts = pipeline_one(&m, fid, true, TargetModel::X86Tso);
         let (full, _) = count_fences(&pts);
         // One w→r fence + the entry fence (function has sync reads).
         assert_eq!(full, 2);
@@ -369,7 +382,7 @@ mod tests {
         fb.ret(None);
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
-        let (_, pts) = pipeline_one(&m, fid, false, TargetModel::X86Tso);
+        let pts = pipeline_one(&m, fid, false, TargetModel::X86Tso);
         let (full, _) = count_fences(&pts);
         assert_eq!(full, 0);
     }
@@ -392,7 +405,7 @@ mod tests {
         fb.ret(None);
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
-        let (_, pts) = pipeline_one(&m, fid, true, TargetModel::X86Tso);
+        let pts = pipeline_one(&m, fid, true, TargetModel::X86Tso);
         let non_entry_full: Vec<_> = pts
             .iter()
             .filter(|p| p.kind == FenceKind::Full && p.gap != 0)
@@ -414,7 +427,8 @@ mod tests {
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
         let an = ModuleAnalysis::run(&m);
-        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let sub = fence_ir::FuncSubstrate::new(m.func(fid));
+        let ords = FuncOrderings::generate(&m, &an.escape, fid, &sub);
         let mut sync = BitSet::new(m.func(fid).num_insts());
         for (iid, inst) in m.func(fid).iter_insts() {
             if inst.kind.is_mem_read() {
@@ -445,7 +459,8 @@ mod tests {
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
         let an = ModuleAnalysis::run(&m);
-        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let sub = fence_ir::FuncSubstrate::new(m.func(fid));
+        let ords = FuncOrderings::generate(&m, &an.escape, fid, &sub);
         let sync = BitSet::new(m.func(fid).num_insts());
         let kept = ords.prune(&sync);
         assert_eq!(kept.len(), 1, "r→w survives pruning");
@@ -465,8 +480,8 @@ mod tests {
         fb.ret(None);
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
-        let (ords, pts) = pipeline_one(&m, fid, true, TargetModel::X86Tso);
-        assert_eq!(ords.counts()[OrderKind::WR.idx()], 1);
+        let pts = pipeline_one(&m, fid, true, TargetModel::X86Tso);
+        assert_eq!(ord_counts(&m, fid)[OrderKind::WR.idx()], 1);
         let non_entry: Vec<_> = pts.iter().filter(|p| p.gap != 0).collect();
         assert!(non_entry.is_empty(), "locked RMW needs no extra MFENCE");
     }
@@ -485,7 +500,7 @@ mod tests {
         fb.ret(None);
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
-        let (_, pts) = pipeline_one(&m, fid, true, TargetModel::X86Tso);
+        let pts = pipeline_one(&m, fid, true, TargetModel::X86Tso);
         let (full, _) = count_fences(&pts);
         assert!(full >= 2, "entry + loop body fence: {pts:?}");
     }

@@ -23,27 +23,38 @@
 //! * `w → r` is kept iff `r` is a sync read (`wrel → racq`),
 //! * `r → w` and `w → w` are always kept (`r/w → wrel`).
 //!
-//! ## Block-aggregated representation
+//! ## Block-aggregated representation over the shared CFG substrate
 //!
 //! The ordering relation of a function is quadratic in its escaping
 //! accesses, so this module never materializes it. Within a block,
 //! access-order makes a pair ordered iff the source precedes the target
 //! (every pair, in both directions, once the block sits on a CFG cycle);
 //! across blocks *all* accesses of a reachable block are ordered after
-//! *all* accesses of the source block. [`FuncOrderings`] therefore stores
-//! only the per-block access ranges, per-block cycle flags, and — once
-//! per *block pair*, answered by the SCC-condensed reachability table —
-//! the list of reachable access-bearing blocks.
+//! *all* accesses of the source block.
+//!
+//! [`FuncOrderings`] *borrows* the function's [`Reachability`] table from
+//! the cache-once [`fence_ir::FuncSubstrate`] instead of rebuilding it —
+//! and, crucially, it no longer materializes a per-source-block list of
+//! reachable blocks either (the old `cross` lists were `O(block pairs)`
+//! u32s — 1.6M entries at `synthetic:16000` — and dominated generation).
+//! All cross-block queries reduce to **per-SCC aggregates**: every block
+//! of an SCC shares one reachability row, so one row walk per SCC
+//! precomputes the summed access tallies of all reachable occupied
+//! blocks ([`FuncOrderings`]'s `scc_sums`), and a source block's
+//! cross-block term is `scc_sums[scc(b)]` minus its own tally when its
+//! SCC is cyclic (the row then contains the block itself, which the
+//! ordering relation excludes as a *cross*-block target).
 //!
 //! [`FuncOrderings::counts`] and [`OrderingSelection::counts`] evaluate
-//! the per-kind pair counts analytically from per-block read/write
-//! tallies (`O(accesses + block pairs)`), and fence minimization consumes
-//! per-source interval aggregates. The explicit pair list survives only
-//! as the lazy [`FuncOrderings::iter_pairs`] iterator for tests, reports
-//! and cross-checks; nothing on the hot path allocates per pair.
+//! the per-kind pair counts analytically from these aggregates in
+//! `O(accesses + active SCCs · sync blocks/64)`, and fence minimization
+//! consumes the same sums. The explicit pair list survives only as the
+//! lazy [`FuncOrderings::iter_pairs`] iterator for tests, reports and
+//! cross-checks; nothing on the hot path allocates per pair — or even
+//! per block pair.
 
 use fence_analysis::escape::EscapeInfo;
-use fence_ir::cfg::{Cfg, Reachability};
+use fence_ir::cfg::{FuncSubstrate, Reachability};
 use fence_ir::util::BitSet;
 use fence_ir::{BlockId, FuncId, InstId, InstKind, Module};
 
@@ -128,8 +139,46 @@ pub(crate) struct BlockTally {
     pub(crate) na_writes: usize,
 }
 
-/// The orderings of one function, in block-aggregated form.
-pub struct FuncOrderings {
+impl BlockTally {
+    fn add(&mut self, o: &BlockTally) {
+        self.reads += o.reads;
+        self.writes += o.writes;
+        self.na_reads += o.na_reads;
+        self.na_writes += o.na_writes;
+    }
+
+    fn sub(&mut self, o: &BlockTally) {
+        self.reads -= o.reads;
+        self.writes -= o.writes;
+        self.na_reads -= o.na_reads;
+        self.na_writes -= o.na_writes;
+    }
+}
+
+/// The orderings of one function, in block-aggregated form, borrowing
+/// the function's [`Reachability`] from the shared CFG substrate.
+///
+/// ```
+/// use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+/// use fence_ir::FuncSubstrate;
+/// use fence_analysis::ModuleAnalysis;
+/// use fenceplace::FuncOrderings;
+///
+/// let mut mb = ModuleBuilder::new("m");
+/// let x = mb.global("x", 1);
+/// let mut fb = FunctionBuilder::new("f", 0);
+/// fb.store(x, 1i64);
+/// let _ = fb.load(x);
+/// fb.ret(None);
+/// let fid = mb.add_func(fb.build());
+/// let m = mb.finish();
+///
+/// let analysis = ModuleAnalysis::run(&m);
+/// let substrate = FuncSubstrate::new(m.func(fid)); // built once, shared
+/// let ords = FuncOrderings::generate(&m, &analysis.escape, fid, &substrate);
+/// assert_eq!(ords.counts(), [0, 0, 1, 0]); // the single w→r pair
+/// ```
+pub struct FuncOrderings<'r> {
     /// All escaping access occurrences, in block-sequential order; the
     /// accesses of one block occupy a contiguous index range.
     pub accesses: Vec<Access>,
@@ -139,20 +188,33 @@ pub struct FuncOrderings {
     pub(crate) cyclic: Vec<bool>,
     /// Ascending block ids that contain at least one access.
     pub(crate) occupied: Vec<u32>,
-    /// Per occupied block (same indexing as `occupied`): ascending list of
-    /// *other* access-bearing blocks reachable from it. One reachability
-    /// answer per block pair — never per access pair.
-    pub(crate) cross: Vec<Vec<u32>>,
+    /// Same set as `occupied`, as a mask for row intersections.
+    pub(crate) occupied_mask: BitSet,
     /// Per block tallies.
     pub(crate) tally: Vec<BlockTally>,
+    /// The function's reachability table, borrowed from the substrate.
+    pub(crate) reach: &'r Reachability,
+    /// Per SCC: summed tallies of all *occupied* blocks in its
+    /// reachability row (zero for SCCs with no occupied source). A
+    /// source block's cross-block aggregate is this minus its own tally
+    /// when cyclic (the row then includes the block itself).
+    pub(crate) scc_sums: Vec<BlockTally>,
+    /// SCC ids that have at least one occupied source block, ascending.
+    pub(crate) active_sccs: Vec<u32>,
 }
 
-impl FuncOrderings {
-    /// Generates orderings for `fid` from the escape analysis.
-    pub fn generate(module: &Module, escape: &EscapeInfo, fid: FuncId) -> Self {
+impl<'r> FuncOrderings<'r> {
+    /// Generates orderings for `fid` from the escape analysis, borrowing
+    /// the CFG/reachability `substrate` built once per function (see
+    /// [`fence_ir::FuncSubstrate`]).
+    pub fn generate(
+        module: &Module,
+        escape: &EscapeInfo,
+        fid: FuncId,
+        substrate: &'r FuncSubstrate,
+    ) -> Self {
         let func = module.func(fid);
-        let cfg = Cfg::new(func);
-        let reach = Reachability::new(&cfg);
+        let reach = &substrate.reach;
 
         // ---- collect escaping access occurrences, block-sequential ----
         let nb = func.num_blocks();
@@ -207,6 +269,7 @@ impl FuncOrderings {
         let mut cyclic = vec![false; nb];
         let mut tally = vec![BlockTally::default(); nb];
         let mut occupied = Vec::new();
+        let mut occupied_mask = BitSet::new(nb);
         for b in 0..nb {
             cyclic[b] = reach.in_cycle(BlockId::new(b));
             let (s, e) = block_range[b];
@@ -214,6 +277,7 @@ impl FuncOrderings {
                 continue;
             }
             occupied.push(b as u32);
+            occupied_mask.insert(b);
             let t = &mut tally[b];
             for a in &accesses[s as usize..e as usize] {
                 match a.kind {
@@ -233,27 +297,50 @@ impl FuncOrderings {
             }
         }
 
-        // ---- one reachability answer per occupied block pair ----
-        let mut cross = Vec::with_capacity(occupied.len());
+        // ---- one aggregation walk per *SCC* with occupied sources ----
+        // All blocks of an SCC share a reachability row, so the summed
+        // tallies of the row's occupied blocks are computed once per SCC,
+        // never per source block — and never stored per block pair.
+        let mut scc_sums = vec![BlockTally::default(); reach.num_sccs()];
+        let mut active_sccs = Vec::new();
+        let mut seen = vec![false; reach.num_sccs()];
         for &b in &occupied {
-            let mut targets = Vec::new();
-            for t in reach.row(BlockId::new(b as usize)).iter() {
-                let (s, e) = block_range[t];
-                if t != b as usize && s != e {
-                    targets.push(t as u32);
-                }
+            let s = reach.scc_of(BlockId::new(b as usize));
+            if seen[s] {
+                continue;
             }
-            cross.push(targets);
+            seen[s] = true;
+            active_sccs.push(s as u32);
+            let sum = &mut scc_sums[s];
+            for t in reach.scc_row(s).iter_intersection(&occupied_mask) {
+                sum.add(&tally[t]);
+            }
         }
+        active_sccs.sort_unstable();
 
         FuncOrderings {
             accesses,
             block_range,
             cyclic,
             occupied,
-            cross,
+            occupied_mask,
             tally,
+            reach,
+            scc_sums,
+            active_sccs,
         }
+    }
+
+    /// The cross-block tally aggregate of source block `b`: the summed
+    /// tallies of every *other* occupied block its accesses reach.
+    pub(crate) fn cross_sums(&self, b: usize) -> BlockTally {
+        let mut sums = self.scc_sums[self.reach.scc_of(BlockId::new(b))];
+        if self.cyclic[b] {
+            // The shared row contains the block itself (and its SCC
+            // siblings); only the block itself is not a *cross* target.
+            sums.sub(&self.tally[b]);
+        }
+        sums
     }
 
     /// The kind of pair `p`.
@@ -296,15 +383,7 @@ impl FuncOrderings {
         if fa.block == fb.block {
             self.cyclic[fa.block.index()] || a < b
         } else {
-            // Cross-block orderings exist exactly for the recorded
-            // reachable block pairs.
-            let si = self
-                .occupied
-                .binary_search(&(fa.block.index() as u32))
-                .expect("source block has accesses");
-            self.cross[si]
-                .binary_search(&(fb.block.index() as u32))
-                .is_ok()
+            self.reach.reaches(fa.block, fb.block)
         }
     }
 
@@ -315,32 +394,38 @@ impl FuncOrderings {
         (0..self.accesses.len() as u32).flat_map(move |i| self.pairs_from(i))
     }
 
+    /// Occupied blocks other than `b` that `b`'s accesses reach, in
+    /// ascending block order (the query the old materialized cross lists
+    /// answered; now one row intersection).
+    fn cross_targets(&self, b: u32) -> impl Iterator<Item = usize> + '_ {
+        self.reach
+            .row(BlockId::new(b as usize))
+            .iter_intersection(&self.occupied_mask)
+            .filter(move |&t| t != b as usize)
+    }
+
     /// All ordered pairs with source `i`, ascending target index.
     fn pairs_from(&self, i: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
         let a = &self.accesses[i as usize];
         let b = a.block.index() as u32;
-        let si = self
-            .occupied
-            .binary_search(&b)
-            .expect("source block has accesses");
         let (s, e) = self.block_range[b as usize];
         let own: std::ops::Range<u32> = if self.cyclic[b as usize] {
             s..e
         } else {
             i + 1..e
         };
-        let before = self.cross[si]
-            .iter()
-            .take_while(move |&&t| t < b)
-            .flat_map(move |&t| {
-                let (ts, te) = self.block_range[t as usize];
+        let before = self
+            .cross_targets(b)
+            .take_while(move |&t| t < b as usize)
+            .flat_map(move |t| {
+                let (ts, te) = self.block_range[t];
                 ts..te
             });
-        let after = self.cross[si]
-            .iter()
-            .skip_while(move |&&t| t < b)
-            .flat_map(move |&t| {
-                let (ts, te) = self.block_range[t as usize];
+        let after = self
+            .cross_targets(b)
+            .skip_while(move |&t| t < b as usize)
+            .flat_map(move |t| {
+                let (ts, te) = self.block_range[t];
                 ts..te
             });
         before.chain(own).chain(after).map(move |j| (i, j))
@@ -353,7 +438,7 @@ impl FuncOrderings {
 #[derive(Copy, Clone)]
 pub struct OrderingSelection<'a> {
     /// The underlying aggregated relation.
-    pub ords: &'a FuncOrderings,
+    pub ords: &'a FuncOrderings<'a>,
     /// `None` keeps everything (Pensieve); `Some` applies Table I.
     sync: Option<&'a BitSet>,
 }
@@ -382,8 +467,8 @@ impl<'a> OrderingSelection<'a> {
     }
 
     /// Per-block `(sync_reads, non_atomic_sync_reads)` tallies under this
-    /// selection — one `O(accesses)` pass, so per-block-pair aggregation
-    /// never rescans access lists.
+    /// selection — one `O(accesses)` pass, so per-SCC aggregation never
+    /// rescans access lists.
     pub(crate) fn sync_tallies(&self) -> Vec<(usize, usize)> {
         let ords = self.ords;
         let mut t = vec![(0usize, 0usize); ords.block_range.len()];
@@ -409,6 +494,51 @@ impl<'a> OrderingSelection<'a> {
         t
     }
 
+    /// Per-SCC sums of a per-block sync tally over the SCC's reachable
+    /// occupied blocks: the selection-dependent sibling of the cached
+    /// `scc_sums`. Rows are intersected against the (typically sparse)
+    /// mask of blocks that actually contain sync reads, so a pruned
+    /// selection pays `O(active SCCs · sync blocks/64)`, not a full row
+    /// walk. Pass `pick` to choose the tally component (all sync reads
+    /// for counting, non-atomic ones for minimization).
+    pub(crate) fn scc_sync_sums(
+        &self,
+        sync_tally: &[(usize, usize)],
+        pick: impl Fn(&(usize, usize)) -> usize,
+    ) -> Vec<usize> {
+        let ords = self.ords;
+        let mut sums = vec![0usize; ords.reach.num_sccs()];
+        match self.sync {
+            // Pensieve: every read is sync, so the cached aggregates
+            // already hold the answer — no row walk at all.
+            None => {
+                for &s in &ords.active_sccs {
+                    sums[s as usize] = pick(&(
+                        ords.scc_sums[s as usize].reads,
+                        ords.scc_sums[s as usize].na_reads,
+                    ));
+                }
+            }
+            Some(_) => {
+                let nb = ords.block_range.len();
+                let mut mask = BitSet::new(nb);
+                for (b, t) in sync_tally.iter().enumerate() {
+                    if pick(t) > 0 {
+                        mask.insert(b);
+                    }
+                }
+                for &s in &ords.active_sccs {
+                    let mut sum = 0usize;
+                    for t in ords.reach.scc_row(s as usize).iter_intersection(&mask) {
+                        sum += pick(&sync_tally[t]);
+                    }
+                    sums[s as usize] = sum;
+                }
+            }
+        }
+        sums
+    }
+
     /// Kept pairs, lazily, in legacy order (tests/reports only).
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + 'a {
         let this = *self;
@@ -428,13 +558,15 @@ impl<'a> OrderingSelection<'a> {
     }
 
     /// Kept-pair counts by kind, computed analytically: per-block tallies
-    /// plus one term per reachable block pair — `O(accesses + block
-    /// pairs)` instead of a sweep over the quadratic pair list.
+    /// plus one cached aggregate per source block — `O(accesses + active
+    /// SCCs · sync blocks/64)` instead of a sweep over the quadratic pair
+    /// list (or even over the block pairs).
     pub fn counts(&self) -> [usize; 4] {
         let ords = self.ords;
         let sync_tally = self.sync_tallies();
+        let scc_sync = self.scc_sync_sums(&sync_tally, |t| t.0);
         let mut c = [0usize; 4];
-        for (si, &b) in ords.occupied.iter().enumerate() {
+        for &b in &ords.occupied {
             let bi = b as usize;
             let range = ords.block_range[bi];
             let accs = &ords.accesses[range.0 as usize..range.1 as usize];
@@ -475,20 +607,16 @@ impl<'a> OrderingSelection<'a> {
                 }
             }
 
-            // -- cross-block pairs: one term per reachable block pair --
-            let mut tgt_reads = 0usize;
-            let mut tgt_writes = 0usize;
-            let mut tgt_sync = 0usize;
-            for &tb in &ords.cross[si] {
-                let tt = &ords.tally[tb as usize];
-                tgt_reads += tt.reads;
-                tgt_writes += tt.writes;
-                tgt_sync += sync_tally[tb as usize].0;
+            // -- cross-block pairs: one cached aggregate per source --
+            let tgt = ords.cross_sums(bi);
+            let mut tgt_sync = scc_sync[ords.reach.scc_of(BlockId::new(bi))];
+            if ords.cyclic[bi] {
+                tgt_sync -= sync_tally[bi].0;
             }
-            c[OrderKind::RR.idx()] += sync_reads * tgt_reads;
-            c[OrderKind::RW.idx()] += t.reads * tgt_writes;
+            c[OrderKind::RR.idx()] += sync_reads * tgt.reads;
+            c[OrderKind::RW.idx()] += t.reads * tgt.writes;
             c[OrderKind::WR.idx()] += t.writes * tgt_sync;
-            c[OrderKind::WW.idx()] += t.writes * tgt_writes;
+            c[OrderKind::WW.idx()] += t.writes * tgt.writes;
         }
         c
     }
@@ -499,6 +627,15 @@ mod tests {
     use super::*;
     use fence_analysis::ModuleAnalysis;
     use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+
+    fn gen<'r>(
+        m: &Module,
+        an: &ModuleAnalysis,
+        fid: FuncId,
+        sub: &'r FuncSubstrate,
+    ) -> FuncOrderings<'r> {
+        FuncOrderings::generate(m, &an.escape, fid, sub)
+    }
 
     /// Straight-line: load a; store b; load c  (all globals).
     /// Pairs: a→b (rw), a→c (rr), b→c (wr).
@@ -516,7 +653,8 @@ mod tests {
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
         let an = ModuleAnalysis::run(&m);
-        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let sub = FuncSubstrate::new(m.func(fid));
+        let ords = gen(&m, &an, fid, &sub);
         assert_eq!(ords.accesses.len(), 3);
         assert_eq!(ords.counts(), [1, 1, 1, 0]);
     }
@@ -537,7 +675,8 @@ mod tests {
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
         let an = ModuleAnalysis::run(&m);
-        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let sub = FuncSubstrate::new(m.func(fid));
+        let ords = gen(&m, &an, fid, &sub);
         let none = BitSet::new(m.func(fid).num_insts());
         let counts = ords.prune(&none).counts();
         assert_eq!(counts[OrderKind::RR.idx()], 0, "all r→r pruned");
@@ -567,7 +706,8 @@ mod tests {
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
         let an = ModuleAnalysis::run(&m);
-        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let sub = FuncSubstrate::new(m.func(fid));
+        let ords = gen(&m, &an, fid, &sub);
         assert_eq!(ords.counts(), [0, 0, 1, 0]);
         let mut sync = BitSet::new(m.func(fid).num_insts());
         sync.insert(r.as_inst().unwrap().index());
@@ -591,7 +731,8 @@ mod tests {
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
         let an = ModuleAnalysis::run(&m);
-        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let sub = FuncSubstrate::new(m.func(fid));
+        let ords = gen(&m, &an, fid, &sub);
         // read & write in cycle: r→r, r→w, w→r, w→w all present.
         let c = ords.counts();
         assert!(c.iter().all(|&x| x >= 1), "all four kinds occur: {c:?}");
@@ -609,7 +750,8 @@ mod tests {
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
         let an = ModuleAnalysis::run(&m);
-        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let sub = FuncSubstrate::new(m.func(fid));
+        let ords = gen(&m, &an, fid, &sub);
         assert_eq!(ords.accesses.len(), 2);
         assert!(ords.accesses.iter().all(|a| a.atomic));
         assert_eq!(ords.counts(), [0, 1, 0, 0], "only read→write internally");
@@ -629,7 +771,8 @@ mod tests {
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
         let an = ModuleAnalysis::run(&m);
-        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let sub = FuncSubstrate::new(m.func(fid));
+        let ords = gen(&m, &an, fid, &sub);
         assert_eq!(ords.accesses.len(), 5, "2 + 1 store + 2");
         let atomics = ords.accesses.iter().filter(|a| a.atomic).count();
         assert_eq!(atomics, 4);
@@ -651,7 +794,8 @@ mod tests {
         let fid = mb.add_func(fb.build());
         let m = mb.finish();
         let an = ModuleAnalysis::run(&m);
-        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let sub = FuncSubstrate::new(m.func(fid));
+        let ords = gen(&m, &an, fid, &sub);
         // store a → store b : one w→w. Nothing backwards.
         assert_eq!(ords.counts(), [0, 0, 0, 1]);
     }
@@ -708,7 +852,8 @@ mod tests {
         for m in &shapes {
             let an = ModuleAnalysis::run(m);
             for (fid, func) in m.iter_funcs() {
-                let ords = FuncOrderings::generate(m, &an.escape, fid);
+                let sub = FuncSubstrate::new(func);
+                let ords = gen(m, &an, fid, &sub);
                 // -- the seed enumeration, verbatim --
                 let cfg = Cfg::new(func);
                 let reach = Reachability::new(&cfg);

@@ -15,14 +15,15 @@
 //! ## Batch architecture
 //!
 //! A module's analysis stack is config-independent: points-to, the escape
-//! closure, the per-function [`AliasOracle`] and [`FuncOrderings`] are
-//! identical for every variant×target×(seq|par) combination, and the
-//! [`AcquireInfo`] depends only on the variant. [`run_pipeline_batch`]
-//! therefore runs the module analysis **once**, builds one [`FuncContext`]
-//! per function (oracle + escaping set + orderings), computes acquire
-//! info once per *distinct variant*, and only the cheap tail — pruning,
-//! fence minimization, fence insertion, report assembly — runs per
-//! config. Callers sweeping variants and targets (golden tests, figure
+//! closure, the per-function CFG substrate, [`AliasOracle`] and
+//! [`FuncOrderings`] are identical for every variant×target×(seq|par)
+//! combination, and the [`AcquireInfo`] depends only on the variant.
+//! [`run_pipeline_batch`] therefore runs the module analysis **once**,
+//! builds one [`FuncSubstrate`] (`Cfg` + `Reachability`, counter-pinned)
+//! and one [`FuncContext`] per function (oracle + escaping set +
+//! orderings borrowing the substrate), computes acquire info once per
+//! *distinct variant*, and only the cheap tail — pruning, fence
+//! minimization, fence insertion, report assembly — runs per config. Callers sweeping variants and targets (golden tests, figure
 //! binaries) get the whole sweep for roughly the price of one run.
 //! [`run_pipeline`] is the single-config special case.
 //!
@@ -41,6 +42,7 @@ use crate::pool::ThreadPool;
 use crate::report::{FuncReport, ModuleReport};
 use fence_analysis::alias::AliasOracle;
 use fence_analysis::ModuleAnalysis;
+use fence_ir::cfg::FuncSubstrate;
 use fence_ir::util::BitSet;
 use fence_ir::{FenceKind, FuncId, Module};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -131,6 +133,12 @@ pub struct PipelineResult {
 /// ordering pruning need that does not depend on the pipeline config.
 /// Built once per function and shared across both slicer passes of
 /// `detect_acquires` and across every config of a batch run.
+///
+/// The CFG substrate ([`FuncSubstrate`]: `Cfg` + `Reachability`) is built
+/// exactly **once** per function per batch — `run_pipeline_batch` owns
+/// one per function and every stage downstream (ordering generation,
+/// pruning, fence minimization) borrows it; a counter test below pins
+/// that nothing rebuilds it behind the cache's back.
 pub struct FuncContext<'a> {
     /// The function this context describes.
     pub fid: FuncId,
@@ -138,18 +146,27 @@ pub struct FuncContext<'a> {
     pub oracle: AliasOracle<'a>,
     /// The function's escaping-access set (borrowed from the analysis).
     pub escaping: &'a BitSet,
-    /// Block-aggregated ordering relation.
-    pub orderings: FuncOrderings,
+    /// The cache-once CFG + reachability substrate.
+    pub substrate: &'a FuncSubstrate,
+    /// Block-aggregated ordering relation (borrows `substrate`).
+    pub orderings: FuncOrderings<'a>,
 }
 
 impl<'a> FuncContext<'a> {
-    /// Builds the context for `fid` on top of the module analysis.
-    pub fn build(module: &Module, analysis: &'a ModuleAnalysis, fid: FuncId) -> Self {
+    /// Builds the context for `fid` on top of the module analysis and the
+    /// function's cache-once CFG substrate.
+    pub fn build(
+        module: &Module,
+        analysis: &'a ModuleAnalysis,
+        substrate: &'a FuncSubstrate,
+        fid: FuncId,
+    ) -> Self {
         FuncContext {
             fid,
             oracle: AliasOracle::new(module, &analysis.points_to, fid),
             escaping: analysis.escape.escaping_set(fid),
-            orderings: FuncOrderings::generate(module, &analysis.escape, fid),
+            substrate,
+            orderings: FuncOrderings::generate(module, &analysis.escape, fid, substrate),
         }
     }
 
@@ -286,9 +303,36 @@ fn manual_result(module: &Module, config: &PipelineConfig) -> PipelineResult {
 }
 
 /// Runs the pipeline once per config, sharing the module analysis, the
-/// per-function [`FuncContext`]s, and per-variant acquire detection
-/// across all of them. Results are returned in `configs` order and are
-/// bit-identical to running [`run_pipeline`] per config.
+/// per-function [`FuncContext`]s (including the cache-once CFG
+/// substrate), and per-variant acquire detection across all of them.
+/// Results are returned in `configs` order and are bit-identical to
+/// running [`run_pipeline`] per config.
+///
+/// ```
+/// use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+/// use fenceplace::{run_pipeline_batch, PipelineConfig, Variant};
+///
+/// let mut mb = ModuleBuilder::new("mp");
+/// let data = mb.global("data", 1);
+/// let flag = mb.global("flag", 1);
+/// let mut c = FunctionBuilder::new("consumer", 0);
+/// c.spin_while_eq(flag, 0i64);
+/// let v = c.load(data);
+/// c.ret(Some(v));
+/// mb.add_func(c.build());
+/// let module = mb.finish();
+///
+/// // One analysis pass serves the whole sweep.
+/// let configs: Vec<PipelineConfig> =
+///     Variant::automatic().map(PipelineConfig::for_variant).into();
+/// let results = run_pipeline_batch(&module, &configs);
+/// assert_eq!(results.len(), 3);
+/// // Pruning only ever shrinks the placement.
+/// let pensieve = &results[0]; // Variant::automatic()[0] is Pensieve
+/// for r in &results[1..] {
+///     assert!(r.report.full_fences() <= pensieve.report.full_fences());
+/// }
+/// ```
 pub fn run_pipeline_batch(module: &Module, configs: &[PipelineConfig]) -> Vec<PipelineResult> {
     if !configs.iter().any(|c| c.variant != Variant::Manual) {
         // Nothing to place: the modules' explicit fences are the placement.
@@ -296,12 +340,19 @@ pub fn run_pipeline_batch(module: &Module, configs: &[PipelineConfig]) -> Vec<Pi
     }
     let any_parallel = configs.iter().any(|c| c.parallel);
     MODULE_ANALYSIS_RUNS.with(|c| c.set(c.get() + 1));
-    let analysis = ModuleAnalysis::run(module);
+    let analysis = ModuleAnalysis::run_on(module, any_parallel);
     let n = module.funcs.len();
 
-    // Config-independent per-function contexts, built once.
+    // Cache-once CFG substrate: exactly one `Cfg` + `Reachability` build
+    // per function for the whole batch (counter-pinned by a test below).
+    let substrates: Vec<FuncSubstrate> = map_indexed(n, any_parallel, |i| {
+        FuncSubstrate::new(module.func(FuncId::new(i)))
+    });
+
+    // Config-independent per-function contexts, built once, borrowing
+    // the substrates.
     let contexts: Vec<FuncContext<'_>> = map_indexed(n, any_parallel, |i| {
-        FuncContext::build(module, &analysis, FuncId::new(i))
+        FuncContext::build(module, &analysis, &substrates[i], FuncId::new(i))
     });
 
     // Acquire info per *distinct* automatic variant, shared across
@@ -350,6 +401,25 @@ pub fn run_pipeline_batch(module: &Module, configs: &[PipelineConfig]) -> Vec<Pi
 }
 
 /// Runs the pipeline on a module for one config (the batch of one).
+///
+/// ```
+/// use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+/// use fenceplace::{run_pipeline, PipelineConfig, Variant};
+///
+/// let mut mb = ModuleBuilder::new("mp");
+/// let data = mb.global("data", 1);
+/// let flag = mb.global("flag", 1);
+/// let mut c = FunctionBuilder::new("consumer", 0);
+/// c.spin_while_eq(flag, 0i64); // the classic ad hoc acquire
+/// let v = c.load(data);
+/// c.ret(Some(v));
+/// mb.add_func(c.build());
+/// let module = mb.finish();
+///
+/// let result = run_pipeline(&module, &PipelineConfig::for_variant(Variant::Control));
+/// assert_eq!(result.report.acquires(), 1, "only the flag spin-read");
+/// assert!(fence_ir::verify_module(&result.module).is_empty());
+/// ```
 pub fn run_pipeline(module: &Module, config: &PipelineConfig) -> PipelineResult {
     run_pipeline_batch(module, std::slice::from_ref(config))
         .pop()
@@ -561,6 +631,46 @@ mod tests {
                 "instrumented module diverges under {config:?}"
             );
         }
+    }
+
+    /// A whole batch builds each function's CFG substrate exactly once:
+    /// one `Cfg::new` + one `Reachability::new` per function, no matter
+    /// how many configs the sweep holds — the cache-once contract of
+    /// [`FuncContext`]. (Sequential configs only: the counters are
+    /// thread-local, and parallel stages build on pool threads.)
+    #[test]
+    fn batch_builds_cfg_substrate_once_per_function() {
+        let m = figure2_module(); // built first: the builder verifies via its own CFGs
+        let configs: Vec<PipelineConfig> =
+            [Variant::Pensieve, Variant::Control, Variant::AddressControl]
+                .into_iter()
+                .flat_map(|variant| {
+                    [
+                        TargetModel::X86Tso,
+                        TargetModel::ScHardware,
+                        TargetModel::Weak,
+                    ]
+                    .into_iter()
+                    .map(move |target| PipelineConfig {
+                        variant,
+                        target,
+                        parallel: false,
+                    })
+                })
+                .collect();
+        let cfg_before = fence_ir::cfg::cfg_builds();
+        let reach_before = fence_ir::cfg::reachability_builds();
+        let _ = run_pipeline_batch(&m, &configs);
+        assert_eq!(
+            fence_ir::cfg::cfg_builds() - cfg_before,
+            m.funcs.len(),
+            "one Cfg build per function per batch"
+        );
+        assert_eq!(
+            fence_ir::cfg::reachability_builds() - reach_before,
+            m.funcs.len(),
+            "one Reachability build per function per batch"
+        );
     }
 
     /// An all-Manual batch never runs the analysis at all.

@@ -7,10 +7,38 @@
 //! one shared row per SCC — replacing the seed's per-block DFS
 //! (`O(B·E)` time, one row per block). `in_cycle` is read straight off
 //! the condensation.
+//!
+//! ## Shared substrate
+//!
+//! Building a [`Cfg`] and its [`Reachability`] is pure per-function work
+//! that several downstream stages consume (ordering generation, fence
+//! minimization, reports). [`FuncSubstrate`] bundles the two so callers
+//! build them **exactly once per function** and thread borrowed
+//! references everywhere else; the thread-local [`cfg_builds`] /
+//! [`reachability_builds`] counters let tests pin that no stage rebuilds
+//! them behind the cache's back.
 
 use crate::func::Function;
 use crate::ids::BlockId;
 use crate::util::BitSet;
+
+thread_local! {
+    static CFG_BUILDS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    static REACH_BUILDS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`Cfg::new`] constructions executed **on this thread** —
+/// the observable that lets tests assert the pipeline builds each
+/// function's CFG exactly once per batch.
+pub fn cfg_builds() -> usize {
+    CFG_BUILDS.with(|c| c.get())
+}
+
+/// Number of [`Reachability::new`] constructions executed **on this
+/// thread** (see [`cfg_builds`]).
+pub fn reachability_builds() -> usize {
+    REACH_BUILDS.with(|c| c.get())
+}
 
 /// Successor / predecessor maps of a function's CFG.
 #[derive(Clone, Debug)]
@@ -26,6 +54,7 @@ pub struct Cfg {
 impl Cfg {
     /// Builds the CFG of `func` from its block terminators.
     pub fn new(func: &Function) -> Self {
+        CFG_BUILDS.with(|c| c.set(c.get() + 1));
         let n = func.num_blocks();
         let mut succs = vec![Vec::new(); n];
         let mut preds = vec![Vec::new(); n];
@@ -112,6 +141,7 @@ pub struct Reachability {
 impl Reachability {
     /// Computes all-pairs reachability via SCC condensation.
     pub fn new(cfg: &Cfg) -> Self {
+        REACH_BUILDS.with(|c| c.set(c.get() + 1));
         let n = cfg.num_blocks();
         let scc = tarjan_sccs(cfg);
         let num_sccs = scc.iter().map(|&s| s + 1).max().unwrap_or(0) as usize;
@@ -178,6 +208,62 @@ impl Reachability {
     #[inline]
     pub fn row(&self, b: BlockId) -> &BitSet {
         &self.rows[self.scc[b.index()] as usize]
+    }
+
+    /// The SCC id of block `b`. Ids are dense (`0..num_sccs`) and
+    /// assigned in reverse-topological order over the condensation.
+    #[inline]
+    pub fn scc_of(&self, b: BlockId) -> usize {
+        self.scc[b.index()] as usize
+    }
+
+    /// Number of SCCs in the condensation.
+    #[inline]
+    pub fn num_sccs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The reachable-block row of SCC `s` — the single row every member
+    /// of the SCC shares. Consumers aggregating per-source-block data
+    /// (e.g. ordering counts) walk each row **once per SCC** instead of
+    /// once per block.
+    #[inline]
+    pub fn scc_row(&self, s: usize) -> &BitSet {
+        &self.rows[s]
+    }
+
+    /// `true` if SCC `s` is cyclic (more than one member, or a self
+    /// edge). Equivalent to [`Reachability::in_cycle`] on any member.
+    #[inline]
+    pub fn scc_cyclic(&self, s: usize) -> bool {
+        self.cyclic[s]
+    }
+}
+
+/// The cache-once per-function CFG substrate: a [`Cfg`] and the
+/// [`Reachability`] table derived from it, built together exactly once
+/// and then shared by reference across every stage that needs
+/// control-flow structure (ordering generation, pruning, fence
+/// minimization, reports).
+///
+/// The fence-placement pipeline owns one `FuncSubstrate` per function
+/// (inside its per-function analysis context) for the lifetime of a
+/// whole batch run; nothing downstream ever calls [`Cfg::new`] or
+/// [`Reachability::new`] again.
+#[derive(Clone, Debug)]
+pub struct FuncSubstrate {
+    /// Successor/predecessor maps.
+    pub cfg: Cfg,
+    /// All-pairs reachability over `cfg`, one shared row per SCC.
+    pub reach: Reachability,
+}
+
+impl FuncSubstrate {
+    /// Builds the CFG and its reachability table for `func`.
+    pub fn new(func: &Function) -> Self {
+        let cfg = Cfg::new(func);
+        let reach = Reachability::new(&cfg);
+        FuncSubstrate { cfg, reach }
     }
 }
 

@@ -23,9 +23,11 @@
 //! Sub-modules:
 //!
 //! * [`builder`] — ergonomic construction of modules and functions,
-//! * [`cfg`] — successor/predecessor maps, reverse postorder, reachability,
+//! * [`mod@cfg`] — successor/predecessor maps, reverse postorder, reachability,
 //! * [`verify`] — structural well-formedness checking,
 //! * [`printer`] / [`parser`] — a stable textual format, round-trippable,
+//! * [`pool`] — a persistent std-only thread pool shared by the analysis
+//!   and placement layers for per-function parallel stages,
 //! * [`util`] — bitsets and fast hash containers shared by the other crates.
 
 pub mod builder;
@@ -35,13 +37,14 @@ pub mod ids;
 pub mod inst;
 pub mod module;
 pub mod parser;
+pub mod pool;
 pub mod printer;
 pub mod util;
 pub mod value;
 pub mod verify;
 
 pub use builder::{FunctionBuilder, ModuleBuilder};
-pub use cfg::{Cfg, Reachability};
+pub use cfg::{Cfg, FuncSubstrate, Reachability};
 pub use func::{Block, Function, Inst};
 pub use ids::{BlockId, FuncId, GlobalId, InstId, LocalId};
 pub use inst::{BinOp, CmpOp, FenceKind, InstKind, Intrinsic, RmwOp};

@@ -256,6 +256,49 @@ impl BitSet {
     pub fn clear(&mut self) {
         self.words.fill(0);
     }
+
+    /// The backing words, little-endian within each `u64`. Exposed so
+    /// solvers can keep *flat* per-node delta storage (one `Vec<u64>` for
+    /// thousands of rows) and still union against `BitSet`s word-wise.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Unions a raw word row (same universe, see [`BitSet::words`]) into
+    /// `self`, recording the genuinely new bits into the raw `delta` row.
+    /// Returns `true` if `self` changed.
+    pub fn union_words(&mut self, src: &[u64], delta: &mut [u64]) -> bool {
+        debug_assert_eq!(self.words.len(), src.len());
+        debug_assert_eq!(self.words.len(), delta.len());
+        let mut changed = false;
+        for ((a, b), d) in self.words.iter_mut().zip(src).zip(delta) {
+            let new = b & !*a;
+            if new != 0 {
+                *a |= new;
+                *d |= new;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Iterates the set indices of a raw word row in ascending order (the
+/// flat-storage sibling of [`BitSet::iter`]).
+pub fn iter_words(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut bits = w;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            }
+        })
+    })
 }
 
 #[cfg(test)]

@@ -16,4 +16,10 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo doc --no-deps (RUSTDOCFLAGS=-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "== cargo test --doc =="
+cargo test -q --doc
+
 echo "tier-1 OK"

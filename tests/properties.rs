@@ -105,7 +105,8 @@ proptest! {
         let (m, fid, _) = build(&shape);
         let an = fence_analysis::ModuleAnalysis::run(&m);
         let info = detect_acquires(&m, &an.points_to, &an.escape, fid, DetectMode::Control);
-        let ords = FuncOrderings::generate(&m, &an.escape, fid);
+        let substrate = fence_ir::FuncSubstrate::new(m.func(fid));
+        let ords = FuncOrderings::generate(&m, &an.escape, fid, &substrate);
         let kept = ords.prune(&info.sync_reads);
         let kept_set: std::collections::HashSet<(u32, u32)> = kept.iter().collect();
         let mut n_pairs = 0usize;
