@@ -39,6 +39,18 @@ pub struct ModuleAnalysis {
     pub escape: EscapeInfo,
 }
 
+thread_local! {
+    static ANALYSIS_RUNS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`ModuleAnalysis`] executions performed **on this thread** —
+/// the observable that lets batch/fleet drivers pin "exactly one module
+/// analysis per module" in tests (the sibling of
+/// [`fence_ir::cfg::cfg_builds`]).
+pub fn analysis_runs() -> usize {
+    ANALYSIS_RUNS.with(|c| c.get())
+}
+
 impl ModuleAnalysis {
     /// Runs points-to followed by escape analysis, sequentially.
     pub fn run(module: &fence_ir::Module) -> Self {
@@ -50,6 +62,7 @@ impl ModuleAnalysis {
     /// pool. Results are bit-identical to the sequential run (see the
     /// [`pointsto`] module docs for why).
     pub fn run_on(module: &fence_ir::Module, parallel: bool) -> Self {
+        ANALYSIS_RUNS.with(|c| c.set(c.get() + 1));
         let points_to = PointsTo::analyze_on(module, parallel);
         let escape = EscapeInfo::analyze(module, &points_to);
         ModuleAnalysis { points_to, escape }

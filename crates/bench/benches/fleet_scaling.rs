@@ -1,0 +1,79 @@
+//! Multi-module scaling bench: the fleet driver against the sequential
+//! per-module batch loop it replaces.
+//!
+//! Workloads: the 26-module kernel+corpus evaluation set, and a 104-
+//! module "many small modules" set (four stamped-out copies) — the batch
+//! shape the fleet schedules best, since per-(module, function) units
+//! from every module share one pool pass with no module-boundary
+//! barrier. On a multi-core host `fleet_pool` must beat the loop ≥1.3×;
+//! on a 1-core container the pool degrades to inline execution and the
+//! claim collapses to parity (`fleet_seq` ≈ loop), which is what CI's
+//! 1-core runner checks implicitly via the golden fleet test.
+
+use corpus::Params;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fenceplace::{run_fleet_with, run_pipeline_batch, FleetJob, PipelineConfig, Variant};
+
+fn sweep() -> Vec<PipelineConfig> {
+    vec![
+        PipelineConfig::for_variant(Variant::Pensieve),
+        PipelineConfig::for_variant(Variant::AddressControl),
+        PipelineConfig::for_variant(Variant::Control),
+    ]
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let p = Params::default();
+    let base = corpus::manifest::full_fleet(&p);
+    let configs = sweep();
+
+    // One module set per workload size: 1x (26 modules) and 4x (104).
+    let mut group = c.benchmark_group("fleet_scaling");
+    for copies in [1usize, 4] {
+        let jobs: Vec<FleetJob<'_>> = (0..copies)
+            .flat_map(|k| {
+                base.iter()
+                    .map(move |e| FleetJob::new(format!("{}#{k}", e.name), &e.module, sweep()))
+            })
+            .collect();
+
+        // The fleet must agree with the loop before we time anything.
+        let (fleet, _) = run_fleet_with(&jobs, true);
+        for (job, fr) in jobs.iter().zip(&fleet) {
+            let want = run_pipeline_batch(job.module, &job.configs);
+            for (w, g) in want.iter().zip(&fr.results) {
+                assert_eq!(w.points, g.points, "{}: fleet diverges from loop", job.name);
+            }
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("per_module_loop", jobs.len()),
+            &jobs,
+            |b, jobs| {
+                b.iter(|| {
+                    for j in jobs {
+                        criterion::black_box(run_pipeline_batch(j.module, &configs));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fleet_seq", jobs.len()),
+            &jobs,
+            |b, jobs| b.iter(|| criterion::black_box(run_fleet_with(jobs, false))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fleet_pool", jobs.len()),
+            &jobs,
+            |b, jobs| b.iter(|| criterion::black_box(run_fleet_with(jobs, true))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fleet
+}
+criterion_main!(benches);

@@ -15,6 +15,24 @@
 //! minimization (x86-TSO). Each stage is run `REPS` times and the
 //! minimum is reported, which is the usual low-noise estimator for short
 //! deterministic workloads.
+//!
+//! The program list comes from the corpus manifest builder
+//! (`kernel:* corpus:* synthetic:{4000,16000}`), and the snapshot also
+//! times the **fleet driver** against the per-module batch loop over the
+//! 26 kernel+corpus modules (the multi-module workload the fleet
+//! schedules as one cross-module unit list).
+//!
+//! ## `--check` mode (the CI perf gate)
+//!
+//! ```text
+//! cargo run --release -p fence_bench --bin perf_snapshot -- --check --tolerance 1.5
+//! ```
+//!
+//! Re-measures the snapshot and compares each stage's corpus-wide total
+//! against the committed `BENCH_analysis.json`. Exits non-zero if any
+//! stage regressed by more than the tolerance factor; never rewrites the
+//! committed file. Fleet timings are recorded but not gated (the
+//! fleet-vs-loop ratio is hardware-dependent).
 
 use corpus::Params;
 use fence_analysis::{EscapeInfo, ModuleAnalysis, PointsTo};
@@ -22,10 +40,22 @@ use fence_ir::{FuncSubstrate, Module};
 use fenceplace::acquire::{detect_acquires, DetectMode};
 use fenceplace::minimize::minimize_function;
 use fenceplace::orderings::FuncOrderings;
-use fenceplace::TargetModel;
+use fenceplace::{
+    run_fleet_with, run_pipeline_batch, FleetJob, PipelineConfig, TargetModel, Variant,
+};
 use std::time::Instant;
 
 const REPS: usize = 3;
+const BENCH_PATH: &str = "BENCH_analysis.json";
+const STAGES: [&str; 7] = [
+    "points_to",
+    "escape",
+    "acquire",
+    "cfg",
+    "orderings",
+    "minimize",
+    "total",
+];
 
 #[derive(Default, Clone, Copy)]
 struct StageMs {
@@ -49,6 +79,19 @@ impl StageMs {
         self.cfg += o.cfg;
         self.orderings += o.orderings;
         self.minimize += o.minimize;
+    }
+
+    fn get(&self, stage: &str) -> f64 {
+        match stage {
+            "points_to" => self.points_to,
+            "escape" => self.escape,
+            "acquire" => self.acquire,
+            "cfg" => self.cfg,
+            "orderings" => self.orderings,
+            "minimize" => self.minimize,
+            "total" => self.total(),
+            _ => unreachable!("unknown stage {stage}"),
+        }
     }
 
     fn json(&self) -> String {
@@ -137,25 +180,52 @@ fn snapshot(module: &Module) -> StageMs {
     s
 }
 
-fn main() {
-    let mut rows: Vec<(String, StageMs)> = Vec::new();
+/// Fleet-vs-loop timing over the multi-module kernel+corpus workload:
+/// `(fleet_ms, loop_ms)`, both minima over `REPS` runs of the same
+/// 3-variant sweep.
+fn fleet_vs_loop(entries: &[corpus::ManifestEntry]) -> (f64, f64) {
+    let configs = vec![
+        PipelineConfig::for_variant(Variant::Pensieve),
+        PipelineConfig::for_variant(Variant::AddressControl),
+        PipelineConfig::for_variant(Variant::Control),
+    ];
+    let jobs: Vec<FleetJob<'_>> = entries
+        .iter()
+        .map(|e| FleetJob::new(e.name.clone(), &e.module, configs.clone()))
+        .collect();
+    let fleet_ms = time_min(|| run_fleet_with(&jobs, true));
+    let loop_ms = time_min(|| {
+        for e in entries {
+            std::hint::black_box(run_pipeline_batch(&e.module, &configs));
+        }
+    });
+    (fleet_ms, loop_ms)
+}
 
-    for kernel in corpus::kernels::all() {
-        rows.push((format!("kernel:{}", kernel.name), snapshot(&kernel.module)));
-    }
+fn measure() -> (Vec<(String, StageMs)>, StageMs, String) {
     let p = Params::default();
-    for prog in corpus::programs(&p) {
-        rows.push((format!("corpus:{}", prog.name), snapshot(&prog.module)));
+    let mut rows: Vec<(String, StageMs)> = Vec::new();
+    let multi = corpus::manifest::full_fleet(&p);
+    for e in &multi {
+        rows.push((e.name.clone(), snapshot(&e.module)));
     }
-    for n in [4000usize, 16000] {
-        let m = corpus::synthetic_scaled(n);
-        rows.push((format!("synthetic:{n}"), snapshot(&m)));
+    for spec in ["synthetic:4000", "synthetic:16000"] {
+        for e in corpus::resolve_spec(spec, &p).expect("builtin spec") {
+            rows.push((e.name, snapshot(&e.module)));
+        }
     }
 
     let mut totals = StageMs::default();
     for (_, s) in &rows {
         totals.add(s);
     }
+
+    let (fleet_ms, loop_ms) = fleet_vs_loop(&multi);
+    let fleet_json = format!(
+        "{{\"modules\": {}, \"configs\": 3, \"fleet_ms\": {fleet_ms:.3}, \"loop_ms\": {loop_ms:.3}, \"speedup\": {:.3}}}",
+        multi.len(),
+        loop_ms / fleet_ms.max(1e-9)
+    );
 
     let mut out = String::from("{\n  \"unit\": \"ms\",\n  \"programs\": [\n");
     for (i, (name, s)) in rows.iter().enumerate() {
@@ -165,9 +235,109 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str(&format!("  ],\n  \"totals\": {}\n}}\n", totals.json()));
+    out.push_str(&format!("  ],\n  \"totals\": {},\n", totals.json()));
+    out.push_str(&format!("  \"fleet\": {fleet_json}\n}}\n"));
+    (rows, totals, out)
+}
 
-    std::fs::write("BENCH_analysis.json", &out).expect("write BENCH_analysis.json");
+/// Pulls `"stage": <num>` out of the committed snapshot's `"totals"`
+/// line. The file is machine-written by this binary, so a line-anchored
+/// scan is exact, not heuristic.
+fn committed_totals(text: &str) -> Result<StageMs, String> {
+    let line = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"totals\""))
+        .ok_or("no \"totals\" line in committed snapshot")?;
+    let field = |key: &str| -> Result<f64, String> {
+        let pat = format!("\"{key}\": ");
+        let at = line
+            .find(&pat)
+            .ok_or_else(|| format!("no `{key}` in totals line"))?;
+        let rest = &line[at + pat.len()..];
+        let end = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end]
+            .parse()
+            .map_err(|e| format!("bad `{key}` value: {e}"))
+    };
+    Ok(StageMs {
+        points_to: field("points_to")?,
+        escape: field("escape")?,
+        acquire: field("acquire")?,
+        cfg: field("cfg")?,
+        orderings: field("orderings")?,
+        minimize: field("minimize")?,
+    })
+}
+
+fn check(tolerance: f64) -> i32 {
+    let committed = match std::fs::read_to_string(BENCH_PATH) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf check: cannot read {BENCH_PATH}: {e}");
+            return 2;
+        }
+    };
+    let baseline = match committed_totals(&committed) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perf check: cannot parse {BENCH_PATH}: {e}");
+            return 2;
+        }
+    };
+    let (_, fresh, _) = measure();
+    let mut failed = 0;
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}  (tolerance {tolerance:.2}x)",
+        "stage", "baseline ms", "fresh ms", "ratio"
+    );
+    for stage in STAGES {
+        let base = baseline.get(stage);
+        let now = fresh.get(stage);
+        let ratio = if base > 0.0 { now / base } else { 1.0 };
+        let verdict = if ratio > tolerance {
+            failed += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!("{stage:<12} {base:>12.3} {now:>12.3} {ratio:>7.2}x{verdict}");
+    }
+    if failed > 0 {
+        eprintln!("perf check FAILED: {failed} stage(s) regressed beyond {tolerance:.2}x");
+        1
+    } else {
+        println!("perf check OK: no stage regressed beyond {tolerance:.2}x");
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check_mode = false;
+    let mut tolerance = 1.5f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check_mode = true,
+            "--tolerance" => {
+                let v = it.next().expect("--tolerance needs a value");
+                tolerance = v.parse().expect("--tolerance wants a number");
+                // A tolerance only means anything when gating; never let
+                // it fall through to write mode and silently overwrite
+                // the committed baseline.
+                check_mode = true;
+            }
+            other => panic!("unknown argument `{other}` (known: --check, --tolerance X)"),
+        }
+    }
+    if check_mode {
+        std::process::exit(check(tolerance));
+    }
+
+    let (rows, _, out) = measure();
+    std::fs::write(BENCH_PATH, &out).expect("write BENCH_analysis.json");
     println!("{out}");
-    println!("wrote BENCH_analysis.json ({} programs)", rows.len());
+    println!("wrote {BENCH_PATH} ({} programs)", rows.len());
 }

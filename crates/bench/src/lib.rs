@@ -8,10 +8,8 @@
 pub mod naive;
 
 use corpus::{Params, Program};
-use fence_analysis::ModuleAnalysis;
-use fenceplace::acquire::{detect_acquires, DetectMode};
 use fenceplace::report::geomean;
-use fenceplace::{run_pipeline, run_pipeline_batch, PipelineConfig, Variant};
+use fenceplace::{run_fleet, run_pipeline, FleetJob, PipelineConfig, Variant};
 use memsim::{SimConfig, Simulator};
 
 /// One row of Table II.
@@ -30,27 +28,25 @@ pub struct Table2Row {
     pub expect: (bool, bool, bool),
 }
 
-/// Runs acquire detection over the nine kernels (Table II).
+/// Runs acquire detection over the nine kernels (Table II) — one fleet
+/// over all nine modules, so the per-kernel analyses share the pool and
+/// the row interner instead of running in a hand-rolled loop.
 pub fn table2() -> Vec<Table2Row> {
-    corpus::kernels::all()
-        .into_iter()
-        .map(|k| {
-            let an = ModuleAnalysis::run(&k.module);
-            let mut addr = 0usize;
-            let mut ctrl = 0usize;
-            let mut pure = 0usize;
-            for (fid, _) in k.module.iter_funcs() {
-                let info = detect_acquires(
-                    &k.module,
-                    &an.points_to,
-                    &an.escape,
-                    fid,
-                    DetectMode::AddressControl,
-                );
-                addr += info.address.count();
-                ctrl += info.control.count();
-                pure += info.pure_address_ids().len();
-            }
+    let kernels = corpus::kernels::all();
+    let configs = vec![PipelineConfig::for_variant(Variant::AddressControl)];
+    let jobs: Vec<FleetJob<'_>> = kernels
+        .iter()
+        .map(|k| FleetJob::new(k.name, &k.module, configs.clone()))
+        .collect();
+    let fleet = run_fleet(&jobs);
+    kernels
+        .iter()
+        .zip(&fleet)
+        .map(|(k, fr)| {
+            let report = &fr.results[0].report;
+            let addr: usize = report.funcs.iter().map(|f| f.address_acquires).sum();
+            let ctrl: usize = report.funcs.iter().map(|f| f.control_acquires).sum();
+            let pure: usize = report.funcs.iter().map(|f| f.pure_address_acquires).sum();
             Table2Row {
                 name: k.name,
                 citation: k.citation,
@@ -137,23 +133,28 @@ impl StaticRow {
     }
 }
 
-/// Runs the static pipeline (Figures 7, 8, 9) over the whole corpus.
+/// Runs the static pipeline (Figures 7, 8, 9) over the whole corpus as
+/// **one fleet**: all seventeen programs' per-function work units share
+/// the persistent pool and the fleet-wide row interner, instead of the
+/// old per-program batch loop with a stage barrier at every program
+/// boundary. Results are bit-identical to the loop (the fleet contract).
 pub fn static_rows(p: &Params) -> Vec<StaticRow> {
-    corpus::programs(p)
+    let progs = corpus::programs(p);
+    let configs = vec![
+        PipelineConfig::for_variant(Variant::Pensieve),
+        PipelineConfig::for_variant(Variant::AddressControl),
+        PipelineConfig::for_variant(Variant::Control),
+    ];
+    let jobs: Vec<FleetJob<'_>> = progs
         .iter()
-        .map(|prog| {
-            // One batch per program: the module analysis, per-function
-            // contexts, and acquire detection run once for all three
-            // variants instead of once per variant.
-            let mut results = run_pipeline_batch(
-                &prog.module,
-                &[
-                    PipelineConfig::for_variant(Variant::Pensieve),
-                    PipelineConfig::for_variant(Variant::AddressControl),
-                    PipelineConfig::for_variant(Variant::Control),
-                ],
-            )
-            .into_iter();
+        .map(|prog| FleetJob::new(prog.name, &prog.module, configs.clone()))
+        .collect();
+    let fleet = run_fleet(&jobs);
+    progs
+        .iter()
+        .zip(fleet)
+        .map(|(prog, fr)| {
+            let mut results = fr.results.into_iter();
             let pens = results.next().expect("pensieve result");
             let ac = results.next().expect("address+control result");
             let ctrl = results.next().expect("control result");

@@ -1,0 +1,477 @@
+//! The multi-module fleet driver: batch fence placement over many
+//! modules with cross-module pool reuse.
+//!
+//! [`run_pipeline_batch`](crate::run_pipeline_batch) amortizes the
+//! analysis stack across the configs of **one** module, but a corpus
+//! sweep (the CLI's batch workload, the figure harnesses, CI gates) runs
+//! many modules — and driving the batch entry point in a loop re-enters
+//! the persistent [`crate::pool::ThreadPool`] once per module with a
+//! stage barrier at every module boundary, leaving cores idle whenever a
+//! small module can't fill them.
+//!
+//! [`run_fleet`] instead schedules **per-(module, function) work units
+//! from every module at once**. Each pipeline stage becomes one flat
+//! cross-module unit list executed in a single pool pass:
+//!
+//! 1. *analysis* — one [`ModuleAnalysis`] per module (module-level
+//!    units; the per-module analysis runs sequentially inside its unit,
+//!    so independent modules fill the cores with no nested pool entry);
+//! 2. *substrates* — one [`FuncSubstrate`] per function of any module,
+//!    built through one fleet-wide [`RowInterner`] so identical
+//!    reachability rows across repeated corpus kernels are stored once;
+//! 3. *contexts* — one [`FuncContext`] (alias oracle + escape set +
+//!    orderings) per function of any module;
+//! 4. *acquire detection* — one [`AcquireInfo`] per (module, distinct
+//!    automatic variant, function) triple;
+//! 5. *config tails* — pruning + minimization + insertion per (module,
+//!    config) pair.
+//!
+//! Stages still separate (a context needs its module's analysis), but no
+//! barrier ever falls on a *module* boundary: while one worker finishes
+//! the last function of module A, others are already deep into module Q.
+//! Every unit keys its result by index, so arrival order cannot affect
+//! any output and fleet results are **bit-identical** to running
+//! [`run_pipeline_batch`](crate::run_pipeline_batch) per module —
+//! sequential or parallel (pinned by `tests/fleet.rs`).
+
+use crate::acquire::AcquireInfo;
+use crate::insert::insert_fences;
+use crate::minimize::FencePoint;
+use crate::pipeline::{
+    finish_function, manual_result, map_indexed, FuncContext, PipelineConfig, PipelineResult,
+    Variant,
+};
+use crate::report::FuncReport;
+use crate::report::ModuleReport;
+use fence_analysis::ModuleAnalysis;
+use fence_ir::cfg::{FuncSubstrate, RowInterner};
+use fence_ir::{FuncId, Module};
+
+/// One unit of fleet work: a module plus the pipeline configs to run it
+/// under. The fleet shares one analysis stack across all of a job's
+/// configs, exactly like [`run_pipeline_batch`](crate::run_pipeline_batch).
+pub struct FleetJob<'m> {
+    /// Display name used in reports and roll-ups.
+    pub name: String,
+    /// The module to place fences in.
+    pub module: &'m Module,
+    /// Configs to run, in result order. `parallel` flags are ignored —
+    /// the fleet owns scheduling (outputs are bit-identical either way).
+    pub configs: Vec<PipelineConfig>,
+}
+
+impl<'m> FleetJob<'m> {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        module: &'m Module,
+        configs: impl Into<Vec<PipelineConfig>>,
+    ) -> Self {
+        FleetJob {
+            name: name.into(),
+            module,
+            configs: configs.into(),
+        }
+    }
+}
+
+/// The results of one [`FleetJob`], in the job's config order.
+pub struct FleetResult {
+    /// The job's display name.
+    pub name: String,
+    /// One [`PipelineResult`] per config, bit-identical to what
+    /// [`run_pipeline_batch`](crate::run_pipeline_batch) would produce.
+    pub results: Vec<PipelineResult>,
+}
+
+/// Work accounting for one fleet run — the observables behind the
+/// "exactly one analysis / substrate build per module" contract and the
+/// row-interning savings, surfaced in CLI roll-ups and pinned by tests.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FleetStats {
+    /// Jobs in the fleet.
+    pub modules: usize,
+    /// Total (module, function) work units across the fleet.
+    pub functions: usize,
+    /// Total (module, config) result units.
+    pub configs: usize,
+    /// `ModuleAnalysis` executions — one per module that has at least
+    /// one non-`Manual` config, never more.
+    pub analyses: usize,
+    /// `FuncSubstrate` builds — one per analyzed function, never more.
+    pub substrates: usize,
+    /// Distinct reachability rows retained by the fleet-wide interner.
+    pub unique_rows: usize,
+    /// Row-intern lookups served by an already-stored row — each one a
+    /// row allocation the per-module loop would have paid.
+    pub row_hits: usize,
+    /// Total `u64` words retained across the distinct rows.
+    pub row_words: usize,
+}
+
+/// Runs the fleet in parallel on the persistent pool. See
+/// [`run_fleet_with`] for the sequential variant and work stats.
+///
+/// ```
+/// use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+/// use fenceplace::fleet::{run_fleet, FleetJob};
+/// use fenceplace::{PipelineConfig, Variant};
+///
+/// let build = |name: &str| {
+///     let mut mb = ModuleBuilder::new(name);
+///     let data = mb.global("data", 1);
+///     let flag = mb.global("flag", 1);
+///     let mut c = FunctionBuilder::new("consumer", 0);
+///     c.spin_while_eq(flag, 0i64);
+///     let v = c.load(data);
+///     c.ret(Some(v));
+///     mb.add_func(c.build());
+///     mb.finish()
+/// };
+/// let (a, b) = (build("a"), build("b"));
+/// let configs: Vec<PipelineConfig> =
+///     Variant::automatic().map(PipelineConfig::for_variant).into();
+/// let fleet = run_fleet(&[
+///     FleetJob::new("a", &a, configs.clone()),
+///     FleetJob::new("b", &b, configs),
+/// ]);
+/// assert_eq!(fleet.len(), 2);
+/// assert_eq!(fleet[0].results.len(), 3);
+/// // Identical modules get identical placements.
+/// assert_eq!(fleet[0].results[0].points, fleet[1].results[0].points);
+/// ```
+pub fn run_fleet(jobs: &[FleetJob]) -> Vec<FleetResult> {
+    run_fleet_with(jobs, true).0
+}
+
+/// Runs the fleet, optionally scheduling the flattened cross-module unit
+/// lists on the persistent pool (`parallel`), and returns the results
+/// together with the run's [`FleetStats`]. Sequential and parallel runs
+/// are bit-identical: every stage keys its results by unit index.
+pub fn run_fleet_with(jobs: &[FleetJob], parallel: bool) -> (Vec<FleetResult>, FleetStats) {
+    let nj = jobs.len();
+
+    // Which jobs need the analysis stack at all: mirror the batch entry
+    // point, which skips the analysis for all-`Manual` (or empty) config
+    // lists.
+    let needs: Vec<bool> = jobs
+        .iter()
+        .map(|j| j.configs.iter().any(|c| c.variant != Variant::Manual))
+        .collect();
+
+    // ---- stage 1: one ModuleAnalysis per module, module-level units ----
+    // The per-module analysis runs sequentially *inside* its unit;
+    // module units from across the fleet fill the pool. (Nesting the
+    // pool would deadlock: a worker waiting on sub-tasks that only other
+    // busy workers could pop.)
+    let analysis_jobs: Vec<usize> = (0..nj).filter(|&j| needs[j]).collect();
+    let analyses_packed: Vec<ModuleAnalysis> = map_indexed(analysis_jobs.len(), parallel, |k| {
+        ModuleAnalysis::run_on(jobs[analysis_jobs[k]].module, false)
+    });
+    let mut analyses: Vec<Option<ModuleAnalysis>> = (0..nj).map(|_| None).collect();
+    for (k, a) in analyses_packed.into_iter().enumerate() {
+        analyses[analysis_jobs[k]] = Some(a);
+    }
+
+    // ---- flattened per-(module, function) unit list ----
+    let mut func_units: Vec<(u32, u32)> = Vec::new();
+    let mut func_off: Vec<usize> = vec![usize::MAX; nj];
+    for j in 0..nj {
+        if !needs[j] {
+            continue;
+        }
+        func_off[j] = func_units.len();
+        for f in 0..jobs[j].module.funcs.len() {
+            func_units.push((j as u32, f as u32));
+        }
+    }
+
+    // ---- stage 2: substrates, one pool pass over every function of
+    // every module, rows interned fleet-wide ----
+    let interner = RowInterner::new();
+    let substrates: Vec<FuncSubstrate> = map_indexed(func_units.len(), parallel, |u| {
+        let (j, f) = func_units[u];
+        FuncSubstrate::new_interned(
+            jobs[j as usize].module.func(FuncId::new(f as usize)),
+            &interner,
+        )
+    });
+
+    // ---- stage 3: per-function contexts, same flat unit list ----
+    let contexts: Vec<FuncContext<'_>> = map_indexed(func_units.len(), parallel, |u| {
+        let (j, f) = func_units[u];
+        FuncContext::build(
+            jobs[j as usize].module,
+            analyses[j as usize].as_ref().expect("analysis for job"),
+            &substrates[u],
+            FuncId::new(f as usize),
+        )
+    });
+
+    // ---- stage 4: acquire info per (module, distinct variant, function) ----
+    // Distinct variants in config order per job, mirroring the batch's
+    // per-variant cache fill.
+    let mut acq_units: Vec<(u32, Variant, u32)> = Vec::new();
+    let mut acq_slot: Vec<[Option<usize>; 4]> = vec![[None; 4]; nj];
+    for (j, job) in jobs.iter().enumerate() {
+        if !needs[j] {
+            continue;
+        }
+        for config in &job.configs {
+            let slot = config.variant.idx();
+            if config.variant == Variant::Manual || acq_slot[j][slot].is_some() {
+                continue;
+            }
+            acq_slot[j][slot] = Some(acq_units.len());
+            for f in 0..job.module.funcs.len() {
+                acq_units.push((j as u32, config.variant, f as u32));
+            }
+        }
+    }
+    let acquire_infos: Vec<AcquireInfo> = map_indexed(acq_units.len(), parallel, |u| {
+        let (j, variant, f) = acq_units[u];
+        let (j, f) = (j as usize, f as usize);
+        contexts[func_off[j] + f].acquire_info(
+            jobs[j].module,
+            analyses[j].as_ref().expect("analysis for job"),
+            variant,
+        )
+    });
+
+    // ---- stage 5: config tails ----
+    // Per-(module, config, *function*) units, so a large module's
+    // pruning/minimization shards across the pool exactly like the
+    // batch driver's per-function tail — the per-config assembly
+    // (fence insertion into a fresh module clone, report collection)
+    // then runs on the caller, same as the batch entry point.
+    let mut cfg_units: Vec<(u32, u32)> = Vec::new();
+    for (j, job) in jobs.iter().enumerate() {
+        for c in 0..job.configs.len() {
+            cfg_units.push((j as u32, c as u32));
+        }
+    }
+    let mut tail_units: Vec<(u32, u32, u32)> = Vec::new();
+    for &(j, c) in &cfg_units {
+        let job = &jobs[j as usize];
+        if job.configs[c as usize].variant == Variant::Manual {
+            continue;
+        }
+        for f in 0..job.module.funcs.len() {
+            tail_units.push((j, c, f as u32));
+        }
+    }
+    let tails: Vec<(FuncReport, Vec<FencePoint>)> = map_indexed(tail_units.len(), parallel, |u| {
+        let (j, c, f) = tail_units[u];
+        let (j, c, f) = (j as usize, c as usize, f as usize);
+        let job = &jobs[j];
+        finish_function(
+            job.module,
+            analyses[j].as_ref().expect("analysis for job"),
+            &contexts[func_off[j] + f],
+            &acquire_infos[acq_slot[j][job.configs[c].variant.idx()].expect("acquire info") + f],
+            &job.configs[c],
+        )
+    });
+
+    // Tail units were generated in cfg-unit order, so one running
+    // cursor regroups them deterministically.
+    let mut tail_cursor = tails.into_iter();
+    let mut results_flat: Vec<PipelineResult> = Vec::with_capacity(cfg_units.len());
+    for &(j, c) in &cfg_units {
+        let job = &jobs[j as usize];
+        let config = &job.configs[c as usize];
+        if config.variant == Variant::Manual {
+            results_flat.push(manual_result(job.module, config));
+            continue;
+        }
+        let n = job.module.funcs.len();
+        let mut funcs = Vec::with_capacity(n);
+        let mut points = Vec::new();
+        for (report, pts) in tail_cursor.by_ref().take(n) {
+            funcs.push(report);
+            points.extend(pts);
+        }
+        let instrumented = insert_fences(job.module, &points);
+        results_flat.push(PipelineResult {
+            module: instrumented,
+            points,
+            report: ModuleReport {
+                module_name: job.module.name.clone(),
+                variant: config.variant.name().to_string(),
+                funcs,
+            },
+        });
+    }
+
+    let stats = FleetStats {
+        modules: nj,
+        functions: func_units.len(),
+        configs: cfg_units.len(),
+        analyses: analysis_jobs.len(),
+        substrates: func_units.len(),
+        unique_rows: interner.unique_rows(),
+        row_hits: interner.hits(),
+        row_words: interner.retained_words(),
+    };
+
+    // Regroup the flat (job-major, config-minor) results per job.
+    let mut out = Vec::with_capacity(nj);
+    let mut rest = results_flat.drain(..);
+    for job in jobs {
+        out.push(FleetResult {
+            name: job.name.clone(),
+            results: rest.by_ref().take(job.configs.len()).collect(),
+        });
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize::TargetModel;
+    use crate::run_pipeline_batch;
+    use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+
+    fn spin_module(name: &str, funcs: usize) -> Module {
+        let mut mb = ModuleBuilder::new(name);
+        let data = mb.global("data", 1);
+        let flag = mb.global("flag", 1);
+        for i in 0..funcs {
+            let mut fb = FunctionBuilder::new(format!("w{i}"), 0);
+            fb.store(data, i as i64);
+            fb.spin_while_eq(flag, 0i64);
+            let v = fb.load(data);
+            fb.ret(Some(v));
+            mb.add_func(fb.build());
+        }
+        mb.finish()
+    }
+
+    fn sweep_configs() -> Vec<PipelineConfig> {
+        let mut v = Vec::new();
+        for variant in [
+            Variant::Pensieve,
+            Variant::Control,
+            Variant::AddressControl,
+            Variant::Manual,
+        ] {
+            for target in [TargetModel::X86Tso, TargetModel::Weak] {
+                v.push(PipelineConfig {
+                    variant,
+                    target,
+                    parallel: false,
+                });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_fleet() {
+        let (results, stats) = run_fleet_with(&[], false);
+        assert!(results.is_empty());
+        assert_eq!(stats.modules, 0);
+        assert_eq!(stats.analyses, 0);
+        assert_eq!(stats.unique_rows, 0);
+    }
+
+    #[test]
+    fn empty_configs_job_runs_nothing() {
+        let m = spin_module("m", 2);
+        let (results, stats) = run_fleet_with(&[FleetJob::new("m", &m, Vec::new())], false);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].results.is_empty());
+        assert_eq!(stats.analyses, 0, "no config, no analysis");
+        assert_eq!(stats.substrates, 0);
+    }
+
+    #[test]
+    fn manual_only_job_skips_analysis() {
+        let m = spin_module("m", 2);
+        let (results, stats) = run_fleet_with(
+            &[FleetJob::new(
+                "m",
+                &m,
+                vec![PipelineConfig::for_variant(Variant::Manual)],
+            )],
+            false,
+        );
+        assert_eq!(stats.analyses, 0);
+        assert_eq!(stats.substrates, 0);
+        assert_eq!(results[0].results.len(), 1);
+        assert!(results[0].results[0].points.is_empty());
+    }
+
+    #[test]
+    fn fleet_matches_per_module_batches() {
+        let a = spin_module("a", 3);
+        let b = spin_module("b", 1);
+        let configs = sweep_configs();
+        let jobs = [
+            FleetJob::new("a", &a, configs.clone()),
+            FleetJob::new("b", &b, configs.clone()),
+        ];
+        for parallel in [false, true] {
+            let (fleet, _) = run_fleet_with(&jobs, parallel);
+            for (job, got) in jobs.iter().zip(&fleet) {
+                let want = run_pipeline_batch(job.module, &job.configs);
+                assert_eq!(want.len(), got.results.len());
+                for (w, g) in want.iter().zip(&got.results) {
+                    assert_eq!(w.points, g.points, "{}: points (par={parallel})", job.name);
+                    assert_eq!(
+                        format!("{:?}", w.report),
+                        format!("{:?}", g.report),
+                        "{}: report (par={parallel})",
+                        job.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_modules_share_interned_rows() {
+        let a = spin_module("a", 4);
+        let b = spin_module("b", 4);
+        let configs = vec![PipelineConfig::for_variant(Variant::Control)];
+        let (_, solo) = run_fleet_with(&[FleetJob::new("a", &a, configs.clone())], false);
+        let (_, both) = run_fleet_with(
+            &[
+                FleetJob::new("a", &a, configs.clone()),
+                FleetJob::new("b", &b, configs.clone()),
+            ],
+            false,
+        );
+        assert_eq!(
+            both.unique_rows, solo.unique_rows,
+            "a structurally identical module adds no distinct rows"
+        );
+        assert!(both.row_hits > solo.row_hits);
+        assert_eq!(both.substrates, 2 * solo.substrates);
+    }
+
+    #[test]
+    fn stats_pin_one_analysis_and_substrate_per_module() {
+        let a = spin_module("a", 2);
+        let b = spin_module("b", 3);
+        let configs = sweep_configs(); // 8 configs, 3 distinct automatic variants
+        let runs_before = fence_analysis::analysis_runs();
+        let cfg_before = fence_ir::cfg::cfg_builds();
+        let (_, stats) = run_fleet_with(
+            &[
+                FleetJob::new("a", &a, configs.clone()),
+                FleetJob::new("b", &b, configs),
+            ],
+            false, // sequential: thread-local counters observe everything
+        );
+        assert_eq!(stats.analyses, 2, "one ModuleAnalysis per module");
+        assert_eq!(stats.substrates, 5, "one substrate per function");
+        assert_eq!(
+            fence_analysis::analysis_runs() - runs_before,
+            2,
+            "independent counter agrees with stats"
+        );
+        assert_eq!(fence_ir::cfg::cfg_builds() - cfg_before, 5);
+    }
+}

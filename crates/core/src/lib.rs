@@ -30,11 +30,16 @@
 //! module analysis and builds the per-function analysis contexts
 //! ([`FuncContext`]: alias oracle, escape set, cache-once CFG substrate,
 //! block-aggregated orderings) exactly once for a whole
-//! variant × target × (seq|par) sweep.
+//! variant × target × (seq|par) sweep. Multi-module callers (corpus
+//! sweeps, the `fenceplace` CLI, figure harnesses) should go one level
+//! further and use [`run_fleet`]: it schedules per-(module, function)
+//! work units from *many* modules onto the persistent pool in single
+//! cross-module passes, with reachability rows interned fleet-wide.
 
 #![warn(missing_docs)]
 
 pub mod acquire;
+pub mod fleet;
 pub mod insert;
 pub mod minimize;
 pub mod orderings;
@@ -48,6 +53,7 @@ pub mod report;
 pub use fence_ir::pool;
 
 pub use acquire::{AcquireInfo, DetectMode};
+pub use fleet::{run_fleet, run_fleet_with, FleetJob, FleetResult, FleetStats};
 pub use minimize::{FencePoint, TargetModel};
 pub use orderings::{Access, AccessKind, FuncOrderings, OrderKind, OrderingSelection};
 pub use pipeline::{

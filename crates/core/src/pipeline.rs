@@ -78,7 +78,7 @@ impl Variant {
     }
 
     /// Dense index for per-variant caches.
-    fn idx(self) -> usize {
+    pub(crate) fn idx(self) -> usize {
         match self {
             Variant::Pensieve => 0,
             Variant::Control => 1,
@@ -172,7 +172,7 @@ impl<'a> FuncContext<'a> {
 
     /// Acquire detection for one automatic variant using the cached
     /// oracle/escaping set.
-    fn acquire_info(
+    pub(crate) fn acquire_info(
         &self,
         module: &Module,
         analysis: &ModuleAnalysis,
@@ -211,7 +211,13 @@ pub fn module_analysis_runs() -> usize {
 
 /// Runs `f(0..n)` either inline or work-stealing on the persistent pool,
 /// returning results in index order (deterministic regardless of mode).
-fn map_indexed<T: Send>(n: usize, parallel: bool, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+/// Shared with the fleet driver, whose `n` spans work units of *many*
+/// modules at once.
+pub(crate) fn map_indexed<T: Send>(
+    n: usize,
+    parallel: bool,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     if parallel && n > 1 {
         let pool = ThreadPool::global();
@@ -248,7 +254,7 @@ fn map_indexed<T: Send>(n: usize, parallel: bool, f: impl Fn(usize) -> T + Sync)
 
 /// Pruning + minimization + report tail for one function under one
 /// config, from cached context and acquire info.
-fn finish_function(
+pub(crate) fn finish_function(
     module: &Module,
     analysis: &ModuleAnalysis,
     ctx: &FuncContext<'_>,
@@ -283,7 +289,7 @@ fn finish_function(
 }
 
 /// The `Manual` result: nothing placed, explicit fences counted.
-fn manual_result(module: &Module, config: &PipelineConfig) -> PipelineResult {
+pub(crate) fn manual_result(module: &Module, config: &PipelineConfig) -> PipelineResult {
     let (full, dir) = count_module_fences(module);
     let report = ModuleReport {
         module_name: module.name.clone(),

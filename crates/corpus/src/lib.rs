@@ -20,9 +20,11 @@
 
 pub mod kernels;
 pub mod lockfree;
+pub mod manifest;
 pub mod splash;
 pub mod synthetic;
 
+pub use manifest::{resolve_spec, resolve_specs, ManifestEntry};
 pub use synthetic::synthetic_scaled;
 
 use fence_ir::Module;

@@ -1,0 +1,189 @@
+//! The multi-module manifest builder: turns textual program specs into
+//! named modules, the input shape of fleet runs (the `fenceplace` CLI,
+//! the figure harnesses, `perf_snapshot`, the scaling benches).
+//!
+//! A *spec* selects programs from the three corpus families:
+//!
+//! | spec            | meaning                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `kernel:NAME`   | one Table II kernel (e.g. `kernel:Dekker`)         |
+//! | `kernel:*`      | all nine Table II kernels                          |
+//! | `corpus:NAME`   | one evaluation program (e.g. `corpus:FFT`)         |
+//! | `corpus:*`      | all seventeen evaluation programs                  |
+//! | `manual:NAME`   | the expert hand-fenced build of a program          |
+//! | `manual:*`      | all seventeen expert builds                        |
+//! | `synthetic:N`   | `synthetic_scaled(N)` (e.g. `synthetic:16000`)     |
+//!
+//! Specs resolve in the order given; a `*` expands in the paper's
+//! canonical order ([`crate::PROGRAM_NAMES`], Table II order for
+//! kernels). Unknown families and names are errors, not silent skips —
+//! a batch service must fail loudly on a typo'd manifest.
+
+use crate::{programs, Params};
+use fence_ir::Module;
+
+/// One resolved manifest entry: a display name plus the module to run.
+pub struct ManifestEntry {
+    /// Unique display name (`family:name`), used as the fleet job name.
+    pub name: String,
+    /// The module to feed the pipeline.
+    pub module: Module,
+}
+
+/// Resolves a single spec against the corpus at `params`, in canonical
+/// order. See the module docs for the spec grammar.
+pub fn resolve_spec(spec: &str, params: &Params) -> Result<Vec<ManifestEntry>, String> {
+    let (family, name) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad spec `{spec}`: expected `family:name`"))?;
+    match family {
+        "kernel" => {
+            let kernels = crate::kernels::all();
+            let selected: Vec<ManifestEntry> = kernels
+                .into_iter()
+                .filter(|k| name == "*" || k.name == name)
+                .map(|k| ManifestEntry {
+                    name: format!("kernel:{}", k.name),
+                    module: k.module,
+                })
+                .collect();
+            if selected.is_empty() {
+                return Err(unknown(spec, "kernel", crate::kernels::all().iter().map(|k| k.name)));
+            }
+            Ok(selected)
+        }
+        "corpus" | "manual" => {
+            let manual = family == "manual";
+            let progs = programs(params);
+            let selected: Vec<ManifestEntry> = progs
+                .into_iter()
+                .filter(|p| name == "*" || p.name == name)
+                .map(|p| ManifestEntry {
+                    name: format!("{family}:{}", p.name),
+                    module: if manual { p.manual_module } else { p.module },
+                })
+                .collect();
+            if selected.is_empty() {
+                return Err(unknown(spec, family, crate::PROGRAM_NAMES.iter().copied()));
+            }
+            Ok(selected)
+        }
+        "synthetic" => {
+            let n: usize = name
+                .parse()
+                .map_err(|_| format!("bad spec `{spec}`: synthetic wants a number, got `{name}`"))?;
+            Ok(vec![ManifestEntry {
+                name: format!("synthetic:{n}"),
+                module: crate::synthetic_scaled(n),
+            }])
+        }
+        other => Err(format!(
+            "bad spec `{spec}`: unknown family `{other}` (expected kernel, corpus, manual, or synthetic)"
+        )),
+    }
+}
+
+fn unknown<'a>(spec: &str, family: &str, valid: impl Iterator<Item = &'a str>) -> String {
+    format!(
+        "bad spec `{spec}`: no such {family} (valid: {})",
+        valid.collect::<Vec<_>>().join(", ")
+    )
+}
+
+/// Resolves many specs in order, concatenating their expansions.
+pub fn resolve_specs<S: AsRef<str>>(
+    specs: &[S],
+    params: &Params,
+) -> Result<Vec<ManifestEntry>, String> {
+    let mut out = Vec::new();
+    for spec in specs {
+        out.extend(resolve_spec(spec.as_ref(), params)?);
+    }
+    Ok(out)
+}
+
+/// Every concrete (non-`*`, non-synthetic) spec the corpus can resolve,
+/// in canonical order — the `fenceplace --list` payload.
+pub fn available() -> Vec<String> {
+    let mut v: Vec<String> = crate::kernels::all()
+        .iter()
+        .map(|k| format!("kernel:{}", k.name))
+        .collect();
+    v.extend(crate::PROGRAM_NAMES.iter().map(|n| format!("corpus:{n}")));
+    v.extend(crate::PROGRAM_NAMES.iter().map(|n| format!("manual:{n}")));
+    v
+}
+
+/// The default full-evaluation manifest: all nine kernels plus all
+/// seventeen evaluation programs — the standard fleet workload of the
+/// figure harnesses and the scaling benches.
+pub fn full_fleet(params: &Params) -> Vec<ManifestEntry> {
+    resolve_specs(&["kernel:*", "corpus:*"], params).expect("built-in specs resolve")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcards_expand_in_canonical_order() {
+        let p = Params::tiny();
+        let kernels = resolve_spec("kernel:*", &p).unwrap();
+        assert_eq!(kernels.len(), 9);
+        assert_eq!(kernels[0].name, "kernel:Chase Lev WSQ");
+        let corpus = resolve_spec("corpus:*", &p).unwrap();
+        assert_eq!(corpus.len(), 17);
+        let names: Vec<&str> = corpus
+            .iter()
+            .map(|e| e.name.strip_prefix("corpus:").unwrap())
+            .collect();
+        assert_eq!(names, crate::PROGRAM_NAMES.to_vec());
+    }
+
+    #[test]
+    fn single_specs_resolve() {
+        let p = Params::tiny();
+        let fft = resolve_spec("corpus:FFT", &p).unwrap();
+        assert_eq!(fft.len(), 1);
+        assert_eq!(fft[0].name, "corpus:FFT");
+        let dekker = resolve_spec("kernel:Dekker", &p).unwrap();
+        assert_eq!(dekker.len(), 1);
+        let syn = resolve_spec("synthetic:250", &p).unwrap();
+        assert_eq!(syn[0].name, "synthetic:250");
+        assert!(!syn[0].module.funcs.is_empty());
+    }
+
+    #[test]
+    fn manual_specs_keep_hand_placed_fences() {
+        let p = Params::tiny();
+        let legacy = resolve_spec("corpus:Canneal", &p).unwrap();
+        let manual = resolve_spec("manual:Canneal", &p).unwrap();
+        assert_eq!(crate::Program::count_manual_fences(&legacy[0].module), 0);
+        assert!(crate::Program::count_manual_fences(&manual[0].module) > 0);
+    }
+
+    #[test]
+    fn errors_are_loud() {
+        let p = Params::tiny();
+        assert!(resolve_spec("corpus:NoSuch", &p).is_err());
+        assert!(resolve_spec("kernel:NoSuch", &p).is_err());
+        assert!(resolve_spec("nofamily:FFT", &p).is_err());
+        assert!(resolve_spec("synthetic:abc", &p).is_err());
+        assert!(resolve_spec("plainword", &p).is_err());
+        assert!(resolve_specs(&["kernel:*", "corpus:NoSuch"], &p).is_err());
+    }
+
+    #[test]
+    fn available_covers_all_families() {
+        let names = available();
+        assert_eq!(names.len(), 9 + 17 + 17);
+        assert!(names.iter().any(|n| n == "corpus:FFT"));
+        assert!(names.iter().any(|n| n == "manual:FFT"));
+    }
+
+    #[test]
+    fn full_fleet_is_kernels_plus_corpus() {
+        let p = Params::tiny();
+        assert_eq!(full_fleet(&p).len(), 26);
+    }
+}

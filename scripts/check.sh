@@ -1,25 +1,75 @@
 #!/usr/bin/env bash
-# Tier-1 gate: everything a PR must keep green, in the order the CI
-# driver runs it. Usage: scripts/check.sh
+# Tier-1 gate, split into stages so local use and the CI jobs in
+# .github/workflows/ci.yml share one source of truth.
+#
+# Usage: scripts/check.sh [STAGE]...
+#
+#   build    cargo build --release
+#   test     cargo test -q
+#   clippy   cargo clippy --all-targets -- -D warnings
+#   fmt      cargo fmt --check
+#   lint     clippy + fmt
+#   docs     cargo doc --no-deps (RUSTDOCFLAGS=-D warnings) + cargo test --doc
+#   bench    cargo bench --no-run (compile smoke for every bench harness)
+#   all      every stage above, in CI order (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release =="
-cargo build --release
+stage_build() {
+  echo "== cargo build --release =="
+  cargo build --release
+}
 
-echo "== cargo test -q =="
-cargo test -q
+stage_test() {
+  echo "== cargo test -q =="
+  cargo test -q
+}
 
-echo "== cargo clippy --all-targets -- -D warnings =="
-cargo clippy --all-targets -- -D warnings
+stage_clippy() {
+  echo "== cargo clippy --all-targets -- -D warnings =="
+  cargo clippy --all-targets -- -D warnings
+}
 
-echo "== cargo fmt --check =="
-cargo fmt --check
+stage_fmt() {
+  echo "== cargo fmt --check =="
+  cargo fmt --check
+}
 
-echo "== cargo doc --no-deps (RUSTDOCFLAGS=-D warnings) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+stage_docs() {
+  echo "== cargo doc --no-deps (RUSTDOCFLAGS=-D warnings) =="
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
-echo "== cargo test --doc =="
-cargo test -q --doc
+  echo "== cargo test --doc =="
+  cargo test -q --doc
+}
 
-echo "tier-1 OK"
+stage_bench() {
+  echo "== cargo bench --no-run =="
+  cargo bench --no-run
+}
+
+run_stage() {
+  case "$1" in
+    build)  stage_build ;;
+    test)   stage_test ;;
+    clippy) stage_clippy ;;
+    fmt)    stage_fmt ;;
+    lint)   stage_clippy; stage_fmt ;;
+    docs)   stage_docs ;;
+    bench)  stage_bench ;;
+    all)    stage_build; stage_test; stage_clippy; stage_fmt; stage_docs; stage_bench ;;
+    *)
+      echo "unknown stage '$1' (build|test|clippy|fmt|lint|docs|bench|all)" >&2
+      exit 2
+      ;;
+  esac
+}
+
+if [ "$#" -eq 0 ]; then
+  set -- all
+fi
+for stage in "$@"; do
+  run_stage "$stage"
+done
+
+echo "tier-1 OK ($*)"

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Perf gate: re-measures the per-stage analysis snapshot and fails if any
+# stage's corpus-wide total regressed more than TOLERANCE x against the
+# committed BENCH_analysis.json.
+#
+# Usage: scripts/perf_gate.sh [TOLERANCE]   (default 1.5)
+#
+# Wired into CI as a non-blocking job: the 1-core shared runner is noisy,
+# so a red perf gate is a signal to investigate, not an automatic block.
+# Exit codes: 0 ok, 1 regression, 2 missing/unparseable baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${1:-1.5}"
+
+cargo run --release -p fence_bench --bin perf_snapshot -- --check --tolerance "$TOLERANCE"

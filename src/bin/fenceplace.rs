@@ -1,0 +1,382 @@
+//! `fenceplace` — the batch CLI over the fleet driver.
+//!
+//! Loads a manifest of corpus/kernel/synthetic programs plus
+//! variant × target configs, runs the whole set as **one fleet** (every
+//! per-(module, function) work unit scheduled onto the persistent pool,
+//! reachability rows interned fleet-wide), and emits per-module JSON
+//! reports plus a roll-up — the repo as a drivable batch service.
+//!
+//! ```text
+//! cargo run --release --bin fenceplace -- --manifest fleet.manifest --out reports/
+//! cargo run --release --bin fenceplace -- --program kernel:* --config Control:x86tso
+//! cargo run --release --bin fenceplace -- --list
+//! ```
+//!
+//! Manifest format (line-based; `#` starts a comment):
+//!
+//! ```text
+//! program kernel:*
+//! program corpus:FFT
+//! program synthetic:4000
+//! config Control x86tso
+//! config Pensieve weak
+//! threads 8
+//! scale 16
+//! ```
+
+use corpus::manifest::{available, resolve_specs, ManifestEntry};
+use corpus::Params;
+use fenceplace::{
+    run_fleet_with, FleetJob, FleetResult, FleetStats, PipelineConfig, PipelineResult, TargetModel,
+    Variant,
+};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Cli {
+    specs: Vec<String>,
+    configs: Vec<PipelineConfig>,
+    params: Params,
+    parallel: bool,
+    out_dir: Option<String>,
+    list: bool,
+}
+
+fn usage() -> &'static str {
+    "fenceplace — batch fence placement over a program manifest (fleet-backed)
+
+USAGE:
+  fenceplace [--manifest FILE] [--program SPEC]... [--config V:T]... [options]
+
+OPTIONS:
+  --manifest FILE    read `program`/`config`/`threads`/`scale` lines from FILE
+  --program SPEC     add a program spec: kernel:NAME|*, corpus:NAME|*,
+                     manual:NAME|*, synthetic:N  (repeatable)
+  --config V:T       add a config, variant:target — variants Pensieve|Control|
+                     AddressControl|Manual, targets x86tso|sc|weak (repeatable;
+                     default Control:x86tso)
+  --threads N        corpus build parameter (default 8)
+  --scale N          corpus build parameter (default 16)
+  --seq              run the fleet sequentially (default: persistent pool)
+  --out DIR          write per-module JSON reports + fleet_summary.json to DIR
+  --list             print every concrete program spec and exit
+  --help             this text
+"
+}
+
+fn parse_variant(s: &str) -> Result<Variant, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "pensieve" => Ok(Variant::Pensieve),
+        "control" => Ok(Variant::Control),
+        "addresscontrol" | "address+control" | "addrctl" => Ok(Variant::AddressControl),
+        "manual" => Ok(Variant::Manual),
+        _ => Err(format!(
+            "unknown variant `{s}` (Pensieve, Control, AddressControl, Manual)"
+        )),
+    }
+}
+
+fn parse_target(s: &str) -> Result<TargetModel, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "x86tso" | "x86" | "tso" => Ok(TargetModel::X86Tso),
+        "sc" | "schardware" => Ok(TargetModel::ScHardware),
+        "weak" => Ok(TargetModel::Weak),
+        _ => Err(format!("unknown target `{s}` (x86tso, sc, weak)")),
+    }
+}
+
+fn target_name(t: TargetModel) -> &'static str {
+    match t {
+        TargetModel::X86Tso => "x86tso",
+        TargetModel::ScHardware => "sc",
+        TargetModel::Weak => "weak",
+    }
+}
+
+fn parse_config(spec: &str) -> Result<PipelineConfig, String> {
+    let mut parts = spec.split(':');
+    let variant = parse_variant(parts.next().unwrap_or_default())?;
+    let target = match parts.next() {
+        Some(t) => parse_target(t)?,
+        None => TargetModel::X86Tso,
+    };
+    if parts.next().is_some() {
+        return Err(format!("bad config `{spec}`: expected VARIANT:TARGET"));
+    }
+    Ok(PipelineConfig {
+        variant,
+        target,
+        parallel: false, // the fleet owns scheduling
+    })
+}
+
+fn parse_manifest(path: &str, cli: &mut Cli) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read manifest {path}: {e}"))?;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let loc = || format!("{path}:{}", ln + 1);
+        let (key, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match key {
+            "program" => cli.specs.push(rest.to_string()),
+            "config" => {
+                // `config Control x86tso` or `config Control:x86tso`
+                let spec = rest.split_whitespace().collect::<Vec<_>>().join(":");
+                cli.configs
+                    .push(parse_config(&spec).map_err(|e| format!("{}: {e}", loc()))?);
+            }
+            "threads" => {
+                cli.params.threads = rest
+                    .parse()
+                    .map_err(|_| format!("{}: bad threads `{rest}`", loc()))?;
+            }
+            "scale" => {
+                cli.params.scale = rest
+                    .parse()
+                    .map_err(|_| format!("{}: bad scale `{rest}`", loc()))?;
+            }
+            other => return Err(format!("{}: unknown directive `{other}`", loc())),
+        }
+    }
+    Ok(())
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        specs: Vec::new(),
+        configs: Vec::new(),
+        params: Params::default(),
+        parallel: true,
+        out_dir: None,
+        list: false,
+    };
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--manifest" => {
+                let path = need(&mut it, "--manifest")?;
+                parse_manifest(&path, &mut cli)?;
+            }
+            "--program" => {
+                let spec = need(&mut it, "--program")?;
+                cli.specs.extend(spec.split(',').map(str::to_string));
+            }
+            "--config" => {
+                let spec = need(&mut it, "--config")?;
+                cli.configs.push(parse_config(&spec)?);
+            }
+            "--threads" => {
+                let v = need(&mut it, "--threads")?;
+                cli.params.threads = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+            }
+            "--scale" => {
+                let v = need(&mut it, "--scale")?;
+                cli.params.scale = v.parse().map_err(|_| format!("bad --scale `{v}`"))?;
+            }
+            "--seq" => cli.parallel = false,
+            "--out" => cli.out_dir = Some(need(&mut it, "--out")?),
+            "--list" => cli.list = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if cli.configs.is_empty() {
+        cli.configs.push(PipelineConfig::default());
+    }
+    Ok(cli)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn config_json(config: &PipelineConfig, r: &PipelineResult) -> String {
+    format!(
+        "{{\"variant\": \"{}\", \"target\": \"{}\", \"functions\": {}, \
+         \"escaping_reads\": {}, \"escaping_writes\": {}, \"acquires\": {}, \
+         \"orderings_total\": {:?}, \"orderings_kept\": {:?}, \
+         \"fence_points\": {}, \"full_fences\": {}, \"compiler_fences\": {}}}",
+        json_escape(config.variant.name()),
+        target_name(config.target),
+        r.report.funcs.len(),
+        r.report.escaping_reads(),
+        r.report.escaping_writes(),
+        r.report.acquires(),
+        r.report.orderings_total(),
+        r.report.orderings_kept(),
+        r.points.len(),
+        r.report.full_fences(),
+        r.report.compiler_fences()
+    )
+}
+
+fn module_json(job_name: &str, configs: &[PipelineConfig], fr: &FleetResult) -> String {
+    let mut out = format!(
+        "{{\n  \"module\": \"{}\",\n  \"configs\": [\n",
+        json_escape(job_name)
+    );
+    for (i, (config, r)) in configs.iter().zip(&fr.results).enumerate() {
+        let _ = writeln!(
+            out,
+            "    {}{}",
+            config_json(config, r),
+            if i + 1 < fr.results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn rollup_json(
+    entries: &[ManifestEntry],
+    configs: &[PipelineConfig],
+    fleet: &[FleetResult],
+    stats: &FleetStats,
+    wall_ms: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"programs\": {}, \"configs_per_program\": {}, \"functions\": {},",
+        entries.len(),
+        configs.len(),
+        stats.functions
+    );
+    let _ = writeln!(
+        out,
+        "  \"fleet\": {{\"analyses\": {}, \"substrates\": {}, \"unique_rows\": {}, \
+         \"row_hits\": {}, \"row_words\": {}, \"wall_ms\": {wall_ms:.3}}},",
+        stats.analyses, stats.substrates, stats.unique_rows, stats.row_hits, stats.row_words
+    );
+    out.push_str("  \"totals\": [\n");
+    for (c, config) in configs.iter().enumerate() {
+        let mut full = 0usize;
+        let mut dir = 0usize;
+        let mut acq = 0usize;
+        let mut points = 0usize;
+        for fr in fleet {
+            let r = &fr.results[c];
+            full += r.report.full_fences();
+            dir += r.report.compiler_fences();
+            acq += r.report.acquires();
+            points += r.points.len();
+        }
+        let _ = writeln!(
+            out,
+            "    {{\"variant\": \"{}\", \"target\": \"{}\", \"full_fences\": {full}, \
+             \"compiler_fences\": {dir}, \"acquires\": {acq}, \"fence_points\": {points}}}{}",
+            json_escape(config.variant.name()),
+            target_name(config.target),
+            if c + 1 < configs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn file_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    if cli.list {
+        for spec in available() {
+            println!("{spec}");
+        }
+        println!("synthetic:N");
+        return Ok(());
+    }
+    if cli.specs.is_empty() {
+        return Err("no programs: pass --program SPEC or --manifest FILE (see --help)".into());
+    }
+    let entries = resolve_specs(&cli.specs, &cli.params)?;
+    // Overlapping specs (`kernel:*` + `kernel:Dekker`) would run a module
+    // twice, double-count the roll-up totals, and overwrite its report
+    // file — fail loudly instead.
+    let mut seen = std::collections::HashSet::new();
+    for e in &entries {
+        if !seen.insert(e.name.as_str()) {
+            return Err(format!(
+                "duplicate program `{}`: specs overlap (e.g. a wildcard plus a named spec)",
+                e.name
+            ));
+        }
+    }
+    let jobs: Vec<FleetJob<'_>> = entries
+        .iter()
+        .map(|e| FleetJob::new(e.name.clone(), &e.module, cli.configs.clone()))
+        .collect();
+
+    let t = Instant::now();
+    let (fleet, stats) = run_fleet_with(&jobs, cli.parallel);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    if let Some(dir) = &cli.out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        for fr in &fleet {
+            let path = format!("{dir}/{}.json", file_stem(&fr.name));
+            std::fs::write(&path, module_json(&fr.name, &cli.configs, fr))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        let summary = format!("{dir}/fleet_summary.json");
+        std::fs::write(
+            &summary,
+            rollup_json(&entries, &cli.configs, &fleet, &stats, wall_ms),
+        )
+        .map_err(|e| format!("cannot write {summary}: {e}"))?;
+        eprintln!(
+            "wrote {} module reports + fleet_summary.json to {dir}",
+            fleet.len()
+        );
+    }
+    print!(
+        "{}",
+        rollup_json(&entries, &cli.configs, &fleet, &stats, wall_ms)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            if e.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
