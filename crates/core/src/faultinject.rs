@@ -1,0 +1,180 @@
+//! Deterministic fault injection for the fleet driver (feature-gated).
+//!
+//! Compiled only with the `faultinject` cargo feature — production
+//! builds carry zero registry, zero lookups, zero branches (the
+//! `cfg(not(feature))` shims in `lib.rs` are empty `#[inline(always)]`
+//! functions).
+//!
+//! Faults are keyed by **(module name, [`FleetStage`])**, so a test (or
+//! the `check.sh faults` CI job) can make one specific module fail in
+//! one specific way at one specific stage, then assert that the fleet
+//! quarantines exactly that module with the matching
+//! [`ModuleOutcome`](crate::ModuleOutcome) while every other module's
+//! fence placement stays bit-identical — sequential and pooled.
+//! Injection is deterministic: the registry is consulted at fixed
+//! program points (unit entry, stage-boundary charging, the validation
+//! gate), never from timers or randomness.
+//!
+//! ```
+//! # #[cfg(feature = "faultinject")] {
+//! use fenceplace::faultinject::{self, Fault};
+//! use fenceplace::FleetStage;
+//!
+//! faultinject::clear();
+//! faultinject::arm("kernel:Dekker", FleetStage::Analysis, Fault::Panic);
+//! assert_eq!(
+//!     faultinject::armed("kernel:Dekker", FleetStage::Analysis),
+//!     Some(Fault::Panic)
+//! );
+//! faultinject::clear();
+//! # }
+//! ```
+
+use crate::report::FleetStage;
+use fence_ir::Module;
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// The injectable failure modes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Every work unit of the (module, stage) pair panics on entry —
+    /// exercises the per-unit `catch_unwind` quarantine path
+    /// (`ModuleOutcome::Panicked`).
+    Panic,
+    /// The validation gate sees a structurally mutilated clone of the
+    /// module (terminators stripped), as if the IR arrived truncated —
+    /// exercises the real verifier rejection path
+    /// (`ModuleOutcome::InvalidIr`). Only meaningful at
+    /// [`FleetStage::Validate`].
+    TruncateIr,
+    /// The stage charges an enormous synthetic step cost, blowing any
+    /// configured budget — exercises the deterministic deadline path
+    /// (`ModuleOutcome::DeadlineExceeded`).
+    BudgetBlowup,
+}
+
+/// Synthetic step cost charged by [`Fault::BudgetBlowup`] — large enough
+/// to blow any realistic budget without overflowing the saturating add.
+pub const BLOWUP_COST: u64 = u64::MAX / 4;
+
+fn registry() -> &'static Mutex<HashMap<(String, FleetStage), Fault>> {
+    static REG: OnceLock<Mutex<HashMap<(String, FleetStage), Fault>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms `fault` for every work unit of `module` at `stage`. Re-arming
+/// the same (module, stage) replaces the previous fault.
+pub fn arm(module: &str, stage: FleetStage, fault: Fault) {
+    registry()
+        .lock()
+        .unwrap()
+        .insert((module.to_string(), stage), fault);
+}
+
+/// Disarms every injection point.
+pub fn clear() {
+    registry().lock().unwrap().clear();
+}
+
+/// The fault armed for (`module`, `stage`), if any.
+pub fn armed(module: &str, stage: FleetStage) -> Option<Fault> {
+    registry()
+        .lock()
+        .unwrap()
+        .get(&(module.to_string(), stage))
+        .copied()
+}
+
+/// Fleet hook: panics iff [`Fault::Panic`] is armed for this point.
+/// Called on unit entry of every stage.
+pub fn panic_point(module: &str, stage: FleetStage) {
+    if armed(module, stage) == Some(Fault::Panic) {
+        panic!("faultinject: injected panic in `{module}` at {stage}");
+    }
+}
+
+/// Fleet hook: extra step cost charged at the (`module`, `stage`)
+/// boundary — [`BLOWUP_COST`] iff [`Fault::BudgetBlowup`] is armed.
+pub fn extra_cost(module: &str, stage: FleetStage) -> u64 {
+    if armed(module, stage) == Some(Fault::BudgetBlowup) {
+        BLOWUP_COST
+    } else {
+        0
+    }
+}
+
+/// Fleet hook: the module view the validation gate verifies. With
+/// [`Fault::TruncateIr`] armed at [`FleetStage::Validate`] this is a
+/// mutilated clone (see [`truncate_module`]); otherwise the module
+/// itself, borrow-only.
+pub fn validate_view<'m>(module_name: &str, module: &'m Module) -> Cow<'m, Module> {
+    if armed(module_name, FleetStage::Validate) == Some(Fault::TruncateIr) {
+        Cow::Owned(truncate_module(module))
+    } else {
+        Cow::Borrowed(module)
+    }
+}
+
+/// Produces a structurally broken clone of `module`, simulating IR that
+/// was cut off mid-stream: the last instruction of every block is
+/// dropped, so blocks no longer end with terminators (or become empty)
+/// and `fence_ir::verify_module` reports real diagnostics.
+pub fn truncate_module(module: &Module) -> Module {
+    let mut out = module.clone();
+    for func in &mut out.funcs {
+        for block in &mut func.blocks {
+            block.insts.pop();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Registry tests share global state with any other faultinject
+    /// test in this binary; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn arm_and_clear_roundtrip() {
+        let _g = lock();
+        clear();
+        assert_eq!(armed("m", FleetStage::Analysis), None);
+        arm("m", FleetStage::Analysis, Fault::Panic);
+        assert_eq!(armed("m", FleetStage::Analysis), Some(Fault::Panic));
+        assert_eq!(armed("m", FleetStage::Tails), None);
+        assert_eq!(armed("other", FleetStage::Analysis), None);
+        assert_eq!(extra_cost("m", FleetStage::Analysis), 0);
+        arm("m", FleetStage::Analysis, Fault::BudgetBlowup);
+        assert_eq!(extra_cost("m", FleetStage::Analysis), BLOWUP_COST);
+        clear();
+        assert_eq!(armed("m", FleetStage::Analysis), None);
+    }
+
+    #[test]
+    fn truncation_breaks_verification() {
+        let _g = lock();
+        let mut mb = fence_ir::builder::ModuleBuilder::new("t");
+        let g = mb.global("g", 1);
+        let mut fb = fence_ir::builder::FunctionBuilder::new("f", 0);
+        fb.store(g, 1i64);
+        fb.ret(None);
+        mb.add_func(fb.build());
+        let m = mb.finish();
+        assert!(fence_ir::verify_module(&m).is_empty());
+        let t = truncate_module(&m);
+        assert!(
+            !fence_ir::verify_module(&t).is_empty(),
+            "truncated clone must fail verification"
+        );
+        // The original is untouched.
+        assert!(fence_ir::verify_module(&m).is_empty());
+    }
+}

@@ -1,5 +1,5 @@
 //! The multi-module fleet driver: batch fence placement over many
-//! modules with cross-module pool reuse.
+//! modules with cross-module pool reuse and per-module fault isolation.
 //!
 //! [`run_pipeline_batch`](crate::run_pipeline_batch) amortizes the
 //! analysis stack across the configs of **one** module, but a corpus
@@ -13,17 +13,20 @@
 //! from every module at once**. Each pipeline stage becomes one flat
 //! cross-module unit list executed in a single pool pass:
 //!
-//! 1. *analysis* — one [`ModuleAnalysis`] per module (module-level
+//! 1. *validate* — the pre-analysis IR gate
+//!    ([`fence_ir::verify_module_checked`]): malformed modules are
+//!    rejected with structured diagnostics before any analysis runs;
+//! 2. *analysis* — one [`ModuleAnalysis`] per module (module-level
 //!    units; the per-module analysis runs sequentially inside its unit,
 //!    so independent modules fill the cores with no nested pool entry);
-//! 2. *substrates* — one [`FuncSubstrate`] per function of any module,
+//! 3. *substrates* — one [`FuncSubstrate`] per function of any module,
 //!    built through one fleet-wide [`RowInterner`] so identical
 //!    reachability rows across repeated corpus kernels are stored once;
-//! 3. *contexts* — one [`FuncContext`] (alias oracle + escape set +
+//! 4. *contexts* — one [`FuncContext`] (alias oracle + escape set +
 //!    orderings) per function of any module;
-//! 4. *acquire detection* — one [`AcquireInfo`] per (module, distinct
+//! 5. *acquire detection* — one [`AcquireInfo`] per (module, distinct
 //!    automatic variant, function) triple;
-//! 5. *config tails* — pruning + minimization + insertion per (module,
+//! 6. *config tails* — pruning + minimization + insertion per (module,
 //!    config) pair.
 //!
 //! Stages still separate (a context needs its module's analysis), but no
@@ -33,19 +36,61 @@
 //! any output and fleet results are **bit-identical** to running
 //! [`run_pipeline_batch`](crate::run_pipeline_batch) per module —
 //! sequential or parallel (pinned by `tests/fleet.rs`).
+//!
+//! # Failure isolation
+//!
+//! A 1000-module sweep must not die because module 713 trips an
+//! assertion. Under [`FleetOptions::isolate`] (the default) every work
+//! unit runs under a per-unit `catch_unwind`
+//! ([`ThreadPool::run_units`](crate::pool::ThreadPool::run_units)), and a
+//! failing module is **quarantined**, never fatal:
+//!
+//! * the first failing unit (in deterministic unit-index order) decides
+//!   the module's [`ModuleOutcome`] — [`ModuleOutcome::InvalidIr`] from
+//!   the validation gate, [`ModuleOutcome::Panicked`] from a caught
+//!   unit panic, or [`ModuleOutcome::DeadlineExceeded`] from the step
+//!   budget below;
+//! * every later stage skips the quarantined module's units (stages
+//!   never cancel mid-flight: all units of the stage that failed still
+//!   execute, so sequential and pooled runs agree exactly);
+//! * the module's [`FleetResult::results`] come back empty — its
+//!   `Manual` configs included — with the outcome carried in
+//!   [`FleetResult::outcome`];
+//! * all *other* modules' placements are bit-identical to a run without
+//!   the sick module (pinned by `tests/fleet.rs` and `tests/faults.rs`).
+//!
+//! [`FleetOptions::budget`] adds **deterministic deadlines**: each stage
+//! charges a static instruction-count step cost (never wall-clock) at
+//! its boundary, so a runaway module is demoted to
+//! [`ModuleOutcome::DeadlineExceeded`] at the exact same point whether
+//! the fleet runs sequentially or on the pool.
+//!
+//! With `isolate: false` the legacy behavior is preserved: a panicking
+//! unit unwinds through the fleet to the caller, exactly like
+//! [`run_pipeline_batch`](crate::run_pipeline_batch).
+//!
+//! The `faultinject` cargo feature (module `faultinject`) arms
+//! deterministic failures at any (module, stage) point to exercise all
+//! of the above from tests and the `check.sh faults` CI job.
 
 use crate::acquire::AcquireInfo;
+use crate::faultinject;
 use crate::insert::insert_fences;
 use crate::minimize::FencePoint;
 use crate::pipeline::{
-    finish_function, manual_result, map_indexed, FuncContext, PipelineConfig, PipelineResult,
-    Variant,
+    finish_function, manual_result, map_indexed, map_indexed_caught, FuncContext, PipelineConfig,
+    PipelineResult, Variant,
 };
-use crate::report::FuncReport;
-use crate::report::ModuleReport;
+use crate::report::{FleetStage, FuncReport, ModuleOutcome, ModuleReport};
 use fence_analysis::ModuleAnalysis;
 use fence_ir::cfg::{FuncSubstrate, RowInterner};
-use fence_ir::{FuncId, Module};
+use fence_ir::{FuncId, Function, Module};
+
+/// Cap on verifier diagnostics retained per quarantined module — a
+/// deliberately mutilated module can produce one error per instruction,
+/// and the report slot should stay readable (a trailing "… and N more"
+/// entry records the overflow).
+pub const MAX_IR_DIAGNOSTICS: usize = 8;
 
 /// One unit of fleet work: a module plus the pipeline configs to run it
 /// under. The fleet shares one analysis stack across all of a job's
@@ -75,12 +120,51 @@ impl<'m> FleetJob<'m> {
     }
 }
 
+/// Knobs for [`run_fleet_opts`]. [`FleetOptions::default`] is the
+/// production configuration: parallel, isolating, validating, no budget.
+#[derive(Copy, Clone, Debug)]
+pub struct FleetOptions {
+    /// Schedule the flattened cross-module unit lists on the persistent
+    /// pool. Sequential and parallel runs are bit-identical.
+    pub parallel: bool,
+    /// Run every work unit under a per-unit `catch_unwind` and quarantine
+    /// failing modules instead of letting the panic unwind through the
+    /// fleet. `false` restores the legacy propagating path.
+    pub isolate: bool,
+    /// Reject malformed modules at the pre-analysis validation gate
+    /// ([`fence_ir::verify_module_checked`]) with
+    /// [`ModuleOutcome::InvalidIr`] before any analysis touches them.
+    pub validate: bool,
+    /// Deterministic per-module step budget. Each stage charges a static
+    /// instruction-count cost at its boundary (`max(1, insts)` per
+    /// function per pass — never wall-clock), and a module whose spend
+    /// *exceeds* the budget is quarantined as
+    /// [`ModuleOutcome::DeadlineExceeded`] at the same point in
+    /// sequential and pooled runs. `None` disables deadlines.
+    pub budget: Option<u64>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            parallel: true,
+            isolate: true,
+            validate: true,
+            budget: None,
+        }
+    }
+}
+
 /// The results of one [`FleetJob`], in the job's config order.
 pub struct FleetResult {
     /// The job's display name.
     pub name: String,
+    /// Terminal status. Anything but [`ModuleOutcome::Ok`] means the
+    /// module was quarantined and [`FleetResult::results`] is empty.
+    pub outcome: ModuleOutcome,
     /// One [`PipelineResult`] per config, bit-identical to what
     /// [`run_pipeline_batch`](crate::run_pipeline_batch) would produce.
+    /// Empty when the module was quarantined.
     pub results: Vec<PipelineResult>,
 }
 
@@ -91,12 +175,14 @@ pub struct FleetResult {
 pub struct FleetStats {
     /// Jobs in the fleet.
     pub modules: usize,
-    /// Total (module, function) work units across the fleet.
+    /// Total (module, function) work units across the fleet (healthy
+    /// modules that reached the substrate stage).
     pub functions: usize,
-    /// Total (module, config) result units.
+    /// Total (module, config) result units scheduled (including configs
+    /// of modules later quarantined).
     pub configs: usize,
     /// `ModuleAnalysis` executions — one per module that has at least
-    /// one non-`Manual` config, never more.
+    /// one non-`Manual` config and passed the gate, never more.
     pub analyses: usize,
     /// `FuncSubstrate` builds — one per analyzed function, never more.
     pub substrates: usize,
@@ -107,10 +193,92 @@ pub struct FleetStats {
     pub row_hits: usize,
     /// Total `u64` words retained across the distinct rows.
     pub row_words: usize,
+    /// Modules quarantined with a non-[`ModuleOutcome::Ok`] outcome.
+    pub failed: usize,
 }
 
-/// Runs the fleet in parallel on the persistent pool. See
-/// [`run_fleet_with`] for the sequential variant and work stats.
+/// Deterministic step cost of one function for one stage pass.
+fn func_step_cost(f: &Function) -> u64 {
+    (f.num_insts() as u64).max(1)
+}
+
+/// Deterministic step cost of one module-level stage pass.
+fn module_step_cost(m: &Module) -> u64 {
+    m.funcs.iter().map(func_step_cost).sum::<u64>().max(1)
+}
+
+/// Runs a stage's unit list, catching per-unit panics when isolating.
+fn stage_map<T: Send>(
+    n: usize,
+    parallel: bool,
+    isolate: bool,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<Result<T, String>> {
+    if isolate {
+        map_indexed_caught(n, parallel, f)
+    } else {
+        map_indexed(n, parallel, f).into_iter().map(Ok).collect()
+    }
+}
+
+/// Folds a stage's unit results into per-module quarantine state: the
+/// first `Err` (in unit-index order) of a still-healthy module becomes
+/// its [`ModuleOutcome::Panicked`]. Returns the per-unit values with
+/// panicked units as `None`.
+fn absorb<T>(
+    results: Vec<Result<T, String>>,
+    stage: FleetStage,
+    job_of: impl Fn(usize) -> usize,
+    fail: &mut [Option<ModuleOutcome>],
+) -> Vec<Option<T>> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(u, r)| match r {
+            Ok(v) => Some(v),
+            Err(message) => {
+                let j = job_of(u);
+                if fail[j].is_none() {
+                    fail[j] = Some(ModuleOutcome::Panicked { stage, message });
+                }
+                None
+            }
+        })
+        .collect()
+}
+
+/// Charges `cost` (plus any injected cost) to module `j` at a stage
+/// boundary and trips the deadline if the budget is exceeded. No-op for
+/// already-quarantined modules, so a panic outcome always wins over a
+/// same-stage deadline.
+fn charge(
+    j: usize,
+    name: &str,
+    stage: FleetStage,
+    cost: u64,
+    budget: Option<u64>,
+    spent: &mut [u64],
+    fail: &mut [Option<ModuleOutcome>],
+) {
+    if fail[j].is_some() {
+        return;
+    }
+    let cost = cost.saturating_add(faultinject::extra_cost(name, stage));
+    spent[j] = spent[j].saturating_add(cost);
+    if let Some(b) = budget {
+        if spent[j] > b {
+            fail[j] = Some(ModuleOutcome::DeadlineExceeded {
+                stage,
+                spent: spent[j],
+                budget: b,
+            });
+        }
+    }
+}
+
+/// Runs the fleet with the default [`FleetOptions`]: parallel on the
+/// persistent pool, per-module fault isolation, IR validation gate, no
+/// deadline. See [`run_fleet_opts`] for the knobs and work stats.
 ///
 /// ```
 /// use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
@@ -136,20 +304,42 @@ pub struct FleetStats {
 ///     FleetJob::new("b", &b, configs),
 /// ]);
 /// assert_eq!(fleet.len(), 2);
+/// assert!(fleet[0].outcome.is_ok());
 /// assert_eq!(fleet[0].results.len(), 3);
 /// // Identical modules get identical placements.
 /// assert_eq!(fleet[0].results[0].points, fleet[1].results[0].points);
 /// ```
 pub fn run_fleet(jobs: &[FleetJob]) -> Vec<FleetResult> {
-    run_fleet_with(jobs, true).0
+    run_fleet_opts(jobs, &FleetOptions::default()).0
 }
 
 /// Runs the fleet, optionally scheduling the flattened cross-module unit
-/// lists on the persistent pool (`parallel`), and returns the results
-/// together with the run's [`FleetStats`]. Sequential and parallel runs
-/// are bit-identical: every stage keys its results by unit index.
+/// lists on the persistent pool (`parallel`), with the remaining
+/// [`FleetOptions`] at their defaults (isolating, validating, no
+/// deadline). Returns the results together with the run's
+/// [`FleetStats`]. Sequential and parallel runs are bit-identical:
+/// every stage keys its results by unit index.
 pub fn run_fleet_with(jobs: &[FleetJob], parallel: bool) -> (Vec<FleetResult>, FleetStats) {
+    run_fleet_opts(
+        jobs,
+        &FleetOptions {
+            parallel,
+            ..FleetOptions::default()
+        },
+    )
+}
+
+/// Runs the fleet under explicit [`FleetOptions`]. See the module docs
+/// for the stage structure and the failure-isolation contract.
+pub fn run_fleet_opts(jobs: &[FleetJob], opts: &FleetOptions) -> (Vec<FleetResult>, FleetStats) {
     let nj = jobs.len();
+    let (parallel, isolate) = (opts.parallel, opts.isolate);
+
+    // Per-module quarantine state and deterministic step spend. `fail`
+    // is only written between stages (from unit results, in unit-index
+    // order), never concurrently.
+    let mut fail: Vec<Option<ModuleOutcome>> = (0..nj).map(|_| None).collect();
+    let mut spent: Vec<u64> = vec![0; nj];
 
     // Which jobs need the analysis stack at all: mirror the batch entry
     // point, which skips the analysis for all-`Manual` (or empty) config
@@ -159,25 +349,94 @@ pub fn run_fleet_with(jobs: &[FleetJob], parallel: bool) -> (Vec<FleetResult>, F
         .map(|j| j.configs.iter().any(|c| c.variant != Variant::Manual))
         .collect();
 
+    // ---- stage 0: validation gate, one unit per module with configs ----
+    if opts.validate {
+        let vjobs: Vec<usize> = (0..nj).filter(|&j| !jobs[j].configs.is_empty()).collect();
+        let vres: Vec<Result<Vec<String>, String>> =
+            stage_map(vjobs.len(), parallel, isolate, |k| {
+                let j = vjobs[k];
+                let name = jobs[j].name.as_str();
+                faultinject::panic_point(name, FleetStage::Validate);
+                let view = faultinject::validate_view(name, jobs[j].module);
+                match fence_ir::verify_module_checked(view.as_ref()) {
+                    Ok(()) => Vec::new(),
+                    Err(errs) => {
+                        let total = errs.len();
+                        let mut msgs: Vec<String> = errs
+                            .into_iter()
+                            .take(MAX_IR_DIAGNOSTICS)
+                            .map(|e| e.to_string())
+                            .collect();
+                        if total > MAX_IR_DIAGNOSTICS {
+                            msgs.push(format!(
+                                "... and {} more diagnostics",
+                                total - MAX_IR_DIAGNOSTICS
+                            ));
+                        }
+                        msgs
+                    }
+                }
+            });
+        for (k, r) in absorb(vres, FleetStage::Validate, |k| vjobs[k], &mut fail)
+            .into_iter()
+            .enumerate()
+        {
+            let j = vjobs[k];
+            if let Some(errors) = r {
+                if !errors.is_empty() && fail[j].is_none() {
+                    fail[j] = Some(ModuleOutcome::InvalidIr { errors });
+                }
+            }
+        }
+        for &j in &vjobs {
+            charge(
+                j,
+                &jobs[j].name,
+                FleetStage::Validate,
+                module_step_cost(jobs[j].module),
+                opts.budget,
+                &mut spent,
+                &mut fail,
+            );
+        }
+    }
+
     // ---- stage 1: one ModuleAnalysis per module, module-level units ----
     // The per-module analysis runs sequentially *inside* its unit;
     // module units from across the fleet fill the pool. (Nesting the
     // pool would deadlock: a worker waiting on sub-tasks that only other
     // busy workers could pop.)
-    let analysis_jobs: Vec<usize> = (0..nj).filter(|&j| needs[j]).collect();
-    let analyses_packed: Vec<ModuleAnalysis> = map_indexed(analysis_jobs.len(), parallel, |k| {
-        ModuleAnalysis::run_on(jobs[analysis_jobs[k]].module, false)
-    });
+    let analysis_jobs: Vec<usize> = (0..nj).filter(|&j| needs[j] && fail[j].is_none()).collect();
+    let ares: Vec<Result<ModuleAnalysis, String>> =
+        stage_map(analysis_jobs.len(), parallel, isolate, |k| {
+            let j = analysis_jobs[k];
+            faultinject::panic_point(&jobs[j].name, FleetStage::Analysis);
+            ModuleAnalysis::run_on(jobs[j].module, false)
+        });
     let mut analyses: Vec<Option<ModuleAnalysis>> = (0..nj).map(|_| None).collect();
-    for (k, a) in analyses_packed.into_iter().enumerate() {
-        analyses[analysis_jobs[k]] = Some(a);
+    for (k, a) in absorb(ares, FleetStage::Analysis, |k| analysis_jobs[k], &mut fail)
+        .into_iter()
+        .enumerate()
+    {
+        analyses[analysis_jobs[k]] = a;
+    }
+    for &j in &analysis_jobs {
+        charge(
+            j,
+            &jobs[j].name,
+            FleetStage::Analysis,
+            module_step_cost(jobs[j].module),
+            opts.budget,
+            &mut spent,
+            &mut fail,
+        );
     }
 
     // ---- flattened per-(module, function) unit list ----
     let mut func_units: Vec<(u32, u32)> = Vec::new();
     let mut func_off: Vec<usize> = vec![usize::MAX; nj];
     for j in 0..nj {
-        if !needs[j] {
+        if !needs[j] || fail[j].is_some() {
             continue;
         }
         func_off[j] = func_units.len();
@@ -187,34 +446,86 @@ pub fn run_fleet_with(jobs: &[FleetJob], parallel: bool) -> (Vec<FleetResult>, F
     }
 
     // ---- stage 2: substrates, one pool pass over every function of
-    // every module, rows interned fleet-wide ----
+    // every healthy module, rows interned fleet-wide ----
     let interner = RowInterner::new();
-    let substrates: Vec<FuncSubstrate> = map_indexed(func_units.len(), parallel, |u| {
-        let (j, f) = func_units[u];
-        FuncSubstrate::new_interned(
-            jobs[j as usize].module.func(FuncId::new(f as usize)),
-            &interner,
-        )
-    });
+    let sres: Vec<Result<FuncSubstrate, String>> =
+        stage_map(func_units.len(), parallel, isolate, |u| {
+            let (j, f) = func_units[u];
+            let j = j as usize;
+            faultinject::panic_point(&jobs[j].name, FleetStage::Substrates);
+            FuncSubstrate::new_interned(jobs[j].module.func(FuncId::new(f as usize)), &interner)
+        });
+    let substrates = absorb(
+        sres,
+        FleetStage::Substrates,
+        |u| func_units[u].0 as usize,
+        &mut fail,
+    );
+    for j in 0..nj {
+        if func_off[j] != usize::MAX {
+            charge(
+                j,
+                &jobs[j].name,
+                FleetStage::Substrates,
+                module_step_cost(jobs[j].module),
+                opts.budget,
+                &mut spent,
+                &mut fail,
+            );
+        }
+    }
 
     // ---- stage 3: per-function contexts, same flat unit list ----
-    let contexts: Vec<FuncContext<'_>> = map_indexed(func_units.len(), parallel, |u| {
-        let (j, f) = func_units[u];
-        FuncContext::build(
-            jobs[j as usize].module,
-            analyses[j as usize].as_ref().expect("analysis for job"),
-            &substrates[u],
-            FuncId::new(f as usize),
-        )
-    });
+    // The list still contains units of modules that failed during the
+    // substrate stage; an in-unit health check skips them (returning
+    // `None`) so the offsets in `func_off` stay aligned.
+    let ctx_alive: Vec<bool> = fail.iter().map(|o| o.is_none()).collect();
+    let cres: Vec<Result<Option<FuncContext<'_>>, String>> =
+        stage_map(func_units.len(), parallel, isolate, |u| {
+            let (j, f) = func_units[u];
+            let j = j as usize;
+            if !ctx_alive[j] {
+                return None;
+            }
+            faultinject::panic_point(&jobs[j].name, FleetStage::Contexts);
+            Some(FuncContext::build(
+                jobs[j].module,
+                analyses[j].as_ref().expect("analysis for job"),
+                substrates[u].as_ref().expect("substrate for unit"),
+                FuncId::new(f as usize),
+            ))
+        });
+    let contexts: Vec<Option<FuncContext<'_>>> = absorb(
+        cres,
+        FleetStage::Contexts,
+        |u| func_units[u].0 as usize,
+        &mut fail,
+    )
+    .into_iter()
+    .map(|o| o.flatten())
+    .collect();
+    for j in 0..nj {
+        if func_off[j] != usize::MAX && ctx_alive[j] {
+            charge(
+                j,
+                &jobs[j].name,
+                FleetStage::Contexts,
+                module_step_cost(jobs[j].module),
+                opts.budget,
+                &mut spent,
+                &mut fail,
+            );
+        }
+    }
 
     // ---- stage 4: acquire info per (module, distinct variant, function) ----
     // Distinct variants in config order per job, mirroring the batch's
-    // per-variant cache fill.
+    // per-variant cache fill. Quarantined modules get no units.
     let mut acq_units: Vec<(u32, Variant, u32)> = Vec::new();
     let mut acq_slot: Vec<[Option<usize>; 4]> = vec![[None; 4]; nj];
+    let mut acq_cost: Vec<u64> = vec![0; nj];
     for (j, job) in jobs.iter().enumerate() {
-        if !needs[j] {
+        if !needs[j] || fail[j].is_some() {
             continue;
         }
         for config in &job.configs {
@@ -223,20 +534,45 @@ pub fn run_fleet_with(jobs: &[FleetJob], parallel: bool) -> (Vec<FleetResult>, F
                 continue;
             }
             acq_slot[j][slot] = Some(acq_units.len());
-            for f in 0..job.module.funcs.len() {
+            for (f, func) in job.module.funcs.iter().enumerate() {
                 acq_units.push((j as u32, config.variant, f as u32));
+                acq_cost[j] += func_step_cost(func);
             }
         }
     }
-    let acquire_infos: Vec<AcquireInfo> = map_indexed(acq_units.len(), parallel, |u| {
-        let (j, variant, f) = acq_units[u];
-        let (j, f) = (j as usize, f as usize);
-        contexts[func_off[j] + f].acquire_info(
-            jobs[j].module,
-            analyses[j].as_ref().expect("analysis for job"),
-            variant,
-        )
-    });
+    let aqres: Vec<Result<AcquireInfo, String>> =
+        stage_map(acq_units.len(), parallel, isolate, |u| {
+            let (j, variant, f) = acq_units[u];
+            let (j, f) = (j as usize, f as usize);
+            faultinject::panic_point(&jobs[j].name, FleetStage::Acquires);
+            contexts[func_off[j] + f]
+                .as_ref()
+                .expect("context for unit")
+                .acquire_info(
+                    jobs[j].module,
+                    analyses[j].as_ref().expect("analysis for job"),
+                    variant,
+                )
+        });
+    let acquire_infos = absorb(
+        aqres,
+        FleetStage::Acquires,
+        |u| acq_units[u].0 as usize,
+        &mut fail,
+    );
+    for j in 0..nj {
+        if acq_cost[j] > 0 {
+            charge(
+                j,
+                &jobs[j].name,
+                FleetStage::Acquires,
+                acq_cost[j],
+                opts.budget,
+                &mut spent,
+                &mut fail,
+            );
+        }
+    }
 
     // ---- stage 5: config tails ----
     // Per-(module, config, *function*) units, so a large module's
@@ -244,83 +580,118 @@ pub fn run_fleet_with(jobs: &[FleetJob], parallel: bool) -> (Vec<FleetResult>, F
     // batch driver's per-function tail — the per-config assembly
     // (fence insertion into a fresh module clone, report collection)
     // then runs on the caller, same as the batch entry point.
-    let mut cfg_units: Vec<(u32, u32)> = Vec::new();
-    for (j, job) in jobs.iter().enumerate() {
-        for c in 0..job.configs.len() {
-            cfg_units.push((j as u32, c as u32));
-        }
-    }
+    let tails_alive: Vec<bool> = fail.iter().map(|o| o.is_none()).collect();
     let mut tail_units: Vec<(u32, u32, u32)> = Vec::new();
-    for &(j, c) in &cfg_units {
-        let job = &jobs[j as usize];
-        if job.configs[c as usize].variant == Variant::Manual {
+    let mut tail_cost: Vec<u64> = vec![0; nj];
+    for (j, job) in jobs.iter().enumerate() {
+        if !tails_alive[j] {
             continue;
         }
-        for f in 0..job.module.funcs.len() {
-            tail_units.push((j, c, f as u32));
+        for (c, config) in job.configs.iter().enumerate() {
+            if config.variant == Variant::Manual {
+                continue;
+            }
+            for (f, func) in job.module.funcs.iter().enumerate() {
+                tail_units.push((j as u32, c as u32, f as u32));
+                tail_cost[j] += func_step_cost(func);
+            }
         }
     }
-    let tails: Vec<(FuncReport, Vec<FencePoint>)> = map_indexed(tail_units.len(), parallel, |u| {
-        let (j, c, f) = tail_units[u];
-        let (j, c, f) = (j as usize, c as usize, f as usize);
-        let job = &jobs[j];
-        finish_function(
-            job.module,
-            analyses[j].as_ref().expect("analysis for job"),
-            &contexts[func_off[j] + f],
-            &acquire_infos[acq_slot[j][job.configs[c].variant.idx()].expect("acquire info") + f],
-            &job.configs[c],
-        )
-    });
-
-    // Tail units were generated in cfg-unit order, so one running
-    // cursor regroups them deterministically.
-    let mut tail_cursor = tails.into_iter();
-    let mut results_flat: Vec<PipelineResult> = Vec::with_capacity(cfg_units.len());
-    for &(j, c) in &cfg_units {
-        let job = &jobs[j as usize];
-        let config = &job.configs[c as usize];
-        if config.variant == Variant::Manual {
-            results_flat.push(manual_result(job.module, config));
-            continue;
-        }
-        let n = job.module.funcs.len();
-        let mut funcs = Vec::with_capacity(n);
-        let mut points = Vec::new();
-        for (report, pts) in tail_cursor.by_ref().take(n) {
-            funcs.push(report);
-            points.extend(pts);
-        }
-        let instrumented = insert_fences(job.module, &points);
-        results_flat.push(PipelineResult {
-            module: instrumented,
-            points,
-            report: ModuleReport {
-                module_name: job.module.name.clone(),
-                variant: config.variant.name().to_string(),
-                funcs,
-            },
+    let tres: Vec<Result<(FuncReport, Vec<FencePoint>), String>> =
+        stage_map(tail_units.len(), parallel, isolate, |u| {
+            let (j, c, f) = tail_units[u];
+            let (j, c, f) = (j as usize, c as usize, f as usize);
+            let job = &jobs[j];
+            faultinject::panic_point(&job.name, FleetStage::Tails);
+            finish_function(
+                job.module,
+                analyses[j].as_ref().expect("analysis for job"),
+                contexts[func_off[j] + f]
+                    .as_ref()
+                    .expect("context for unit"),
+                acquire_infos[acq_slot[j][job.configs[c].variant.idx()].expect("acquire info") + f]
+                    .as_ref()
+                    .expect("acquire info for unit"),
+                &job.configs[c],
+            )
         });
+    let tails = absorb(
+        tres,
+        FleetStage::Tails,
+        |u| tail_units[u].0 as usize,
+        &mut fail,
+    );
+    for j in 0..nj {
+        if tail_cost[j] > 0 {
+            charge(
+                j,
+                &jobs[j].name,
+                FleetStage::Tails,
+                tail_cost[j],
+                opts.budget,
+                &mut spent,
+                &mut fail,
+            );
+        }
     }
 
     let stats = FleetStats {
         modules: nj,
         functions: func_units.len(),
-        configs: cfg_units.len(),
+        configs: jobs.iter().map(|j| j.configs.len()).sum(),
         analyses: analysis_jobs.len(),
         substrates: func_units.len(),
         unique_rows: interner.unique_rows(),
         row_hits: interner.hits(),
         row_words: interner.retained_words(),
+        failed: fail.iter().filter(|o| o.is_some()).count(),
     };
 
-    // Regroup the flat (job-major, config-minor) results per job.
+    // Tail units were generated in (job, config, function) order over
+    // the modules alive at the tails barrier, so one running cursor
+    // regroups them deterministically. A module that failed *during*
+    // the tails stage still consumes its cursor entries (keeping later
+    // modules aligned) but contributes no results.
+    let mut tail_cursor = tails.into_iter();
     let mut out = Vec::with_capacity(nj);
-    let mut rest = results_flat.drain(..);
-    for job in jobs {
+    for (j, job) in jobs.iter().enumerate() {
+        let mut results = Vec::new();
+        if tails_alive[j] {
+            let n = job.module.funcs.len();
+            for config in &job.configs {
+                if config.variant == Variant::Manual {
+                    if fail[j].is_none() {
+                        results.push(manual_result(job.module, config));
+                    }
+                    continue;
+                }
+                let chunk: Vec<_> = tail_cursor.by_ref().take(n).collect();
+                if fail[j].is_some() {
+                    continue;
+                }
+                let mut funcs = Vec::with_capacity(n);
+                let mut points = Vec::new();
+                for t in chunk {
+                    let (report, pts) = t.expect("tail unit of healthy module");
+                    funcs.push(report);
+                    points.extend(pts);
+                }
+                let instrumented = insert_fences(job.module, &points);
+                results.push(PipelineResult {
+                    module: instrumented,
+                    points,
+                    report: ModuleReport {
+                        module_name: job.module.name.clone(),
+                        variant: config.variant.name().to_string(),
+                        funcs,
+                    },
+                });
+            }
+        }
         out.push(FleetResult {
             name: job.name.clone(),
-            results: rest.by_ref().take(job.configs.len()).collect(),
+            outcome: fail[j].take().unwrap_or(ModuleOutcome::Ok),
+            results,
         });
     }
     (out, stats)
@@ -332,6 +703,7 @@ mod tests {
     use crate::minimize::TargetModel;
     use crate::run_pipeline_batch;
     use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+    use fence_ir::{BlockId, Inst, InstId, InstKind};
 
     fn spin_module(name: &str, funcs: usize) -> Module {
         let mut mb = ModuleBuilder::new(name);
@@ -346,6 +718,22 @@ mod tests {
             mb.add_func(fb.build());
         }
         mb.finish()
+    }
+
+    /// A module the verifier rejects (block 0 is empty) and whose CFG
+    /// construction panics (terminator targets a nonexistent block) —
+    /// both the gate path and the validate-off panic path can use it.
+    fn broken_module(name: &str) -> Module {
+        let mut f = Function::new("boom", 0);
+        f.insts.push(Inst {
+            kind: InstKind::Br {
+                target: BlockId::new(9),
+            },
+        });
+        f.blocks[0].insts.push(InstId::new(0));
+        let mut m = Module::new(name);
+        m.funcs.push(f);
+        m
     }
 
     fn sweep_configs() -> Vec<PipelineConfig> {
@@ -367,6 +755,19 @@ mod tests {
         v
     }
 
+    fn assert_same_results(a: &FleetResult, b: &FleetResult) {
+        assert_eq!(a.results.len(), b.results.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.points, y.points, "{}: points", a.name);
+            assert_eq!(
+                format!("{:?}", x.report),
+                format!("{:?}", y.report),
+                "{}: report",
+                a.name
+            );
+        }
+    }
+
     #[test]
     fn empty_fleet() {
         let (results, stats) = run_fleet_with(&[], false);
@@ -374,6 +775,7 @@ mod tests {
         assert_eq!(stats.modules, 0);
         assert_eq!(stats.analyses, 0);
         assert_eq!(stats.unique_rows, 0);
+        assert_eq!(stats.failed, 0);
     }
 
     #[test]
@@ -382,6 +784,7 @@ mod tests {
         let (results, stats) = run_fleet_with(&[FleetJob::new("m", &m, Vec::new())], false);
         assert_eq!(results.len(), 1);
         assert!(results[0].results.is_empty());
+        assert!(results[0].outcome.is_ok());
         assert_eq!(stats.analyses, 0, "no config, no analysis");
         assert_eq!(stats.substrates, 0);
     }
@@ -415,6 +818,7 @@ mod tests {
         for parallel in [false, true] {
             let (fleet, _) = run_fleet_with(&jobs, parallel);
             for (job, got) in jobs.iter().zip(&fleet) {
+                assert!(got.outcome.is_ok());
                 let want = run_pipeline_batch(job.module, &job.configs);
                 assert_eq!(want.len(), got.results.len());
                 for (w, g) in want.iter().zip(&got.results) {
@@ -472,6 +876,140 @@ mod tests {
             2,
             "independent counter agrees with stats"
         );
-        assert_eq!(fence_ir::cfg::cfg_builds() - cfg_before, 5);
+        // One CFG build per function for the validation gate, one for
+        // the substrate: 2 × 5 functions.
+        assert_eq!(fence_ir::cfg::cfg_builds() - cfg_before, 10);
+    }
+
+    #[test]
+    fn invalid_module_is_quarantined_others_bit_identical() {
+        let a = spin_module("a", 3);
+        let bad = broken_module("bad");
+        let c = spin_module("c", 1);
+        let configs = sweep_configs();
+        let healthy_jobs = [
+            FleetJob::new("a", &a, configs.clone()),
+            FleetJob::new("c", &c, configs.clone()),
+        ];
+        let (want, _) = run_fleet_with(&healthy_jobs, false);
+        for parallel in [false, true] {
+            let jobs = [
+                FleetJob::new("a", &a, configs.clone()),
+                FleetJob::new("bad", &bad, configs.clone()),
+                FleetJob::new("c", &c, configs.clone()),
+            ];
+            let (got, stats) = run_fleet_with(&jobs, parallel);
+            assert_eq!(stats.failed, 1);
+            match &got[1].outcome {
+                ModuleOutcome::InvalidIr { errors } => {
+                    assert!(!errors.is_empty());
+                    assert!(
+                        errors.iter().any(|e| e.contains("out of range")),
+                        "{errors:?}"
+                    );
+                }
+                other => panic!("expected InvalidIr, got {other:?}"),
+            }
+            assert!(
+                got[1].results.is_empty(),
+                "quarantined module yields no results (Manual configs included)"
+            );
+            assert!(got[0].outcome.is_ok());
+            assert!(got[2].outcome.is_ok());
+            assert_same_results(&got[0], &want[0]);
+            assert_same_results(&got[2], &want[1]);
+        }
+    }
+
+    #[test]
+    fn validate_off_panicking_module_is_quarantined() {
+        let a = spin_module("a", 2);
+        let bad = broken_module("bad");
+        let configs = vec![PipelineConfig::for_variant(Variant::Control)];
+        let jobs = [
+            FleetJob::new("a", &a, configs.clone()),
+            FleetJob::new("bad", &bad, configs.clone()),
+        ];
+        let opts = FleetOptions {
+            parallel: false,
+            validate: false,
+            ..FleetOptions::default()
+        };
+        let (got, stats) = run_fleet_opts(&jobs, &opts);
+        assert_eq!(stats.failed, 1);
+        assert!(got[0].outcome.is_ok());
+        match &got[1].outcome {
+            ModuleOutcome::Panicked { stage, message } => {
+                assert!(!message.is_empty());
+                assert!(stage != &FleetStage::Validate);
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(got[1].results.is_empty());
+        // The healthy module still matches a clean run.
+        let (want, _) = run_fleet_with(&jobs[..1], false);
+        assert_same_results(&got[0], &want[0]);
+    }
+
+    #[test]
+    fn isolate_off_propagates_panics() {
+        let bad = broken_module("bad");
+        let configs = vec![PipelineConfig::for_variant(Variant::Control)];
+        let opts = FleetOptions {
+            parallel: false,
+            isolate: false,
+            validate: false,
+            budget: None,
+        };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_fleet_opts(&[FleetJob::new("bad", &bad, configs.clone())], &opts)
+        }));
+        assert!(r.is_err(), "legacy path must let the panic unwind");
+    }
+
+    #[test]
+    fn budget_deadline_is_deterministic() {
+        let a = spin_module("a", 2);
+        let b = spin_module("b", 2);
+        let configs = vec![PipelineConfig::for_variant(Variant::Control)];
+        let cost = module_step_cost(&a);
+        // The validate charge alone fits exactly; the analysis charge
+        // pushes past the budget at the stage boundary.
+        let mut outcomes = Vec::new();
+        for parallel in [false, true] {
+            let opts = FleetOptions {
+                parallel,
+                budget: Some(cost),
+                ..FleetOptions::default()
+            };
+            let jobs = [
+                FleetJob::new("a", &a, configs.clone()),
+                FleetJob::new("b", &b, configs.clone()),
+            ];
+            let (got, stats) = run_fleet_opts(&jobs, &opts);
+            assert_eq!(stats.failed, 2, "both identical modules trip the deadline");
+            assert_eq!(
+                got[0].outcome,
+                ModuleOutcome::DeadlineExceeded {
+                    stage: FleetStage::Analysis,
+                    spent: 2 * cost,
+                    budget: cost,
+                }
+            );
+            assert!(got[0].results.is_empty());
+            outcomes.push((got[0].outcome.clone(), got[1].outcome.clone()));
+        }
+        assert_eq!(outcomes[0], outcomes[1], "seq and pooled deadlines agree");
+        // A generous budget changes nothing.
+        let opts = FleetOptions {
+            parallel: false,
+            budget: Some(u64::MAX / 2),
+            ..FleetOptions::default()
+        };
+        let (got, stats) = run_fleet_opts(&[FleetJob::new("a", &a, configs.clone())], &opts);
+        assert_eq!(stats.failed, 0);
+        assert!(got[0].outcome.is_ok());
+        let (want, _) = run_fleet_with(&[FleetJob::new("a", &a, configs)], false);
+        assert_same_results(&got[0], &want[0]);
     }
 }

@@ -39,12 +39,38 @@
 #![warn(missing_docs)]
 
 pub mod acquire;
+#[cfg(feature = "faultinject")]
+pub mod faultinject;
 pub mod fleet;
 pub mod insert;
 pub mod minimize;
 pub mod orderings;
 pub mod pipeline;
 pub mod report;
+
+/// No-op shims for the fault-injection hooks the fleet driver calls.
+/// With the `faultinject` feature off (the default), these compile to
+/// nothing — the production fleet carries zero registry and zero
+/// lookups.
+#[cfg(not(feature = "faultinject"))]
+pub(crate) mod faultinject {
+    use crate::report::FleetStage;
+    use fence_ir::Module;
+    use std::borrow::Cow;
+
+    #[inline(always)]
+    pub fn panic_point(_module: &str, _stage: FleetStage) {}
+
+    #[inline(always)]
+    pub fn extra_cost(_module: &str, _stage: FleetStage) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn validate_view<'m>(_module_name: &str, module: &'m Module) -> Cow<'m, Module> {
+        Cow::Borrowed(module)
+    }
+}
 
 /// The persistent per-function thread pool, re-exported from `fence_ir`
 /// (it moved down a layer so the analysis crate can shard its solvers on
@@ -53,10 +79,12 @@ pub mod report;
 pub use fence_ir::pool;
 
 pub use acquire::{AcquireInfo, DetectMode};
-pub use fleet::{run_fleet, run_fleet_with, FleetJob, FleetResult, FleetStats};
+pub use fleet::{
+    run_fleet, run_fleet_opts, run_fleet_with, FleetJob, FleetOptions, FleetResult, FleetStats,
+};
 pub use minimize::{FencePoint, TargetModel};
 pub use orderings::{Access, AccessKind, FuncOrderings, OrderKind, OrderingSelection};
 pub use pipeline::{
     run_pipeline, run_pipeline_batch, FuncContext, PipelineConfig, PipelineResult, Variant,
 };
-pub use report::{FuncReport, ModuleReport};
+pub use report::{FleetStage, FuncReport, ModuleOutcome, ModuleReport};

@@ -252,6 +252,47 @@ pub(crate) fn map_indexed<T: Send>(
         .collect()
 }
 
+/// Fault-isolated sibling of [`map_indexed`]: every `f(i)` runs under its
+/// own `catch_unwind` (via [`ThreadPool::run_units`] in parallel mode),
+/// so slot `i` becomes `Err(panic message)` instead of the panic
+/// unwinding through the whole pass. Every unit still executes exactly
+/// once and results stay keyed by index, so sequential and pooled runs
+/// are bit-identical — including *which* units failed.
+pub(crate) fn map_indexed_caught<T: Send>(
+    n: usize,
+    parallel: bool,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<Result<T, String>> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    if parallel && n > 1 {
+        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        let panics = ThreadPool::global().run_units(n, &|i| {
+            let v = f(i);
+            collected.lock().unwrap().push((i, v));
+        });
+        let mut slots: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
+        for (i, v) in collected.into_inner().unwrap() {
+            slots[i] = Some(Ok(v));
+        }
+        for (i, p) in panics.into_iter().enumerate() {
+            if let Some(msg) = p {
+                slots[i] = Some(Err(msg));
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every unit ran or panicked"))
+            .collect()
+    } else {
+        (0..n)
+            .map(|i| {
+                catch_unwind(AssertUnwindSafe(|| f(i)))
+                    .map_err(|p| crate::pool::panic_message(p.as_ref()))
+            })
+            .collect()
+    }
+}
+
 /// Pruning + minimization + report tail for one function under one
 /// config, from cached context and acquire info.
 pub(crate) fn finish_function(

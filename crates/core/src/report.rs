@@ -1,7 +1,149 @@
 //! Per-function and per-module statistics collected by the pipeline —
-//! the raw numbers behind Figures 7, 8 and 9 of the paper.
+//! the raw numbers behind Figures 7, 8 and 9 of the paper — plus the
+//! fleet's structured failure reporting ([`FleetStage`],
+//! [`ModuleOutcome`]): when a module is quarantined mid-run, its report
+//! slot carries *which stage* failed and *how* instead of a panic
+//! unwinding through the whole fleet.
 
 use crate::orderings::OrderKind;
+use std::fmt;
+
+/// The fleet pipeline stages, in execution order — the granularity at
+/// which failures are attributed, deadlines are charged, and faults are
+/// injected (`fenceplace::faultinject`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FleetStage {
+    /// Pre-analysis IR well-formedness gate (`fence_ir::verify_module`).
+    Validate,
+    /// Module-wide analysis (`ModuleAnalysis`: points-to + escape).
+    Analysis,
+    /// Per-function CFG + reachability substrate builds.
+    Substrates,
+    /// Per-function context builds (alias oracle, orderings).
+    Contexts,
+    /// Per-(variant, function) acquire detection.
+    Acquires,
+    /// Per-(config, function) pruning + minimization + insertion tails.
+    Tails,
+}
+
+impl FleetStage {
+    /// Every stage, in execution order.
+    pub const ALL: [FleetStage; 6] = [
+        FleetStage::Validate,
+        FleetStage::Analysis,
+        FleetStage::Substrates,
+        FleetStage::Contexts,
+        FleetStage::Acquires,
+        FleetStage::Tails,
+    ];
+
+    /// Stable snake_case name used in JSON reports and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            FleetStage::Validate => "validate",
+            FleetStage::Analysis => "analysis",
+            FleetStage::Substrates => "substrates",
+            FleetStage::Contexts => "contexts",
+            FleetStage::Acquires => "acquires",
+            FleetStage::Tails => "tails",
+        }
+    }
+}
+
+impl fmt::Display for FleetStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Terminal status of one module in a fleet run. Anything but
+/// [`ModuleOutcome::Ok`] means the module was quarantined: every later
+/// stage skipped its work units, its `results` are empty, and the other
+/// modules' outputs are bit-identical to a run without it failing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModuleOutcome {
+    /// Every stage completed; results are present and pinned.
+    Ok,
+    /// The pre-analysis validation gate rejected the module's IR.
+    InvalidIr {
+        /// Verifier diagnostics (capped; see `fleet::MAX_IR_DIAGNOSTICS`).
+        errors: Vec<String>,
+    },
+    /// A work unit of the module panicked; the panic was caught per-unit
+    /// and converted into this status instead of aborting the fleet.
+    Panicked {
+        /// Stage the panicking unit belonged to.
+        stage: FleetStage,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// The module's deterministic step budget ran out at a stage
+    /// boundary (instruction-count based, never wall-clock, so
+    /// sequential and pooled runs agree exactly).
+    DeadlineExceeded {
+        /// Stage whose charge exhausted the budget.
+        stage: FleetStage,
+        /// Steps spent when the deadline tripped.
+        spent: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl ModuleOutcome {
+    /// `true` for [`ModuleOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ModuleOutcome::Ok)
+    }
+
+    /// Stable snake_case status tag used in JSON reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ModuleOutcome::Ok => "ok",
+            ModuleOutcome::InvalidIr { .. } => "invalid_ir",
+            ModuleOutcome::Panicked { .. } => "panicked",
+            ModuleOutcome::DeadlineExceeded { .. } => "deadline_exceeded",
+        }
+    }
+
+    /// The stage the failure is attributed to (`None` for `Ok`;
+    /// validation failures report [`FleetStage::Validate`]).
+    pub fn stage(&self) -> Option<FleetStage> {
+        match self {
+            ModuleOutcome::Ok => None,
+            ModuleOutcome::InvalidIr { .. } => Some(FleetStage::Validate),
+            ModuleOutcome::Panicked { stage, .. }
+            | ModuleOutcome::DeadlineExceeded { stage, .. } => Some(*stage),
+        }
+    }
+}
+
+impl fmt::Display for ModuleOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleOutcome::Ok => write!(f, "ok"),
+            ModuleOutcome::InvalidIr { errors } => {
+                write!(f, "invalid IR ({} diagnostic(s))", errors.len())?;
+                if let Some(first) = errors.first() {
+                    write!(f, ": {first}")?;
+                }
+                Ok(())
+            }
+            ModuleOutcome::Panicked { stage, message } => {
+                write!(f, "panicked at {stage}: {message}")
+            }
+            ModuleOutcome::DeadlineExceeded {
+                stage,
+                spent,
+                budget,
+            } => write!(
+                f,
+                "deadline exceeded at {stage}: spent {spent} of {budget} steps"
+            ),
+        }
+    }
+}
 
 /// Statistics for one function under one pipeline variant.
 #[derive(Clone, Debug, Default)]
@@ -227,6 +369,48 @@ mod tests {
         let s = r.render();
         assert!(s.contains("TOTAL"));
         assert!(s.contains("Control"));
+    }
+
+    #[test]
+    fn outcome_kinds_and_stages() {
+        assert!(ModuleOutcome::Ok.is_ok());
+        assert_eq!(ModuleOutcome::Ok.kind(), "ok");
+        assert_eq!(ModuleOutcome::Ok.stage(), None);
+        let inv = ModuleOutcome::InvalidIr {
+            errors: vec!["[f] block bb0 is empty".into()],
+        };
+        assert_eq!(inv.kind(), "invalid_ir");
+        assert_eq!(inv.stage(), Some(FleetStage::Validate));
+        assert!(inv.to_string().contains("block bb0 is empty"));
+        let p = ModuleOutcome::Panicked {
+            stage: FleetStage::Analysis,
+            message: "boom".into(),
+        };
+        assert_eq!(p.stage(), Some(FleetStage::Analysis));
+        assert!(p.to_string().contains("panicked at analysis: boom"));
+        let d = ModuleOutcome::DeadlineExceeded {
+            stage: FleetStage::Tails,
+            spent: 9,
+            budget: 5,
+        };
+        assert_eq!(d.kind(), "deadline_exceeded");
+        assert!(d.to_string().contains("spent 9 of 5"));
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = FleetStage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "validate",
+                "analysis",
+                "substrates",
+                "contexts",
+                "acquires",
+                "tails"
+            ]
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod manifest;
 pub mod splash;
 pub mod synthetic;
 
-pub use manifest::{resolve_spec, resolve_specs, ManifestEntry};
+pub use manifest::{resolve_spec, resolve_spec_at, resolve_specs, ManifestEntry, ManifestError};
 pub use synthetic::synthetic_scaled;
 
 use fence_ir::Module;

@@ -2,7 +2,7 @@
 //! named modules, the input shape of fleet runs (the `fenceplace` CLI,
 //! the figure harnesses, `perf_snapshot`, the scaling benches).
 //!
-//! A *spec* selects programs from the three corpus families:
+//! A *spec* selects programs from the corpus families:
 //!
 //! | spec            | meaning                                            |
 //! |-----------------|----------------------------------------------------|
@@ -13,16 +13,27 @@
 //! | `manual:NAME`   | the expert hand-fenced build of a program          |
 //! | `manual:*`      | all seventeen expert builds                        |
 //! | `synthetic:N`   | `synthetic_scaled(N)` (e.g. `synthetic:16000`)     |
+//! | `file:PATH`     | a textual-IR module loaded from `PATH`             |
 //!
 //! Specs resolve in the order given; a `*` expands in the paper's
 //! canonical order ([`crate::PROGRAM_NAMES`], Table II order for
-//! kernels). Unknown families and names are errors, not silent skips —
-//! a batch service must fail loudly on a typo'd manifest.
+//! kernels). Unknown families and names are [`ManifestError`]s, not
+//! silent skips — a batch service must fail loudly on a typo'd
+//! manifest — and a spec read from a manifest file carries the file and
+//! line it came from ([`resolve_spec_at`]) so the operator can fix the
+//! right entry.
+//!
+//! `file:` modules are parsed, **not validated**: structural
+//! verification is the fleet's job (its pre-analysis gate quarantines
+//! malformed modules with a structured `invalid_ir` outcome instead of
+//! rejecting the whole manifest).
 
 use crate::{programs, Params};
 use fence_ir::Module;
+use std::fmt;
 
 /// One resolved manifest entry: a display name plus the module to run.
+#[derive(Debug)]
 pub struct ManifestEntry {
     /// Unique display name (`family:name`), used as the fleet job name.
     pub name: String,
@@ -30,12 +41,56 @@ pub struct ManifestEntry {
     pub module: Module,
 }
 
+/// A structured spec-resolution failure: the offending spec, what went
+/// wrong, and — when the spec came from a manifest file — the exact
+/// file and 1-based line to fix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestError {
+    /// The spec that failed to resolve, verbatim.
+    pub spec: String,
+    /// Why it failed.
+    pub message: String,
+    /// Manifest file the spec came from, if any.
+    pub file: Option<String>,
+    /// 1-based line within [`ManifestError::file`].
+    pub line: Option<u32>,
+}
+
+impl ManifestError {
+    fn new(spec: &str, message: impl Into<String>) -> Self {
+        ManifestError {
+            spec: spec.to_string(),
+            message: message.into(),
+            file: None,
+            line: None,
+        }
+    }
+
+    /// Attaches the manifest-file origin the spec was read from.
+    pub fn at(mut self, file: impl Into<String>, line: u32) -> Self {
+        self.file = Some(file.into());
+        self.line = Some(line);
+        self
+    }
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let (Some(file), Some(line)) = (&self.file, self.line) {
+            write!(f, "{file}:{line}: ")?;
+        }
+        write!(f, "bad spec `{}`: {}", self.spec, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
 /// Resolves a single spec against the corpus at `params`, in canonical
 /// order. See the module docs for the spec grammar.
-pub fn resolve_spec(spec: &str, params: &Params) -> Result<Vec<ManifestEntry>, String> {
+pub fn resolve_spec(spec: &str, params: &Params) -> Result<Vec<ManifestEntry>, ManifestError> {
     let (family, name) = spec
         .split_once(':')
-        .ok_or_else(|| format!("bad spec `{spec}`: expected `family:name`"))?;
+        .ok_or_else(|| ManifestError::new(spec, "expected `family:name`"))?;
     match family {
         "kernel" => {
             let kernels = crate::kernels::all();
@@ -48,7 +103,11 @@ pub fn resolve_spec(spec: &str, params: &Params) -> Result<Vec<ManifestEntry>, S
                 })
                 .collect();
             if selected.is_empty() {
-                return Err(unknown(spec, "kernel", crate::kernels::all().iter().map(|k| k.name)));
+                return Err(unknown(
+                    spec,
+                    "kernel",
+                    crate::kernels::all().iter().map(|k| k.name),
+                ));
             }
             Ok(selected)
         }
@@ -69,24 +128,52 @@ pub fn resolve_spec(spec: &str, params: &Params) -> Result<Vec<ManifestEntry>, S
             Ok(selected)
         }
         "synthetic" => {
-            let n: usize = name
-                .parse()
-                .map_err(|_| format!("bad spec `{spec}`: synthetic wants a number, got `{name}`"))?;
+            let n: usize = name.parse().map_err(|_| {
+                ManifestError::new(spec, format!("synthetic wants a number, got `{name}`"))
+            })?;
             Ok(vec![ManifestEntry {
                 name: format!("synthetic:{n}"),
                 module: crate::synthetic_scaled(n),
             }])
         }
-        other => Err(format!(
-            "bad spec `{spec}`: unknown family `{other}` (expected kernel, corpus, manual, or synthetic)"
+        "file" => {
+            let text = std::fs::read_to_string(name)
+                .map_err(|e| ManifestError::new(spec, format!("cannot read `{name}`: {e}")))?;
+            let module = fence_ir::parser::parse_module(&text)
+                .map_err(|e| ManifestError::new(spec, format!("parse error in `{name}`: {e}")))?;
+            Ok(vec![ManifestEntry {
+                name: spec.to_string(),
+                module,
+            }])
+        }
+        other => Err(ManifestError::new(
+            spec,
+            format!(
+                "unknown family `{other}` (expected kernel, corpus, manual, synthetic, or file)"
+            ),
         )),
     }
 }
 
-fn unknown<'a>(spec: &str, family: &str, valid: impl Iterator<Item = &'a str>) -> String {
-    format!(
-        "bad spec `{spec}`: no such {family} (valid: {})",
-        valid.collect::<Vec<_>>().join(", ")
+/// [`resolve_spec`], attaching the manifest-file origin (`file`,
+/// 1-based `line`) to any error — the CLI's manifest reader uses this so
+/// a typo'd entry reports exactly where to fix it.
+pub fn resolve_spec_at(
+    spec: &str,
+    params: &Params,
+    file: &str,
+    line: u32,
+) -> Result<Vec<ManifestEntry>, ManifestError> {
+    resolve_spec(spec, params).map_err(|e| e.at(file, line))
+}
+
+fn unknown<'a>(spec: &str, family: &str, valid: impl Iterator<Item = &'a str>) -> ManifestError {
+    ManifestError::new(
+        spec,
+        format!(
+            "no such {family} (valid: {})",
+            valid.collect::<Vec<_>>().join(", ")
+        ),
     )
 }
 
@@ -94,7 +181,7 @@ fn unknown<'a>(spec: &str, family: &str, valid: impl Iterator<Item = &'a str>) -
 pub fn resolve_specs<S: AsRef<str>>(
     specs: &[S],
     params: &Params,
-) -> Result<Vec<ManifestEntry>, String> {
+) -> Result<Vec<ManifestEntry>, ManifestError> {
     let mut out = Vec::new();
     for spec in specs {
         out.extend(resolve_spec(spec.as_ref(), params)?);
@@ -116,9 +203,11 @@ pub fn available() -> Vec<String> {
 
 /// The default full-evaluation manifest: all nine kernels plus all
 /// seventeen evaluation programs — the standard fleet workload of the
-/// figure harnesses and the scaling benches.
+/// figure harnesses and the scaling benches. Built-in specs are
+/// statically known-good, so resolution cannot fail.
 pub fn full_fleet(params: &Params) -> Vec<ManifestEntry> {
-    resolve_specs(&["kernel:*", "corpus:*"], params).expect("built-in specs resolve")
+    resolve_specs(&["kernel:*", "corpus:*"], params)
+        .unwrap_or_else(|e| unreachable!("built-in specs are statically valid: {e}"))
 }
 
 #[cfg(test)]
@@ -163,9 +252,12 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_loud() {
+    fn errors_are_loud_and_structured() {
         let p = Params::tiny();
-        assert!(resolve_spec("corpus:NoSuch", &p).is_err());
+        let err = resolve_spec("corpus:NoSuch", &p).unwrap_err();
+        assert_eq!(err.spec, "corpus:NoSuch");
+        assert!(err.message.contains("no such corpus"));
+        assert!(err.file.is_none());
         assert!(resolve_spec("kernel:NoSuch", &p).is_err());
         assert!(resolve_spec("nofamily:FFT", &p).is_err());
         assert!(resolve_spec("synthetic:abc", &p).is_err());
@@ -174,16 +266,50 @@ mod tests {
     }
 
     #[test]
-    fn available_covers_all_families() {
-        let names = available();
-        assert_eq!(names.len(), 9 + 17 + 17);
-        assert!(names.iter().any(|n| n == "corpus:FFT"));
-        assert!(names.iter().any(|n| n == "manual:FFT"));
+    fn origin_is_attached_and_displayed() {
+        let p = Params::tiny();
+        let err = resolve_spec_at("kernel:NoSuch", &p, "jobs.txt", 7).unwrap_err();
+        assert_eq!(err.file.as_deref(), Some("jobs.txt"));
+        assert_eq!(err.line, Some(7));
+        let shown = err.to_string();
+        assert!(shown.starts_with("jobs.txt:7: "), "{shown}");
+        assert!(shown.contains("bad spec `kernel:NoSuch`"));
+        // And a good spec at an origin resolves normally.
+        assert_eq!(
+            resolve_spec_at("kernel:Dekker", &p, "jobs.txt", 1)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
-    fn full_fleet_is_kernels_plus_corpus() {
+    fn file_specs_roundtrip_through_the_printer() {
         let p = Params::tiny();
-        assert_eq!(full_fleet(&p).len(), 26);
+        let dekker = &resolve_spec("kernel:Dekker", &p).unwrap()[0].module;
+        let dir = std::env::temp_dir().join(format!("fence-manifest-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dekker.fir");
+        std::fs::write(&path, fence_ir::printer::print_module(dekker)).unwrap();
+        let spec = format!("file:{}", path.display());
+        let loaded = resolve_spec(&spec, &p).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].name, spec);
+        assert_eq!(loaded[0].module.funcs.len(), dekker.funcs.len());
+        // Parsing densely renumbers instruction ids, so the printed form
+        // is a fixed point after one round-trip, not necessarily equal to
+        // the original (which may number with gaps).
+        let printed = fence_ir::printer::print_module(&loaded[0].module);
+        let reparsed = fence_ir::parser::parse_module(&printed).unwrap();
+        assert_eq!(printed, fence_ir::printer::print_module(&reparsed));
+        assert!(fence_ir::verify_module(&loaded[0].module).is_empty());
+        // Missing file and garbage content are loud, structured errors.
+        let missing = resolve_spec("file:/no/such/path.fir", &p).unwrap_err();
+        assert!(missing.message.contains("cannot read"));
+        let bad = dir.join("bad.fir");
+        std::fs::write(&bad, "this is not IR\n").unwrap();
+        let err = resolve_spec(&format!("file:{}", bad.display()), &p).unwrap_err();
+        assert!(err.message.contains("parse error"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -50,4 +50,4 @@ pub use ids::{BlockId, FuncId, GlobalId, InstId, LocalId};
 pub use inst::{BinOp, CmpOp, FenceKind, InstKind, Intrinsic, RmwOp};
 pub use module::{GlobalDecl, Module};
 pub use value::Value;
-pub use verify::{verify_function, verify_module, VerifyError};
+pub use verify::{verify_function, verify_module, verify_module_checked, VerifyError};

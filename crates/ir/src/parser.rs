@@ -154,10 +154,22 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
     let mut func_map: FastMap<String, FuncId> = FastMap::default();
 
     // ---- phase A: headers ----
+    // Tracks whether we are inside a `fn ... { ... }` body: body lines
+    // are phase B's job, but *top-level* lines must be one of the known
+    // directives — free text is a parse error, not an empty module.
+    let mut in_body = false;
     for (ln, line, _) in &lines {
         let toks = tokenize(line);
         if toks.is_empty() {
             continue;
+        }
+        match toks[0].as_str() {
+            "}" if in_body => {
+                in_body = false;
+                continue;
+            }
+            _ if in_body => continue, // body lines handled in phase B
+            _ => {}
         }
         match toks[0].as_str() {
             "module" => {
@@ -215,8 +227,16 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 let mut f = Function::new(name, num_params);
                 f.blocks.clear(); // rebuilt in phase B
                 module.funcs.push(f);
+                in_body = true;
             }
-            _ => {} // body lines handled in phase B
+            other => {
+                return err(
+                    *ln,
+                    format!(
+                        "unexpected top-level `{other}` (expected `module`, `global`, or `fn`)"
+                    ),
+                );
+            }
         }
     }
 
@@ -317,7 +337,22 @@ fn parse_function_body(
     }
 
     // Pre-pass over body: assign InstIds in appearance order; bind labels;
-    // discover blocks.
+    // discover blocks. The block table is dense (`0..=max_block`), so a
+    // label index is bounded by the body line count — every block needs
+    // its own label line — which keeps a mutated `bb999999999:` label
+    // from allocating a billion empty blocks.
+    let max_legal_block = lines.len() - 2;
+    let check_block = |b: BlockId, tok: &str, ln: usize| -> Result<BlockId, ParseError> {
+        if b.index() >= max_legal_block {
+            return err(
+                ln,
+                format!(
+                    "block label `{tok}` out of range (function body has {max_legal_block} lines)"
+                ),
+            );
+        }
+        Ok(b)
+    };
     let mut max_block = 0usize;
     let mut saw_block = false;
     let mut next_inst = 0usize;
@@ -327,7 +362,7 @@ fn parse_function_body(
             continue;
         }
         if toks[0].starts_with("bb") && toks.len() >= 2 && toks[1] == ":" {
-            let b = parse_block_ref(&toks[0], *ln)?;
+            let b = check_block(parse_block_ref(&toks[0], *ln)?, &toks[0], *ln)?;
             max_block = max_block.max(b.index());
             saw_block = true;
             continue;
@@ -335,7 +370,7 @@ fn parse_function_body(
         // also accept `bbN:` fused by tokenizer? ':' isn't split; handle suffix.
         if let Some(stripped) = toks[0].strip_suffix(':') {
             if stripped.starts_with("bb") {
-                let b = parse_block_ref(stripped, *ln)?;
+                let b = check_block(parse_block_ref(stripped, *ln)?, stripped, *ln)?;
                 max_block = max_block.max(b.index());
                 saw_block = true;
                 continue;
@@ -731,6 +766,30 @@ bb0:
         assert!(verify_module(&m).is_empty());
         let main = m.func(m.func_by_name("main").unwrap());
         assert_eq!(main.num_insts(), 5);
+    }
+
+    #[test]
+    fn error_on_top_level_junk() {
+        let e = parse_module("this is not IR\n").unwrap_err();
+        assert!(e.message.contains("unexpected top-level"), "{e}");
+        assert_eq!(e.line, 1);
+        // Stray instruction after a closed body is junk, not silently dropped.
+        let bad = "module m\nfn f params=0 locals=() {\nbb0:\n  ret\n}\n  ret\n";
+        let e = parse_module(bad).unwrap_err();
+        assert_eq!(e.line, 6);
+    }
+
+    #[test]
+    fn error_on_out_of_range_block_label() {
+        // A mutated label with a huge index must be a diagnostic, not a
+        // billion-entry block table.
+        let bad = "module m\nfn f params=0 locals=() {\nbb999999999:\n  ret\n}\n";
+        let e = parse_module(bad).unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+        assert_eq!(e.line, 3);
+        // Dense labels up to the body size still parse.
+        let ok = "module m\nfn f params=0 locals=() {\nbb0:\n  br bb1\nbb1:\n  ret\n}\n";
+        assert!(parse_module(ok).is_ok());
     }
 
     #[test]

@@ -25,8 +25,22 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Renders a caught panic payload as a message: the `&str` / `String`
+/// forms the standard `panic!` macros produce pass through verbatim,
+/// anything else gets a placeholder. Shared by the pool's per-unit
+/// isolation mode and the fleet's quarantine reporting.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -154,6 +168,42 @@ impl ThreadPool {
             panic!("thread-pool worker task panicked");
         }
     }
+
+    /// Fault-isolated counterpart of [`ThreadPool::run_scoped`]: runs
+    /// `units` indexed work items (pool workers plus the calling thread
+    /// pull indices from an internal counter), wrapping **each unit** in
+    /// its own `catch_unwind`. A panic in unit `i` is recorded in slot
+    /// `i` of the returned vector — the remaining units still run, the
+    /// completion latch is never poisoned, and nothing re-raises on the
+    /// caller. This is the substrate of the fleet's per-module
+    /// quarantine: one poisoned module must not abort the work units of
+    /// every other module sharing the pool pass.
+    ///
+    /// Returns one entry per unit: `None` if the unit completed, or
+    /// `Some(message)` with the stringified panic payload.
+    pub fn run_units(&self, units: usize, unit: &(dyn Fn(usize) + Sync)) -> Vec<Option<String>> {
+        if units == 0 {
+            return Vec::new();
+        }
+        let next = AtomicUsize::new(0);
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        // No panic ever escapes the worker closure, so `run_scoped`'s
+        // propagating latch path is unreachable from here.
+        self.run_scoped(units, &|| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= units {
+                break;
+            }
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| unit(i))) {
+                panics.lock().unwrap().push((i, panic_message(p.as_ref())));
+            }
+        });
+        let mut out = vec![None; units];
+        for (i, msg) in panics.into_inner().unwrap() {
+            out[i] = Some(msg);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +256,42 @@ mod tests {
             next.fetch_add(1, Ordering::Relaxed);
         });
         assert!(next.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn run_units_isolates_per_unit_panics() {
+        let pool = ThreadPool::global();
+        let n = 64usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let outcomes = pool.run_units(n, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            if i % 7 == 3 {
+                panic!("unit {i} boom");
+            }
+        });
+        assert_eq!(outcomes.len(), n);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(hits[i].load(Ordering::Relaxed), 1, "unit {i} ran once");
+            if i % 7 == 3 {
+                let msg = o.as_ref().expect("panicking unit recorded");
+                assert!(
+                    msg.contains(&format!("unit {i} boom")),
+                    "payload kept: {msg}"
+                );
+            } else {
+                assert!(o.is_none(), "healthy unit {i} clean");
+            }
+        }
+        // The latch was never poisoned: the pool still runs clean batches.
+        let clean = pool.run_units(8, &|_| {});
+        assert!(clean.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn run_units_stringifies_non_str_payloads() {
+        let pool = ThreadPool::global();
+        let outcomes = pool.run_units(1, &|_| std::panic::panic_any(42usize));
+        assert_eq!(outcomes[0].as_deref(), Some("non-string panic payload"));
     }
 
     #[test]

@@ -125,7 +125,13 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Vec<VerifyEr
         }
     }
 
-    // Operand validity + def-dominates-use.
+    // Operand validity + def-dominates-use. The CFG/dominator build
+    // below assumes the structural invariants checked above (in-range
+    // branch targets, terminated blocks); on a module that already
+    // failed them it could index out of bounds, so report what we have.
+    if !errors.is_empty() {
+        return errors;
+    }
     let positions = func.positions();
     let cfg = Cfg::new(func);
     let dom = Dominators::new(&cfg);
@@ -184,6 +190,18 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Vec<VerifyEr
     }
 
     errors
+}
+
+/// `Result`-shaped wrapper over [`verify_module`] for gate-style callers
+/// (the fleet's pre-analysis validation front door): `Ok(())` for a
+/// well-formed module, otherwise every diagnostic.
+pub fn verify_module_checked(module: &Module) -> Result<(), Vec<VerifyError>> {
+    let errors = verify_module(module);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
 }
 
 /// Verifies every function of a module, plus global-reference ranges.
@@ -306,6 +324,27 @@ mod tests {
         f.blocks[0].insts = vec![InstId::new(0), InstId::new(1)];
         let errs = verify_function(&f, None);
         assert!(errs.iter().any(|e| e.message.contains("expects 1 args")));
+    }
+
+    #[test]
+    fn checked_wrapper_mirrors_verify_module() {
+        let mut mb = ModuleBuilder::new("m");
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.ret(None);
+        mb.add_func(fb.build());
+        let good = mb.finish();
+        assert!(verify_module_checked(&good).is_ok());
+
+        let mut bad = Function::new("bad", 0);
+        bad.blocks.push(Block::default());
+        bad.insts.push(Inst {
+            kind: InstKind::Ret { val: None },
+        });
+        bad.blocks[0].insts.push(InstId::new(0));
+        let mut m = crate::module::Module::new("m");
+        m.funcs.push(bad);
+        let errs = verify_module_checked(&m).unwrap_err();
+        assert!(!errs.is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 #   lint     clippy + fmt
 #   docs     cargo doc --no-deps (RUSTDOCFLAGS=-D warnings) + cargo test --doc
 #   bench    cargo bench --no-run (compile smoke for every bench harness)
+#   faults   cargo test --features faultinject (fault-injection matrix)
 #   all      every stage above, in CI order (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,6 +49,12 @@ stage_bench() {
   cargo bench --no-run
 }
 
+stage_faults() {
+  echo "== cargo test --features faultinject (fault matrix) =="
+  cargo test -q -p fence-suite --features faultinject --test faults
+  cargo test -q -p fenceplace --features faultinject --lib
+}
+
 run_stage() {
   case "$1" in
     build)  stage_build ;;
@@ -57,9 +64,10 @@ run_stage() {
     lint)   stage_clippy; stage_fmt ;;
     docs)   stage_docs ;;
     bench)  stage_bench ;;
-    all)    stage_build; stage_test; stage_clippy; stage_fmt; stage_docs; stage_bench ;;
+    faults) stage_faults ;;
+    all)    stage_build; stage_test; stage_clippy; stage_fmt; stage_docs; stage_bench; stage_faults ;;
     *)
-      echo "unknown stage '$1' (build|test|clippy|fmt|lint|docs|bench|all)" >&2
+      echo "unknown stage '$1' (build|test|clippy|fmt|lint|docs|bench|faults|all)" >&2
       exit 2
       ;;
   esac

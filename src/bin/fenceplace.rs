@@ -1,6 +1,6 @@
 //! `fenceplace` — the batch CLI over the fleet driver.
 //!
-//! Loads a manifest of corpus/kernel/synthetic programs plus
+//! Loads a manifest of corpus/kernel/synthetic/file programs plus
 //! variant × target configs, runs the whole set as **one fleet** (every
 //! per-(module, function) work unit scheduled onto the persistent pool,
 //! reachability rows interned fleet-wide), and emits per-module JSON
@@ -18,29 +18,60 @@
 //! program kernel:*
 //! program corpus:FFT
 //! program synthetic:4000
+//! program file:path/to/module.fir
 //! config Control x86tso
 //! config Pensieve weak
 //! threads 8
 //! scale 16
 //! ```
+//!
+//! # Failure model and exit codes
+//!
+//! The fleet quarantines sick modules instead of dying: a module that
+//! fails IR validation, panics in a work unit, or blows `--budget` is
+//! reported with a structured status (its slot in the per-module JSON
+//! and `fleet_summary.json` carries the stage and error) while every
+//! other module completes normally. A `file:` spec that cannot be read
+//! or parsed is likewise quarantined at load time.
+//!
+//! | exit | meaning                                                    |
+//! |------|------------------------------------------------------------|
+//! | 0    | every module completed                                     |
+//! | 1    | fatal: bad usage, unresolvable spec, I/O error, `--fail-fast` trip |
+//! | 2    | partial success: some modules quarantined, reports written |
 
-use corpus::manifest::{available, resolve_specs, ManifestEntry};
+use corpus::manifest::{available, resolve_spec, resolve_spec_at, ManifestEntry};
 use corpus::Params;
 use fenceplace::{
-    run_fleet_with, FleetJob, FleetResult, FleetStats, PipelineConfig, PipelineResult, TargetModel,
-    Variant,
+    run_fleet_opts, FleetJob, FleetOptions, FleetResult, FleetStats, ModuleOutcome, PipelineConfig,
+    PipelineResult, TargetModel, Variant,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// A program spec plus the manifest file/line it came from (None for
+/// command-line specs), so resolution errors point at the right entry.
+struct SpecAt {
+    spec: String,
+    origin: Option<(String, u32)>,
+}
+
 struct Cli {
-    specs: Vec<String>,
+    specs: Vec<SpecAt>,
     configs: Vec<PipelineConfig>,
     params: Params,
     parallel: bool,
     out_dir: Option<String>,
     list: bool,
+    fail_fast: bool,
+    budget: Option<u64>,
+}
+
+/// What `parse_args` decided: run, or print help and exit 0.
+enum Parsed {
+    Run(Cli),
+    Help,
 }
 
 fn usage() -> &'static str {
@@ -52,16 +83,26 @@ USAGE:
 OPTIONS:
   --manifest FILE    read `program`/`config`/`threads`/`scale` lines from FILE
   --program SPEC     add a program spec: kernel:NAME|*, corpus:NAME|*,
-                     manual:NAME|*, synthetic:N  (repeatable)
+                     manual:NAME|*, synthetic:N, file:PATH  (repeatable)
   --config V:T       add a config, variant:target — variants Pensieve|Control|
                      AddressControl|Manual, targets x86tso|sc|weak (repeatable;
                      default Control:x86tso)
   --threads N        corpus build parameter (default 8)
   --scale N          corpus build parameter (default 16)
   --seq              run the fleet sequentially (default: persistent pool)
+  --budget N         deterministic per-module step budget: a module whose
+                     static instruction-count spend exceeds N is quarantined
+                     as deadline_exceeded (never wall-clock)
+  --fail-fast        exit 1 on the first failed module instead of
+                     quarantining it; no reports are written
   --out DIR          write per-module JSON reports + fleet_summary.json to DIR
   --list             print every concrete program spec and exit
   --help             this text
+
+EXIT CODES:
+  0  every module completed
+  1  fatal error (bad usage, unresolvable spec, I/O error, --fail-fast trip)
+  2  partial success (some modules quarantined; reports still written)
 "
 }
 
@@ -123,7 +164,10 @@ fn parse_manifest(path: &str, cli: &mut Cli) -> Result<(), String> {
         let (key, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
         let rest = rest.trim();
         match key {
-            "program" => cli.specs.push(rest.to_string()),
+            "program" => cli.specs.push(SpecAt {
+                spec: rest.to_string(),
+                origin: Some((path.to_string(), ln as u32 + 1)),
+            }),
             "config" => {
                 // `config Control x86tso` or `config Control:x86tso`
                 let spec = rest.split_whitespace().collect::<Vec<_>>().join(":");
@@ -146,7 +190,7 @@ fn parse_manifest(path: &str, cli: &mut Cli) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_args(args: &[String]) -> Result<Cli, String> {
+fn parse_args(args: &[String]) -> Result<Parsed, String> {
     let mut cli = Cli {
         specs: Vec::new(),
         configs: Vec::new(),
@@ -154,6 +198,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         parallel: true,
         out_dir: None,
         list: false,
+        fail_fast: false,
+        budget: None,
     };
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -169,7 +215,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--program" => {
                 let spec = need(&mut it, "--program")?;
-                cli.specs.extend(spec.split(',').map(str::to_string));
+                cli.specs.extend(spec.split(',').map(|s| SpecAt {
+                    spec: s.to_string(),
+                    origin: None,
+                }));
             }
             "--config" => {
                 let spec = need(&mut it, "--config")?;
@@ -183,17 +232,22 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let v = need(&mut it, "--scale")?;
                 cli.params.scale = v.parse().map_err(|_| format!("bad --scale `{v}`"))?;
             }
+            "--budget" => {
+                let v = need(&mut it, "--budget")?;
+                cli.budget = Some(v.parse().map_err(|_| format!("bad --budget `{v}`"))?);
+            }
+            "--fail-fast" => cli.fail_fast = true,
             "--seq" => cli.parallel = false,
             "--out" => cli.out_dir = Some(need(&mut it, "--out")?),
             "--list" => cli.list = true,
-            "--help" | "-h" => return Err(String::new()),
+            "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     if cli.configs.is_empty() {
         cli.configs.push(PipelineConfig::default());
     }
-    Ok(cli)
+    Ok(Parsed::Run(cli))
 }
 
 fn json_escape(s: &str) -> String {
@@ -209,6 +263,35 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// One quarantined module's status triple as JSON fields (no braces):
+/// `"status": .., "stage": ..|null, "error": ..|null`.
+fn status_fields(status: &str, stage: Option<&str>, error: Option<&str>) -> String {
+    let mut out = format!("\"status\": \"{}\"", json_escape(status));
+    match stage {
+        Some(s) => {
+            let _ = write!(out, ", \"stage\": \"{}\"", json_escape(s));
+        }
+        None => out.push_str(", \"stage\": null"),
+    }
+    match error {
+        Some(e) => {
+            let _ = write!(out, ", \"error\": \"{}\"", json_escape(e));
+        }
+        None => out.push_str(", \"error\": null"),
+    }
+    out
+}
+
+fn outcome_fields(outcome: &ModuleOutcome) -> String {
+    let stage = outcome.stage().map(|s| s.name());
+    let error = if outcome.is_ok() {
+        None
+    } else {
+        Some(outcome.to_string())
+    };
+    status_fields(outcome.kind(), stage, error.as_deref())
 }
 
 fn config_json(config: &PipelineConfig, r: &PipelineResult) -> String {
@@ -233,8 +316,9 @@ fn config_json(config: &PipelineConfig, r: &PipelineResult) -> String {
 
 fn module_json(job_name: &str, configs: &[PipelineConfig], fr: &FleetResult) -> String {
     let mut out = format!(
-        "{{\n  \"module\": \"{}\",\n  \"configs\": [\n",
-        json_escape(job_name)
+        "{{\n  \"module\": \"{}\",\n  {},\n  \"configs\": [\n",
+        json_escape(job_name),
+        outcome_fields(&fr.outcome)
     );
     for (i, (config, r)) in configs.iter().zip(&fr.results).enumerate() {
         let _ = writeln!(
@@ -248,20 +332,33 @@ fn module_json(job_name: &str, configs: &[PipelineConfig], fr: &FleetResult) -> 
     out
 }
 
+/// A `file:` spec that could not be loaded: quarantined before the fleet
+/// ever saw it, reported alongside the fleet's own failures.
+struct LoadFailure {
+    name: String,
+    error: String,
+}
+
 fn rollup_json(
-    entries: &[ManifestEntry],
     configs: &[PipelineConfig],
     fleet: &[FleetResult],
+    load_failures: &[LoadFailure],
     stats: &FleetStats,
     wall_ms: f64,
 ) -> String {
+    let failed = stats.failed + load_failures.len();
     let mut out = String::from("{\n");
     let _ = writeln!(
         out,
         "  \"programs\": {}, \"configs_per_program\": {}, \"functions\": {},",
-        entries.len(),
+        fleet.len() + load_failures.len(),
         configs.len(),
         stats.functions
+    );
+    let _ = writeln!(
+        out,
+        "  \"modules_failed\": {failed}, \"load_failures\": {},",
+        load_failures.len()
     );
     let _ = writeln!(
         out,
@@ -269,6 +366,31 @@ fn rollup_json(
          \"row_hits\": {}, \"row_words\": {}, \"wall_ms\": {wall_ms:.3}}},",
         stats.analyses, stats.substrates, stats.unique_rows, stats.row_hits, stats.row_words
     );
+    // Per-module status array: every scheduled module, ok or not, plus
+    // the load-time quarantines.
+    out.push_str("  \"modules\": [\n");
+    let total = fleet.len() + load_failures.len();
+    for (i, fr) in fleet.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", {}}}{}",
+            json_escape(&fr.name),
+            outcome_fields(&fr.outcome),
+            if i + 1 < total { "," } else { "" }
+        );
+    }
+    for (i, lf) in load_failures.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", {}}}{}",
+            json_escape(&lf.name),
+            status_fields("load_failed", None, Some(&lf.error)),
+            if fleet.len() + i + 1 < total { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    // Roll-up totals over completed modules only: a quarantined module
+    // has no results to count.
     out.push_str("  \"totals\": [\n");
     for (c, config) in configs.iter().enumerate() {
         let mut full = 0usize;
@@ -276,7 +398,7 @@ fn rollup_json(
         let mut acq = 0usize;
         let mut points = 0usize;
         for fr in fleet {
-            let r = &fr.results[c];
+            let Some(r) = fr.results.get(c) else { continue };
             full += r.report.full_fences();
             dir += r.report.compiler_fences();
             acq += r.report.acquires();
@@ -301,18 +423,47 @@ fn file_stem(name: &str) -> String {
         .collect()
 }
 
-fn run(cli: &Cli) -> Result<(), String> {
+/// Resolves every spec. Unresolvable built-in specs (typo'd names,
+/// unknown families) are fatal; a `file:` spec whose file is missing or
+/// unparsable is quarantined as a [`LoadFailure`] — the batch runs on.
+fn resolve_all(cli: &Cli) -> Result<(Vec<ManifestEntry>, Vec<LoadFailure>), String> {
+    let mut entries = Vec::new();
+    let mut load_failures = Vec::new();
+    for s in &cli.specs {
+        let resolved = match &s.origin {
+            Some((file, line)) => resolve_spec_at(&s.spec, &cli.params, file, *line),
+            None => resolve_spec(&s.spec, &cli.params),
+        };
+        match resolved {
+            Ok(batch) => entries.extend(batch),
+            Err(e) if s.spec.starts_with("file:") => load_failures.push(LoadFailure {
+                name: s.spec.clone(),
+                error: e.to_string(),
+            }),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Ok((entries, load_failures))
+}
+
+/// Runs the batch. `Ok(0)` = clean, `Ok(2)` = partial success, `Err` =
+/// fatal (exit 1).
+fn run(cli: &Cli) -> Result<u8, String> {
     if cli.list {
         for spec in available() {
             println!("{spec}");
         }
         println!("synthetic:N");
-        return Ok(());
+        println!("file:PATH");
+        return Ok(0);
     }
     if cli.specs.is_empty() {
         return Err("no programs: pass --program SPEC or --manifest FILE (see --help)".into());
     }
-    let entries = resolve_specs(&cli.specs, &cli.params)?;
+    let (entries, load_failures) = resolve_all(cli)?;
+    if entries.is_empty() && load_failures.is_empty() {
+        return Err("no programs resolved".into());
+    }
     // Overlapping specs (`kernel:*` + `kernel:Dekker`) would run a module
     // twice, double-count the roll-up totals, and overwrite its report
     // file — fail loudly instead.
@@ -330,9 +481,26 @@ fn run(cli: &Cli) -> Result<(), String> {
         .map(|e| FleetJob::new(e.name.clone(), &e.module, cli.configs.clone()))
         .collect();
 
+    let opts = FleetOptions {
+        parallel: cli.parallel,
+        budget: cli.budget,
+        ..FleetOptions::default()
+    };
     let t = Instant::now();
-    let (fleet, stats) = run_fleet_with(&jobs, cli.parallel);
+    let (fleet, stats) = run_fleet_opts(&jobs, &opts);
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    if cli.fail_fast {
+        if let Some(lf) = load_failures.first() {
+            return Err(format!(
+                "--fail-fast: `{}` failed to load: {}",
+                lf.name, lf.error
+            ));
+        }
+        if let Some(fr) = fleet.iter().find(|fr| !fr.outcome.is_ok()) {
+            return Err(format!("--fail-fast: module `{}` {}", fr.name, fr.outcome));
+        }
+    }
 
     if let Some(dir) = &cli.out_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
@@ -344,7 +512,7 @@ fn run(cli: &Cli) -> Result<(), String> {
         let summary = format!("{dir}/fleet_summary.json");
         std::fs::write(
             &summary,
-            rollup_json(&entries, &cli.configs, &fleet, &stats, wall_ms),
+            rollup_json(&cli.configs, &fleet, &load_failures, &stats, wall_ms),
         )
         .map_err(|e| format!("cannot write {summary}: {e}"))?;
         eprintln!(
@@ -354,26 +522,40 @@ fn run(cli: &Cli) -> Result<(), String> {
     }
     print!(
         "{}",
-        rollup_json(&entries, &cli.configs, &fleet, &stats, wall_ms)
+        rollup_json(&cli.configs, &fleet, &load_failures, &stats, wall_ms)
     );
-    Ok(())
+    let failed = stats.failed + load_failures.len();
+    if failed > 0 {
+        for fr in fleet.iter().filter(|fr| !fr.outcome.is_ok()) {
+            eprintln!("quarantined: {} — {}", fr.name, fr.outcome);
+        }
+        for lf in &load_failures {
+            eprintln!("quarantined: {} — failed to load: {}", lf.name, lf.error);
+        }
+        eprintln!(
+            "{failed} of {} modules quarantined (exit 2: partial success)",
+            fleet.len() + load_failures.len()
+        );
+        return Ok(2);
+    }
+    Ok(0)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
-        Ok(cli) => cli,
+        Ok(Parsed::Run(cli)) => cli,
+        Ok(Parsed::Help) => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
-            if e.is_empty() {
-                print!("{}", usage());
-                return ExitCode::SUCCESS;
-            }
             eprintln!("error: {e}\n\n{}", usage());
-            return ExitCode::from(2);
+            return ExitCode::FAILURE;
         }
     };
     match run(&cli) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

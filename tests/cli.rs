@@ -1,0 +1,198 @@
+//! End-to-end tests of the `fenceplace` binary's exit-code contract:
+//! 0 = every module completed, 1 = fatal (usage, unresolvable spec,
+//! `--fail-fast` trip), 2 = partial success (quarantined modules,
+//! reports still written).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fenceplace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fenceplace"))
+        .args(args)
+        .output()
+        .expect("spawn fenceplace")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("process terminated by signal")
+}
+
+/// A fresh per-test scratch directory under the target tmpdir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fenceplace-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Textual IR that parses cleanly but fails the validation gate: bb0
+/// has no terminator.
+const SICK_IR: &str =
+    "module sick\nglobal g 1\n\nfn f params=0 locals=() {\nbb0: ; entry\n  %0 = load @g\n}\n";
+
+#[test]
+fn help_exits_zero_and_documents_exit_codes() {
+    for flag in ["--help", "-h"] {
+        let out = fenceplace(&[flag]);
+        assert_eq!(exit_code(&out), 0, "{flag} must exit 0");
+        let text = stdout(&out);
+        assert!(text.contains("USAGE"), "{flag} prints usage");
+        assert!(text.contains("EXIT CODES"), "{flag} documents exit codes");
+        assert!(text.contains("--fail-fast") && text.contains("--budget"));
+    }
+}
+
+#[test]
+fn usage_errors_are_fatal() {
+    let out = fenceplace(&["--bogus-flag"]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(stderr(&out).contains("unknown argument"));
+
+    let out = fenceplace(&[]);
+    assert_eq!(exit_code(&out), 1, "no programs is a usage error");
+    assert!(stderr(&out).contains("no programs"));
+
+    let out = fenceplace(&["--program", "corpus:NoSuchProgram"]);
+    assert_eq!(exit_code(&out), 1, "typo'd built-in spec is fatal");
+    assert!(stderr(&out).contains("NoSuchProgram"));
+}
+
+#[test]
+fn clean_run_exits_zero() {
+    let out = fenceplace(&["--program", "kernel:Dekker", "--seq"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"modules_failed\": 0"), "{text}");
+    assert!(text.contains("\"status\": \"ok\""), "{text}");
+}
+
+#[test]
+fn invalid_file_module_is_partial_success() {
+    let dir = scratch("partial");
+    let sick = dir.join("sick.fir");
+    std::fs::write(&sick, SICK_IR).unwrap();
+    let spec = format!("file:{}", sick.display());
+    let reports = dir.join("reports");
+
+    let out = fenceplace(&[
+        "--program",
+        "kernel:Dekker",
+        "--program",
+        &spec,
+        "--out",
+        reports.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"modules_failed\": 1"), "{text}");
+    assert!(text.contains("\"status\": \"invalid_ir\""), "{text}");
+    assert!(
+        text.contains("does not end with a terminator"),
+        "verifier diagnostic surfaces in the roll-up: {text}"
+    );
+    assert!(stderr(&out).contains("quarantined"));
+
+    // Reports are still written for every module, quarantined or not.
+    assert!(reports.join("fleet_summary.json").exists());
+    let mut module_reports: Vec<_> = std::fs::read_dir(&reports)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    module_reports.sort();
+    assert_eq!(module_reports.len(), 3, "{module_reports:?}");
+    let sick_report = module_reports
+        .iter()
+        .find(|n| n.contains("sick") && n.ends_with(".json"))
+        .expect("quarantined module still gets a report file");
+    let body = std::fs::read_to_string(reports.join(sick_report)).unwrap();
+    assert!(body.contains("\"status\": \"invalid_ir\""), "{body}");
+    assert!(body.contains("\"stage\": \"validate\""), "{body}");
+    assert!(body.contains("\"configs\": [\n  ]"), "no configs: {body}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_file_is_quarantined_at_load() {
+    let out = fenceplace(&[
+        "--program",
+        "kernel:Dekker",
+        "--program",
+        "file:/no/such/module.fir",
+    ]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"load_failures\": 1"), "{text}");
+    assert!(text.contains("\"status\": \"load_failed\""), "{text}");
+}
+
+#[test]
+fn fail_fast_turns_partial_into_fatal() {
+    let dir = scratch("failfast");
+    let sick = dir.join("sick.fir");
+    std::fs::write(&sick, SICK_IR).unwrap();
+    let spec = format!("file:{}", sick.display());
+    let reports = dir.join("reports");
+
+    let out = fenceplace(&[
+        "--program",
+        "kernel:Dekker",
+        "--program",
+        &spec,
+        "--fail-fast",
+        "--out",
+        reports.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("--fail-fast"));
+    assert!(
+        !reports.exists(),
+        "--fail-fast must not write partial reports"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_quarantines_deterministically() {
+    // Budget 1 is below any module's per-stage cost, so every module
+    // trips its deadline at the first charged stage — still exit 2,
+    // and the seq/par roll-ups agree modulo wall-clock time.
+    let strip_wall = |text: &str| {
+        text.lines()
+            .filter(|l| !l.contains("wall_ms"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let mut rollups = Vec::new();
+    for mode in [&["--seq"][..], &[][..]] {
+        let mut args = vec!["--program", "kernel:*", "--budget", "1"];
+        args.extend_from_slice(mode);
+        let out = fenceplace(&args);
+        assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("\"status\": \"deadline_exceeded\""), "{text}");
+        rollups.push(strip_wall(&text));
+    }
+    assert_eq!(
+        rollups[0], rollups[1],
+        "deadline roll-up must be identical under seq and pool scheduling"
+    );
+}
+
+#[test]
+fn list_exits_zero() {
+    let out = fenceplace(&["--list"]);
+    assert_eq!(exit_code(&out), 0);
+    let text = stdout(&out);
+    assert!(text.contains("kernel:Dekker"));
+    assert!(text.contains("file:PATH"));
+}

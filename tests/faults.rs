@@ -1,0 +1,171 @@
+//! Deterministic fault-injection matrix over the full evaluation fleet.
+//!
+//! Requires the `faultinject` feature (`scripts/check.sh faults`, the
+//! CI `faults` job):
+//!
+//! ```text
+//! cargo test -q --features faultinject --test faults
+//! ```
+//!
+//! For **every** (module, stage, fault-kind) injection point on the
+//! 26-module corpus fleet, the fleet run must complete, the injected
+//! module must report the matching non-`Ok` [`ModuleOutcome`], and every
+//! *other* module's placement must be bit-identical to the fault-free
+//! run — under sequential and pooled scheduling, with identical
+//! outcomes in both.
+//!
+//! Coverage is exhaustive but batched: each run arms one (stage, kind)
+//! point on half of the modules (even/odd split), so every module is
+//! exercised at every point across two runs per point — and multi-module
+//! quarantine within one run is exercised for free.
+
+use corpus::{manifest, Params};
+use fenceplace::faultinject::{self, Fault};
+use fenceplace::{
+    run_fleet_opts, FleetJob, FleetOptions, FleetResult, FleetStage, ModuleOutcome, PipelineConfig,
+    Variant,
+};
+
+/// Big enough that no tiny-params corpus module ever trips it on its
+/// own; far smaller than [`faultinject::BLOWUP_COST`].
+const BUDGET: u64 = u64::MAX / 16;
+
+fn injection_points() -> Vec<(FleetStage, Fault)> {
+    let mut points: Vec<(FleetStage, Fault)> =
+        FleetStage::ALL.iter().map(|&s| (s, Fault::Panic)).collect();
+    points.push((FleetStage::Validate, Fault::TruncateIr));
+    points.extend(FleetStage::ALL.iter().map(|&s| (s, Fault::BudgetBlowup)));
+    points
+}
+
+fn assert_same_results(name: &str, got: &FleetResult, want: &FleetResult) {
+    assert_eq!(got.results.len(), want.results.len(), "{name}");
+    for (g, w) in got.results.iter().zip(&want.results) {
+        assert_eq!(g.points, w.points, "{name}: fence points diverge");
+        assert_eq!(
+            format!("{:?}", g.report),
+            format!("{:?}", w.report),
+            "{name}: report diverges"
+        );
+    }
+}
+
+fn assert_outcome_matches(name: &str, stage: FleetStage, fault: Fault, outcome: &ModuleOutcome) {
+    match fault {
+        Fault::Panic => match outcome {
+            ModuleOutcome::Panicked { stage: s, message } => {
+                assert_eq!(*s, stage, "{name}: wrong stage");
+                assert!(
+                    message.contains("faultinject: injected panic"),
+                    "{name}: unexpected message {message:?}"
+                );
+            }
+            other => panic!("{name}: expected Panicked at {stage}, got {other:?}"),
+        },
+        Fault::TruncateIr => match outcome {
+            ModuleOutcome::InvalidIr { errors } => {
+                assert!(!errors.is_empty(), "{name}: no diagnostics");
+            }
+            other => panic!("{name}: expected InvalidIr, got {other:?}"),
+        },
+        Fault::BudgetBlowup => match outcome {
+            ModuleOutcome::DeadlineExceeded {
+                stage: s,
+                spent,
+                budget,
+            } => {
+                assert_eq!(*s, stage, "{name}: wrong stage");
+                assert!(spent > budget, "{name}: spent {spent} <= budget {budget}");
+            }
+            other => panic!("{name}: expected DeadlineExceeded at {stage}, got {other:?}"),
+        },
+    }
+}
+
+/// Silences the default panic hook for the injected panics (hundreds of
+/// them across the matrix) while keeping real assertion failures loud.
+fn quiet_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.contains("faultinject: injected panic") {
+            prev(info);
+        }
+    }));
+}
+
+/// The whole matrix lives in one `#[test]`: the injection registry is
+/// process-global, so concurrent tests would race on it.
+#[test]
+fn fault_matrix_quarantines_exactly_the_injected_modules() {
+    quiet_injected_panics();
+    let params = Params::tiny();
+    let entries = manifest::full_fleet(&params);
+    assert_eq!(entries.len(), 26, "the full evaluation fleet");
+    let configs = vec![PipelineConfig::for_variant(Variant::Control)];
+    let jobs: Vec<FleetJob<'_>> = entries
+        .iter()
+        .map(|e| FleetJob::new(e.name.clone(), &e.module, configs.clone()))
+        .collect();
+    let points = injection_points();
+
+    // (point, half, module) -> outcome kind, for seq/pooled agreement.
+    let mut mode_outcomes: Vec<Vec<String>> = Vec::new();
+
+    for parallel in [false, true] {
+        let opts = FleetOptions {
+            parallel,
+            budget: Some(BUDGET),
+            ..FleetOptions::default()
+        };
+
+        faultinject::clear();
+        let (baseline, base_stats) = run_fleet_opts(&jobs, &opts);
+        assert_eq!(base_stats.failed, 0, "fault-free run is clean");
+        for fr in &baseline {
+            assert!(fr.outcome.is_ok(), "{}: {:?}", fr.name, fr.outcome);
+        }
+
+        let mut outcomes: Vec<String> = Vec::new();
+        for &(stage, fault) in &points {
+            for half in 0..2usize {
+                faultinject::clear();
+                let armed: Vec<bool> = (0..jobs.len()).map(|j| j % 2 == half).collect();
+                for (j, job) in jobs.iter().enumerate() {
+                    if armed[j] {
+                        faultinject::arm(&job.name, stage, fault);
+                    }
+                }
+                let (fleet, stats) = run_fleet_opts(&jobs, &opts);
+                assert_eq!(
+                    stats.failed,
+                    armed.iter().filter(|&&a| a).count(),
+                    "{stage}/{fault:?} (par={parallel}): failure count"
+                );
+                for (j, fr) in fleet.iter().enumerate() {
+                    let tag = format!("{} at {stage}/{fault:?} (par={parallel})", fr.name);
+                    if armed[j] {
+                        assert_outcome_matches(&tag, stage, fault, &fr.outcome);
+                        assert!(fr.results.is_empty(), "{tag}: quarantined results");
+                    } else {
+                        assert!(fr.outcome.is_ok(), "{tag}: {:?}", fr.outcome);
+                        assert_same_results(&tag, fr, &baseline[j]);
+                    }
+                    outcomes.push(format!("{:?}", fr.outcome));
+                }
+            }
+        }
+        mode_outcomes.push(outcomes);
+    }
+    faultinject::clear();
+
+    assert_eq!(
+        mode_outcomes[0], mode_outcomes[1],
+        "sequential and pooled runs must agree on every outcome"
+    );
+}

@@ -104,8 +104,8 @@ fn fleet_runs_one_analysis_and_substrate_per_module() {
     );
     assert_eq!(
         fence_ir::cfg::cfg_builds() - cfg_before,
-        total_funcs,
-        "one Cfg build per function for the whole fleet"
+        2 * total_funcs,
+        "one Cfg build per function for the validation gate, one for the substrate"
     );
     assert_eq!(
         fence_ir::cfg::reachability_builds() - reach_before,
