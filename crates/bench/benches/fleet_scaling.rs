@@ -1,17 +1,22 @@
 //! Multi-module scaling bench: the fleet driver against the sequential
 //! per-module batch loop it replaces.
 //!
-//! Workloads: the 26-module kernel+corpus evaluation set, and a 104-
-//! module "many small modules" set (four stamped-out copies) — the batch
-//! shape the fleet schedules best, since per-(module, function) units
-//! from every module share one pool pass with no module-boundary
-//! barrier. On a multi-core host `fleet_pool` must beat the loop ≥1.3×;
-//! on a 1-core container the pool degrades to inline execution and the
-//! claim collapses to parity (`fleet_seq` ≈ loop), which is what CI's
-//! 1-core runner checks implicitly via the golden fleet test.
+//! Workloads: the 26-module kernel+corpus evaluation set, and a 24-module
+//! *varied-size* synthetic fleet — `synthetic_scaled(n)` at a geometric
+//! spread of sizes (n = 256 .. ~6k escaping accesses, three distinct
+//! modules per size, each seeded by its own `n` so no two are clones).
+//! The varied set is the shape the fleet schedules best: per-(module,
+//! function) units of wildly different weights share one pool pass with
+//! no module-boundary barrier, so big modules can't stall small ones the
+//! way a per-module loop forces them to. On a multi-core host
+//! `fleet_pool` must beat the loop ≥1.3×; on a 1-core container the pool
+//! degrades to inline execution and the claim collapses to parity
+//! (`fleet_seq` ≈ loop), which is what CI's 1-core runner checks
+//! implicitly via the golden fleet test.
 
 use corpus::Params;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fence_ir::Module;
 use fenceplace::{run_fleet_with, run_pipeline_batch, FleetJob, PipelineConfig, Variant};
 
 fn sweep() -> Vec<PipelineConfig> {
@@ -22,23 +27,50 @@ fn sweep() -> Vec<PipelineConfig> {
     ]
 }
 
+/// The varied-size synthetic fleet: a geometric ladder of module sizes,
+/// three modules per rung (offset so each gets its own RNG stream).
+/// Sizes span ~25x end to end — small modules finish their units early
+/// and the scheduler backfills with the big modules' functions.
+fn varied_synthetic() -> Vec<(String, Module)> {
+    let mut out = Vec::new();
+    for step in 0..8u32 {
+        let base = 256usize << (step / 2);
+        let n = if step % 2 == 0 { base } else { base + base / 2 };
+        for k in 0..3usize {
+            let size = n + k * (n / 8).max(16);
+            out.push((format!("syn_{size}"), corpus::synthetic_scaled(size)));
+        }
+    }
+    out
+}
+
 fn bench_fleet(c: &mut Criterion) {
     let p = Params::default();
     let base = corpus::manifest::full_fleet(&p);
+    let synth = varied_synthetic();
     let configs = sweep();
 
-    // One module set per workload size: 1x (26 modules) and 4x (104).
-    let mut group = c.benchmark_group("fleet_scaling");
-    for copies in [1usize, 4] {
-        let jobs: Vec<FleetJob<'_>> = (0..copies)
-            .flat_map(|k| {
-                base.iter()
-                    .map(move |e| FleetJob::new(format!("{}#{k}", e.name), &e.module, sweep()))
-            })
-            .collect();
+    // Two workloads: the evaluation corpus and the varied synthetic set.
+    let workloads: Vec<(&str, Vec<FleetJob<'_>>)> = vec![
+        (
+            "corpus",
+            base.iter()
+                .map(|e| FleetJob::new(e.name.clone(), &e.module, sweep()))
+                .collect(),
+        ),
+        (
+            "varied",
+            synth
+                .iter()
+                .map(|(name, m)| FleetJob::new(name.clone(), m, sweep()))
+                .collect(),
+        ),
+    ];
 
+    let mut group = c.benchmark_group("fleet_scaling");
+    for (label, jobs) in &workloads {
         // The fleet must agree with the loop before we time anything.
-        let (fleet, _) = run_fleet_with(&jobs, true);
+        let (fleet, _) = run_fleet_with(jobs, true);
         for (job, fr) in jobs.iter().zip(&fleet) {
             let want = run_pipeline_batch(job.module, &job.configs);
             for (w, g) in want.iter().zip(&fr.results) {
@@ -47,8 +79,8 @@ fn bench_fleet(c: &mut Criterion) {
         }
 
         group.bench_with_input(
-            BenchmarkId::new("per_module_loop", jobs.len()),
-            &jobs,
+            BenchmarkId::new("per_module_loop", label),
+            jobs,
             |b, jobs| {
                 b.iter(|| {
                     for j in jobs {
@@ -57,16 +89,12 @@ fn bench_fleet(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("fleet_seq", jobs.len()),
-            &jobs,
-            |b, jobs| b.iter(|| criterion::black_box(run_fleet_with(jobs, false))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("fleet_pool", jobs.len()),
-            &jobs,
-            |b, jobs| b.iter(|| criterion::black_box(run_fleet_with(jobs, true))),
-        );
+        group.bench_with_input(BenchmarkId::new("fleet_seq", label), jobs, |b, jobs| {
+            b.iter(|| criterion::black_box(run_fleet_with(jobs, false)))
+        });
+        group.bench_with_input(BenchmarkId::new("fleet_pool", label), jobs, |b, jobs| {
+            b.iter(|| criterion::black_box(run_fleet_with(jobs, true)))
+        });
     }
     group.finish();
 }

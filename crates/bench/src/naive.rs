@@ -503,9 +503,12 @@ pub fn optimized_ordering_stage(
         let substrate = fence_ir::FuncSubstrate::new(func);
         let ords = FuncOrderings::generate(module, escape, fid, &substrate);
         let kept = ords.prune(&sync_reads[fid.index()]);
-        total_kept += kept.counts().iter().sum::<usize>();
+        // One aggregate computation serves counting and minimization,
+        // mirroring the pipeline's per-(function, variant) cache.
+        let aggs = kept.aggregates();
+        total_kept += kept.counts_with(&aggs).iter().sum::<usize>();
         let entry = !sync_reads[fid.index()].is_empty();
-        points.extend(minimize_function(func, fid, &kept, target, entry));
+        points.extend(minimize_function(func, fid, &kept, &aggs, target, entry));
     }
     (total_kept, points)
 }

@@ -16,22 +16,28 @@
 //! 1. *validate* — the pre-analysis IR gate
 //!    ([`fence_ir::verify_module_checked`]): malformed modules are
 //!    rejected with structured diagnostics before any analysis runs;
-//! 2. *analysis* — one [`ModuleAnalysis`] per module (module-level
-//!    units; the per-module analysis runs sequentially inside its unit,
-//!    so independent modules fill the cores with no nested pool entry);
-//! 3. *substrates* — one [`FuncSubstrate`] per function of any module,
-//!    built through one fleet-wide [`RowInterner`] so identical
-//!    reachability rows across repeated corpus kernels are stored once;
-//! 4. *contexts* — one [`FuncContext`] (alias oracle + escape set +
-//!    orderings) per function of any module;
-//! 5. *acquire detection* — one [`AcquireInfo`] per (module, distinct
+//! 2. *analysis + substrates* — **one overlapped pass**: one
+//!    [`ModuleAnalysis`] unit per module (the per-module analysis runs
+//!    sequentially inside its unit, so independent modules fill the
+//!    cores with no nested pool entry) *and* one [`FuncSubstrate`] unit
+//!    per function of any module, built through one fleet-wide
+//!    [`RowInterner`] so identical reachability rows across repeated
+//!    corpus kernels are stored once. A substrate depends only on the
+//!    IR, never on points-to, so the old analysis-then-cfg barrier was
+//!    a false dependency edge — CFG builds now overlap the points-to
+//!    solves;
+//! 3. *contexts* — one [`FuncContext`] (alias oracle + escape set +
+//!    orderings) per function of any module; the first stage with a
+//!    true dependency edge on both the analysis and the substrate;
+//! 4. *acquire detection* — one [`AcquireInfo`] per (module, distinct
 //!    automatic variant, function) triple;
-//! 6. *config tails* — pruning + minimization + insertion per (module,
+//! 5. *config tails* — pruning + minimization + insertion per (module,
 //!    config) pair.
 //!
-//! Stages still separate (a context needs its module's analysis), but no
-//! barrier ever falls on a *module* boundary: while one worker finishes
-//! the last function of module A, others are already deep into module Q.
+//! Barriers fall only on true dependency edges (a context needs its
+//! module's analysis and substrate), and never on a *module* boundary:
+//! while one worker finishes the last function of module A, others are
+//! already deep into module Q.
 //! Every unit keys its result by index, so arrival order cannot affect
 //! any output and fleet results are **bit-identical** to running
 //! [`run_pipeline_batch`](crate::run_pipeline_batch) per module —
@@ -175,8 +181,8 @@ pub struct FleetResult {
 pub struct FleetStats {
     /// Jobs in the fleet.
     pub modules: usize,
-    /// Total (module, function) work units across the fleet (healthy
-    /// modules that reached the substrate stage).
+    /// Total (module, function) work units across the fleet (modules
+    /// that entered the overlapped analysis+substrate pass).
     pub functions: usize,
     /// Total (module, config) result units scheduled (including configs
     /// of modules later quarantined).
@@ -184,7 +190,10 @@ pub struct FleetStats {
     /// `ModuleAnalysis` executions — one per module that has at least
     /// one non-`Manual` config and passed the gate, never more.
     pub analyses: usize,
-    /// `FuncSubstrate` builds — one per analyzed function, never more.
+    /// `FuncSubstrate` builds — one per function of every module that
+    /// entered the overlapped pass, never more (substrate units overlap
+    /// the analysis units, so a module quarantined by its analysis still
+    /// counts its discarded substrate builds here).
     pub substrates: usize,
     /// Distinct reachability rows retained by the fleet-wide interner.
     pub unique_rows: usize,
@@ -401,18 +410,73 @@ pub fn run_fleet_opts(jobs: &[FleetJob], opts: &FleetOptions) -> (Vec<FleetResul
         }
     }
 
-    // ---- stage 1: one ModuleAnalysis per module, module-level units ----
-    // The per-module analysis runs sequentially *inside* its unit;
-    // module units from across the fleet fill the pool. (Nesting the
-    // pool would deadlock: a worker waiting on sub-tasks that only other
-    // busy workers could pop.)
+    // ---- stages 1+2, one overlapped pool pass: analyses + substrates ----
+    // A `FuncSubstrate` depends only on the IR, never on the module
+    // analysis, so the strict analysis-then-cfg barrier is replaced by a
+    // single combined unit list: one `ModuleAnalysis` unit per module
+    // (sequential *inside* its unit — nesting the pool would deadlock)
+    // followed by one substrate unit per function of any module, rows
+    // interned fleet-wide. While one worker grinds a big module's
+    // points-to, others already build CFGs — of that module and every
+    // other. Only the context stage carries a true edge on both.
+    //
+    // Quarantine semantics are preserved exactly: analysis units come
+    // *first* in the combined list and their results are absorbed first,
+    // so a module failing both stages is still attributed to
+    // [`FleetStage::Analysis`], and the per-stage `charge` calls keep
+    // their original boundary order. A module quarantined by its
+    // analysis unit now also ran its substrate units, but their results
+    // are discarded like any post-failure stage output.
     let analysis_jobs: Vec<usize> = (0..nj).filter(|&j| needs[j] && fail[j].is_none()).collect();
-    let ares: Vec<Result<ModuleAnalysis, String>> =
-        stage_map(analysis_jobs.len(), parallel, isolate, |k| {
-            let j = analysis_jobs[k];
-            faultinject::panic_point(&jobs[j].name, FleetStage::Analysis);
-            ModuleAnalysis::run_on(jobs[j].module, false)
+    let mut func_units: Vec<(u32, u32)> = Vec::new();
+    let mut func_off: Vec<usize> = vec![usize::MAX; nj];
+    for &j in &analysis_jobs {
+        func_off[j] = func_units.len();
+        for f in 0..jobs[j].module.funcs.len() {
+            func_units.push((j as u32, f as u32));
+        }
+    }
+    enum BuildUnit {
+        Analysis(ModuleAnalysis),
+        Substrate(FuncSubstrate),
+    }
+    let na = analysis_jobs.len();
+    let interner = RowInterner::new();
+    let bres: Vec<Result<BuildUnit, String>> =
+        stage_map(na + func_units.len(), parallel, isolate, |u| {
+            if u < na {
+                let j = analysis_jobs[u];
+                faultinject::panic_point(&jobs[j].name, FleetStage::Analysis);
+                BuildUnit::Analysis(ModuleAnalysis::run_on(jobs[j].module, false))
+            } else {
+                let (j, f) = func_units[u - na];
+                let j = j as usize;
+                faultinject::panic_point(&jobs[j].name, FleetStage::Substrates);
+                BuildUnit::Substrate(FuncSubstrate::new_interned(
+                    jobs[j].module.func(FuncId::new(f as usize)),
+                    &interner,
+                ))
+            }
         });
+    let mut bres = bres.into_iter();
+    let ares: Vec<Result<ModuleAnalysis, String>> = bres
+        .by_ref()
+        .take(na)
+        .map(|r| {
+            r.map(|u| match u {
+                BuildUnit::Analysis(a) => a,
+                BuildUnit::Substrate(_) => unreachable!("units 0..na are analyses"),
+            })
+        })
+        .collect();
+    let sres: Vec<Result<FuncSubstrate, String>> = bres
+        .map(|r| {
+            r.map(|u| match u {
+                BuildUnit::Substrate(s) => s,
+                BuildUnit::Analysis(_) => unreachable!("units na.. are substrates"),
+            })
+        })
+        .collect();
     let mut analyses: Vec<Option<ModuleAnalysis>> = (0..nj).map(|_| None).collect();
     for (k, a) in absorb(ares, FleetStage::Analysis, |k| analysis_jobs[k], &mut fail)
         .into_iter()
@@ -431,30 +495,6 @@ pub fn run_fleet_opts(jobs: &[FleetJob], opts: &FleetOptions) -> (Vec<FleetResul
             &mut fail,
         );
     }
-
-    // ---- flattened per-(module, function) unit list ----
-    let mut func_units: Vec<(u32, u32)> = Vec::new();
-    let mut func_off: Vec<usize> = vec![usize::MAX; nj];
-    for j in 0..nj {
-        if !needs[j] || fail[j].is_some() {
-            continue;
-        }
-        func_off[j] = func_units.len();
-        for f in 0..jobs[j].module.funcs.len() {
-            func_units.push((j as u32, f as u32));
-        }
-    }
-
-    // ---- stage 2: substrates, one pool pass over every function of
-    // every healthy module, rows interned fleet-wide ----
-    let interner = RowInterner::new();
-    let sres: Vec<Result<FuncSubstrate, String>> =
-        stage_map(func_units.len(), parallel, isolate, |u| {
-            let (j, f) = func_units[u];
-            let j = j as usize;
-            faultinject::panic_point(&jobs[j].name, FleetStage::Substrates);
-            FuncSubstrate::new_interned(jobs[j].module.func(FuncId::new(f as usize)), &interner)
-        });
     let substrates = absorb(
         sres,
         FleetStage::Substrates,

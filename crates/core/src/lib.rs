@@ -83,7 +83,9 @@ pub use fleet::{
     run_fleet, run_fleet_opts, run_fleet_with, FleetJob, FleetOptions, FleetResult, FleetStats,
 };
 pub use minimize::{FencePoint, TargetModel};
-pub use orderings::{Access, AccessKind, FuncOrderings, OrderKind, OrderingSelection};
+pub use orderings::{
+    Access, AccessKind, FuncOrderings, OrderKind, OrderingSelection, SyncAggregates,
+};
 pub use pipeline::{
     run_pipeline, run_pipeline_batch, FuncContext, PipelineConfig, PipelineResult, Variant,
 };

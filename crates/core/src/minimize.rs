@@ -46,7 +46,7 @@
 //! accesses plus those row intersections, with identical output to the
 //! exhaustive sweep.
 
-use crate::orderings::{AccessKind, OrderKind, OrderingSelection};
+use crate::orderings::{AccessKind, OrderKind, OrderingSelection, SyncAggregates};
 use fence_ir::{BlockId, FenceKind, FuncId, Function, Module};
 
 /// The hardware memory model fences are minimized against.
@@ -96,10 +96,17 @@ struct Interval {
 
 /// Minimizes fences for one function. `entry_fence` requests the
 /// function-entry full fence (the caller decides via the sync-read rule).
+///
+/// `aggs` are the selection's [`SyncAggregates`] — the same object the
+/// orderings stage's analytic counting consumes, so batch callers
+/// compute them once per (function, variant) (cached on
+/// [`crate::FuncContext`]) and minimization never re-walks the SCC rows;
+/// one-shot callers pass `&sel.aggregates()`.
 pub fn minimize_function(
     func: &Function,
     fid: FuncId,
     sel: &OrderingSelection<'_>,
+    aggs: &SyncAggregates,
     target: TargetModel,
     entry_fence: bool,
 ) -> Vec<FencePoint> {
@@ -122,10 +129,16 @@ pub fn minimize_function(
     }
 
     let mut intervals: Vec<Interval> = Vec::new();
-    let sync_tally = sel.sync_tallies();
-    // Selection-dependent per-SCC aggregates (one sparse row walk per
-    // SCC); the selection-independent ones are cached on `ords`.
-    let scc_na_sync = sel.scc_sync_sums(&sync_tally, |t| t.1);
+    // Selection-dependent per-SCC aggregates, shared with the counting
+    // path via the caller (no row walk here); the selection-independent
+    // ones are cached on `ords`.
+    let (sync_tally, scc_na_sync) = (&aggs.sync_tally, &aggs.scc_na_sync);
+    // Nearest-kept-target buffers, reused across blocks (resized per
+    // block, allocated once).
+    const NONE: usize = usize::MAX;
+    let mut next_read: Vec<usize> = Vec::new();
+    let mut next_write: Vec<usize> = Vec::new();
+    let mut next_sync: Vec<usize> = Vec::new();
     // `occupied` ascends, so blocks are visited — and points emitted — in
     // the same order as the exhaustive per-pair sweep.
     for &b in &ords.occupied {
@@ -151,10 +164,10 @@ pub fn minimize_function(
 
         // Nearest kept non-atomic same-block target *after* each position
         // (by in-block instruction index), one backwards sweep.
-        const NONE: usize = usize::MAX;
-        let mut next_read = vec![NONE; m + 1];
-        let mut next_write = vec![NONE; m + 1];
-        let mut next_sync = vec![NONE; m + 1];
+        for buf in [&mut next_read, &mut next_write, &mut next_sync] {
+            buf.clear();
+            buf.resize(m + 1, NONE);
+        }
         for p in (0..m).rev() {
             next_read[p] = next_read[p + 1];
             next_write[p] = next_write[p + 1];
@@ -340,7 +353,8 @@ mod tests {
             BitSet::new(func.num_insts())
         };
         let has_sync = !sync.is_empty();
-        minimize_function(func, fid, &ords.prune(&sync), target, has_sync)
+        let sel = ords.prune(&sync);
+        minimize_function(func, fid, &sel, &sel.aggregates(), target, has_sync)
     }
 
     fn ord_counts(m: &Module, fid: FuncId) -> [usize; 4] {
@@ -435,10 +449,12 @@ mod tests {
                 sync.insert(iid.index());
             }
         }
+        let sel = ords.prune(&sync);
         let pts = minimize_function(
             m.func(fid),
             fid,
-            &ords.prune(&sync),
+            &sel,
+            &sel.aggregates(),
             TargetModel::ScHardware,
             false,
         );
@@ -464,7 +480,14 @@ mod tests {
         let sync = BitSet::new(m.func(fid).num_insts());
         let kept = ords.prune(&sync);
         assert_eq!(kept.len(), 1, "r→w survives pruning");
-        let pts = minimize_function(m.func(fid), fid, &kept, TargetModel::Weak, false);
+        let pts = minimize_function(
+            m.func(fid),
+            fid,
+            &kept,
+            &kept.aggregates(),
+            TargetModel::Weak,
+            false,
+        );
         assert_eq!(count_fences(&pts), (1, 0));
     }
 

@@ -297,23 +297,46 @@ impl<'r> FuncOrderings<'r> {
             }
         }
 
-        // ---- one aggregation walk per *SCC* with occupied sources ----
-        // All blocks of an SCC share a reachability row, so the summed
-        // tallies of the row's occupied blocks are computed once per SCC,
-        // never per source block — and never stored per block pair.
-        let mut scc_sums = vec![BlockTally::default(); reach.num_sccs()];
+        // ---- per-SCC aggregates via the condensation recurrence ----
+        // All blocks of an SCC share a reachability row, and every row is
+        // the union of the rows of its condensation successors (plus its
+        // own blocks when cyclic). `Reachability` records a *base*
+        // successor per SCC — the largest-row one, so its row covers most
+        // of ours — letting each SCC start from the base's already-summed
+        // aggregate and add only the (usually tiny) row difference:
+        // `O(Σ |row \ base_row| / 64)` total instead of one full row walk
+        // per active SCC. Tarjan ids ascend against reachability, so a
+        // single ascending sweep sees every base before its dependents.
+        let num_sccs = reach.num_sccs();
+        let mut scc_sums = vec![BlockTally::default(); num_sccs];
+        for s in 0..num_sccs {
+            let row = reach.scc_row(s);
+            let sum = match reach.scc_base(s) {
+                Some(base) => {
+                    let mut sum = scc_sums[base];
+                    let base_row = reach.scc_row(base);
+                    for t in row.iter_difference_intersection(base_row, &occupied_mask) {
+                        sum.add(&tally[t]);
+                    }
+                    sum
+                }
+                None => {
+                    let mut sum = BlockTally::default();
+                    for t in row.iter_intersection(&occupied_mask) {
+                        sum.add(&tally[t]);
+                    }
+                    sum
+                }
+            };
+            scc_sums[s] = sum;
+        }
         let mut active_sccs = Vec::new();
-        let mut seen = vec![false; reach.num_sccs()];
+        let mut seen = vec![false; num_sccs];
         for &b in &occupied {
             let s = reach.scc_of(BlockId::new(b as usize));
-            if seen[s] {
-                continue;
-            }
-            seen[s] = true;
-            active_sccs.push(s as u32);
-            let sum = &mut scc_sums[s];
-            for t in reach.scc_row(s).iter_intersection(&occupied_mask) {
-                sum.add(&tally[t]);
+            if !seen[s] {
+                seen[s] = true;
+                active_sccs.push(s as u32);
             }
         }
         active_sccs.sort_unstable();
@@ -432,6 +455,25 @@ impl<'r> FuncOrderings<'r> {
     }
 }
 
+/// Selection-dependent aggregates shared by analytic pair counting and
+/// fence minimization: per-block sync-read tallies plus the per-SCC sums
+/// of both tally components over the shared reachability rows. Built by
+/// [`OrderingSelection::aggregates`] (one sparse row walk per active
+/// SCC) and cached per (function, variant) on [`crate::FuncContext`], so
+/// [`OrderingSelection::counts_with`] and
+/// [`crate::minimize::minimize_function`] never re-walk SCC rows the
+/// orderings stage already aggregated.
+pub struct SyncAggregates {
+    /// Per block `(sync_reads, non_atomic_sync_reads)` under the
+    /// selection.
+    pub(crate) sync_tally: Vec<(usize, usize)>,
+    /// Per SCC: summed sync reads over the row's occupied blocks.
+    pub(crate) scc_sync: Vec<usize>,
+    /// Per SCC: summed *non-atomic* sync reads (minimization skips
+    /// atomic endpoints).
+    pub(crate) scc_na_sync: Vec<usize>,
+}
+
 /// A pruned (or complete) view of a function's orderings: the aggregated
 /// relation plus the sync-read filter. Consumed by counting and fence
 /// minimization without ever materializing pairs.
@@ -494,49 +536,78 @@ impl<'a> OrderingSelection<'a> {
         t
     }
 
-    /// Per-SCC sums of a per-block sync tally over the SCC's reachable
-    /// occupied blocks: the selection-dependent sibling of the cached
-    /// `scc_sums`. Rows are intersected against the (typically sparse)
-    /// mask of blocks that actually contain sync reads, so a pruned
-    /// selection pays `O(active SCCs · sync blocks/64)`, not a full row
-    /// walk. Pass `pick` to choose the tally component (all sync reads
-    /// for counting, non-atomic ones for minimization).
-    pub(crate) fn scc_sync_sums(
-        &self,
-        sync_tally: &[(usize, usize)],
-        pick: impl Fn(&(usize, usize)) -> usize,
-    ) -> Vec<usize> {
+    /// Computes the selection-dependent aggregates once: per-block sync
+    /// tallies plus the per-SCC sums of both tally components (all sync
+    /// reads for counting, non-atomic ones for minimization) in a
+    /// *single* sparse row walk per active SCC. Rows are intersected
+    /// against the (typically sparse) mask of blocks that actually
+    /// contain sync reads, so a pruned selection pays
+    /// `O(active SCCs · sync blocks/64)`, not a full row walk — and the
+    /// Pensieve selection pays nothing: the selection-independent
+    /// `scc_sums` cached at generation already hold the answer.
+    ///
+    /// Both [`OrderingSelection::counts_with`] and
+    /// [`crate::minimize::minimize_function`] consume the same
+    /// aggregates, so a batch computes them once per (function, variant)
+    /// — cached on [`crate::FuncContext`] — instead of once per stage
+    /// per config.
+    pub fn aggregates(&self) -> SyncAggregates {
         let ords = self.ords;
-        let mut sums = vec![0usize; ords.reach.num_sccs()];
+        let sync_tally = self.sync_tallies();
+        let num_sccs = ords.reach.num_sccs();
+        let mut scc_sync = vec![0usize; num_sccs];
+        let mut scc_na_sync = vec![0usize; num_sccs];
         match self.sync {
-            // Pensieve: every read is sync, so the cached aggregates
-            // already hold the answer — no row walk at all.
             None => {
                 for &s in &ords.active_sccs {
-                    sums[s as usize] = pick(&(
-                        ords.scc_sums[s as usize].reads,
-                        ords.scc_sums[s as usize].na_reads,
-                    ));
+                    scc_sync[s as usize] = ords.scc_sums[s as usize].reads;
+                    scc_na_sync[s as usize] = ords.scc_sums[s as usize].na_reads;
                 }
             }
             Some(_) => {
                 let nb = ords.block_range.len();
+                // Blocks with non-atomic sync reads are a subset of blocks
+                // with sync reads, so one mask serves both sums.
                 let mut mask = BitSet::new(nb);
                 for (b, t) in sync_tally.iter().enumerate() {
-                    if pick(t) > 0 {
+                    if t.0 > 0 {
                         mask.insert(b);
                     }
                 }
-                for &s in &ords.active_sccs {
-                    let mut sum = 0usize;
-                    for t in ords.reach.scc_row(s as usize).iter_intersection(&mask) {
-                        sum += pick(&sync_tally[t]);
+                // Same ascending base-successor recurrence as the
+                // selection-independent `scc_sums` in `generate`: start
+                // from the base's already-summed aggregate, add only the
+                // row difference.
+                let reach = ords.reach;
+                for s in 0..num_sccs {
+                    let row = reach.scc_row(s);
+                    let (mut sum, mut na_sum) = (0usize, 0usize);
+                    match reach.scc_base(s) {
+                        Some(b) => {
+                            sum = scc_sync[b];
+                            na_sum = scc_na_sync[b];
+                            for t in row.iter_difference_intersection(reach.scc_row(b), &mask) {
+                                sum += sync_tally[t].0;
+                                na_sum += sync_tally[t].1;
+                            }
+                        }
+                        None => {
+                            for t in row.iter_intersection(&mask) {
+                                sum += sync_tally[t].0;
+                                na_sum += sync_tally[t].1;
+                            }
+                        }
                     }
-                    sums[s as usize] = sum;
+                    scc_sync[s] = sum;
+                    scc_na_sync[s] = na_sum;
                 }
             }
         }
-        sums
+        SyncAggregates {
+            sync_tally,
+            scc_sync,
+            scc_na_sync,
+        }
     }
 
     /// Kept pairs, lazily, in legacy order (tests/reports only).
@@ -560,11 +631,18 @@ impl<'a> OrderingSelection<'a> {
     /// Kept-pair counts by kind, computed analytically: per-block tallies
     /// plus one cached aggregate per source block — `O(accesses + active
     /// SCCs · sync blocks/64)` instead of a sweep over the quadratic pair
-    /// list (or even over the block pairs).
+    /// list (or even over the block pairs). Computes the selection
+    /// aggregates on the fly; batch callers holding cached
+    /// [`SyncAggregates`] should call [`Self::counts_with`].
     pub fn counts(&self) -> [usize; 4] {
+        self.counts_with(&self.aggregates())
+    }
+
+    /// [`Self::counts`] from precomputed [`SyncAggregates`] — no row
+    /// walk at all, `O(accesses)`.
+    pub fn counts_with(&self, aggs: &SyncAggregates) -> [usize; 4] {
         let ords = self.ords;
-        let sync_tally = self.sync_tallies();
-        let scc_sync = self.scc_sync_sums(&sync_tally, |t| t.0);
+        let (sync_tally, scc_sync) = (&aggs.sync_tally, &aggs.scc_sync);
         let mut c = [0usize; 4];
         for &b in &ords.occupied {
             let bi = b as usize;

@@ -23,7 +23,10 @@
 //! and one [`FuncContext`] per function (oracle + escaping set +
 //! orderings borrowing the substrate), computes acquire info once per
 //! *distinct variant*, and only the cheap tail — pruning, fence
-//! minimization, fence insertion, report assembly — runs per config. Callers sweeping variants and targets (golden tests, figure
+//! minimization, fence insertion, report assembly — runs per config.
+//! The substrates depend only on the IR, so the analysis and the
+//! substrate builds run as **one overlapped pool pass** rather than
+//! back-to-back stages; only the context stage waits on both. Callers sweeping variants and targets (golden tests, figure
 //! binaries) get the whole sweep for roughly the price of one run.
 //! [`run_pipeline`] is the single-config special case.
 //!
@@ -37,7 +40,7 @@
 use crate::acquire::{detect_acquires_with, pensieve_all_reads, AcquireInfo, DetectMode};
 use crate::insert::insert_fences;
 use crate::minimize::{count_module_fences, minimize_function, FencePoint, TargetModel};
-use crate::orderings::FuncOrderings;
+use crate::orderings::{FuncOrderings, OrderingSelection, SyncAggregates};
 use crate::pool::ThreadPool;
 use crate::report::{FuncReport, ModuleReport};
 use fence_analysis::alias::AliasOracle;
@@ -46,7 +49,7 @@ use fence_ir::cfg::FuncSubstrate;
 use fence_ir::util::BitSet;
 use fence_ir::{FenceKind, FuncId, Module};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Which sync-read set drives pruning.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -150,6 +153,14 @@ pub struct FuncContext<'a> {
     pub substrate: &'a FuncSubstrate,
     /// Block-aggregated ordering relation (borrows `substrate`).
     pub orderings: FuncOrderings<'a>,
+    /// Per-variant [`SyncAggregates`] (sync tallies + per-SCC sync sums),
+    /// computed lazily on first use and then shared between the
+    /// counting and minimization stages of every config with that
+    /// variant — the orderings/minimize fusion.
+    sync_aggs: [OnceLock<SyncAggregates>; 4],
+    /// The unpruned (`FuncOrderings::counts`) totals, shared across all
+    /// configs of a batch.
+    total_counts: OnceLock<[usize; 4]>,
 }
 
 impl<'a> FuncContext<'a> {
@@ -167,7 +178,26 @@ impl<'a> FuncContext<'a> {
             escaping: analysis.escape.escaping_set(fid),
             substrate,
             orderings: FuncOrderings::generate(module, &analysis.escape, fid, substrate),
+            sync_aggs: [const { OnceLock::new() }; 4],
+            total_counts: OnceLock::new(),
         }
+    }
+
+    /// The cached [`SyncAggregates`] of `variant`'s selection, computed
+    /// on first use. `sel` must be the selection `finish_function`
+    /// derives for that variant (same sync-read set), which the
+    /// per-variant acquire cache guarantees.
+    pub(crate) fn sync_aggregates(
+        &self,
+        variant: Variant,
+        sel: &OrderingSelection<'_>,
+    ) -> &SyncAggregates {
+        self.sync_aggs[variant.idx()].get_or_init(|| sel.aggregates())
+    }
+
+    /// The cached unpruned pair counts.
+    pub(crate) fn total_counts(&self) -> [usize; 4] {
+        *self.total_counts.get_or_init(|| self.orderings.counts())
     }
 
     /// Acquire detection for one automatic variant using the cached
@@ -309,8 +339,11 @@ pub(crate) fn finish_function(
         Variant::Pensieve => ctx.orderings.all(),
         _ => ctx.orderings.prune(&info.sync_reads),
     };
+    // One aggregate computation per (function, variant) feeds both the
+    // kept-pair counting and fence minimization of every config.
+    let aggs = ctx.sync_aggregates(config.variant, &kept);
     let entry_fence = !info.sync_reads.is_empty();
-    let points = minimize_function(func, ctx.fid, &kept, config.target, entry_fence);
+    let points = minimize_function(func, ctx.fid, &kept, aggs, config.target, entry_fence);
 
     let (full, dir) = crate::minimize::count_fences(&points);
     let report = FuncReport {
@@ -321,8 +354,8 @@ pub(crate) fn finish_function(
         control_acquires: info.control.count(),
         address_acquires: info.address.count(),
         pure_address_acquires: info.pure_address_count(),
-        orderings_total: ctx.orderings.counts(),
-        orderings_kept: kept.counts(),
+        orderings_total: ctx.total_counts(),
+        orderings_kept: kept.counts_with(aggs),
         full_fences: full,
         compiler_fences: dir,
     };
@@ -387,14 +420,40 @@ pub fn run_pipeline_batch(module: &Module, configs: &[PipelineConfig]) -> Vec<Pi
     }
     let any_parallel = configs.iter().any(|c| c.parallel);
     MODULE_ANALYSIS_RUNS.with(|c| c.set(c.get() + 1));
-    let analysis = ModuleAnalysis::run_on(module, any_parallel);
     let n = module.funcs.len();
 
-    // Cache-once CFG substrate: exactly one `Cfg` + `Reachability` build
-    // per function for the whole batch (counter-pinned by a test below).
-    let substrates: Vec<FuncSubstrate> = map_indexed(n, any_parallel, |i| {
-        FuncSubstrate::new(module.func(FuncId::new(i)))
+    // Overlapped build pass: the CFG substrates depend only on the IR,
+    // not on points-to, so the module analysis (unit 0) and the
+    // cache-once substrate builds (units 1..=n, exactly one `Cfg` +
+    // `Reachability` build per function per batch, counter-pinned by a
+    // test below) share one pool pass instead of a strict
+    // analysis-then-cfg barrier. Only the context stage below carries a
+    // true dependency edge on both. The analysis runs sequentially
+    // *inside* its unit (nesting the pool would deadlock); sequentially
+    // the pass degrades to the old analysis-then-substrates order.
+    enum BuildUnit {
+        Analysis(ModuleAnalysis),
+        Substrate(FuncSubstrate),
+    }
+    let mut built = map_indexed(n + 1, any_parallel, |u| {
+        if u == 0 {
+            BuildUnit::Analysis(ModuleAnalysis::run_on(module, false))
+        } else {
+            BuildUnit::Substrate(FuncSubstrate::new(module.func(FuncId::new(u - 1))))
+        }
     });
+    let substrates: Vec<FuncSubstrate> = built
+        .split_off(1)
+        .into_iter()
+        .map(|u| match u {
+            BuildUnit::Substrate(s) => s,
+            BuildUnit::Analysis(_) => unreachable!("units 1..=n are substrates"),
+        })
+        .collect();
+    let analysis = match built.pop() {
+        Some(BuildUnit::Analysis(a)) => a,
+        _ => unreachable!("unit 0 is the module analysis"),
+    };
 
     // Config-independent per-function contexts, built once, borrowing
     // the substrates.

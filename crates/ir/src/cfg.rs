@@ -237,6 +237,12 @@ pub struct Reachability {
     rows: Vec<Arc<BitSet>>,
     /// Per SCC: more than one member, or a self edge.
     cyclic: Vec<bool>,
+    /// Per SCC: a successor SCC in the condensation whose row is a
+    /// subset of this SCC's row (`u32::MAX` for sinks). Chosen as the
+    /// largest-row successor, so `rows[s] \ rows[base[s]]` is typically a
+    /// handful of blocks — the invariant per-SCC aggregate recurrences
+    /// build on (see [`Reachability::scc_base`]).
+    base: Vec<u32>,
 }
 
 impl Reachability {
@@ -279,6 +285,17 @@ impl Reachability {
         // once per edge).
         let mut rows: Vec<Arc<BitSet>> = Vec::with_capacity(num_sccs);
         let mut merged = vec![u32::MAX; num_sccs];
+        let mut base = vec![u32::MAX; num_sccs];
+        // Row popcounts, memoized lazily: only rows actually *compared*
+        // (successors of SCCs with several distinct successors) pay the
+        // count sweep — an SCC with one successor picks it unconditionally.
+        let mut sizes: Vec<u32> = vec![u32::MAX; num_sccs];
+        fn size_of(sizes: &mut [u32], rows: &[Arc<BitSet>], s: usize) -> u32 {
+            if sizes[s] == u32::MAX {
+                sizes[s] = rows[s].count() as u32;
+            }
+            sizes[s]
+        }
         for s in 0..num_sccs {
             let mut row = BitSet::new(n);
             if cyclic[s] {
@@ -286,6 +303,7 @@ impl Reachability {
                     row.insert(m as usize);
                 }
             }
+            let mut best = u32::MAX;
             for &m in &members[s] {
                 for &t in &cfg.succs[m as usize] {
                     let ts = scc[t.index()] as usize;
@@ -294,17 +312,31 @@ impl Reachability {
                         if merged[ts] != s as u32 {
                             merged[ts] = s as u32;
                             row.union_with(&rows[ts]);
+                            // Largest-row successor becomes the base, so
+                            // `row \ rows[base]` stays small.
+                            if best == u32::MAX
+                                || size_of(&mut sizes, &rows, ts)
+                                    > size_of(&mut sizes, &rows, best as usize)
+                            {
+                                best = ts as u32;
+                            }
                         }
                     }
                 }
             }
+            base[s] = best;
             rows.push(match interner {
                 Some(i) => i.intern(row),
                 None => Arc::new(row),
             });
         }
 
-        Reachability { scc, rows, cyclic }
+        Reachability {
+            scc,
+            rows,
+            cyclic,
+            base,
+        }
     }
 
     /// `true` if a path of >= 1 edge leads from `from` to `to`.
@@ -352,6 +384,19 @@ impl Reachability {
     #[inline]
     pub fn scc_cyclic(&self, s: usize) -> bool {
         self.cyclic[s]
+    }
+
+    /// A successor SCC of `s` in the condensation whose row is a
+    /// **subset** of `s`'s row (`None` for sinks). Ids are
+    /// reverse-topological, so the base is always `< s` — per-SCC
+    /// aggregates can be computed in one ascending sweep as
+    /// `agg(s) = agg(base) + Σ over scc_row(s) \ scc_row(base)`, turning
+    /// the quadratic all-rows walk into one proportional to the (small)
+    /// row differences.
+    #[inline]
+    pub fn scc_base(&self, s: usize) -> Option<usize> {
+        let b = self.base[s];
+        (b != u32::MAX).then_some(b as usize)
     }
 }
 
@@ -703,6 +748,61 @@ mod tests {
                     reference[a].contains(a),
                     "shape {i}: in_cycle({a})"
                 );
+            }
+        }
+    }
+
+    /// Every non-sink SCC's base successor must (a) have a smaller id and
+    /// (b) contribute a row that is a subset of the SCC's own row — the
+    /// two invariants the ascending aggregate recurrence relies on.
+    #[test]
+    fn scc_base_is_smaller_and_subset() {
+        let shapes: Vec<(usize, Vec<(usize, usize)>)> = vec![
+            (5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]),
+            (4, vec![(0, 1), (1, 2), (2, 1), (2, 3)]),
+            (
+                6,
+                vec![(0, 1), (1, 2), (2, 1), (2, 3), (3, 1), (3, 4), (4, 5)],
+            ),
+            (7, vec![(0, 1), (0, 2), (1, 3), (2, 3), (5, 6), (6, 5)]),
+            (
+                5,
+                (0..5)
+                    .flat_map(|a| (a + 1..5).map(move |b| (a, b)))
+                    .chain([(4, 0)])
+                    .collect(),
+            ),
+        ];
+        for (i, (n, edges)) in shapes.iter().enumerate() {
+            let cfg = cfg_from_edges(*n, edges);
+            let reach = Reachability::new(&cfg);
+            for s in 0..reach.num_sccs() {
+                match reach.scc_base(s) {
+                    None => {
+                        // A sink SCC: no outgoing condensation edge.
+                        for b in 0..*n {
+                            if reach.scc_of(BlockId::new(b)) == s {
+                                for &t in &cfg.succs[b] {
+                                    assert_eq!(
+                                        reach.scc_of(t),
+                                        s,
+                                        "shape {i}: sink SCC {s} has an external succ"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Some(b) => {
+                        assert!(b < s, "shape {i}: base {b} of SCC {s} not smaller");
+                        let (own, base) = (reach.scc_row(s), reach.scc_row(b));
+                        for bit in base.iter() {
+                            assert!(
+                                own.contains(bit),
+                                "shape {i}: row({b}) ⊄ row({s}) at bit {bit}"
+                            );
+                        }
+                    }
+                }
             }
         }
     }

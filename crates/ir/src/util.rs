@@ -197,6 +197,40 @@ impl BitSet {
             })
     }
 
+    /// Iterates the elements of `(self \ minus) ∩ mask` in ascending
+    /// order (word-level `a & !b & c`, then bit-walk).
+    ///
+    /// This is the primitive behind the per-SCC aggregate recurrence in
+    /// ordering generation: each SCC's reachability row is a superset of
+    /// its base successor's row, so the aggregate difference is summed
+    /// over this (typically tiny) set difference instead of re-walking
+    /// the whole row.
+    pub fn iter_difference_intersection<'a>(
+        &'a self,
+        minus: &'a BitSet,
+        mask: &'a BitSet,
+    ) -> impl Iterator<Item = usize> + 'a {
+        debug_assert_eq!(self.len, minus.len);
+        debug_assert_eq!(self.len, mask.len);
+        self.words
+            .iter()
+            .zip(&minus.words)
+            .zip(&mask.words)
+            .enumerate()
+            .flat_map(|(wi, ((&a, &b), &c))| {
+                let mut bits = a & !b & c;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let bit = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(wi * 64 + bit)
+                    }
+                })
+            })
+    }
+
     /// Number of elements in `self \ other` (word-level popcount; no
     /// iteration, no allocation).
     pub fn difference_count(&self, other: &BitSet) -> usize {
@@ -435,6 +469,38 @@ mod tests {
         assert_eq!(got, vec![5, 64, 128, 299]);
         let empty = BitSet::new(300);
         assert_eq!(a.iter_intersection(&empty).count(), 0);
+    }
+
+    #[test]
+    fn iter_difference_intersection_matches_filtered_iter() {
+        let mut a = BitSet::new(300);
+        let mut minus = BitSet::new(300);
+        let mut mask = BitSet::new(300);
+        for i in [0usize, 5, 63, 64, 65, 128, 200, 299] {
+            a.insert(i);
+        }
+        for i in [5usize, 64, 128] {
+            minus.insert(i);
+        }
+        for i in [0usize, 63, 65, 128, 200, 250] {
+            mask.insert(i);
+        }
+        let got: Vec<_> = a.iter_difference_intersection(&minus, &mask).collect();
+        let want: Vec<_> = a
+            .iter()
+            .filter(|&i| !minus.contains(i) && mask.contains(i))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(got, vec![0, 63, 65, 200]);
+        // Subtracting self against a full mask yields nothing.
+        let full = {
+            let mut f = BitSet::new(300);
+            for i in 0..300 {
+                f.insert(i);
+            }
+            f
+        };
+        assert_eq!(a.iter_difference_intersection(&a, &full).count(), 0);
     }
 
     #[test]

@@ -5,12 +5,30 @@
 #
 # Usage: scripts/perf_gate.sh [TOLERANCE]   (default 1.5)
 #
-# Wired into CI as a non-blocking job: the 1-core shared runner is noisy,
-# so a red perf gate is a signal to investigate, not an automatic block.
+# Wired into CI as a blocking job: the tolerance absorbs 1-core runner
+# noise, and anything beyond it blocks the merge. On failure the
+# per-stage baseline/fresh/ratio table is replayed to stderr so the
+# regressing stage is visible straight from the job summary, without
+# digging through the full log.
 # Exit codes: 0 ok, 1 regression, 2 missing/unparseable baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TOLERANCE="${1:-1.5}"
 
-cargo run --release -p fence_bench --bin perf_snapshot -- --check --tolerance "$TOLERANCE"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+status=0
+cargo run --release -p fence_bench --bin perf_snapshot -- --check --tolerance "$TOLERANCE" \
+    | tee "$OUT" || status=$?
+
+if [ "$status" -ne 0 ]; then
+    {
+        echo
+        echo "perf gate FAILED (tolerance ${TOLERANCE}x) — per-stage ratios:"
+        # Replay the measurement table: its header plus every stage row.
+        grep -E '^(stage[[:space:]]|[a-z_]+[[:space:]]+[0-9])' "$OUT" || true
+    } >&2
+fi
+exit "$status"
