@@ -32,7 +32,10 @@
 //! 4. *acquire detection* — one [`AcquireInfo`] per (module, distinct
 //!    automatic variant, function) triple;
 //! 5. *config tails* — pruning + minimization + insertion per (module,
-//!    config) pair.
+//!    config) pair;
+//! 6. *certify* (opt-in, [`FleetOptions::certify`]) — bounded model
+//!    checking of every assembled (module, config) placement against its
+//!    target memory model ([`crate::certify()`]), one unit per pair.
 //!
 //! Barriers fall only on true dependency edges (a context needs its
 //! module's analysis and substrate), and never on a *module* boundary:
@@ -80,6 +83,7 @@
 //! of the above from tests and the `check.sh faults` CI job.
 
 use crate::acquire::AcquireInfo;
+use crate::certify::{CertifyOptions, CertifyReport, CertifyStatus};
 use crate::faultinject;
 use crate::insert::insert_fences;
 use crate::minimize::FencePoint;
@@ -148,6 +152,16 @@ pub struct FleetOptions {
     /// [`ModuleOutcome::DeadlineExceeded`] at the same point in
     /// sequential and pooled runs. `None` disables deadlines.
     pub budget: Option<u64>,
+    /// Opt-in post-placement certification ([`crate::certify()`]): after
+    /// the tails assemble, every (module, config) result is model-checked
+    /// against its target — soundness for race-free thread groups,
+    /// per-fence minimality — under the given per-module state budget.
+    /// Quarantine-aware like every other stage: a panicking or
+    /// deadline-tripping certify unit quarantines its module at
+    /// [`FleetStage::Certify`]; a *failed certificate* (unsound /
+    /// non-minimal placement) is a result, not a quarantine. `None`
+    /// (the default) skips the stage entirely.
+    pub certify: Option<CertifyOptions>,
 }
 
 impl Default for FleetOptions {
@@ -157,6 +171,7 @@ impl Default for FleetOptions {
             isolate: true,
             validate: true,
             budget: None,
+            certify: None,
         }
     }
 }
@@ -172,6 +187,10 @@ pub struct FleetResult {
     /// [`run_pipeline_batch`](crate::run_pipeline_batch) would produce.
     /// Empty when the module was quarantined.
     pub results: Vec<PipelineResult>,
+    /// One [`CertifyReport`] per config when
+    /// [`FleetOptions::certify`] is enabled (in config order); empty when
+    /// certification was disabled or the module was quarantined.
+    pub certifications: Vec<CertifyReport>,
 }
 
 /// Work accounting for one fleet run — the observables behind the
@@ -204,6 +223,12 @@ pub struct FleetStats {
     pub row_words: usize,
     /// Modules quarantined with a non-[`ModuleOutcome::Ok`] outcome.
     pub failed: usize,
+    /// Certification reports produced (0 when the stage is disabled).
+    pub certifications: usize,
+    /// Certification reports whose verdict is
+    /// [`CertifyStatus::Unsound`] — placements that leak a non-SC
+    /// outcome in a race-free thread group.
+    pub certify_unsound: usize,
 }
 
 /// Deterministic step cost of one function for one stage pass.
@@ -675,25 +700,13 @@ pub fn run_fleet_opts(jobs: &[FleetJob], opts: &FleetOptions) -> (Vec<FleetResul
         }
     }
 
-    let stats = FleetStats {
-        modules: nj,
-        functions: func_units.len(),
-        configs: jobs.iter().map(|j| j.configs.len()).sum(),
-        analyses: analysis_jobs.len(),
-        substrates: func_units.len(),
-        unique_rows: interner.unique_rows(),
-        row_hits: interner.hits(),
-        row_words: interner.retained_words(),
-        failed: fail.iter().filter(|o| o.is_some()).count(),
-    };
-
     // Tail units were generated in (job, config, function) order over
     // the modules alive at the tails barrier, so one running cursor
     // regroups them deterministically. A module that failed *during*
     // the tails stage still consumes its cursor entries (keeping later
     // modules aligned) but contributes no results.
     let mut tail_cursor = tails.into_iter();
-    let mut out = Vec::with_capacity(nj);
+    let mut results_per_job: Vec<Vec<PipelineResult>> = Vec::with_capacity(nj);
     for (j, job) in jobs.iter().enumerate() {
         let mut results = Vec::new();
         if tails_alive[j] {
@@ -728,10 +741,103 @@ pub fn run_fleet_opts(jobs: &[FleetJob], opts: &FleetOptions) -> (Vec<FleetResul
                 });
             }
         }
+        results_per_job.push(results);
+    }
+
+    // ---- stage 6 (opt-in): post-placement certification ----
+    // One unit per (healthy module, config), model-checking the
+    // *assembled* instrumented module against its config's target.
+    // Healthy modules have exactly one result per config, in config
+    // order, so the unit's config index addresses both.
+    let mut certs_per_job: Vec<Vec<CertifyReport>> = (0..nj).map(|_| Vec::new()).collect();
+    if let Some(copts) = opts.certify {
+        let mut cert_units: Vec<(u32, u32)> = Vec::new();
+        let mut cert_cost: Vec<u64> = vec![0; nj];
+        for (j, job) in jobs.iter().enumerate() {
+            if fail[j].is_some() {
+                continue;
+            }
+            for c in 0..results_per_job[j].len() {
+                cert_units.push((j as u32, c as u32));
+                cert_cost[j] += module_step_cost(job.module);
+            }
+        }
+        let crres: Vec<Result<CertifyReport, String>> =
+            stage_map(cert_units.len(), parallel, isolate, |u| {
+                let (j, c) = cert_units[u];
+                let (j, c) = (j as usize, c as usize);
+                let job = &jobs[j];
+                faultinject::panic_point(&job.name, FleetStage::Certify);
+                let config = &job.configs[c];
+                crate::certify::certify(
+                    &results_per_job[j][c],
+                    config.variant,
+                    config.target,
+                    &copts,
+                )
+            });
+        let creports = absorb(
+            crres,
+            FleetStage::Certify,
+            |u| cert_units[u].0 as usize,
+            &mut fail,
+        );
+        for (u, r) in creports.into_iter().enumerate() {
+            if let Some(rep) = r {
+                certs_per_job[cert_units[u].0 as usize].push(rep);
+            }
+        }
+        for j in 0..nj {
+            if cert_cost[j] > 0 {
+                charge(
+                    j,
+                    &jobs[j].name,
+                    FleetStage::Certify,
+                    cert_cost[j],
+                    opts.budget,
+                    &mut spent,
+                    &mut fail,
+                );
+            }
+        }
+    }
+
+    let stats = FleetStats {
+        modules: nj,
+        functions: func_units.len(),
+        configs: jobs.iter().map(|j| j.configs.len()).sum(),
+        analyses: analysis_jobs.len(),
+        substrates: func_units.len(),
+        unique_rows: interner.unique_rows(),
+        row_hits: interner.hits(),
+        row_words: interner.retained_words(),
+        failed: fail.iter().filter(|o| o.is_some()).count(),
+        certifications: certs_per_job.iter().map(Vec::len).sum(),
+        certify_unsound: certs_per_job
+            .iter()
+            .flat_map(|v| v.iter())
+            .filter(|r| r.status() == CertifyStatus::Unsound)
+            .count(),
+    };
+
+    let mut out = Vec::with_capacity(nj);
+    for (j, job) in jobs.iter().enumerate() {
+        let outcome = fail[j].take().unwrap_or(ModuleOutcome::Ok);
+        // A module quarantined at any stage — certification included —
+        // comes back with empty results.
+        let (results, certifications) = if outcome.is_ok() {
+            (
+                std::mem::take(&mut results_per_job[j]),
+                std::mem::take(&mut certs_per_job[j]),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
         out.push(FleetResult {
             name: job.name.clone(),
-            outcome: fail[j].take().unwrap_or(ModuleOutcome::Ok),
+            outcome,
             results,
+            certifications,
         });
     }
     (out, stats)
@@ -1000,11 +1106,53 @@ mod tests {
             isolate: false,
             validate: false,
             budget: None,
+            certify: None,
         };
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_fleet_opts(&[FleetJob::new("bad", &bad, configs.clone())], &opts)
         }));
         assert!(r.is_err(), "legacy path must let the panic unwind");
+    }
+
+    #[test]
+    fn certify_stage_reports_and_is_deterministic() {
+        let a = spin_module("a", 2);
+        let configs = vec![
+            PipelineConfig::for_variant(Variant::Control),
+            PipelineConfig {
+                variant: Variant::Manual,
+                target: TargetModel::X86Tso,
+                parallel: false,
+            },
+        ];
+        let mut statuses = Vec::new();
+        for parallel in [false, true] {
+            let opts = FleetOptions {
+                parallel,
+                certify: Some(CertifyOptions {
+                    max_states: 50_000,
+                    ..Default::default()
+                }),
+                ..FleetOptions::default()
+            };
+            let (got, stats) = run_fleet_opts(&[FleetJob::new("a", &a, configs.clone())], &opts);
+            assert!(got[0].outcome.is_ok());
+            assert_eq!(got[0].certifications.len(), 2, "one report per config");
+            assert_eq!(stats.certifications, 2);
+            assert_eq!(stats.certify_unsound, 0);
+            statuses.push(
+                got[0]
+                    .certifications
+                    .iter()
+                    .map(|r| r.status())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(statuses[0], statuses[1], "seq and pooled verdicts agree");
+        // Disabled by default: no reports, zero stats.
+        let (got, stats) = run_fleet_with(&[FleetJob::new("a", &a, configs)], false);
+        assert!(got[0].certifications.is_empty());
+        assert_eq!(stats.certifications, 0);
     }
 
     #[test]

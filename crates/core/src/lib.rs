@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod acquire;
+pub mod certify;
 #[cfg(feature = "faultinject")]
 pub mod faultinject;
 pub mod fleet;
@@ -79,6 +80,10 @@ pub(crate) mod faultinject {
 pub use fence_ir::pool;
 
 pub use acquire::{AcquireInfo, DetectMode};
+pub use certify::{
+    certify, certify_module, sync_classification, CertifyOptions, CertifyReport, CertifyStatus,
+    FenceCertificate, GroupCertificate,
+};
 pub use fleet::{
     run_fleet, run_fleet_opts, run_fleet_with, FleetJob, FleetOptions, FleetResult, FleetStats,
 };

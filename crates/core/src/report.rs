@@ -25,17 +25,22 @@ pub enum FleetStage {
     Acquires,
     /// Per-(config, function) pruning + minimization + insertion tails.
     Tails,
+    /// Opt-in per-(config, module) post-placement certification
+    /// (`fenceplace::certify`): bounded model checking of the placed
+    /// fences against the target memory model.
+    Certify,
 }
 
 impl FleetStage {
     /// Every stage, in execution order.
-    pub const ALL: [FleetStage; 6] = [
+    pub const ALL: [FleetStage; 7] = [
         FleetStage::Validate,
         FleetStage::Analysis,
         FleetStage::Substrates,
         FleetStage::Contexts,
         FleetStage::Acquires,
         FleetStage::Tails,
+        FleetStage::Certify,
     ];
 
     /// Stable snake_case name used in JSON reports and diagnostics.
@@ -47,6 +52,7 @@ impl FleetStage {
             FleetStage::Contexts => "contexts",
             FleetStage::Acquires => "acquires",
             FleetStage::Tails => "tails",
+            FleetStage::Certify => "certify",
         }
     }
 }
@@ -408,7 +414,8 @@ mod tests {
                 "substrates",
                 "contexts",
                 "acquires",
-                "tails"
+                "tails",
+                "certify"
             ]
         );
     }

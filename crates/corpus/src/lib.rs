@@ -11,13 +11,17 @@
 //!   synchronization in FMM and Volrend);
 //! * [`lockfree`] — the three lock-free programs: Canneal (PARSEC),
 //!   Matrix (Michael-Scott queue work distribution) and SpanningTree
-//!   (Bader-Cong work stealing).
+//!   (Bader-Cong work stealing);
+//! * [`arbitrary`] — randomized-module generators shared by the
+//!   property-test suites: the points-to cross-shard family and the
+//!   litmus-shaped sync family driving the place→certify fuzzer.
 //!
 //! Every [`Program`] comes in two builds: `module` (no fences — the input
 //! to the automatic pipeline) and `manual_module` (expert hand-placed
 //! fences — the paper's performance baseline), plus a thread launch spec
 //! and a result checker used by the tests.
 
+pub mod arbitrary;
 pub mod kernels;
 pub mod lockfree;
 pub mod manifest;

@@ -22,15 +22,21 @@
 //!   execution traces, parameterized by a sync classification (which reads
 //!   are acquires, which writes are releases). Used to check that corpus
 //!   programs are well-synchronized *given the detected acquires*.
+//! * [`check`] — the bounded certifying model checker: proves a
+//!   post-placement thread group **sound** (relaxed outcome set ⊆ SC set)
+//!   and each placed fence **necessary** (weakening it strictly enlarges
+//!   the relaxed set), under a shared per-check state budget.
 //! * [`layout`] / [`cost`] — memory layout and the cycle cost model.
 
+pub mod check;
 pub mod cost;
 pub mod layout;
 pub mod litmus;
 pub mod race;
 pub mod sim;
 
+pub use check::{check_threads, CheckBudget, CheckError, CheckResult, FenceSite, FenceVerdict};
 pub use layout::Layout;
-pub use litmus::{enumerate, LitmusModel, LitmusOutcome};
+pub use litmus::{enumerate, enumerate_bounded, LitmusModel, LitmusOutcome};
 pub use race::{detect_races, RaceReport, SyncClassification};
 pub use sim::{MemMode, SimConfig, SimResult, Simulator, ThreadSpec};

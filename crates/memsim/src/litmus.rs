@@ -45,24 +45,30 @@ pub enum LitmusModel {
 /// One observed outcome: the return value of each thread, in order.
 pub type LitmusOutcome = Vec<i64>;
 
+/// Checks that `func` can be litmus-enumerated: at most 64 instructions
+/// and no calls, intrinsics, or allocation. Returns the reason when not —
+/// the non-panicking twin of the internal `validate` gate, used by the
+/// certifying checker ([`crate::check`]) to *skip* ineligible functions
+/// instead of dying on them.
+pub fn enumerable(func: &Function) -> Result<(), String> {
+    if func.num_insts() > 64 {
+        return Err(format!("too large ({} insts)", func.num_insts()));
+    }
+    for (_, inst) in func.iter_insts() {
+        if matches!(
+            inst.kind,
+            InstKind::Call { .. } | InstKind::CallIntrinsic { .. } | InstKind::Alloc { .. }
+        ) {
+            return Err("uses calls/intrinsics/alloc".to_string());
+        }
+    }
+    Ok(())
+}
+
 /// Validates that `func` is enumerable.
 fn validate(func: &Function) {
-    assert!(
-        func.num_insts() <= 64,
-        "litmus function {} too large ({} insts)",
-        func.name,
-        func.num_insts()
-    );
-    for (_, inst) in func.iter_insts() {
-        match inst.kind {
-            InstKind::Call { .. } | InstKind::CallIntrinsic { .. } | InstKind::Alloc { .. } => {
-                panic!(
-                    "litmus function {} uses calls/intrinsics/alloc — unsupported",
-                    func.name
-                )
-            }
-            _ => {}
-        }
+    if let Err(reason) = enumerable(func) {
+        panic!("litmus function {}: {reason} — unsupported", func.name);
     }
 }
 
@@ -97,13 +103,68 @@ struct TState {
     threads: Vec<TThread>,
 }
 
+/// Is the PO-model transition "execute `kind` next on a thread whose store
+/// buffer is `buffer_empty`" *invisible* — thread-local, commuting with
+/// every transition of every other thread? Invisible moves touch neither
+/// shared memory nor the buffer-retirement machinery: register ops,
+/// branches, compiler directives, and (on an empty buffer) full fences and
+/// returns, which then degenerate to no-ops + control flow.
+fn invisible_po(kind: &InstKind, tso: bool, buffer_empty: bool) -> bool {
+    match kind {
+        InstKind::Bin { .. }
+        | InstKind::Cmp { .. }
+        | InstKind::Select { .. }
+        | InstKind::Gep { .. }
+        | InstKind::ReadLocal { .. }
+        | InstKind::WriteLocal { .. }
+        | InstKind::Br { .. }
+        | InstKind::CondBr { .. }
+        | InstKind::Fence {
+            kind: FenceKind::Compiler,
+        } => true,
+        InstKind::Fence {
+            kind: FenceKind::Full,
+        }
+        | InstKind::Ret { .. } => !tso || buffer_empty,
+        _ => false,
+    }
+}
+
+/// Index of `addr` in the flat global image, or `None` for a wild
+/// address. Enumerable functions can still *compute* arbitrary addresses
+/// (dereferencing a loaded pointer that holds 0, gep arithmetic), so the
+/// interpreters use total memory semantics: a wild load reads 0, a wild
+/// store is dropped. Both models apply the same rule, so soundness
+/// comparisons stay apples-to-apples.
+fn mem_index(mem_len: usize, addr: i64) -> Option<usize> {
+    let off = addr.wrapping_sub(Layout::GUARD);
+    if (0..mem_len as i64).contains(&off) {
+        Some(off as usize)
+    } else {
+        None
+    }
+}
+
+/// Total-semantics read: 0 for wild addresses.
+fn mem_read(mem: &[i64], addr: i64) -> i64 {
+    mem_index(mem.len(), addr).map_or(0, |i| mem[i])
+}
+
+/// Total-semantics write: dropped for wild addresses.
+fn mem_write(mem: &mut [i64], addr: i64, val: i64) {
+    if let Some(i) = mem_index(mem.len(), addr) {
+        mem[i] = val;
+    }
+}
+
 #[allow(clippy::needless_range_loop)] // ti cross-indexes threads + funcs
 fn enumerate_po(
     module: &Module,
     layout: &Layout,
     threads: &[(FuncId, Vec<i64>)],
     tso: bool,
-) -> BTreeSet<LitmusOutcome> {
+    fuel: &mut u64,
+) -> Option<BTreeSet<LitmusOutcome>> {
     let mem_len = (layout.heap_start - Layout::GUARD) as usize;
     let mut mem = vec![0i64; mem_len];
     for (g, decl) in module.iter_globals() {
@@ -142,8 +203,35 @@ fn enumerate_po(
         if !visited.insert(state.clone()) {
             continue;
         }
+        if *fuel == 0 {
+            return None;
+        }
+        *fuel -= 1;
         if state.threads.iter().all(|t| t.done) {
             outcomes.insert(state.threads.iter().map(|t| t.ret).collect());
+            continue;
+        }
+        // Ample-set reduction: if some thread's next instruction is
+        // invisible, executing it commutes with every other enabled
+        // transition (it is pure thread-local state and can never be
+        // disabled), so exploring only that single move preserves the
+        // reachable final-outcome set.
+        let ample = (0..state.threads.len()).find(|&ti| {
+            let t = &state.threads[ti];
+            if t.done {
+                return false;
+            }
+            let func = funcs[ti];
+            let iid = func.blocks[t.block as usize].insts[t.idx as usize];
+            invisible_po(&func.inst(iid).kind, tso, t.buffer.is_empty())
+        });
+        if let Some(ti) = ample {
+            let func = funcs[ti];
+            let t = &state.threads[ti];
+            let iid = func.blocks[t.block as usize].insts[t.idx as usize];
+            let mut ns = state.clone();
+            step_po(&mut ns, ti, func, iid, layout, tso);
+            stack.push(ns);
             continue;
         }
         for ti in 0..state.threads.len() {
@@ -151,7 +239,7 @@ fn enumerate_po(
             if tso && !state.threads[ti].buffer.is_empty() {
                 let mut ns = state.clone();
                 let (addr, val) = ns.threads[ti].buffer.remove(0);
-                ns.mem[(addr - Layout::GUARD) as usize] = val;
+                mem_write(&mut ns.mem, addr, val);
                 stack.push(ns);
             }
             // Transition B: execute the next instruction.
@@ -178,7 +266,7 @@ fn enumerate_po(
             stack.push(ns);
         }
     }
-    outcomes
+    Some(outcomes)
 }
 
 fn step_po(
@@ -189,7 +277,6 @@ fn step_po(
     layout: &Layout,
     tso: bool,
 ) {
-    let mem_at = |mem: &Vec<i64>, addr: i64| mem[(addr - Layout::GUARD) as usize];
     let kind = func.inst(iid).kind.clone();
     let t = &mut state.threads[ti];
     let ev = |t: &TThread, v: Value| eval(&t.results, &t.args, layout, v);
@@ -229,7 +316,7 @@ fn step_po(
                 .rev()
                 .find(|&&(ba, _)| ba == a)
                 .map(|&(_, v)| v);
-            t.results[iid.index()] = fwd.unwrap_or_else(|| mem_at(&state.mem, a));
+            t.results[iid.index()] = fwd.unwrap_or_else(|| mem_read(&state.mem, a));
         }
         InstKind::Store { addr, val } => {
             let a = ev(t, addr);
@@ -237,15 +324,15 @@ fn step_po(
             if tso {
                 t.buffer.push((a, v));
             } else {
-                state.mem[(a - Layout::GUARD) as usize] = v;
+                mem_write(&mut state.mem, a, v);
             }
         }
         InstKind::AtomicRmw { op, addr, val } => {
             let a = ev(t, addr);
             let v = ev(t, val);
-            let old = mem_at(&state.mem, a);
+            let old = mem_read(&state.mem, a);
             t.results[iid.index()] = old;
-            state.mem[(a - Layout::GUARD) as usize] = op.eval(old, v);
+            mem_write(&mut state.mem, a, op.eval(old, v));
         }
         InstKind::AtomicCas {
             addr,
@@ -253,11 +340,11 @@ fn step_po(
             new,
         } => {
             let a = ev(t, addr);
-            let old = mem_at(&state.mem, a);
+            let old = mem_read(&state.mem, a);
             t.results[iid.index()] = old;
             if old == ev(t, expected) {
                 let nv = ev(t, new);
-                state.mem[(a - Layout::GUARD) as usize] = nv;
+                mem_write(&mut state.mem, a, nv);
             }
         }
         InstKind::Fence { .. } => {}
@@ -286,7 +373,7 @@ fn step_po(
             // Return drains the buffer (join publishes everything).
             let entries = std::mem::take(&mut t.buffer);
             for (a, v) in entries {
-                state.mem[(a - Layout::GUARD) as usize] = v;
+                mem_write(&mut state.mem, a, v);
             }
             advance = false;
         }
@@ -442,13 +529,30 @@ fn weak_ready(t: &WThread, func: &Function, layout: &Layout, p: usize) -> bool {
     true
 }
 
+/// Is a *ready* weak-window entry invisible (no shared-memory effect)?
+/// Executing such an entry only touches the thread's own registers,
+/// window, and fetch cursor; it commutes with every transition of every
+/// other thread and can never disable a same-thread ready entry
+/// (execution only removes readiness blockers), so it is a sound ample
+/// set of size one.
+fn invisible_weak(kind: &InstKind) -> bool {
+    !matches!(
+        kind,
+        InstKind::Load { .. }
+            | InstKind::Store { .. }
+            | InstKind::AtomicRmw { .. }
+            | InstKind::AtomicCas { .. }
+    )
+}
+
 #[allow(clippy::needless_range_loop)] // ti cross-indexes threads + funcs
 fn enumerate_weak(
     module: &Module,
     layout: &Layout,
     threads: &[(FuncId, Vec<i64>)],
     window_cap: usize,
-) -> BTreeSet<LitmusOutcome> {
+    fuel: &mut u64,
+) -> Option<BTreeSet<LitmusOutcome>> {
     let mem_len = (layout.heap_start - Layout::GUARD) as usize;
     let mut mem = vec![0i64; mem_len];
     for (g, decl) in module.iter_globals() {
@@ -489,8 +593,36 @@ fn enumerate_weak(
         if !visited.insert(state.clone()) {
             continue;
         }
+        if *fuel == 0 {
+            return None;
+        }
+        *fuel -= 1;
         if state.threads.iter().all(|t| t.done) {
             outcomes.insert(state.threads.iter().map(|t| t.ret).collect());
+            continue;
+        }
+        // Ample-set reduction: a ready invisible entry is executed
+        // deterministically instead of branching over every (thread,
+        // window position) pair. See `invisible_weak` for the argument.
+        let mut ample: Option<(usize, usize)> = None;
+        'scan: for ti in 0..state.threads.len() {
+            let t = &state.threads[ti];
+            if t.done {
+                continue;
+            }
+            for p in 0..t.window.len() {
+                let kind = &funcs[ti].inst(InstId::new(t.window[p] as usize)).kind;
+                if invisible_weak(kind) && weak_ready(t, funcs[ti], layout, p) {
+                    ample = Some((ti, p));
+                    break 'scan;
+                }
+            }
+        }
+        if let Some((ti, p)) = ample {
+            let mut ns = state.clone();
+            weak_execute(&mut ns, ti, funcs[ti], layout, p);
+            fetch_closure(&mut ns.threads[ti], funcs[ti], window_cap);
+            stack.push(ns);
             continue;
         }
         for ti in 0..state.threads.len() {
@@ -508,7 +640,7 @@ fn enumerate_weak(
             }
         }
     }
-    outcomes
+    Some(outcomes)
 }
 
 fn weak_execute(state: &mut WState, ti: usize, func: &Function, layout: &Layout, p: usize) {
@@ -546,19 +678,19 @@ fn weak_execute(state: &mut WState, ti: usize, func: &Function, layout: &Layout,
         }
         InstKind::Load { addr } => {
             let a = ev(t, addr);
-            t.results[iid.index()] = state.mem[(a - Layout::GUARD) as usize];
+            t.results[iid.index()] = mem_read(&state.mem, a);
         }
         InstKind::Store { addr, val } => {
             let a = ev(t, addr);
             let v = ev(t, val);
-            state.mem[(a - Layout::GUARD) as usize] = v;
+            mem_write(&mut state.mem, a, v);
         }
         InstKind::AtomicRmw { op, addr, val } => {
             let a = ev(t, addr);
-            let old = state.mem[(a - Layout::GUARD) as usize];
+            let old = mem_read(&state.mem, a);
             t.results[iid.index()] = old;
             let nv = op.eval(old, ev(t, val));
-            state.mem[(a - Layout::GUARD) as usize] = nv;
+            mem_write(&mut state.mem, a, nv);
         }
         InstKind::AtomicCas {
             addr,
@@ -566,11 +698,11 @@ fn weak_execute(state: &mut WState, ti: usize, func: &Function, layout: &Layout,
             new,
         } => {
             let a = ev(t, addr);
-            let old = state.mem[(a - Layout::GUARD) as usize];
+            let old = mem_read(&state.mem, a);
             t.results[iid.index()] = old;
             if old == ev(t, expected) {
                 let nv = ev(t, new);
-                state.mem[(a - Layout::GUARD) as usize] = nv;
+                mem_write(&mut state.mem, a, nv);
             }
         }
         InstKind::Fence { .. } => {}
@@ -605,11 +737,28 @@ pub fn enumerate(
     threads: &[(FuncId, Vec<i64>)],
     model: LitmusModel,
 ) -> BTreeSet<LitmusOutcome> {
+    let mut fuel = u64::MAX;
+    enumerate_bounded(module, threads, model, &mut fuel).expect("unbounded enumeration")
+}
+
+/// Budgeted variant of [`enumerate`]: explores at most `*fuel` distinct
+/// states, decrementing `fuel` as it goes (so one budget can be threaded
+/// through several calls), and returns `None` if the budget runs out
+/// before the state space is exhausted. Functions must satisfy
+/// [`enumerable`] or this panics like [`enumerate`].
+pub fn enumerate_bounded(
+    module: &Module,
+    threads: &[(FuncId, Vec<i64>)],
+    model: LitmusModel,
+    fuel: &mut u64,
+) -> Option<BTreeSet<LitmusOutcome>> {
     let layout = Layout::of(module);
     match model {
-        LitmusModel::Sc => enumerate_po(module, &layout, threads, false),
-        LitmusModel::Tso => enumerate_po(module, &layout, threads, true),
-        LitmusModel::Weak { window } => enumerate_weak(module, &layout, threads, window.max(2)),
+        LitmusModel::Sc => enumerate_po(module, &layout, threads, false, fuel),
+        LitmusModel::Tso => enumerate_po(module, &layout, threads, true, fuel),
+        LitmusModel::Weak { window } => {
+            enumerate_weak(module, &layout, threads, window.max(2), fuel)
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 #   docs     cargo doc --no-deps (RUSTDOCFLAGS=-D warnings) + cargo test --doc
 #   bench    cargo bench --no-run (compile smoke for every bench harness)
 #   faults   cargo test --features faultinject (fault-injection matrix)
+#   certify  litmus regressions + differential certify fuzz + CLI smoke
 #   all      every stage above, in CI order (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,6 +56,18 @@ stage_faults() {
   cargo test -q -p fenceplace --features faultinject --lib
 }
 
+stage_certify() {
+  echo "== litmus regressions + certify fuzz =="
+  cargo test -q -p fence-suite --test litmus_pipeline --test certify_fuzz
+
+  echo "== fenceplace --certify smoke (corpus, Control:x86tso) =="
+  # Bounded state budget keeps the smoke fast; inconclusive/skipped
+  # certifications exit 0, an unsound one exits 2 and fails the stage.
+  cargo run --release --quiet --bin fenceplace -- \
+    --program 'corpus:*' --config Control:x86tso \
+    --certify-states 50000 --seq
+}
+
 run_stage() {
   case "$1" in
     build)  stage_build ;;
@@ -65,9 +78,10 @@ run_stage() {
     docs)   stage_docs ;;
     bench)  stage_bench ;;
     faults) stage_faults ;;
-    all)    stage_build; stage_test; stage_clippy; stage_fmt; stage_docs; stage_bench; stage_faults ;;
+    certify) stage_certify ;;
+    all)    stage_build; stage_test; stage_clippy; stage_fmt; stage_docs; stage_bench; stage_faults; stage_certify ;;
     *)
-      echo "unknown stage '$1' (build|test|clippy|fmt|lint|docs|bench|faults|all)" >&2
+      echo "unknown stage '$1' (build|test|clippy|fmt|lint|docs|bench|faults|certify|all)" >&2
       exit 2
       ;;
   esac

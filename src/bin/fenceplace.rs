@@ -38,13 +38,13 @@
 //! |------|------------------------------------------------------------|
 //! | 0    | every module completed                                     |
 //! | 1    | fatal: bad usage, unresolvable spec, I/O error, `--fail-fast` trip |
-//! | 2    | partial success: some modules quarantined, reports written |
+//! | 2    | partial success: some modules quarantined or a `--certify` run came back unsound; reports written |
 
 use corpus::manifest::{available, resolve_spec, resolve_spec_at, ManifestEntry};
 use corpus::Params;
 use fenceplace::{
-    run_fleet_opts, FleetJob, FleetOptions, FleetResult, FleetStats, ModuleOutcome, PipelineConfig,
-    PipelineResult, TargetModel, Variant,
+    run_fleet_opts, CertifyOptions, CertifyReport, FleetJob, FleetOptions, FleetResult, FleetStats,
+    ModuleOutcome, PipelineConfig, PipelineResult, TargetModel, Variant,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -66,6 +66,7 @@ struct Cli {
     list: bool,
     fail_fast: bool,
     budget: Option<u64>,
+    certify: Option<CertifyOptions>,
 }
 
 /// What `parse_args` decided: run, or print help and exit 0.
@@ -95,6 +96,12 @@ OPTIONS:
                      as deadline_exceeded (never wall-clock)
   --fail-fast        exit 1 on the first failed module instead of
                      quarantining it; no reports are written
+  --certify          after placement, model-check every (module, config):
+                     bounded exhaustive interleaving under the target model,
+                     proving SC-equivalence for race-free thread groups and
+                     minimality of every placed fence
+  --certify-states N total distinct-state budget per certification run
+                     (implies --certify; default 400000)
   --out DIR          write per-module JSON reports + fleet_summary.json to DIR
   --list             print every concrete program spec and exit
   --help             this text
@@ -102,7 +109,8 @@ OPTIONS:
 EXIT CODES:
   0  every module completed
   1  fatal error (bad usage, unresolvable spec, I/O error, --fail-fast trip)
-  2  partial success (some modules quarantined; reports still written)
+  2  partial success (some modules quarantined or a certification came back
+     unsound; reports still written)
 "
 }
 
@@ -200,6 +208,7 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         list: false,
         fail_fast: false,
         budget: None,
+        certify: None,
     };
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -237,6 +246,18 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
                 cli.budget = Some(v.parse().map_err(|_| format!("bad --budget `{v}`"))?);
             }
             "--fail-fast" => cli.fail_fast = true,
+            "--certify" => {
+                cli.certify.get_or_insert_with(CertifyOptions::default);
+            }
+            "--certify-states" => {
+                let v = need(&mut it, "--certify-states")?;
+                let max_states = v
+                    .parse()
+                    .map_err(|_| format!("bad --certify-states `{v}`"))?;
+                cli.certify
+                    .get_or_insert_with(CertifyOptions::default)
+                    .max_states = max_states;
+            }
             "--seq" => cli.parallel = false,
             "--out" => cli.out_dir = Some(need(&mut it, "--out")?),
             "--list" => cli.list = true,
@@ -314,6 +335,32 @@ fn config_json(config: &PipelineConfig, r: &PipelineResult) -> String {
     )
 }
 
+/// One certification run as JSON: verdict, group/fence tallies, budget
+/// spend, and the first soundness violation (when any).
+fn cert_json(config: &PipelineConfig, cr: &CertifyReport) -> String {
+    let violation = match cr.first_violation() {
+        Some((group, outcome)) => format!("{{\"group\": {group}, \"outcome\": {outcome:?}}}"),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"variant\": \"{}\", \"target\": \"{}\", \"status\": \"{}\", \
+         \"groups\": {}, \"race_free_groups\": {}, \"fences\": {}, \
+         \"necessary_fences\": {}, \"entry_fences\": {}, \"skipped\": {}, \
+         \"states\": {}, \"exhausted\": {}, \"violation\": {violation}}}",
+        json_escape(config.variant.name()),
+        target_name(config.target),
+        cr.status().name(),
+        cr.groups.len(),
+        cr.groups.iter().filter(|g| g.race_free).count(),
+        cr.fences.len(),
+        cr.fences.iter().filter(|f| f.necessary).count(),
+        cr.fences.iter().filter(|f| f.entry).count(),
+        cr.skipped.len(),
+        cr.states,
+        cr.exhausted,
+    )
+}
+
 fn module_json(job_name: &str, configs: &[PipelineConfig], fr: &FleetResult) -> String {
     let mut out = format!(
         "{{\n  \"module\": \"{}\",\n  {},\n  \"configs\": [\n",
@@ -326,6 +373,19 @@ fn module_json(job_name: &str, configs: &[PipelineConfig], fr: &FleetResult) -> 
             "    {}{}",
             config_json(config, r),
             if i + 1 < fr.results.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"certifications\": [\n");
+    for (i, (config, cr)) in configs.iter().zip(&fr.certifications).enumerate() {
+        let _ = writeln!(
+            out,
+            "    {}{}",
+            cert_json(config, cr),
+            if i + 1 < fr.certifications.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     out.push_str("  ]\n}\n");
@@ -363,8 +423,15 @@ fn rollup_json(
     let _ = writeln!(
         out,
         "  \"fleet\": {{\"analyses\": {}, \"substrates\": {}, \"unique_rows\": {}, \
-         \"row_hits\": {}, \"row_words\": {}, \"wall_ms\": {wall_ms:.3}}},",
-        stats.analyses, stats.substrates, stats.unique_rows, stats.row_hits, stats.row_words
+         \"row_hits\": {}, \"row_words\": {}, \"certifications\": {}, \
+         \"certify_unsound\": {}, \"wall_ms\": {wall_ms:.3}}},",
+        stats.analyses,
+        stats.substrates,
+        stats.unique_rows,
+        stats.row_hits,
+        stats.row_words,
+        stats.certifications,
+        stats.certify_unsound
     );
     // Per-module status array: every scheduled module, ok or not, plus
     // the load-time quarantines.
@@ -484,6 +551,7 @@ fn run(cli: &Cli) -> Result<u8, String> {
     let opts = FleetOptions {
         parallel: cli.parallel,
         budget: cli.budget,
+        certify: cli.certify,
         ..FleetOptions::default()
     };
     let t = Instant::now();
@@ -535,6 +603,25 @@ fn run(cli: &Cli) -> Result<u8, String> {
         eprintln!(
             "{failed} of {} modules quarantined (exit 2: partial success)",
             fleet.len() + load_failures.len()
+        );
+        return Ok(2);
+    }
+    if stats.certify_unsound > 0 {
+        for fr in &fleet {
+            for (config, cr) in cli.configs.iter().zip(&fr.certifications) {
+                if cr.status() == fenceplace::CertifyStatus::Unsound {
+                    eprintln!(
+                        "unsound: {} [{}:{}] — a race-free thread group reaches a non-SC outcome",
+                        fr.name,
+                        config.variant.name(),
+                        target_name(config.target)
+                    );
+                }
+            }
+        }
+        eprintln!(
+            "{} certification(s) unsound (exit 2: partial success)",
+            stats.certify_unsound
         );
         return Ok(2);
     }

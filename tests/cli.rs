@@ -188,6 +188,113 @@ fn budget_quarantines_deterministically() {
     );
 }
 
+/// A hand-fenced store-buffering module in textual IR: both full fences
+/// are necessary under TSO, so `Manual:x86tso --certify` must come back
+/// `certified`.
+const FENCED_SB_IR: &str = "module sb
+global x 1
+global y 1
+
+fn p0 params=0 locals=() {
+bb0:
+  store @x, c1
+  fence full
+  %2 = load @y
+  ret %2
+}
+
+fn p1 params=0 locals=() {
+bb0:
+  store @y, c1
+  fence full
+  %2 = load @x
+  ret %2
+}
+";
+
+#[test]
+fn certify_flag_model_checks_the_placement() {
+    let dir = scratch("certify");
+    let sb = dir.join("sb.fir");
+    std::fs::write(&sb, FENCED_SB_IR).unwrap();
+    let spec = format!("file:{}", sb.display());
+    let reports = dir.join("reports");
+
+    let out = fenceplace(&[
+        "--program",
+        &spec,
+        "--config",
+        "Manual:x86tso",
+        "--certify",
+        "--seq",
+        "--out",
+        reports.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"certifications\": 1"), "{text}");
+    assert!(text.contains("\"certify_unsound\": 0"), "{text}");
+
+    let body = std::fs::read_to_string(reports.join("file_sb_fir.json"))
+        .or_else(|_| {
+            // File-spec job names embed the path; find the one report.
+            let name = std::fs::read_dir(&reports)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .find(|n| n != "fleet_summary.json")
+                .expect("module report written");
+            std::fs::read_to_string(reports.join(name))
+        })
+        .unwrap();
+    assert!(body.contains("\"status\": \"certified\""), "{body}");
+    assert!(body.contains("\"necessary_fences\": 2"), "{body}");
+    assert!(body.contains("\"violation\": null"), "{body}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn certify_off_keeps_reports_certification_free() {
+    let out = fenceplace(&["--program", "kernel:Dekker", "--seq"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"certifications\": 0"), "{text}");
+}
+
+#[test]
+fn certify_states_budget_is_honored() {
+    let dir = scratch("certify-budget");
+    let sb = dir.join("sb.fir");
+    std::fs::write(&sb, FENCED_SB_IR).unwrap();
+    let spec = format!("file:{}", sb.display());
+    let reports = dir.join("reports");
+
+    // A 3-state budget cannot finish even one enumeration pass:
+    // inconclusive, but never a wrong verdict — and still exit 0.
+    let out = fenceplace(&[
+        "--program",
+        &spec,
+        "--config",
+        "Manual:x86tso",
+        "--certify-states",
+        "3",
+        "--seq",
+        "--out",
+        reports.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let name = std::fs::read_dir(&reports)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .find(|n| n != "fleet_summary.json")
+        .expect("module report written");
+    let body = std::fs::read_to_string(reports.join(name)).unwrap();
+    assert!(body.contains("\"status\": \"inconclusive\""), "{body}");
+    assert!(body.contains("\"exhausted\": true"), "{body}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn list_exits_zero() {
     let out = fenceplace(&["--list"]);

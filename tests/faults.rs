@@ -22,8 +22,8 @@
 use corpus::{manifest, Params};
 use fenceplace::faultinject::{self, Fault};
 use fenceplace::{
-    run_fleet_opts, FleetJob, FleetOptions, FleetResult, FleetStage, ModuleOutcome, PipelineConfig,
-    Variant,
+    run_fleet_opts, CertifyOptions, FleetJob, FleetOptions, FleetResult, FleetStage, ModuleOutcome,
+    PipelineConfig, Variant,
 };
 
 /// Big enough that no tiny-params corpus module ever trips it on its
@@ -118,9 +118,17 @@ fn fault_matrix_quarantines_exactly_the_injected_modules() {
     let mut mode_outcomes: Vec<Vec<String>> = Vec::new();
 
     for parallel in [false, true] {
+        // Certification is on (tiny budget) so the `Certify` injection
+        // points in `FleetStage::ALL` actually execute; a tiny state
+        // budget keeps every run at Inconclusive-at-worst cheaply.
         let opts = FleetOptions {
             parallel,
             budget: Some(BUDGET),
+            certify: Some(CertifyOptions {
+                max_states: 2_000,
+                weak_window: 2,
+                max_groups: 2,
+            }),
             ..FleetOptions::default()
         };
 

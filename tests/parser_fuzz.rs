@@ -115,10 +115,13 @@ fn apply(text: &mut String, m: &Mutation) {
     }
 }
 
-/// Printed forms of the seed modules mutations start from.
+/// Printed forms of the seed modules mutations start from: four kernels
+/// plus one module from each `corpus::arbitrary` generator family, so
+/// mutations also exercise generated-shape text (branches with locals,
+/// call/alloc pointer flows).
 fn seeds() -> Vec<String> {
     let p = corpus::Params::tiny();
-    [
+    let mut out: Vec<String> = [
         "kernel:Dekker",
         "kernel:Peterson",
         "kernel:Lamport",
@@ -129,7 +132,17 @@ fn seeds() -> Vec<String> {
         let entries = corpus::resolve_spec(spec, &p).expect("seed spec resolves");
         fence_ir::printer::print_module(&entries[0].module)
     })
-    .collect()
+    .collect();
+    let mut rng = proptest::TestRng::from_seed(0x5eed);
+    let sync = corpus::arbitrary::sync_shape_strategy().new_value(&mut rng);
+    out.push(fence_ir::printer::print_module(
+        &corpus::arbitrary::build_sync(&sync),
+    ));
+    let pt = corpus::arbitrary::pt_shape_strategy().new_value(&mut rng);
+    out.push(fence_ir::printer::print_module(
+        &corpus::arbitrary::build_pt(&pt, false),
+    ));
+    out
 }
 
 proptest! {
@@ -140,7 +153,7 @@ proptest! {
     #[test]
     fn parse_module_is_total_under_mutation(
         input in (
-            0usize..4,
+            0usize..6,
             proptest::collection::vec((0u32..6, any::<u64>(), any::<u64>()), 1..8),
         )
     ) {

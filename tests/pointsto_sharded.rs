@@ -7,158 +7,11 @@
 //! ([`fence_bench::naive::seed_points_to`], the preserved seed
 //! algorithm).
 
+use corpus::arbitrary::{build_pt, localize_addresses, pt_shape_strategy, PtOp, PtShape};
 use fence_analysis::pointsto::{PointsTo, PointsToMode};
 use fence_bench::naive::{seed_points_to, SeedPointsTo};
-use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
-use fence_ir::{FuncId, Module, Value};
+use fence_ir::{Module, Value};
 use proptest::prelude::*;
-
-/// One operation in a generated function body.
-#[derive(Debug, Clone, Copy)]
-enum Op {
-    /// `store g, const`
-    StoreConst(usize),
-    /// `load g`
-    LoadGlobal(usize),
-    /// `store cell, &g` — publish a global's address through the frontier.
-    PublishGlobal(usize, usize),
-    /// `p = load cell; load p` — pick a published pointer back up.
-    DerefCell(usize),
-    /// `a = alloc; store cell, a; store a, &g` — publish an alloc site.
-    PublishAlloc(usize, usize),
-    /// `call f_k(&g)` — pointer flows into another shard's argument.
-    Call(usize, usize),
-    /// `load arg0` — unknown-address read.
-    LoadArg,
-    /// `store arg0, &g` — unknown-address write (hits the `Unknown` loc).
-    StoreArg(usize),
-}
-
-#[derive(Debug, Clone)]
-struct Shape {
-    n_globals: usize,
-    n_cells: usize,
-    /// Per function: its ops and whether it returns its last pointer.
-    funcs: Vec<(Vec<Op>, bool)>,
-}
-
-fn op_strategy(n_globals: usize, n_cells: usize, n_funcs: usize) -> impl Strategy<Value = Op> {
-    (
-        0usize..8,
-        0usize..n_globals,
-        0usize..n_cells,
-        0usize..n_funcs,
-    )
-        .prop_map(move |(sel, g, c, f)| match sel {
-            0 => Op::StoreConst(g),
-            1 => Op::LoadGlobal(g),
-            2 => Op::PublishGlobal(c, g),
-            3 => Op::DerefCell(c),
-            4 => Op::PublishAlloc(c, g),
-            5 => Op::Call(f, g),
-            6 => Op::LoadArg,
-            _ => Op::StoreArg(g),
-        })
-}
-
-fn shape_strategy() -> impl Strategy<Value = Shape> {
-    (2usize..5, 1usize..3, 2usize..5).prop_flat_map(|(n_globals, n_cells, n_funcs)| {
-        proptest::collection::vec(
-            (
-                proptest::collection::vec(op_strategy(n_globals, n_cells, n_funcs), 1..10),
-                any::<bool>(),
-            ),
-            n_funcs..n_funcs + 1,
-        )
-        .prop_map(move |funcs| Shape {
-            n_globals,
-            n_cells,
-            funcs,
-        })
-    })
-}
-
-/// Builds the module. With `corner_free`, the generated program avoids
-/// the solver's one documented divergence from the legacy re-execution
-/// fixpoint (an address set that is empty when its constraint is first
-/// visited but non-empty later): function 0 pre-publishes every cell and
-/// pre-calls every other function, and calls only ever target
-/// later-defined functions — so every address a constraint resolves is
-/// already in its final emptiness state at visit time, and the solvers
-/// agree bit-for-bit.
-fn build(shape: &Shape, corner_free: bool) -> Module {
-    let mut mb = ModuleBuilder::new("sharded");
-    let globals: Vec<_> = (0..shape.n_globals)
-        .map(|i| mb.global(format!("g{i}"), 1))
-        .collect();
-    let cells: Vec<_> = (0..shape.n_cells)
-        .map(|i| mb.global(format!("cell{i}"), 1))
-        .collect();
-    // Declare every function first so calls can target any shard,
-    // including later-defined and self-recursive ones.
-    let fids: Vec<FuncId> = (0..shape.funcs.len())
-        .map(|i| mb.declare_func(format!("f{i}"), 1))
-        .collect();
-    for (i, (ops, ret_ptr)) in shape.funcs.iter().enumerate() {
-        let mut fb = FunctionBuilder::new(format!("f{i}"), 1);
-        let mut last_ptr: Option<Value> = None;
-        if corner_free && i == 0 {
-            for (c, &cell) in cells.iter().enumerate() {
-                fb.store(cell, globals[c % globals.len()]);
-            }
-            for &callee in &fids[1..] {
-                let _ = fb.call(callee, vec![Value::Global(globals[0])]);
-            }
-        }
-        for op in ops {
-            let op = if corner_free {
-                match *op {
-                    // Forward calls only; the last function substitutes a
-                    // plain load.
-                    Op::Call(f, g) if f <= i => {
-                        if i + 1 < fids.len() {
-                            Op::Call(i + 1 + (f % (fids.len() - i - 1)), g)
-                        } else {
-                            Op::LoadGlobal(g)
-                        }
-                    }
-                    o => o,
-                }
-            } else {
-                *op
-            };
-            match op {
-                Op::StoreConst(g) => fb.store(globals[g], 7i64),
-                Op::LoadGlobal(g) => {
-                    let _ = fb.load(globals[g]);
-                }
-                Op::PublishGlobal(c, g) => fb.store(cells[c], globals[g]),
-                Op::DerefCell(c) => {
-                    let p = fb.load(cells[c]);
-                    let _ = fb.load(p);
-                    last_ptr = Some(p);
-                }
-                Op::PublishAlloc(c, g) => {
-                    let a = fb.alloc(2i64);
-                    fb.store(cells[c], a);
-                    fb.store(a, globals[g]);
-                    last_ptr = Some(a);
-                }
-                Op::Call(f, g) => {
-                    let r = fb.call(fids[f], vec![Value::Global(globals[g])]);
-                    last_ptr = Some(r);
-                }
-                Op::LoadArg => {
-                    let _ = fb.load(Value::Arg(0));
-                }
-                Op::StoreArg(g) => fb.store(Value::Arg(0), globals[g]),
-            }
-        }
-        fb.ret(if *ret_ptr { last_ptr } else { None });
-        mb.define_func(fids[i], fb.build());
-    }
-    mb.finish()
-}
 
 /// Diffs every queryable set of `pt` against the oracle. With
 /// `exact: false`, only soundness is required: every oracle set must be
@@ -229,28 +82,6 @@ fn assert_identical(m: &Module, a: &PointsTo, b: &PointsTo) {
     }
 }
 
-/// Rewrites a shape so every *address* operand resolves function-locally
-/// (globals and same-function alloc results) — the documented condition
-/// under which the relaxed initial replay's local view has the same
-/// emptiness state as the pinned in-round view at every resolution, so
-/// `PointsToMode::Relaxed` and `Pinned` must agree bit-for-bit.
-fn localize_addresses(shape: &Shape) -> Shape {
-    let mut s = shape.clone();
-    for (ops, _) in &mut s.funcs {
-        for op in ops.iter_mut() {
-            *op = match *op {
-                // Dereferencing a picked-up pointer or an argument
-                // resolves a node whose local view may be emptier than
-                // the pinned one — substitute global-addressed ops.
-                Op::DerefCell(_) | Op::LoadArg => Op::LoadGlobal(0),
-                Op::StoreArg(g) => Op::StoreConst(g),
-                o => o,
-            };
-        }
-    }
-    s
-}
-
 /// Asserts every queryable set of `small` is contained in `big`'s.
 fn assert_superset(m: &Module, big: &PointsTo, small: &PointsTo) {
     let check = |big: Vec<usize>, small: Vec<usize>, what: String| {
@@ -290,22 +121,26 @@ fn assert_superset(m: &Module, big: &PointsTo, small: &PointsTo) {
 #[test]
 fn default_mode_is_the_pinned_seed_replay() {
     assert!(matches!(PointsToMode::default(), PointsToMode::Pinned));
-    let shape = Shape {
+    let shape = PtShape {
         n_globals: 3,
         n_cells: 2,
         funcs: vec![
             (
-                vec![Op::PublishGlobal(0, 1), Op::DerefCell(0), Op::Call(1, 2)],
+                vec![
+                    PtOp::PublishGlobal(0, 1),
+                    PtOp::DerefCell(0),
+                    PtOp::Call(1, 2),
+                ],
                 true,
             ),
             (
-                vec![Op::PublishAlloc(1, 0), Op::LoadArg, Op::StoreArg(2)],
+                vec![PtOp::PublishAlloc(1, 0), PtOp::LoadArg, PtOp::StoreArg(2)],
                 false,
             ),
-            (vec![Op::LoadGlobal(1), Op::DerefCell(1)], true),
+            (vec![PtOp::LoadGlobal(1), PtOp::DerefCell(1)], true),
         ],
     };
-    let m = build(&shape, true);
+    let m = build_pt(&shape, true);
     assert!(fence_ir::verify_module(&m).is_empty());
     let reference = seed_points_to(&m);
     for parallel in [false, true] {
@@ -327,12 +162,12 @@ fn default_mode_is_the_pinned_seed_replay() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// On corner-free modules (see [`build`]), sequential and parallel
+    /// On corner-free modules (see [`build_pt`]), sequential and parallel
     /// sharded solves both equal the legacy whole-module fixpoint
     /// bit-for-bit.
     #[test]
-    fn sharded_solve_matches_legacy_fixpoint(shape in shape_strategy()) {
-        let m = build(&shape, true);
+    fn sharded_solve_matches_legacy_fixpoint(shape in pt_shape_strategy()) {
+        let m = build_pt(&shape, true);
         prop_assert!(fence_ir::verify_module(&m).is_empty(), "module verifies");
         let reference = seed_points_to(&m);
         let seq = PointsTo::analyze(&m);
@@ -347,8 +182,8 @@ proptest! {
     /// only conservative supersets), and (b) is schedule-independent:
     /// the parallel rounds reproduce the sequential result exactly.
     #[test]
-    fn sharded_solve_sound_and_schedule_independent(shape in shape_strategy()) {
-        let m = build(&shape, false);
+    fn sharded_solve_sound_and_schedule_independent(shape in pt_shape_strategy()) {
+        let m = build_pt(&shape, false);
         prop_assert!(fence_ir::verify_module(&m).is_empty(), "module verifies");
         let reference = seed_points_to(&m);
         let seq = PointsTo::analyze(&m);
@@ -363,8 +198,8 @@ proptest! {
     /// `Relaxed` — sequential *and* pooled — equals `Pinned`
     /// bit-for-bit.
     #[test]
-    fn relaxed_matches_pinned_on_local_address_shapes(shape in shape_strategy()) {
-        let m = build(&localize_addresses(&shape), false);
+    fn relaxed_matches_pinned_on_local_address_shapes(shape in pt_shape_strategy()) {
+        let m = build_pt(&localize_addresses(&shape), false);
         prop_assert!(fence_ir::verify_module(&m).is_empty(), "module verifies");
         let pinned = PointsTo::analyze(&m);
         let relaxed_seq = PointsTo::analyze_with(&m, false, PointsToMode::Relaxed);
@@ -379,8 +214,8 @@ proptest! {
     /// fixpoint, and (b) schedule-independent: the pooled relaxed solve
     /// reproduces the sequential one exactly.
     #[test]
-    fn relaxed_is_sound_superset_and_schedule_independent(shape in shape_strategy()) {
-        let m = build(&shape, false);
+    fn relaxed_is_sound_superset_and_schedule_independent(shape in pt_shape_strategy()) {
+        let m = build_pt(&shape, false);
         prop_assert!(fence_ir::verify_module(&m).is_empty(), "module verifies");
         let reference = seed_points_to(&m);
         let pinned = PointsTo::analyze(&m);
