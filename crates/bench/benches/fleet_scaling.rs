@@ -17,7 +17,10 @@
 use corpus::Params;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fence_ir::Module;
-use fenceplace::{run_fleet_with, run_pipeline_batch, FleetJob, PipelineConfig, Variant};
+use fenceplace::{
+    run_fleet_streamed, run_fleet_with, run_pipeline_batch, FleetJob, FleetOptions, FleetResult,
+    FleetStats, PipelineConfig, StreamItem, Variant,
+};
 
 fn sweep() -> Vec<PipelineConfig> {
     vec![
@@ -99,9 +102,98 @@ fn bench_fleet(c: &mut Criterion) {
     group.finish();
 }
 
+/// Streamed-ingestion rung: the varied fleet written out as one `*.ir`
+/// file per module, streamed back through a `dir:` spec — resident
+/// (`window: None`, whole corpus materialized) against windowed
+/// admission (`window: 4`, O(window) peak residency). Before timing,
+/// the two runs must produce identical placements and the windowed
+/// run's resident-memory high-water (`FleetStats::peak_resident_*`)
+/// must be bounded by the window; the peaks are printed so the rung
+/// doubles as a residency report.
+fn bench_streamed(c: &mut Criterion) {
+    let synth = varied_synthetic();
+    let dir = std::env::temp_dir().join(format!("fleet-scaling-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, m) in &synth {
+        std::fs::write(
+            dir.join(format!("{name}.ir")),
+            fence_ir::printer::print_module(m),
+        )
+        .unwrap();
+    }
+    let configs = sweep();
+
+    // The bench crate sits below the umbrella crate, so it carries its
+    // own copy of the ModuleSource -> StreamItem adapter.
+    let items = || {
+        let mut source = corpus::ModuleSource::new(Params::default());
+        source
+            .push_spec(&format!("dir:{}", dir.display()))
+            .expect("dir spec queues");
+        source.map(|item| match item.expect("scratch dir reads cleanly") {
+            corpus::SourceItem::Module(e) => StreamItem::Module {
+                name: e.name,
+                module: e.module,
+            },
+            corpus::SourceItem::Text { name, text } => StreamItem::Text { name, text },
+        })
+    };
+    let run = |window: Option<usize>| -> (Vec<FleetResult>, FleetStats) {
+        let mut results: Vec<Option<FleetResult>> = (0..synth.len()).map(|_| None).collect();
+        let (_, stats) = run_fleet_streamed(
+            items(),
+            &configs,
+            &FleetOptions {
+                parallel: true,
+                window,
+                ..FleetOptions::default()
+            },
+            |i, fr| results[i] = Some(fr),
+        );
+        let results = results.into_iter().map(Option::unwrap).collect();
+        (results, stats)
+    };
+
+    // Windowed and resident streaming must agree before we time anything,
+    // and the window must actually bound residency.
+    let (windowed, wstats) = run(Some(4));
+    let (resident, rstats) = run(None);
+    assert_eq!(rstats.peak_resident_modules, synth.len());
+    assert!(
+        wstats.peak_resident_modules <= 4,
+        "window breached: {} modules resident",
+        wstats.peak_resident_modules
+    );
+    assert!(wstats.peak_resident_insts <= rstats.peak_resident_insts);
+    for (w, r) in windowed.iter().zip(&resident) {
+        assert_eq!(w.name, r.name);
+        for (wr, rr) in w.results.iter().zip(&r.results) {
+            assert_eq!(wr.points, rr.points, "{}: streamed diverges", w.name);
+        }
+    }
+    eprintln!(
+        "stream rung: resident peak {} modules / {} insts; window=4 peak {} modules / {} insts",
+        rstats.peak_resident_modules,
+        rstats.peak_resident_insts,
+        wstats.peak_resident_modules,
+        wstats.peak_resident_insts
+    );
+
+    let mut group = c.benchmark_group("fleet_streaming");
+    group.bench_function("resident_dir", |b| {
+        b.iter(|| criterion::black_box(run(None)))
+    });
+    group.bench_function("windowed4_dir", |b| {
+        b.iter(|| criterion::black_box(run(Some(4))))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fleet
+    targets = bench_fleet, bench_streamed
 }
 criterion_main!(benches);

@@ -7,7 +7,9 @@
 //! cargo run --release -p fence_bench --bin perf_snapshot
 //! ```
 //!
-//! Stages: points-to (function-sharded worklist Andersen), escape
+//! Stages: parse (textual-IR ingestion of the module's printed form, the
+//! unit of work the streamed scheduler overlaps with analysis),
+//! points-to (function-sharded worklist Andersen), escape
 //! closure, acquire detection (Address+Control — the superset detector),
 //! cfg (the cache-once `FuncSubstrate` builds: `Cfg` + `Reachability`,
 //! once per function, exactly as the batch pipeline amortizes them),
@@ -28,6 +30,11 @@
 //! 26 kernel+corpus modules (the multi-module workload the fleet
 //! schedules as one cross-module unit list).
 //!
+//! A `stream` section times the same multi-module workload fed as
+//! printed texts: serial vs pooled parse throughput, and the full
+//! resident streamed run (`window: None`) against the windowed admission
+//! scheduler — recorded, like `fleet`, but not gated.
+//!
 //! ## `--check` mode (the CI perf gate)
 //!
 //! ```text
@@ -47,13 +54,17 @@ use fenceplace::acquire::{detect_acquires, DetectMode};
 use fenceplace::minimize::minimize_function;
 use fenceplace::orderings::FuncOrderings;
 use fenceplace::{
-    run_fleet_with, run_pipeline_batch, FleetJob, PipelineConfig, TargetModel, Variant,
+    run_fleet_streamed, run_fleet_with, run_pipeline_batch, FleetJob, FleetOptions, PipelineConfig,
+    StreamItem, TargetModel, Variant,
 };
 use std::time::Instant;
 
 const REPS: usize = 3;
 const BENCH_PATH: &str = "BENCH_analysis.json";
-const STAGES: [&str; 8] = [
+/// Admission window for the streamed timing section.
+const STREAM_WINDOW: usize = 4;
+const STAGES: [&str; 9] = [
+    "parse",
     "points_to",
     "escape",
     "acquire",
@@ -66,6 +77,9 @@ const STAGES: [&str; 8] = [
 
 #[derive(Default, Clone, Copy)]
 struct StageMs {
+    /// Parsing the module's printed textual form — the ingest work the
+    /// streamed scheduler runs as a pool unit.
+    parse: f64,
     points_to: f64,
     escape: f64,
     acquire: f64,
@@ -81,10 +95,17 @@ struct StageMs {
 
 impl StageMs {
     fn total(&self) -> f64 {
-        self.points_to + self.escape + self.acquire + self.cfg + self.orderings + self.minimize
+        self.parse
+            + self.points_to
+            + self.escape
+            + self.acquire
+            + self.cfg
+            + self.orderings
+            + self.minimize
     }
 
     fn add(&mut self, o: &StageMs) {
+        self.parse += o.parse;
         self.points_to += o.points_to;
         self.escape += o.escape;
         self.acquire += o.acquire;
@@ -96,6 +117,7 @@ impl StageMs {
 
     fn get(&self, stage: &str) -> f64 {
         match stage {
+            "parse" => self.parse,
             "points_to" => self.points_to,
             "escape" => self.escape,
             "acquire" => self.acquire,
@@ -110,8 +132,8 @@ impl StageMs {
 
     fn json(&self) -> String {
         format!(
-            "{{\"points_to\": {:.3}, \"escape\": {:.3}, \"acquire\": {:.3}, \"cfg\": {:.3}, \"overlap\": {:.3}, \"orderings\": {:.3}, \"minimize\": {:.3}, \"total\": {:.3}}}",
-            self.points_to, self.escape, self.acquire, self.cfg, self.overlap, self.orderings, self.minimize, self.total()
+            "{{\"parse\": {:.3}, \"points_to\": {:.3}, \"escape\": {:.3}, \"acquire\": {:.3}, \"cfg\": {:.3}, \"overlap\": {:.3}, \"orderings\": {:.3}, \"minimize\": {:.3}, \"total\": {:.3}}}",
+            self.parse, self.points_to, self.escape, self.acquire, self.cfg, self.overlap, self.orderings, self.minimize, self.total()
         )
     }
 }
@@ -127,7 +149,9 @@ fn time_min<T>(mut f: impl FnMut() -> T) -> f64 {
 }
 
 fn snapshot(module: &Module) -> StageMs {
+    let text = fence_ir::printer::print_module(module);
     let mut s = StageMs {
+        parse: time_min(|| fence_ir::parser::parse_module(&text).expect("printed module parses")),
         points_to: time_min(|| PointsTo::analyze(module)),
         ..StageMs::default()
     };
@@ -243,6 +267,48 @@ fn fleet_vs_loop(entries: &[corpus::ManifestEntry]) -> (f64, f64) {
     (fleet_ms, loop_ms)
 }
 
+/// Streamed-ingestion timings over the multi-module workload fed as
+/// printed texts: serial vs pooled parse throughput, and resident
+/// (`window: None`) vs windowed streamed runs of the same single-config
+/// fleet. Demonstrates that windowed admission with off-thread parsing
+/// keeps wall-clock at (or under, multi-core) the resident run.
+fn stream_snapshot(entries: &[corpus::ManifestEntry]) -> String {
+    let texts: Vec<(String, String)> = entries
+        .iter()
+        .map(|e| (e.name.clone(), fence_ir::printer::print_module(&e.module)))
+        .collect();
+    let strs: Vec<&str> = texts.iter().map(|(_, t)| t.as_str()).collect();
+    let parse_serial = time_min(|| fence_ir::parser::parse_modules(&strs, false));
+    let parse_pooled = time_min(|| fence_ir::parser::parse_modules(&strs, true));
+
+    let configs = vec![PipelineConfig::for_variant(Variant::Control)];
+    let run = |window: Option<usize>| {
+        time_min(|| {
+            let items: Vec<StreamItem> = texts
+                .iter()
+                .map(|(name, text)| StreamItem::Text {
+                    name: name.clone(),
+                    text: text.clone(),
+                })
+                .collect();
+            let opts = FleetOptions {
+                parallel: true,
+                window,
+                ..FleetOptions::default()
+            };
+            run_fleet_streamed(items, &configs, &opts, |_, _| {})
+        })
+    };
+    let resident_ms = run(None);
+    let streamed_ms = run(Some(STREAM_WINDOW));
+    format!(
+        "{{\"modules\": {}, \"window\": {STREAM_WINDOW}, \"parse_serial_ms\": {parse_serial:.3}, \
+         \"parse_pooled_ms\": {parse_pooled:.3}, \"resident_ms\": {resident_ms:.3}, \
+         \"streamed_ms\": {streamed_ms:.3}}}",
+        texts.len()
+    )
+}
+
 fn measure() -> (Vec<(String, StageMs)>, StageMs, String) {
     let p = Params::default();
     let mut rows: Vec<(String, StageMs)> = Vec::new();
@@ -277,7 +343,8 @@ fn measure() -> (Vec<(String, StageMs)>, StageMs, String) {
         ));
     }
     out.push_str(&format!("  ],\n  \"totals\": {},\n", totals.json()));
-    out.push_str(&format!("  \"fleet\": {fleet_json}\n}}\n"));
+    out.push_str(&format!("  \"fleet\": {fleet_json},\n"));
+    out.push_str(&format!("  \"stream\": {}\n}}\n", stream_snapshot(&multi)));
     (rows, totals, out)
 }
 
@@ -303,6 +370,7 @@ fn committed_totals(text: &str) -> Result<StageMs, String> {
             .map_err(|e| format!("bad `{key}` value: {e}"))
     };
     Ok(StageMs {
+        parse: field("parse")?,
         points_to: field("points_to")?,
         escape: field("escape")?,
         acquire: field("acquire")?,

@@ -43,11 +43,13 @@ pub enum Fault {
     /// exercises the per-unit `catch_unwind` quarantine path
     /// (`ModuleOutcome::Panicked`).
     Panic,
-    /// The validation gate sees a structurally mutilated clone of the
-    /// module (terminators stripped), as if the IR arrived truncated —
-    /// exercises the real verifier rejection path
-    /// (`ModuleOutcome::InvalidIr`). Only meaningful at
-    /// [`FleetStage::Validate`].
+    /// The stage sees a truncated view of the module, as if it arrived
+    /// cut off mid-stream. At [`FleetStage::Validate`] the gate verifies
+    /// a structurally mutilated clone (terminators stripped, see
+    /// [`truncate_module`]); at [`FleetStage::Ingest`] the streamed
+    /// parser sees the module *text* cut in half with a junk tail (see
+    /// [`truncate_text`]). Both exercise the real rejection path
+    /// (`ModuleOutcome::InvalidIr`). Meaningful only at those two stages.
     TruncateIr,
     /// The stage charges an enormous synthetic step cost, blowing any
     /// configured budget — exercises the deterministic deadline path
@@ -117,6 +119,30 @@ pub fn validate_view<'m>(module_name: &str, module: &'m Module) -> Cow<'m, Modul
     }
 }
 
+/// Fleet hook: the text the streamed ingest stage parses. With
+/// [`Fault::TruncateIr`] armed at [`FleetStage::Ingest`] this is a
+/// mutilated copy (see [`truncate_text`]); otherwise the text itself,
+/// borrow-only.
+pub fn ingest_view<'t>(module_name: &str, text: &'t str) -> Cow<'t, str> {
+    if armed(module_name, FleetStage::Ingest) == Some(Fault::TruncateIr) {
+        Cow::Owned(truncate_text(text))
+    } else {
+        Cow::Borrowed(text)
+    }
+}
+
+/// Produces a broken copy of a module text, simulating a stream cut off
+/// mid-module: the second half is dropped (snapped to a char boundary)
+/// and a junk line appended, so the parser reports a real `ParseError`
+/// whichever construct the cut landed in.
+pub fn truncate_text(text: &str) -> String {
+    let mut cut = text.len() / 2;
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}\n!!truncated mid-stream!!\n", &text[..cut])
+}
+
 /// Produces a structurally broken clone of `module`, simulating IR that
 /// was cut off mid-stream: the last instruction of every block is
 /// dropped, so blocks no longer end with terminators (or become empty)
@@ -176,5 +202,29 @@ mod tests {
         );
         // The original is untouched.
         assert!(fence_ir::verify_module(&m).is_empty());
+    }
+
+    #[test]
+    fn text_truncation_breaks_parsing() {
+        let _g = lock();
+        clear();
+        let mut mb = fence_ir::builder::ModuleBuilder::new("t");
+        let g = mb.global("g", 1);
+        let mut fb = fence_ir::builder::FunctionBuilder::new("f", 0);
+        fb.store(g, 1i64);
+        fb.ret(None);
+        mb.add_func(fb.build());
+        let text = fence_ir::printer::print_module(&mb.finish());
+        assert!(fence_ir::parser::parse_module(&text).is_ok());
+        let cut = truncate_text(&text);
+        assert!(
+            fence_ir::parser::parse_module(&cut).is_err(),
+            "truncated text must fail parsing: {cut}"
+        );
+        // ingest_view is a borrow unless TruncateIr is armed at Ingest.
+        assert!(matches!(ingest_view("t", &text), Cow::Borrowed(_)));
+        arm("t", FleetStage::Ingest, Fault::TruncateIr);
+        assert!(matches!(ingest_view("t", &text), Cow::Owned(_)));
+        clear();
     }
 }

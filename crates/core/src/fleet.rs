@@ -162,6 +162,14 @@ pub struct FleetOptions {
     /// non-minimal placement) is a result, not a quarantine. `None`
     /// (the default) skips the stage entirely.
     pub certify: Option<CertifyOptions>,
+    /// Streamed-admission window for [`run_fleet_streamed`]: at most
+    /// this many modules are resident (admitted but not yet retired) at
+    /// once, bounding peak memory at O(window) instead of O(corpus).
+    /// `None` (the default) materializes the whole stream and runs the
+    /// exact resident scheduler — results are **bit-identical** to
+    /// [`run_fleet_opts`] on the same corpus. Resident entry points
+    /// ignore this field.
+    pub window: Option<usize>,
 }
 
 impl Default for FleetOptions {
@@ -172,6 +180,7 @@ impl Default for FleetOptions {
             validate: true,
             budget: None,
             certify: None,
+            window: None,
         }
     }
 }
@@ -229,6 +238,33 @@ pub struct FleetStats {
     /// [`CertifyStatus::Unsound`] — placements that leak a non-SC
     /// outcome in a race-free thread group.
     pub certify_unsound: usize,
+    /// High-water mark of simultaneously resident modules. Resident
+    /// runs pin this at the job count; a streamed run with
+    /// [`FleetOptions::window`] `= Some(w)` never exceeds `w` (pinned by
+    /// `tests/stream.rs`).
+    pub peak_resident_modules: usize,
+    /// High-water mark of total instructions across the simultaneously
+    /// resident modules — the allocation-counter proxy for peak module
+    /// memory (texts are counted once parsed).
+    pub peak_resident_insts: u64,
+}
+
+/// Folds the per-module stats of one streamed inner run into the
+/// stream-wide accumulator. `modules`/`failed` and the residency peaks
+/// are tracked by the streamed scheduler itself; the work counters sum.
+/// Note `unique_rows`/`row_hits` sum *per-module* interners here — a
+/// bounded window cannot hold a fleet-wide row table.
+fn fold_stats(acc: &mut FleetStats, s: &FleetStats) {
+    acc.functions += s.functions;
+    acc.configs += s.configs;
+    acc.analyses += s.analyses;
+    acc.substrates += s.substrates;
+    acc.unique_rows += s.unique_rows;
+    acc.row_hits += s.row_hits;
+    acc.row_words += s.row_words;
+    acc.failed += s.failed;
+    acc.certifications += s.certifications;
+    acc.certify_unsound += s.certify_unsound;
 }
 
 /// Deterministic step cost of one function for one stage pass.
@@ -818,6 +854,10 @@ pub fn run_fleet_opts(jobs: &[FleetJob], opts: &FleetOptions) -> (Vec<FleetResul
             .flat_map(|v| v.iter())
             .filter(|r| r.status() == CertifyStatus::Unsound)
             .count(),
+        // Every job is materialized for the whole run: resident peaks
+        // are exactly the fleet size.
+        peak_resident_modules: nj,
+        peak_resident_insts: jobs.iter().map(|j| j.module.total_insts() as u64).sum(),
     };
 
     let mut out = Vec::with_capacity(nj);
@@ -841,6 +881,491 @@ pub fn run_fleet_opts(jobs: &[FleetJob], opts: &FleetOptions) -> (Vec<FleetResul
         });
     }
     (out, stats)
+}
+
+// ---------------------------------------------------------------------
+// Streamed ingestion: windowed admission over a lazy corpus feed.
+// ---------------------------------------------------------------------
+
+/// One item of the lazy corpus feed consumed by [`run_fleet_streamed`].
+/// Producers (e.g. `corpus::ModuleSource`) yield these without ever
+/// materializing the whole corpus.
+#[derive(Debug)]
+pub enum StreamItem {
+    /// An already-built module (the built-in manifest families generate
+    /// IR directly; no ingest parse is needed).
+    Module {
+        /// Display name used in reports.
+        name: String,
+        /// The module to analyze.
+        module: Module,
+    },
+    /// Unparsed textual IR. Parsing runs as a [`FleetStage::Ingest`]
+    /// work unit on the pool, overlapped with other modules' analysis;
+    /// a text that fails to parse is quarantined as
+    /// [`ModuleOutcome::InvalidIr`] without stalling the window.
+    Text {
+        /// Display name (typically the per-item pseudo-spec).
+        name: String,
+        /// Raw textual IR.
+        text: String,
+    },
+    /// The loader could not produce this item at all (unreadable file,
+    /// broken pack stream). Quarantined as [`ModuleOutcome::LoadFailed`]
+    /// — one sick item never aborts the stream.
+    Failed {
+        /// Display name of the item that failed to load.
+        name: String,
+        /// The loader's error, verbatim.
+        error: String,
+    },
+}
+
+/// Name + terminal outcome of one streamed item, in admission order —
+/// the O(1)-per-module record the caller keeps after full results are
+/// spilled through the completion sink.
+#[derive(Clone, Debug)]
+pub struct StreamSummary {
+    /// The item's display name.
+    pub name: String,
+    /// Terminal status (exactly what the sink's [`FleetResult`] carried).
+    pub outcome: ModuleOutcome,
+}
+
+/// The ingest work of one text: injected panic point, fault view, parse.
+/// Pure (no shared state), so it parallelizes like any other unit.
+fn ingest_parse(name: &str, text: &str) -> Result<Module, fence_ir::parser::ParseError> {
+    faultinject::panic_point(name, FleetStage::Ingest);
+    let view = faultinject::ingest_view(name, text);
+    fence_ir::parser::parse_module(&view)
+}
+
+/// One ingest attempt: `Err(panic message)` from isolation, or the
+/// parse result.
+type IngestAttempt = Result<Result<Module, fence_ir::parser::ParseError>, String>;
+
+/// Folds an ingest attempt into a module or a quarantine outcome.
+/// Normal ingest charges **zero** steps — resident runs never see this
+/// stage, and streamed budget outcomes must match resident ones exactly
+/// — so only injected costs can trip an ingest deadline. A caught panic
+/// wins over a same-stage deadline, mirroring [`charge`].
+fn finish_ingest(
+    name: &str,
+    attempt: IngestAttempt,
+    budget: Option<u64>,
+) -> Result<Module, ModuleOutcome> {
+    match attempt {
+        Err(message) => Err(ModuleOutcome::Panicked {
+            stage: FleetStage::Ingest,
+            message,
+        }),
+        Ok(Err(e)) => Err(ModuleOutcome::InvalidIr {
+            errors: vec![format!("parse error: {e}")],
+        }),
+        Ok(Ok(module)) => {
+            let extra = faultinject::extra_cost(name, FleetStage::Ingest);
+            match budget {
+                Some(b) if extra > b => Err(ModuleOutcome::DeadlineExceeded {
+                    stage: FleetStage::Ingest,
+                    spent: extra,
+                    budget: b,
+                }),
+                _ => Ok(module),
+            }
+        }
+    }
+}
+
+/// An empty [`FleetResult`] for an item quarantined before any pipeline
+/// stage ran (load failure or ingest quarantine).
+fn empty_result(name: String, outcome: ModuleOutcome) -> FleetResult {
+    FleetResult {
+        name,
+        outcome,
+        results: Vec::new(),
+        certifications: Vec::new(),
+    }
+}
+
+/// A task of the windowed scheduler. `Ingest` and `Run` are separate
+/// tasks so a module's parse and a *different* module's analysis
+/// interleave freely on the pool — parse is never serial prologue.
+enum StreamTask {
+    Ingest {
+        index: usize,
+        name: String,
+        text: String,
+    },
+    Run {
+        index: usize,
+        name: String,
+        module: Module,
+    },
+    Fail {
+        index: usize,
+        name: String,
+        error: String,
+    },
+}
+
+/// Shared scheduler state behind one mutex: the (lazy) source, the task
+/// queue, window occupancy, residency counters, and the accumulating
+/// summaries/stats.
+struct StreamState<I> {
+    source: I,
+    exhausted: bool,
+    queue: std::collections::VecDeque<StreamTask>,
+    /// Tasks currently executing on some worker.
+    active: usize,
+    /// Items admitted but not yet retired (bounded by the window).
+    in_flight: usize,
+    resident_modules: usize,
+    resident_insts: u64,
+    summaries: Vec<Option<StreamSummary>>,
+    stats: FleetStats,
+}
+
+impl<I> StreamState<I> {
+    fn bump_peaks(&mut self) {
+        self.stats.peak_resident_modules =
+            self.stats.peak_resident_modules.max(self.resident_modules);
+        self.stats.peak_resident_insts = self.stats.peak_resident_insts.max(self.resident_insts);
+    }
+
+    /// Admits one source item: allocates its admission index, occupies a
+    /// window slot, and queues its first task.
+    fn admit(&mut self, item: StreamItem) {
+        let index = self.summaries.len();
+        self.summaries.push(None);
+        self.in_flight += 1;
+        match item {
+            StreamItem::Module { name, module } => {
+                self.resident_modules += 1;
+                self.resident_insts += module.total_insts() as u64;
+                self.bump_peaks();
+                self.queue.push_back(StreamTask::Run {
+                    index,
+                    name,
+                    module,
+                });
+            }
+            StreamItem::Text { name, text } => {
+                self.resident_modules += 1;
+                self.bump_peaks();
+                self.queue
+                    .push_back(StreamTask::Ingest { index, name, text });
+            }
+            StreamItem::Failed { name, error } => {
+                self.queue
+                    .push_back(StreamTask::Fail { index, name, error });
+            }
+        }
+    }
+
+    /// Records an item's terminal summary and frees its window slot.
+    /// `residency` is the instruction count to release, for items that
+    /// held residency (`None` for load failures, which never did).
+    fn retire(
+        &mut self,
+        index: usize,
+        name: &str,
+        outcome: &ModuleOutcome,
+        residency: Option<u64>,
+    ) {
+        self.summaries[index] = Some(StreamSummary {
+            name: name.to_string(),
+            outcome: outcome.clone(),
+        });
+        self.in_flight -= 1;
+        if let Some(insts) = residency {
+            self.resident_modules -= 1;
+            self.resident_insts -= insts;
+        }
+    }
+}
+
+/// Runs fence placement over a **streamed** corpus: items are admitted
+/// lazily from `items`, each module's full [`FleetResult`] is delivered
+/// to `on_complete(admission_index, result)` as soon as that module
+/// retires, and only the O(1)-sized [`StreamSummary`] per item is
+/// retained — so a corpus far larger than memory processes at
+/// O(window) peak residency ([`FleetStats::peak_resident_modules`]).
+///
+/// Scheduling depends on [`FleetOptions::window`]:
+///
+/// * `None` — the whole stream is materialized (texts parsed in one
+///   pooled ingest pass) and handed to [`run_fleet_opts`]: per-module
+///   results are **bit-identical** to a resident run, including the
+///   fleet-wide row interning. `on_complete` fires in admission order.
+/// * `Some(w)` — at most `w` items are resident at once; a new item is
+///   admitted the moment a prior one retires, and each admitted text's
+///   ingest parse runs as its own pool task overlapped with other
+///   modules' analysis. Each module is analyzed by an exact per-module
+///   [`run_fleet_opts`] invocation, so quarantine, budget charging, and
+///   per-module results match the resident scheduler bit-for-bit (the
+///   fleet≡per-module-batch equivalence is pinned by `tests/fleet.rs`);
+///   only cross-module row-interner sharing is forgone. `on_complete`
+///   may fire in any order — every delivery carries its admission index,
+///   and summaries/stats are index-keyed, so sequential and pooled runs
+///   produce identical summaries.
+///
+/// Quarantine semantics extend to ingestion: a [`StreamItem::Failed`]
+/// loads as [`ModuleOutcome::LoadFailed`], an unparsable text as
+/// [`ModuleOutcome::InvalidIr`] (stage [`FleetStage::Ingest`] hooks the
+/// fault-injection registry like any other stage), and neither stalls
+/// the window. With `isolate: false`, ingest panics propagate to the
+/// caller like any other stage panic.
+pub fn run_fleet_streamed<I, F>(
+    items: I,
+    configs: &[PipelineConfig],
+    opts: &FleetOptions,
+    on_complete: F,
+) -> (Vec<StreamSummary>, FleetStats)
+where
+    I: IntoIterator<Item = StreamItem>,
+    I::IntoIter: Send,
+    F: FnMut(usize, FleetResult) + Send,
+{
+    match opts.window {
+        None => stream_resident(items, configs, opts, on_complete),
+        Some(w) => stream_windowed(items.into_iter(), w.max(1), configs, opts, on_complete),
+    }
+}
+
+/// `window: None`: materialize everything (one pooled ingest pass over
+/// the texts), then run the exact resident scheduler.
+fn stream_resident<I, F>(
+    items: I,
+    configs: &[PipelineConfig],
+    opts: &FleetOptions,
+    mut on_complete: F,
+) -> (Vec<StreamSummary>, FleetStats)
+where
+    I: IntoIterator<Item = StreamItem>,
+    F: FnMut(usize, FleetResult),
+{
+    enum Slot {
+        Pending,
+        Run(String, Module),
+        Quarantined(String, ModuleOutcome),
+    }
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut texts: Vec<(usize, String, String)> = Vec::new();
+    for item in items {
+        match item {
+            StreamItem::Module { name, module } => slots.push(Slot::Run(name, module)),
+            StreamItem::Failed { name, error } => {
+                slots.push(Slot::Quarantined(name, ModuleOutcome::LoadFailed { error }))
+            }
+            StreamItem::Text { name, text } => {
+                texts.push((slots.len(), name, text));
+                slots.push(Slot::Pending);
+            }
+        }
+    }
+    // One pooled ingest pass, unit-isolated exactly like any stage.
+    let attempts: Vec<IngestAttempt> = stage_map(texts.len(), opts.parallel, opts.isolate, |k| {
+        let (_, name, text) = &texts[k];
+        ingest_parse(name, text)
+    });
+    for ((i, name, _), attempt) in texts.into_iter().zip(attempts) {
+        slots[i] = match finish_ingest(&name, attempt, opts.budget) {
+            Ok(module) => Slot::Run(name, module),
+            Err(outcome) => Slot::Quarantined(name, outcome),
+        };
+    }
+
+    let mut jobs: Vec<FleetJob> = Vec::new();
+    for slot in &slots {
+        if let Slot::Run(name, module) = slot {
+            jobs.push(FleetJob::new(name.clone(), module, configs.to_vec()));
+        }
+    }
+    let inner = FleetOptions {
+        window: None,
+        ..*opts
+    };
+    let (fleet, mut stats) = run_fleet_opts(&jobs, &inner);
+
+    // Deliver in admission order; quarantined-at-ingest items get empty
+    // results, and the whole stream was resident at once.
+    stats.modules = slots.len();
+    stats.peak_resident_modules = slots.len();
+    let mut fleet = fleet.into_iter();
+    let mut summaries = Vec::with_capacity(slots.len());
+    for (index, slot) in slots.into_iter().enumerate() {
+        let fr = match slot {
+            Slot::Pending => unreachable!("every text slot was resolved"),
+            Slot::Run(..) => fleet.next().expect("one fleet result per job"),
+            Slot::Quarantined(name, outcome) => {
+                stats.failed += 1;
+                if !matches!(outcome, ModuleOutcome::LoadFailed { .. }) {
+                    // The item was admitted with its configs scheduled,
+                    // like any module quarantined mid-run.
+                    stats.configs += configs.len();
+                }
+                empty_result(name, outcome)
+            }
+        };
+        summaries.push(StreamSummary {
+            name: fr.name.clone(),
+            outcome: fr.outcome.clone(),
+        });
+        on_complete(index, fr);
+    }
+    (summaries, stats)
+}
+
+/// `window: Some(w)`: the windowed admission scheduler. Workers (pool
+/// plus caller) pull tasks from a shared queue; when the queue is empty
+/// and a window slot is free, the next source item is admitted. A
+/// retiring module frees its slot and wakes a waiting worker, so
+/// admission chases retirement with no barrier.
+fn stream_windowed<I, F>(
+    source: I,
+    window: usize,
+    configs: &[PipelineConfig],
+    opts: &FleetOptions,
+    on_complete: F,
+) -> (Vec<StreamSummary>, FleetStats)
+where
+    I: Iterator<Item = StreamItem> + Send,
+    F: FnMut(usize, FleetResult) + Send,
+{
+    use std::sync::{Condvar, Mutex};
+
+    let state = Mutex::new(StreamState {
+        source,
+        exhausted: false,
+        queue: std::collections::VecDeque::new(),
+        active: 0,
+        in_flight: 0,
+        resident_modules: 0,
+        resident_insts: 0,
+        summaries: Vec::new(),
+        stats: FleetStats::default(),
+    });
+    let work = Condvar::new();
+    let sink = Mutex::new(on_complete);
+    // Per-module inner runs execute inside one worker task: sequential
+    // internally (units of *different* modules provide the parallelism),
+    // windowless, otherwise under the caller's options — preserving
+    // quarantine, budget, and result semantics exactly.
+    let inner = FleetOptions {
+        parallel: false,
+        window: None,
+        ..*opts
+    };
+
+    let worker = || loop {
+        let task = {
+            let mut st = state.lock().unwrap();
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    st.active += 1;
+                    break Some(t);
+                }
+                if !st.exhausted && st.in_flight < window {
+                    match st.source.next() {
+                        Some(item) => st.admit(item),
+                        None => st.exhausted = true,
+                    }
+                    continue;
+                }
+                if st.exhausted && st.active == 0 && st.queue.is_empty() {
+                    break None;
+                }
+                st = work.wait(st).unwrap();
+            }
+        };
+        let Some(task) = task else {
+            work.notify_all();
+            break;
+        };
+        match task {
+            StreamTask::Fail { index, name, error } => {
+                let outcome = ModuleOutcome::LoadFailed { error };
+                {
+                    let mut st = state.lock().unwrap();
+                    st.stats.failed += 1;
+                    st.retire(index, &name, &outcome, None);
+                }
+                sink.lock().unwrap()(index, empty_result(name, outcome));
+            }
+            StreamTask::Ingest { index, name, text } => {
+                let attempt: IngestAttempt = if opts.isolate {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        ingest_parse(&name, &text)
+                    }))
+                    .map_err(|p| crate::pool::panic_message(p.as_ref()))
+                } else {
+                    Ok(ingest_parse(&name, &text))
+                };
+                match finish_ingest(&name, attempt, opts.budget) {
+                    Ok(module) => {
+                        let mut st = state.lock().unwrap();
+                        st.resident_insts += module.total_insts() as u64;
+                        st.bump_peaks();
+                        st.queue.push_back(StreamTask::Run {
+                            index,
+                            name,
+                            module,
+                        });
+                    }
+                    Err(outcome) => {
+                        {
+                            let mut st = state.lock().unwrap();
+                            st.stats.failed += 1;
+                            // Admitted with configs scheduled, like any
+                            // module quarantined mid-run.
+                            st.stats.configs += configs.len();
+                            st.retire(index, &name, &outcome, Some(0));
+                        }
+                        sink.lock().unwrap()(index, empty_result(name, outcome));
+                    }
+                }
+            }
+            StreamTask::Run {
+                index,
+                name,
+                module,
+            } => {
+                let insts = module.total_insts() as u64;
+                let job = FleetJob::new(name.clone(), &module, configs.to_vec());
+                let (mut results, istats) = run_fleet_opts(std::slice::from_ref(&job), &inner);
+                let fr = results.pop().expect("one result per job");
+                {
+                    let mut st = state.lock().unwrap();
+                    fold_stats(&mut st.stats, &istats);
+                    st.retire(index, &name, &fr.outcome, Some(insts));
+                }
+                sink.lock().unwrap()(index, fr);
+            }
+        }
+        {
+            let mut st = state.lock().unwrap();
+            st.active -= 1;
+        }
+        work.notify_all();
+    };
+
+    let pool = crate::pool::ThreadPool::global();
+    let tasks = if opts.parallel {
+        window.min(pool.workers() + 1)
+    } else {
+        1
+    };
+    pool.run_scoped(tasks, &worker);
+
+    let mut st = state.into_inner().unwrap();
+    debug_assert_eq!(st.in_flight, 0, "every admitted item retired");
+    st.stats.modules = st.summaries.len();
+    let summaries = st
+        .summaries
+        .into_iter()
+        .map(|s| s.expect("every admitted item produced a summary"))
+        .collect();
+    (summaries, st.stats)
 }
 
 #[cfg(test)]
@@ -1107,6 +1632,7 @@ mod tests {
             validate: false,
             budget: None,
             certify: None,
+            window: None,
         };
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_fleet_opts(&[FleetJob::new("bad", &bad, configs.clone())], &opts)
@@ -1153,6 +1679,177 @@ mod tests {
         let (got, stats) = run_fleet_with(&[FleetJob::new("a", &a, configs)], false);
         assert!(got[0].certifications.is_empty());
         assert_eq!(stats.certifications, 0);
+    }
+
+    /// Runs the streamed scheduler over `items`, collecting the sink
+    /// deliveries keyed by admission index.
+    fn stream_collect(
+        items: Vec<StreamItem>,
+        configs: &[PipelineConfig],
+        opts: &FleetOptions,
+    ) -> (Vec<StreamSummary>, FleetStats, Vec<Option<FleetResult>>) {
+        let delivered = std::sync::Mutex::new(Vec::new());
+        let (summaries, stats) = run_fleet_streamed(items, configs, opts, |i, fr| {
+            delivered.lock().unwrap().push((i, fr));
+        });
+        let mut slots: Vec<Option<FleetResult>> = (0..summaries.len()).map(|_| None).collect();
+        for (i, fr) in delivered.into_inner().unwrap() {
+            assert!(slots[i].is_none(), "each index delivered exactly once");
+            slots[i] = Some(fr);
+        }
+        (summaries, stats, slots)
+    }
+
+    fn stream_items(modules: &[(&str, &Module)]) -> Vec<StreamItem> {
+        modules
+            .iter()
+            .map(|(name, m)| StreamItem::Text {
+                name: name.to_string(),
+                text: fence_ir::printer::print_module(m),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streamed_matches_resident_for_every_window() {
+        let printed: Vec<Module> = (0..5)
+            .map(|i| {
+                let m = spin_module(&format!("m{i}"), 1 + i % 3);
+                // Round-trip through the printer so the resident baseline
+                // sees the same densely renumbered IR the stream parses.
+                fence_ir::parser::parse_module(&fence_ir::printer::print_module(&m)).unwrap()
+            })
+            .collect();
+        let named: Vec<(&str, &Module)> = ["m0", "m1", "m2", "m3", "m4"]
+            .iter()
+            .zip(&printed)
+            .map(|(n, m)| (*n, m))
+            .collect();
+        let configs = sweep_configs();
+        let jobs: Vec<FleetJob> = named
+            .iter()
+            .map(|(n, m)| FleetJob::new(*n, m, configs.clone()))
+            .collect();
+        let (want, wstats) = run_fleet_with(&jobs, false);
+        for parallel in [false, true] {
+            for window in [None, Some(1), Some(2), Some(64)] {
+                let opts = FleetOptions {
+                    parallel,
+                    window,
+                    ..FleetOptions::default()
+                };
+                let (summaries, stats, got) = stream_collect(stream_items(&named), &configs, &opts);
+                assert_eq!(summaries.len(), 5);
+                assert_eq!(stats.modules, 5);
+                assert_eq!(stats.failed, 0);
+                assert_eq!(stats.functions, wstats.functions);
+                for (k, (w, g)) in want.iter().zip(&got).enumerate() {
+                    let g = g.as_ref().expect("delivered");
+                    assert_eq!(summaries[k].name, w.name);
+                    assert!(summaries[k].outcome.is_ok());
+                    assert_same_results(g, w);
+                }
+                match window {
+                    Some(w) => assert!(
+                        stats.peak_resident_modules <= w,
+                        "peak {} exceeds window {w} (par={parallel})",
+                        stats.peak_resident_modules
+                    ),
+                    None => assert_eq!(stats.peak_resident_modules, 5),
+                }
+                assert!(stats.peak_resident_insts > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_quarantines_bad_items_without_stalling() {
+        let good = spin_module("good", 2);
+        let also = spin_module("also", 1);
+        let configs = vec![PipelineConfig::for_variant(Variant::Control)];
+        for parallel in [false, true] {
+            for window in [None, Some(1), Some(2)] {
+                let opts = FleetOptions {
+                    parallel,
+                    window,
+                    ..FleetOptions::default()
+                };
+                let items = vec![
+                    StreamItem::Text {
+                        name: "stream:good".into(),
+                        text: fence_ir::printer::print_module(&good),
+                    },
+                    StreamItem::Failed {
+                        name: "file:gone.ir".into(),
+                        error: "cannot read `gone.ir`: missing".into(),
+                    },
+                    StreamItem::Text {
+                        name: "stream:garbage".into(),
+                        text: "this is not ir\n".into(),
+                    },
+                    StreamItem::Module {
+                        name: "stream:also".into(),
+                        module: also.clone(),
+                    },
+                ];
+                let (summaries, stats, got) = stream_collect(items, &configs, &opts);
+                assert_eq!(stats.modules, 4);
+                assert_eq!(stats.failed, 2, "par={parallel} window={window:?}");
+                assert!(matches!(
+                    summaries[1].outcome,
+                    ModuleOutcome::LoadFailed { .. }
+                ));
+                match &summaries[2].outcome {
+                    ModuleOutcome::InvalidIr { errors } => {
+                        assert!(errors[0].contains("parse error"), "{errors:?}");
+                    }
+                    other => panic!("expected InvalidIr, got {other:?}"),
+                }
+                assert!(summaries[0].outcome.is_ok());
+                assert!(summaries[3].outcome.is_ok());
+                // Quarantined items deliver empty results; healthy ones
+                // match the resident baseline bit-for-bit.
+                let g1 = got[1].as_ref().unwrap();
+                assert!(g1.results.is_empty());
+                // The streamed text round-trips through print+parse, so
+                // compare against a resident run of the parsed form.
+                let parsed =
+                    fence_ir::parser::parse_module(&fence_ir::printer::print_module(&good))
+                        .unwrap();
+                let (want_parsed, _) = run_fleet_with(
+                    &[FleetJob::new("stream:good", &parsed, configs.clone())],
+                    false,
+                );
+                assert_same_results(got[0].as_ref().unwrap(), &want_parsed[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_empty_and_module_items() {
+        let configs = vec![PipelineConfig::for_variant(Variant::Control)];
+        let opts = FleetOptions {
+            parallel: false,
+            window: Some(3),
+            ..FleetOptions::default()
+        };
+        let (summaries, stats, _) = stream_collect(Vec::new(), &configs, &opts);
+        assert!(summaries.is_empty());
+        assert_eq!(stats.modules, 0);
+        assert_eq!(stats.peak_resident_modules, 0);
+        // Pre-built Module items skip ingest entirely and still match
+        // the resident run exactly (no print/parse renumbering).
+        let m = spin_module("m", 2);
+        let (want, _) = run_fleet_with(&[FleetJob::new("m", &m, configs.clone())], false);
+        let items = vec![StreamItem::Module {
+            name: "m".into(),
+            module: m.clone(),
+        }];
+        let (summaries, stats, got) = stream_collect(items, &configs, &opts);
+        assert!(summaries[0].outcome.is_ok());
+        assert_eq!(stats.peak_resident_modules, 1);
+        assert_eq!(stats.peak_resident_insts, m.total_insts() as u64);
+        assert_same_results(got[0].as_ref().unwrap(), &want[0]);
     }
 
     #[test]

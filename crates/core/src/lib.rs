@@ -71,6 +71,11 @@ pub(crate) mod faultinject {
     pub fn validate_view<'m>(_module_name: &str, module: &'m Module) -> Cow<'m, Module> {
         Cow::Borrowed(module)
     }
+
+    #[inline(always)]
+    pub fn ingest_view<'t>(_module_name: &str, text: &'t str) -> Cow<'t, str> {
+        Cow::Borrowed(text)
+    }
 }
 
 /// The persistent per-function thread pool, re-exported from `fence_ir`
@@ -85,7 +90,8 @@ pub use certify::{
     FenceCertificate, GroupCertificate,
 };
 pub use fleet::{
-    run_fleet, run_fleet_opts, run_fleet_with, FleetJob, FleetOptions, FleetResult, FleetStats,
+    run_fleet, run_fleet_opts, run_fleet_streamed, run_fleet_with, FleetJob, FleetOptions,
+    FleetResult, FleetStats, StreamItem, StreamSummary,
 };
 pub use minimize::{FencePoint, TargetModel};
 pub use orderings::{

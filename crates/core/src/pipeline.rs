@@ -48,7 +48,6 @@ use fence_analysis::ModuleAnalysis;
 use fence_ir::cfg::FuncSubstrate;
 use fence_ir::util::BitSet;
 use fence_ir::{FenceKind, FuncId, Module};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Which sync-read set drives pruning.
@@ -248,38 +247,7 @@ pub(crate) fn map_indexed<T: Send>(
     parallel: bool,
     f: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    if parallel && n > 1 {
-        let pool = ThreadPool::global();
-        let next = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-        pool.run_scoped(n, &|| {
-            let mut local: Vec<(usize, T)> = Vec::new();
-            loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                local.push((i, f(i)));
-            }
-            if !local.is_empty() {
-                collected.lock().unwrap().extend(local);
-            }
-        });
-        // Fill disjoint slots; the function index keys the slot, so
-        // arrival order cannot affect the output.
-        for (i, v) in collected.into_inner().unwrap() {
-            slots[i] = Some(v);
-        }
-    } else {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(f(i));
-        }
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every item processed"))
-        .collect()
+    ThreadPool::global().map_indexed(n, parallel, f)
 }
 
 /// Fault-isolated sibling of [`map_indexed`]: every `f(i)` runs under its

@@ -13,6 +13,10 @@ use std::fmt;
 /// injected (`fenceplace::faultinject`).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FleetStage {
+    /// Streamed-corpus ingestion: reading a module's text and parsing it
+    /// into IR. Only the streamed scheduler (`fleet::run_fleet_streamed`)
+    /// runs this stage; resident runs receive already-built modules.
+    Ingest,
     /// Pre-analysis IR well-formedness gate (`fence_ir::verify_module`).
     Validate,
     /// Module-wide analysis (`ModuleAnalysis`: points-to + escape).
@@ -33,7 +37,8 @@ pub enum FleetStage {
 
 impl FleetStage {
     /// Every stage, in execution order.
-    pub const ALL: [FleetStage; 7] = [
+    pub const ALL: [FleetStage; 8] = [
+        FleetStage::Ingest,
         FleetStage::Validate,
         FleetStage::Analysis,
         FleetStage::Substrates,
@@ -46,6 +51,7 @@ impl FleetStage {
     /// Stable snake_case name used in JSON reports and diagnostics.
     pub fn name(self) -> &'static str {
         match self {
+            FleetStage::Ingest => "ingest",
             FleetStage::Validate => "validate",
             FleetStage::Analysis => "analysis",
             FleetStage::Substrates => "substrates",
@@ -95,6 +101,14 @@ pub enum ModuleOutcome {
         /// The configured budget.
         budget: u64,
     },
+    /// The streamed loader could not produce the module at all
+    /// (unreadable file, broken pack stream) — the fleet never saw IR or
+    /// text, so no stage is attributed. Load failures quarantine one
+    /// stream item without stalling the admission window.
+    LoadFailed {
+        /// The loader's error, verbatim.
+        error: String,
+    },
 }
 
 impl ModuleOutcome {
@@ -110,14 +124,16 @@ impl ModuleOutcome {
             ModuleOutcome::InvalidIr { .. } => "invalid_ir",
             ModuleOutcome::Panicked { .. } => "panicked",
             ModuleOutcome::DeadlineExceeded { .. } => "deadline_exceeded",
+            ModuleOutcome::LoadFailed { .. } => "load_failed",
         }
     }
 
-    /// The stage the failure is attributed to (`None` for `Ok`;
-    /// validation failures report [`FleetStage::Validate`]).
+    /// The stage the failure is attributed to (`None` for `Ok` and for
+    /// load failures, which precede every stage; validation failures
+    /// report [`FleetStage::Validate`]).
     pub fn stage(&self) -> Option<FleetStage> {
         match self {
-            ModuleOutcome::Ok => None,
+            ModuleOutcome::Ok | ModuleOutcome::LoadFailed { .. } => None,
             ModuleOutcome::InvalidIr { .. } => Some(FleetStage::Validate),
             ModuleOutcome::Panicked { stage, .. }
             | ModuleOutcome::DeadlineExceeded { stage, .. } => Some(*stage),
@@ -147,6 +163,7 @@ impl fmt::Display for ModuleOutcome {
                 f,
                 "deadline exceeded at {stage}: spent {spent} of {budget} steps"
             ),
+            ModuleOutcome::LoadFailed { error } => write!(f, "failed to load: {error}"),
         }
     }
 }
@@ -401,6 +418,12 @@ mod tests {
         };
         assert_eq!(d.kind(), "deadline_exceeded");
         assert!(d.to_string().contains("spent 9 of 5"));
+        let l = ModuleOutcome::LoadFailed {
+            error: "cannot read `x.ir`: gone".into(),
+        };
+        assert_eq!(l.kind(), "load_failed");
+        assert_eq!(l.stage(), None);
+        assert!(l.to_string().contains("failed to load: cannot read"));
     }
 
     #[test]
@@ -409,6 +432,7 @@ mod tests {
         assert_eq!(
             names,
             [
+                "ingest",
                 "validate",
                 "analysis",
                 "substrates",

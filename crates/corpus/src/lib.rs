@@ -28,7 +28,10 @@ pub mod manifest;
 pub mod splash;
 pub mod synthetic;
 
-pub use manifest::{resolve_spec, resolve_spec_at, resolve_specs, ManifestEntry, ManifestError};
+pub use manifest::{
+    resolve_spec, resolve_spec_at, resolve_specs, split_corpus, ManifestEntry, ManifestError,
+    ModuleSource, ModuleSplitter, SourceItem,
+};
 pub use synthetic::synthetic_scaled;
 
 use fence_ir::Module;

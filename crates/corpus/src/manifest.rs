@@ -14,6 +14,8 @@
 //! | `manual:*`      | all seventeen expert builds                        |
 //! | `synthetic:N`   | `synthetic_scaled(N)` (e.g. `synthetic:16000`)     |
 //! | `file:PATH`     | a textual-IR module loaded from `PATH`             |
+//! | `dir:PATH`      | every `*.ir`/`*.fir` module under `PATH` (sorted)  |
+//! | `pack:PATH`     | a concatenated corpus file, split on `module` headers |
 //!
 //! Specs resolve in the order given; a `*` expands in the paper's
 //! canonical order ([`crate::PROGRAM_NAMES`], Table II order for
@@ -27,10 +29,26 @@
 //! verification is the fleet's job (its pre-analysis gate quarantines
 //! malformed modules with a structured `invalid_ir` outcome instead of
 //! rejecting the whole manifest).
+//!
+//! # Streaming
+//!
+//! [`resolve_spec`] materializes everything eagerly — fine for the
+//! built-in families, but a `dir:`/`pack:` corpus can be far larger than
+//! memory. [`ModuleSource`] is the streaming counterpart: built-in specs
+//! still resolve up front (a typo'd name must fail before the run
+//! starts), while file-backed specs defer all I/O to iteration and yield
+//! module **texts** one at a time ([`SourceItem::Text`]) — parsing is the
+//! consumer's job, which lets the fleet run it as pool units overlapped
+//! with analysis. A file that cannot be read mid-stream surfaces as one
+//! `Err` item carrying the per-item pseudo-spec (`file:PATH`,
+//! `pack:PATH#K`) and the stream continues; the consumer decides whether
+//! that quarantines one module or aborts the run.
 
 use crate::{programs, Params};
 use fence_ir::Module;
+use std::collections::VecDeque;
 use std::fmt;
+use std::io::BufRead;
 
 /// One resolved manifest entry: a display name plus the module to run.
 #[derive(Debug)]
@@ -146,10 +164,31 @@ pub fn resolve_spec(spec: &str, params: &Params) -> Result<Vec<ManifestEntry>, M
                 module,
             }])
         }
+        // Eager forms of the streaming families: drain a one-spec
+        // `ModuleSource` and parse every text up front, so resident mode
+        // and `--list`-style tooling see the same corpus the streamed
+        // path would.
+        "dir" | "pack" => {
+            let mut source = ModuleSource::new(*params);
+            source.push_spec(spec)?;
+            let mut out = Vec::new();
+            for item in source {
+                match item? {
+                    SourceItem::Module(entry) => out.push(entry),
+                    SourceItem::Text { name, text } => {
+                        let module = fence_ir::parser::parse_module(&text).map_err(|e| {
+                            ManifestError::new(&name, format!("parse error: {e}"))
+                        })?;
+                        out.push(ManifestEntry { name, module });
+                    }
+                }
+            }
+            Ok(out)
+        }
         other => Err(ManifestError::new(
             spec,
             format!(
-                "unknown family `{other}` (expected kernel, corpus, manual, synthetic, or file)"
+                "unknown family `{other}` (expected kernel, corpus, manual, synthetic, file, dir, or pack)"
             ),
         )),
     }
@@ -208,6 +247,301 @@ pub fn available() -> Vec<String> {
 pub fn full_fleet(params: &Params) -> Vec<ManifestEntry> {
     resolve_specs(&["kernel:*", "corpus:*"], params)
         .unwrap_or_else(|e| unreachable!("built-in specs are statically valid: {e}"))
+}
+
+/// Incremental module-boundary splitter for concatenated textual-IR
+/// corpora (`pack:` specs): feed lines, get back a completed module text
+/// whenever a new top-level `module` header begins.
+///
+/// The boundary rule mirrors the parser's top-level scan exactly: a line
+/// whose first token (after stripping a `;` comment) is `fn` opens a
+/// function body, a `}` line closes it, and only a `module` token seen
+/// *outside* a body starts a new chunk. A `module` token inside an
+/// unterminated body is body content, not a boundary — so a corrupted
+/// chunk mis-splits into text that fails to parse (and gets quarantined)
+/// rather than silently swallowing its neighbor. The splitter itself is
+/// total: it never panics, whatever bytes it is fed.
+#[derive(Debug, Default)]
+pub struct ModuleSplitter {
+    buf: String,
+    in_body: bool,
+    any: bool,
+}
+
+impl ModuleSplitter {
+    /// A fresh splitter with no buffered text.
+    pub fn new() -> Self {
+        ModuleSplitter::default()
+    }
+
+    /// Feeds one line (without its trailing newline). Returns the
+    /// previous module's complete text when `line` starts the next one.
+    pub fn push_line(&mut self, line: &str) -> Option<String> {
+        let code = line.split(';').next().unwrap_or("");
+        let first = code.split_whitespace().next();
+        let mut completed = None;
+        match first {
+            Some("}") if self.in_body => self.in_body = false,
+            _ if self.in_body => {}
+            Some("module") if self.any => {
+                completed = Some(std::mem::take(&mut self.buf));
+                self.any = false;
+            }
+            Some("fn") => self.in_body = true,
+            _ => {}
+        }
+        if first.is_some() {
+            self.any = true;
+        }
+        self.buf.push_str(line);
+        self.buf.push('\n');
+        completed
+    }
+
+    /// Flushes the final buffered module, if any non-blank line was seen
+    /// since the last boundary.
+    pub fn finish(self) -> Option<String> {
+        if self.any {
+            Some(self.buf)
+        } else {
+            None
+        }
+    }
+}
+
+/// Splits a whole concatenated corpus in memory (the eager counterpart
+/// of feeding [`ModuleSplitter`] line by line from a reader).
+pub fn split_corpus(text: &str) -> Vec<String> {
+    let mut splitter = ModuleSplitter::new();
+    let mut out = Vec::new();
+    for line in text.lines() {
+        out.extend(splitter.push_line(line));
+    }
+    out.extend(splitter.finish());
+    out
+}
+
+/// One item yielded by a [`ModuleSource`].
+#[derive(Debug)]
+pub enum SourceItem {
+    /// An already-built module from a built-in family (kernels, corpus,
+    /// manual, synthetic) — these are generated, not parsed.
+    Module(ManifestEntry),
+    /// An unparsed module text from a file-backed spec. `name` is the
+    /// per-item pseudo-spec (`file:PATH`, `pack:PATH#K`); parsing is the
+    /// consumer's job so it can run off-thread.
+    Text {
+        /// Unique display name, usable as a fleet job name.
+        name: String,
+        /// The raw textual IR.
+        text: String,
+    },
+}
+
+/// What one pending spec still owes the stream.
+enum Pending {
+    /// An eagerly resolved built-in entry.
+    Entry(ManifestEntry),
+    /// A single file, unread.
+    File(String),
+    /// A directory, not yet listed.
+    Dir(String),
+    /// A concatenated corpus file, possibly mid-read.
+    Pack {
+        path: String,
+        state: Option<PackState>,
+    },
+}
+
+struct PackState {
+    reader: std::io::BufReader<std::fs::File>,
+    splitter: Option<ModuleSplitter>,
+    index: usize,
+}
+
+/// Streaming manifest resolution: yields one [`SourceItem`] at a time,
+/// deferring all file I/O (and leaving parsing to the consumer) so a
+/// corpus larger than memory can be processed at O(1) resident items
+/// per window slot.
+///
+/// Built-in specs ([`resolve_spec`] families other than `file:`, `dir:`,
+/// `pack:`) resolve eagerly in [`ModuleSource::push_spec`] — a typo must
+/// fail before the run starts. File-backed specs are validated only when
+/// the stream reaches them: an unreadable file or broken pack surfaces
+/// as an `Err` whose [`ManifestError::spec`] is the per-item pseudo-spec,
+/// and iteration continues with the next item.
+pub struct ModuleSource {
+    params: Params,
+    queue: VecDeque<Pending>,
+}
+
+impl ModuleSource {
+    /// An empty source; add specs with [`ModuleSource::push_spec`].
+    pub fn new(params: Params) -> Self {
+        ModuleSource {
+            params,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Appends one spec to the stream. Built-in families resolve (and
+    /// can fail) here; `file:`/`dir:`/`pack:` specs are recorded without
+    /// touching the filesystem.
+    pub fn push_spec(&mut self, spec: &str) -> Result<(), ManifestError> {
+        let family = spec.split_once(':').map(|(f, _)| f);
+        match family {
+            Some("file") => {
+                let (_, path) = spec.split_once(':').unwrap();
+                self.queue.push_back(Pending::File(path.to_string()));
+            }
+            Some("dir") => {
+                let (_, path) = spec.split_once(':').unwrap();
+                self.queue.push_back(Pending::Dir(path.to_string()));
+            }
+            Some("pack") => {
+                let (_, path) = spec.split_once(':').unwrap();
+                self.queue.push_back(Pending::Pack {
+                    path: path.to_string(),
+                    state: None,
+                });
+            }
+            _ => {
+                for entry in resolve_spec(spec, &self.params)? {
+                    self.queue.push_back(Pending::Entry(entry));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`ModuleSource::push_spec`], attaching a manifest-file origin to
+    /// any eager resolution error.
+    pub fn push_spec_at(&mut self, spec: &str, file: &str, line: u32) -> Result<(), ManifestError> {
+        self.push_spec(spec).map_err(|e| e.at(file, line))
+    }
+
+    /// Lists `dir` and queues its `*.ir`/`*.fir` files (sorted by path)
+    /// in place of the `Dir` pending that was just popped.
+    fn expand_dir(&mut self, path: &str) -> Result<(), ManifestError> {
+        let spec = format!("dir:{path}");
+        let entries = std::fs::read_dir(path)
+            .map_err(|e| ManifestError::new(&spec, format!("cannot list `{path}`: {e}")))?;
+        let mut files: Vec<String> = Vec::new();
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| ManifestError::new(&spec, format!("cannot list `{path}`: {e}")))?;
+            let p = entry.path();
+            let ext = p.extension().and_then(|e| e.to_str());
+            if matches!(ext, Some("ir") | Some("fir")) {
+                files.push(p.display().to_string());
+            }
+        }
+        if files.is_empty() {
+            return Err(ManifestError::new(
+                &spec,
+                format!("no `*.ir`/`*.fir` modules in `{path}`"),
+            ));
+        }
+        files.sort();
+        for f in files.into_iter().rev() {
+            self.queue.push_front(Pending::File(f));
+        }
+        Ok(())
+    }
+}
+
+impl Iterator for ModuleSource {
+    type Item = Result<SourceItem, ManifestError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.queue.pop_front()? {
+                Pending::Entry(entry) => return Some(Ok(SourceItem::Module(entry))),
+                Pending::File(path) => {
+                    let name = format!("file:{path}");
+                    return Some(match std::fs::read_to_string(&path) {
+                        Ok(text) => Ok(SourceItem::Text { name, text }),
+                        Err(e) => Err(ManifestError::new(
+                            &name,
+                            format!("cannot read `{path}`: {e}"),
+                        )),
+                    });
+                }
+                Pending::Dir(path) => {
+                    if let Err(e) = self.expand_dir(&path) {
+                        return Some(Err(e));
+                    }
+                    // Files queued; loop to yield the first one.
+                }
+                Pending::Pack { path, state } => {
+                    let mut state = match state {
+                        Some(s) => s,
+                        None => match std::fs::File::open(&path) {
+                            Ok(f) => PackState {
+                                reader: std::io::BufReader::new(f),
+                                splitter: Some(ModuleSplitter::new()),
+                                index: 0,
+                            },
+                            Err(e) => {
+                                return Some(Err(ManifestError::new(
+                                    &format!("pack:{path}"),
+                                    format!("cannot read `{path}`: {e}"),
+                                )));
+                            }
+                        },
+                    };
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match state.reader.read_line(&mut line) {
+                            Ok(0) => {
+                                // EOF: flush the last module, drop the pack.
+                                let last = state.splitter.take().and_then(|s| s.finish());
+                                match last {
+                                    Some(text) => {
+                                        let name = format!("pack:{path}#{}", state.index);
+                                        return Some(Ok(SourceItem::Text { name, text }));
+                                    }
+                                    None if state.index == 0 => {
+                                        return Some(Err(ManifestError::new(
+                                            &format!("pack:{path}"),
+                                            format!("no modules in `{path}`"),
+                                        )));
+                                    }
+                                    None => break,
+                                }
+                            }
+                            Ok(_) => {
+                                let trimmed = line.trim_end_matches(['\n', '\r']);
+                                let chunk = state
+                                    .splitter
+                                    .as_mut()
+                                    .expect("splitter live until EOF")
+                                    .push_line(trimmed);
+                                if let Some(text) = chunk {
+                                    let name = format!("pack:{path}#{}", state.index);
+                                    state.index += 1;
+                                    self.queue.push_front(Pending::Pack {
+                                        path,
+                                        state: Some(state),
+                                    });
+                                    return Some(Ok(SourceItem::Text { name, text }));
+                                }
+                            }
+                            Err(e) => {
+                                // Mid-stream read error: report once under the
+                                // pack spec and abandon the rest of the file.
+                                return Some(Err(ManifestError::new(
+                                    &format!("pack:{path}"),
+                                    format!("read error in `{path}`: {e}"),
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +644,136 @@ mod tests {
         std::fs::write(&bad, "this is not IR\n").unwrap();
         let err = resolve_spec(&format!("file:{}", bad.display()), &p).unwrap_err();
         assert!(err.message.contains("parse error"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fence-manifest-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn splitter_recovers_concatenated_modules() {
+        let p = Params::tiny();
+        let printed: Vec<String> = ["kernel:Dekker", "kernel:Peterson", "kernel:Lamport"]
+            .iter()
+            .map(|s| fence_ir::printer::print_module(&resolve_spec(s, &p).unwrap()[0].module))
+            .collect();
+        let pack: String = printed.concat();
+        let chunks = split_corpus(&pack);
+        assert_eq!(chunks.len(), 3);
+        for (chunk, original) in chunks.iter().zip(&printed) {
+            // Splitting recovers each printed module byte-for-byte, and
+            // every chunk parses (ids may renumber densely, so compare
+            // text, not reprints).
+            assert_eq!(chunk, original);
+            fence_ir::parser::parse_module(chunk).unwrap();
+        }
+        // Separator junk between modules sticks to the preceding chunk
+        // (it fails that chunk's parse, not its neighbor's).
+        assert_eq!(split_corpus("module a\nmodule b\n").len(), 2);
+        // `module` inside an unterminated body is content, not a boundary.
+        assert_eq!(split_corpus("module a\nfn f\nmodule b\n").len(), 1);
+        // Blank/comment-only text yields nothing.
+        assert!(split_corpus("\n  \n; comment only\n").is_empty());
+    }
+
+    #[test]
+    fn dir_and_pack_specs_stream_and_resolve() {
+        let p = Params::tiny();
+        let dir = scratch_dir("dirspec");
+        let names = ["kernel:Dekker", "kernel:Peterson", "kernel:CLH Lock"];
+        let mut pack_text = String::new();
+        for (i, spec) in names.iter().enumerate() {
+            let m = &resolve_spec(spec, &p).unwrap()[0].module;
+            let printed = fence_ir::printer::print_module(m);
+            std::fs::write(dir.join(format!("m{i}.ir")), &printed).unwrap();
+            pack_text.push_str(&printed);
+        }
+        // A non-module extension is ignored by dir scans.
+        std::fs::write(dir.join("notes.txt"), "not ir").unwrap();
+        let pack_path = dir.join("all.pack");
+        std::fs::write(&pack_path, &pack_text).unwrap();
+
+        // Eager dir: resolves every *.ir sorted by path, named file:PATH.
+        let dspec = format!("dir:{}", dir.display());
+        let eager = resolve_spec(&dspec, &p).unwrap();
+        assert_eq!(eager.len(), 3);
+        assert!(eager[0].name.starts_with("file:"));
+        assert!(eager[0].name.ends_with("m0.ir"));
+        assert!(eager.windows(2).all(|w| w[0].name < w[1].name));
+
+        // Streamed dir: same items as texts, lazily.
+        let mut src = ModuleSource::new(p);
+        src.push_spec(&dspec).unwrap();
+        let items: Vec<_> = src.map(|r| r.unwrap()).collect();
+        assert_eq!(items.len(), 3);
+        for (item, entry) in items.iter().zip(&eager) {
+            match item {
+                SourceItem::Text { name, text } => {
+                    assert_eq!(name, &entry.name);
+                    let m = fence_ir::parser::parse_module(text).unwrap();
+                    assert_eq!(
+                        fence_ir::printer::print_module(&m),
+                        fence_ir::printer::print_module(&entry.module)
+                    );
+                }
+                other => panic!("dir streams texts, got {other:?}"),
+            }
+        }
+
+        // Pack: chunks named pack:PATH#K, eager and streamed agree.
+        let pspec = format!("pack:{}", pack_path.display());
+        let eager_pack = resolve_spec(&pspec, &p).unwrap();
+        assert_eq!(eager_pack.len(), 3);
+        assert_eq!(eager_pack[0].name, format!("{pspec}#0"));
+        assert_eq!(eager_pack[2].name, format!("{pspec}#2"));
+
+        // Built-ins mix with file-backed specs; typos fail at push time.
+        let mut src = ModuleSource::new(p);
+        src.push_spec("kernel:Dekker").unwrap();
+        src.push_spec(&pspec).unwrap();
+        assert!(src.push_spec("kernel:NoSuch").is_err());
+        let items: Vec<_> = src.map(|r| r.unwrap()).collect();
+        assert_eq!(items.len(), 4);
+        assert!(matches!(&items[0], SourceItem::Module(e) if e.name == "kernel:Dekker"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_errors_carry_item_specs_and_do_not_stall() {
+        let p = Params::tiny();
+        // Missing dir / missing pack / missing file: one Err each, under
+        // the right pseudo-spec, and the stream moves on.
+        let mut src = ModuleSource::new(p);
+        src.push_spec("dir:/no/such/dir").unwrap();
+        src.push_spec("file:/no/such/file.ir").unwrap();
+        src.push_spec("pack:/no/such/all.pack").unwrap();
+        src.push_spec("kernel:Dekker").unwrap();
+        let items: Vec<_> = src.collect();
+        assert_eq!(items.len(), 4);
+        let e0 = items[0].as_ref().unwrap_err();
+        assert_eq!(e0.spec, "dir:/no/such/dir");
+        assert!(e0.message.contains("cannot list"));
+        let e1 = items[1].as_ref().unwrap_err();
+        assert_eq!(e1.spec, "file:/no/such/file.ir");
+        assert!(e1.message.contains("cannot read"));
+        let e2 = items[2].as_ref().unwrap_err();
+        assert_eq!(e2.spec, "pack:/no/such/all.pack");
+        assert!(items[3].is_ok());
+
+        // An empty dir and an empty pack are loud errors, not silence.
+        let dir = scratch_dir("streamerr");
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = resolve_spec(&format!("dir:{}", empty.display()), &p).unwrap_err();
+        assert!(err.message.contains("no `*.ir`"), "{err}");
+        let blank = dir.join("blank.pack");
+        std::fs::write(&blank, "; nothing here\n").unwrap();
+        let err = resolve_spec(&format!("pack:{}", blank.display()), &p).unwrap_err();
+        assert!(err.message.contains("no modules"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -204,6 +204,39 @@ impl ThreadPool {
         }
         out
     }
+
+    /// Maps `f` over `0..n`, keying each result by its index so the
+    /// output is identical whether units run pooled or inline — arrival
+    /// order never reaches the result vector. With `parallel: false`
+    /// (or on a pool with zero workers) this is a plain sequential map
+    /// with no synchronization cost.
+    ///
+    /// Panics propagate (this is the *non*-isolated map; pair with
+    /// [`ThreadPool::run_units`] when per-unit quarantine is needed).
+    pub fn map_indexed<T: Send>(
+        &self,
+        n: usize,
+        parallel: bool,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Vec<T> {
+        if !parallel || n <= 1 || self.workers == 0 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        self.run_scoped(n, &|| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let v = f(i);
+            slots.lock().unwrap().push((i, v));
+        });
+        let mut pairs = slots.into_inner().unwrap();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(pairs.len(), n);
+        pairs.into_iter().map(|(_, v)| v).collect()
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +325,16 @@ mod tests {
         let pool = ThreadPool::global();
         let outcomes = pool.run_units(1, &|_| std::panic::panic_any(42usize));
         assert_eq!(outcomes[0].as_deref(), Some("non-string panic payload"));
+    }
+
+    #[test]
+    fn map_indexed_is_order_deterministic() {
+        let pool = ThreadPool::global();
+        let seq = pool.map_indexed(257, false, |i| i * 3);
+        let par = pool.map_indexed(257, true, |i| i * 3);
+        assert_eq!(seq, par);
+        assert_eq!(seq[256], 768);
+        assert!(pool.map_indexed(0, true, |i| i).is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 #   bench    cargo bench --no-run (compile smoke for every bench harness)
 #   faults   cargo test --features faultinject (fault-injection matrix)
 #   certify  litmus regressions + differential certify fuzz + CLI smoke
+#   stream   streamed-vs-resident differential + CLI --stream smoke
 #   all      every stage above, in CI order (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -68,6 +69,19 @@ stage_certify() {
     --certify-states 50000 --seq
 }
 
+stage_stream() {
+  echo "== streamed-vs-resident differential =="
+  cargo test -q -p fence-suite --test stream
+
+  echo "== fenceplace --stream smoke (kernels, windowed) =="
+  # Windowed streaming over the built-in kernels must complete cleanly;
+  # any quarantined module or unsound certification exits 2 and fails
+  # the stage.
+  cargo run --release --quiet --bin fenceplace -- \
+    --program 'kernel:*' --config Control:x86tso --config Pensieve:weak \
+    --stream --window 4
+}
+
 run_stage() {
   case "$1" in
     build)  stage_build ;;
@@ -79,9 +93,10 @@ run_stage() {
     bench)  stage_bench ;;
     faults) stage_faults ;;
     certify) stage_certify ;;
-    all)    stage_build; stage_test; stage_clippy; stage_fmt; stage_docs; stage_bench; stage_faults; stage_certify ;;
+    stream) stage_stream ;;
+    all)    stage_build; stage_test; stage_clippy; stage_fmt; stage_docs; stage_bench; stage_faults; stage_certify; stage_stream ;;
     *)
-      echo "unknown stage '$1' (build|test|clippy|fmt|lint|docs|bench|faults|certify|all)" >&2
+      echo "unknown stage '$1' (build|test|clippy|fmt|lint|docs|bench|faults|certify|stream|all)" >&2
       exit 2
       ;;
   esac

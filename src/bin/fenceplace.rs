@@ -19,11 +19,24 @@
 //! program corpus:FFT
 //! program synthetic:4000
 //! program file:path/to/module.fir
+//! program dir:path/to/modules
+//! program pack:path/to/corpus.pack
 //! config Control x86tso
 //! config Pensieve weak
 //! threads 8
 //! scale 16
 //! ```
+//!
+//! # Streaming
+//!
+//! `--stream` (or `--window N`, which implies it) switches to the
+//! windowed ingestion scheduler: file-backed specs are read lazily, each
+//! module's text parses as a pool work unit overlapped with other
+//! modules' analysis, per-module reports are spilled to `--out` the
+//! moment each module retires, and at most `--window N` modules are
+//! resident at once. Without `--window`, `--stream` keeps the exact
+//! resident scheduler (bit-identical reports) while still exercising the
+//! streamed ingest path.
 //!
 //! # Failure model and exit codes
 //!
@@ -31,20 +44,25 @@
 //! fails IR validation, panics in a work unit, or blows `--budget` is
 //! reported with a structured status (its slot in the per-module JSON
 //! and `fleet_summary.json` carries the stage and error) while every
-//! other module completes normally. A `file:` spec that cannot be read
-//! or parsed is likewise quarantined at load time.
+//! other module completes normally. A `file:`/`dir:`/`pack:` spec that
+//! cannot be read or parsed is likewise quarantined at load time; under
+//! `--stream` a mid-stream load failure becomes a `load_failed` module
+//! slot (exit 2) instead of aborting the run, and a duplicate module
+//! name is quarantined at admission rather than being fatal up front.
 //!
 //! | exit | meaning                                                    |
 //! |------|------------------------------------------------------------|
 //! | 0    | every module completed                                     |
 //! | 1    | fatal: bad usage, unresolvable spec, I/O error, `--fail-fast` trip |
-//! | 2    | partial success: some modules quarantined or a `--certify` run came back unsound; reports written |
+//! | 2    | partial success: some modules quarantined (including mid-stream load failures) or a `--certify` run came back unsound; reports written |
 
 use corpus::manifest::{available, resolve_spec, resolve_spec_at, ManifestEntry};
-use corpus::Params;
+use corpus::{ModuleSource, Params};
+use fence_suite::stream_items;
 use fenceplace::{
-    run_fleet_opts, CertifyOptions, CertifyReport, FleetJob, FleetOptions, FleetResult, FleetStats,
-    ModuleOutcome, PipelineConfig, PipelineResult, TargetModel, Variant,
+    run_fleet_opts, run_fleet_streamed, CertifyOptions, CertifyReport, FleetJob, FleetOptions,
+    FleetResult, FleetStats, ModuleOutcome, PipelineConfig, PipelineResult, StreamItem,
+    StreamSummary, TargetModel, Variant,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -67,6 +85,8 @@ struct Cli {
     fail_fast: bool,
     budget: Option<u64>,
     certify: Option<CertifyOptions>,
+    stream: bool,
+    window: Option<usize>,
 }
 
 /// What `parse_args` decided: run, or print help and exit 0.
@@ -84,18 +104,31 @@ USAGE:
 OPTIONS:
   --manifest FILE    read `program`/`config`/`threads`/`scale` lines from FILE
   --program SPEC     add a program spec: kernel:NAME|*, corpus:NAME|*,
-                     manual:NAME|*, synthetic:N, file:PATH  (repeatable)
+                     manual:NAME|*, synthetic:N, file:PATH, dir:PATH,
+                     pack:PATH  (repeatable)
   --config V:T       add a config, variant:target — variants Pensieve|Control|
                      AddressControl|Manual, targets x86tso|sc|weak (repeatable;
                      default Control:x86tso)
   --threads N        corpus build parameter (default 8)
   --scale N          corpus build parameter (default 16)
   --seq              run the fleet sequentially (default: persistent pool)
+  --stream           streamed ingestion: read file-backed specs lazily,
+                     parse module texts as pool work units, and spill each
+                     per-module report the moment that module retires.
+                     Without --window the resident scheduler still runs
+                     underneath (reports are bit-identical to a non-stream
+                     run); mid-stream load failures and duplicate names
+                     are quarantined as load_failed slots (exit 2)
+  --window N         admit at most N modules at once (implies --stream):
+                     a new module is admitted as a prior one retires, so
+                     peak memory is O(window), not O(corpus)
   --budget N         deterministic per-module step budget: a module whose
                      static instruction-count spend exceeds N is quarantined
                      as deadline_exceeded (never wall-clock)
   --fail-fast        exit 1 on the first failed module instead of
-                     quarantining it; no reports are written
+                     quarantining it; no reports are written (under
+                     --stream the check runs after the fleet drains, and
+                     reports already spilled to --out remain on disk)
   --certify          after placement, model-check every (module, config):
                      bounded exhaustive interleaving under the target model,
                      proving SC-equivalence for race-free thread groups and
@@ -209,6 +242,8 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         fail_fast: false,
         budget: None,
         certify: None,
+        stream: false,
+        window: None,
     };
     let mut it = args.iter();
     let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
@@ -259,6 +294,18 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
                     .max_states = max_states;
             }
             "--seq" => cli.parallel = false,
+            "--stream" => cli.stream = true,
+            "--window" => {
+                let v = need(&mut it, "--window")?;
+                let w: usize = v.parse().map_err(|_| format!("bad --window `{v}`"))?;
+                if w == 0 {
+                    return Err(
+                        "bad --window `0`: the window must admit at least one module".into(),
+                    );
+                }
+                cli.window = Some(w);
+                cli.stream = true;
+            }
             "--out" => cli.out_dir = Some(need(&mut it, "--out")?),
             "--list" => cli.list = true,
             "--help" | "-h" => return Ok(Parsed::Help),
@@ -392,11 +439,77 @@ fn module_json(job_name: &str, configs: &[PipelineConfig], fr: &FleetResult) -> 
     out
 }
 
-/// A `file:` spec that could not be loaded: quarantined before the fleet
-/// ever saw it, reported alongside the fleet's own failures.
+/// A file-backed spec that could not be loaded: quarantined before the
+/// fleet ever saw it, reported alongside the fleet's own failures.
 struct LoadFailure {
     name: String,
     error: String,
+}
+
+/// Whether a spec reads from the filesystem (as opposed to naming a
+/// built-in program family): those are quarantined on load failure
+/// rather than treated as fatal usage errors.
+fn is_file_backed(spec: &str) -> bool {
+    spec.starts_with("file:") || spec.starts_with("dir:") || spec.starts_with("pack:")
+}
+
+/// Per-config roll-up totals, folded over completed modules (a
+/// quarantined module has no results to count). The streamed path
+/// accumulates these incrementally in the completion sink.
+#[derive(Clone, Copy, Default)]
+struct ConfigTotals {
+    full_fences: usize,
+    compiler_fences: usize,
+    acquires: usize,
+    fence_points: usize,
+}
+
+impl ConfigTotals {
+    fn add(&mut self, r: &PipelineResult) {
+        self.full_fences += r.report.full_fences();
+        self.compiler_fences += r.report.compiler_fences();
+        self.acquires += r.report.acquires();
+        self.fence_points += r.points.len();
+    }
+}
+
+/// The `"fleet"` stats block, shared by the resident and streamed
+/// roll-ups.
+fn fleet_block_json(stats: &FleetStats, wall_ms: f64) -> String {
+    format!(
+        "{{\"analyses\": {}, \"substrates\": {}, \"unique_rows\": {}, \
+         \"row_hits\": {}, \"row_words\": {}, \"certifications\": {}, \
+         \"certify_unsound\": {}, \"wall_ms\": {wall_ms:.3}}}",
+        stats.analyses,
+        stats.substrates,
+        stats.unique_rows,
+        stats.row_hits,
+        stats.row_words,
+        stats.certifications,
+        stats.certify_unsound
+    )
+}
+
+/// The `"totals"` roll-up array, shared by the resident and streamed
+/// roll-ups.
+fn totals_json(configs: &[PipelineConfig], totals: &[ConfigTotals]) -> String {
+    let mut out = String::from("  \"totals\": [\n");
+    for (c, (config, t)) in configs.iter().zip(totals).enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"variant\": \"{}\", \"target\": \"{}\", \"full_fences\": {}, \
+             \"compiler_fences\": {}, \"acquires\": {}, \"fence_points\": {}}}{}",
+            json_escape(config.variant.name()),
+            target_name(config.target),
+            t.full_fences,
+            t.compiler_fences,
+            t.acquires,
+            t.fence_points,
+            if c + 1 < configs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n");
+    out
 }
 
 fn rollup_json(
@@ -420,19 +533,7 @@ fn rollup_json(
         "  \"modules_failed\": {failed}, \"load_failures\": {},",
         load_failures.len()
     );
-    let _ = writeln!(
-        out,
-        "  \"fleet\": {{\"analyses\": {}, \"substrates\": {}, \"unique_rows\": {}, \
-         \"row_hits\": {}, \"row_words\": {}, \"certifications\": {}, \
-         \"certify_unsound\": {}, \"wall_ms\": {wall_ms:.3}}},",
-        stats.analyses,
-        stats.substrates,
-        stats.unique_rows,
-        stats.row_hits,
-        stats.row_words,
-        stats.certifications,
-        stats.certify_unsound
-    );
+    let _ = writeln!(out, "  \"fleet\": {},", fleet_block_json(stats, wall_ms));
     // Per-module status array: every scheduled module, ok or not, plus
     // the load-time quarantines.
     out.push_str("  \"modules\": [\n");
@@ -456,31 +557,72 @@ fn rollup_json(
         );
     }
     out.push_str("  ],\n");
-    // Roll-up totals over completed modules only: a quarantined module
-    // has no results to count.
-    out.push_str("  \"totals\": [\n");
-    for (c, config) in configs.iter().enumerate() {
-        let mut full = 0usize;
-        let mut dir = 0usize;
-        let mut acq = 0usize;
-        let mut points = 0usize;
-        for fr in fleet {
-            let Some(r) = fr.results.get(c) else { continue };
-            full += r.report.full_fences();
-            dir += r.report.compiler_fences();
-            acq += r.report.acquires();
-            points += r.points.len();
+    let mut totals = vec![ConfigTotals::default(); configs.len()];
+    for fr in fleet {
+        for (t, r) in totals.iter_mut().zip(&fr.results) {
+            t.add(r);
         }
+    }
+    out.push_str(&totals_json(configs, &totals));
+    out.push_str("}\n");
+    out
+}
+
+/// Roll-up JSON for a streamed run: the same field names as
+/// [`rollup_json`] (downstream tooling parses both), built from the
+/// O(1)-per-module summaries and incrementally folded totals — the full
+/// results were spilled through the completion sink, never retained —
+/// plus a `"stream"` block recording the admission window and the
+/// peak-residency counters it bounds.
+fn stream_rollup_json(
+    configs: &[PipelineConfig],
+    summaries: &[StreamSummary],
+    totals: &[ConfigTotals],
+    stats: &FleetStats,
+    window: Option<usize>,
+    wall_ms: f64,
+) -> String {
+    let load_failures = summaries
+        .iter()
+        .filter(|s| matches!(s.outcome, ModuleOutcome::LoadFailed { .. }))
+        .count();
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"programs\": {}, \"configs_per_program\": {}, \"functions\": {},",
+        summaries.len(),
+        configs.len(),
+        stats.functions
+    );
+    let _ = writeln!(
+        out,
+        "  \"modules_failed\": {}, \"load_failures\": {load_failures},",
+        stats.failed
+    );
+    let _ = writeln!(out, "  \"fleet\": {},", fleet_block_json(stats, wall_ms));
+    let window_json = match window {
+        Some(w) => w.to_string(),
+        None => "null".to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "  \"stream\": {{\"window\": {window_json}, \"peak_resident_modules\": {}, \
+         \"peak_resident_insts\": {}}},",
+        stats.peak_resident_modules, stats.peak_resident_insts
+    );
+    out.push_str("  \"modules\": [\n");
+    for (i, s) in summaries.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"variant\": \"{}\", \"target\": \"{}\", \"full_fences\": {full}, \
-             \"compiler_fences\": {dir}, \"acquires\": {acq}, \"fence_points\": {points}}}{}",
-            json_escape(config.variant.name()),
-            target_name(config.target),
-            if c + 1 < configs.len() { "," } else { "" }
+            "    {{\"name\": \"{}\", {}}}{}",
+            json_escape(&s.name),
+            outcome_fields(&s.outcome),
+            if i + 1 < summaries.len() { "," } else { "" }
         );
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&totals_json(configs, totals));
+    out.push_str("}\n");
     out
 }
 
@@ -491,8 +633,8 @@ fn file_stem(name: &str) -> String {
 }
 
 /// Resolves every spec. Unresolvable built-in specs (typo'd names,
-/// unknown families) are fatal; a `file:` spec whose file is missing or
-/// unparsable is quarantined as a [`LoadFailure`] — the batch runs on.
+/// unknown families) are fatal; a file-backed spec whose file is missing
+/// or unparsable is quarantined as a [`LoadFailure`] — the batch runs on.
 fn resolve_all(cli: &Cli) -> Result<(Vec<ManifestEntry>, Vec<LoadFailure>), String> {
     let mut entries = Vec::new();
     let mut load_failures = Vec::new();
@@ -503,7 +645,7 @@ fn resolve_all(cli: &Cli) -> Result<(Vec<ManifestEntry>, Vec<LoadFailure>), Stri
         };
         match resolved {
             Ok(batch) => entries.extend(batch),
-            Err(e) if s.spec.starts_with("file:") => load_failures.push(LoadFailure {
+            Err(e) if is_file_backed(&s.spec) => load_failures.push(LoadFailure {
                 name: s.spec.clone(),
                 error: e.to_string(),
             }),
@@ -522,10 +664,15 @@ fn run(cli: &Cli) -> Result<u8, String> {
         }
         println!("synthetic:N");
         println!("file:PATH");
+        println!("dir:PATH");
+        println!("pack:PATH");
         return Ok(0);
     }
     if cli.specs.is_empty() {
         return Err("no programs: pass --program SPEC or --manifest FILE (see --help)".into());
+    }
+    if cli.stream {
+        return run_streamed(cli);
     }
     let (entries, load_failures) = resolve_all(cli)?;
     if entries.is_empty() && load_failures.is_empty() {
@@ -618,6 +765,142 @@ fn run(cli: &Cli) -> Result<u8, String> {
                     );
                 }
             }
+        }
+        eprintln!(
+            "{} certification(s) unsound (exit 2: partial success)",
+            stats.certify_unsound
+        );
+        return Ok(2);
+    }
+    Ok(0)
+}
+
+/// Runs the batch under streamed ingestion (`--stream`/`--window`):
+/// file-backed specs resolve lazily through a [`ModuleSource`], texts
+/// parse as pool work units, each per-module report is spilled to
+/// `--out` the moment that module retires, and only O(1) state per
+/// module (its [`StreamSummary`] plus the folded totals) is retained.
+fn run_streamed(cli: &Cli) -> Result<u8, String> {
+    let mut source = ModuleSource::new(cli.params);
+    for s in &cli.specs {
+        let pushed = match &s.origin {
+            Some((file, line)) => source.push_spec_at(&s.spec, file, *line),
+            None => source.push_spec(&s.spec),
+        };
+        // Built-in families resolve (and can fail) eagerly, exactly like
+        // the resident path; file-backed specs defer, surfacing any
+        // problem later as a quarantined load_failed item.
+        pushed.map_err(|e| e.to_string())?;
+    }
+    if let Some(dir) = &cli.out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    }
+
+    // Admission-time dedup: the resident path refuses overlapping specs
+    // up front, but a lazy stream cannot look ahead — so the duplicate
+    // itself is quarantined (exit 2) and the batch runs on.
+    let mut seen = std::collections::HashSet::new();
+    let items = stream_items(source).map(move |item| {
+        let name = match &item {
+            StreamItem::Module { name, .. }
+            | StreamItem::Text { name, .. }
+            | StreamItem::Failed { name, .. } => name.clone(),
+        };
+        if seen.insert(name.clone()) {
+            item
+        } else {
+            StreamItem::Failed {
+                name,
+                error: "duplicate program: specs overlap (e.g. a wildcard plus a named spec)"
+                    .into(),
+            }
+        }
+    });
+
+    let opts = FleetOptions {
+        parallel: cli.parallel,
+        budget: cli.budget,
+        certify: cli.certify,
+        window: cli.window,
+        ..FleetOptions::default()
+    };
+
+    // Everything the roll-up needs is folded here as modules retire; the
+    // full FleetResult is spilled to disk and dropped.
+    let mut totals = vec![ConfigTotals::default(); cli.configs.len()];
+    let mut unsound: Vec<String> = Vec::new();
+    let mut spill_err: Option<String> = None;
+    let mut written = 0usize;
+    let t = Instant::now();
+    let (summaries, stats) = run_fleet_streamed(items, &cli.configs, &opts, |_, fr| {
+        for (tot, r) in totals.iter_mut().zip(&fr.results) {
+            tot.add(r);
+        }
+        for (config, cr) in cli.configs.iter().zip(&fr.certifications) {
+            if cr.status() == fenceplace::CertifyStatus::Unsound {
+                unsound.push(format!(
+                    "unsound: {} [{}:{}] — a race-free thread group reaches a non-SC outcome",
+                    fr.name,
+                    config.variant.name(),
+                    target_name(config.target)
+                ));
+            }
+        }
+        if let Some(dir) = &cli.out_dir {
+            if spill_err.is_none() {
+                let path = format!("{dir}/{}.json", file_stem(&fr.name));
+                match std::fs::write(&path, module_json(&fr.name, &cli.configs, &fr)) {
+                    Ok(()) => written += 1,
+                    Err(e) => spill_err = Some(format!("cannot write {path}: {e}")),
+                }
+            }
+        }
+    });
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    if let Some(e) = spill_err {
+        return Err(e);
+    }
+    if summaries.is_empty() {
+        return Err("no programs resolved".into());
+    }
+
+    let rollup = stream_rollup_json(
+        &cli.configs,
+        &summaries,
+        &totals,
+        &stats,
+        cli.window,
+        wall_ms,
+    );
+    if let Some(dir) = &cli.out_dir {
+        let summary = format!("{dir}/fleet_summary.json");
+        std::fs::write(&summary, &rollup).map_err(|e| format!("cannot write {summary}: {e}"))?;
+        eprintln!("wrote {written} module reports + fleet_summary.json to {dir}");
+    }
+    print!("{rollup}");
+
+    // --fail-fast is necessarily post-hoc under streaming (the failure
+    // may surface after later modules already retired); reports spilled
+    // before the trip remain on disk.
+    if cli.fail_fast {
+        if let Some(s) = summaries.iter().find(|s| !s.outcome.is_ok()) {
+            return Err(format!("--fail-fast: module `{}` {}", s.name, s.outcome));
+        }
+    }
+    if stats.failed > 0 {
+        for s in summaries.iter().filter(|s| !s.outcome.is_ok()) {
+            eprintln!("quarantined: {} — {}", s.name, s.outcome);
+        }
+        eprintln!(
+            "{} of {} modules quarantined (exit 2: partial success)",
+            stats.failed,
+            summaries.len()
+        );
+        return Ok(2);
+    }
+    if stats.certify_unsound > 0 {
+        for line in &unsound {
+            eprintln!("{line}");
         }
         eprintln!(
             "{} certification(s) unsound (exit 2: partial success)",

@@ -302,4 +302,109 @@ fn list_exits_zero() {
     let text = stdout(&out);
     assert!(text.contains("kernel:Dekker"));
     assert!(text.contains("file:PATH"));
+    assert!(text.contains("dir:PATH"));
+    assert!(text.contains("pack:PATH"));
+}
+
+#[test]
+fn streamed_reports_are_byte_identical_to_resident() {
+    let dir = scratch("streamed");
+    let mods = dir.join("mods");
+    std::fs::create_dir_all(&mods).unwrap();
+    // Two parseable modules in a directory; the dir: spec resolves them
+    // eagerly resident and lazily streamed.
+    std::fs::write(mods.join("a.ir"), FENCED_SB_IR).unwrap();
+    std::fs::write(
+        mods.join("b.ir"),
+        FENCED_SB_IR.replacen("module sb", "module sb2", 1),
+    )
+    .unwrap();
+    let spec = format!("dir:{}", mods.display());
+    let out_r = dir.join("resident");
+    let out_s = dir.join("streamed");
+
+    let resident = fenceplace(&["--program", &spec, "--out", out_r.to_str().unwrap()]);
+    assert_eq!(exit_code(&resident), 0, "stderr: {}", stderr(&resident));
+    let streamed = fenceplace(&[
+        "--program",
+        &spec,
+        "--stream",
+        "--window",
+        "2",
+        "--out",
+        out_s.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&streamed), 0, "stderr: {}", stderr(&streamed));
+
+    // Every per-module report matches byte for byte; only the summary
+    // (wall-clock, interner stats, stream block) may differ.
+    let mut names: Vec<String> = std::fs::read_dir(&out_r)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n != "fleet_summary.json")
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), 2, "{names:?}");
+    for name in &names {
+        let r = std::fs::read_to_string(out_r.join(name)).unwrap();
+        let s = std::fs::read_to_string(out_s.join(name)).unwrap();
+        assert_eq!(r, s, "{name}: streamed report differs from resident");
+    }
+    let summary = std::fs::read_to_string(out_s.join("fleet_summary.json")).unwrap();
+    assert!(summary.contains("\"stream\": {\"window\": 2"), "{summary}");
+    assert!(summary.contains("\"peak_resident_modules\""), "{summary}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_stream_load_failure_is_partial_success() {
+    let out = fenceplace(&[
+        "--stream",
+        "--window",
+        "2",
+        "--program",
+        "kernel:Dekker",
+        "--program",
+        "file:/no/such/module.fir",
+    ]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"load_failures\": 1"), "{text}");
+    assert!(text.contains("\"status\": \"load_failed\""), "{text}");
+    assert!(text.contains("\"modules_failed\": 1"), "{text}");
+    assert!(stderr(&out).contains("quarantined"));
+
+    // A duplicate spec is likewise quarantined at admission (the lazy
+    // stream cannot refuse it up front like the resident path does).
+    let out = fenceplace(&[
+        "--stream",
+        "--program",
+        "kernel:Dekker",
+        "--program",
+        "kernel:Dekker",
+    ]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("duplicate program"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn streamed_unparsable_text_is_quarantined_as_invalid_ir() {
+    let dir = scratch("stream-garbage");
+    let bad = dir.join("bad.ir");
+    std::fs::write(&bad, "not IR at all\n").unwrap();
+    let spec = format!("file:{}", bad.display());
+
+    let out = fenceplace(&["--stream", "--program", "kernel:Dekker", "--program", &spec]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"status\": \"invalid_ir\""), "{text}");
+    assert!(text.contains("parse error"), "{text}");
+    assert!(text.contains("\"status\": \"ok\""), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

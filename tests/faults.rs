@@ -18,12 +18,17 @@
 //! point on half of the modules (even/odd split), so every module is
 //! exercised at every point across two runs per point — and multi-module
 //! quarantine within one run is exercised for free.
+//!
+//! The `Ingest` stage only executes on the streamed ingestion path, so
+//! its injections run through `run_fleet_streamed` (windowed admission
+//! over the fleet's printed texts) in a second matrix within the same
+//! test.
 
 use corpus::{manifest, Params};
 use fenceplace::faultinject::{self, Fault};
 use fenceplace::{
-    run_fleet_opts, CertifyOptions, FleetJob, FleetOptions, FleetResult, FleetStage, ModuleOutcome,
-    PipelineConfig, Variant,
+    run_fleet_opts, run_fleet_streamed, CertifyOptions, FleetJob, FleetOptions, FleetResult,
+    FleetStage, FleetStats, ModuleOutcome, PipelineConfig, StreamItem, StreamSummary, Variant,
 };
 
 /// Big enough that no tiny-params corpus module ever trips it on its
@@ -31,10 +36,19 @@ use fenceplace::{
 const BUDGET: u64 = u64::MAX / 16;
 
 fn injection_points() -> Vec<(FleetStage, Fault)> {
-    let mut points: Vec<(FleetStage, Fault)> =
-        FleetStage::ALL.iter().map(|&s| (s, Fault::Panic)).collect();
+    // The resident fleet never executes the Ingest stage (it exists only
+    // on the streamed ingestion path, exercised by
+    // `streamed_ingest_matrix` below) — an armed ingest fault would
+    // simply never fire here.
+    let resident = || {
+        FleetStage::ALL
+            .iter()
+            .copied()
+            .filter(|&s| s != FleetStage::Ingest)
+    };
+    let mut points: Vec<(FleetStage, Fault)> = resident().map(|s| (s, Fault::Panic)).collect();
     points.push((FleetStage::Validate, Fault::TruncateIr));
-    points.extend(FleetStage::ALL.iter().map(|&s| (s, Fault::BudgetBlowup)));
+    points.extend(resident().map(|s| (s, Fault::BudgetBlowup)));
     points
 }
 
@@ -175,5 +189,109 @@ fn fault_matrix_quarantines_exactly_the_injected_modules() {
     assert_eq!(
         mode_outcomes[0], mode_outcomes[1],
         "sequential and pooled runs must agree on every outcome"
+    );
+
+    // The registry is process-global, so the streamed half of the matrix
+    // must run inside this same test.
+    streamed_ingest_matrix();
+}
+
+/// Feeds the fleet as texts through the windowed streamed scheduler,
+/// collecting each delivered [`FleetResult`] by admission index.
+fn run_streamed_collect(
+    texts: &[(String, String)],
+    configs: &[PipelineConfig],
+    opts: &FleetOptions,
+) -> (Vec<StreamSummary>, FleetStats, Vec<FleetResult>) {
+    let mut slots: Vec<Option<FleetResult>> = (0..texts.len()).map(|_| None).collect();
+    let items: Vec<StreamItem> = texts
+        .iter()
+        .map(|(name, text)| StreamItem::Text {
+            name: name.clone(),
+            text: text.clone(),
+        })
+        .collect();
+    let (summaries, stats) = run_fleet_streamed(items, configs, opts, |i, fr| {
+        assert!(slots[i].is_none(), "slot {i} delivered twice");
+        slots[i] = Some(fr);
+    });
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every slot delivered"))
+        .collect();
+    (summaries, stats, results)
+}
+
+/// Ingest-stage injections exist only on the streamed path: the fleet's
+/// printed texts are fed through [`run_fleet_streamed`] under a small
+/// admission window with each ingest fault kind armed on half the
+/// modules per run. The injected modules must quarantine with the
+/// matching outcome *without stalling the window* — every other module
+/// completes with placements bit-identical to the fault-free streamed
+/// run — and sequential/pooled runs agree on every outcome.
+fn streamed_ingest_matrix() {
+    let params = Params::tiny();
+    let entries = manifest::full_fleet(&params);
+    let configs = vec![PipelineConfig::for_variant(Variant::Control)];
+    let texts: Vec<(String, String)> = entries
+        .iter()
+        .map(|e| (e.name.clone(), fence_ir::printer::print_module(&e.module)))
+        .collect();
+    let faults = [Fault::Panic, Fault::TruncateIr, Fault::BudgetBlowup];
+
+    let mut mode_outcomes: Vec<Vec<String>> = Vec::new();
+    for parallel in [false, true] {
+        let opts = FleetOptions {
+            parallel,
+            budget: Some(BUDGET),
+            window: Some(3),
+            ..FleetOptions::default()
+        };
+
+        faultinject::clear();
+        let (_, base_stats, baseline) = run_streamed_collect(&texts, &configs, &opts);
+        assert_eq!(base_stats.failed, 0, "fault-free streamed run is clean");
+
+        let mut outcomes: Vec<String> = Vec::new();
+        for &fault in &faults {
+            for half in 0..2usize {
+                faultinject::clear();
+                let armed: Vec<bool> = (0..texts.len()).map(|j| j % 2 == half).collect();
+                for (j, (name, _)) in texts.iter().enumerate() {
+                    if armed[j] {
+                        faultinject::arm(name, FleetStage::Ingest, fault);
+                    }
+                }
+                let (summaries, stats, fleet) = run_streamed_collect(&texts, &configs, &opts);
+                assert_eq!(
+                    stats.failed,
+                    armed.iter().filter(|&&a| a).count(),
+                    "ingest/{fault:?} (par={parallel}): failure count"
+                );
+                for (j, fr) in fleet.iter().enumerate() {
+                    let tag = format!("{} at ingest/{fault:?} (par={parallel})", fr.name);
+                    if armed[j] {
+                        assert_outcome_matches(&tag, FleetStage::Ingest, fault, &fr.outcome);
+                        assert!(fr.results.is_empty(), "{tag}: quarantined results");
+                    } else {
+                        assert!(fr.outcome.is_ok(), "{tag}: {:?}", fr.outcome);
+                        assert_same_results(&tag, fr, &baseline[j]);
+                    }
+                    assert_eq!(
+                        format!("{:?}", summaries[j].outcome),
+                        format!("{:?}", fr.outcome),
+                        "{tag}: summary must mirror the delivered outcome"
+                    );
+                    outcomes.push(format!("{:?}", fr.outcome));
+                }
+            }
+        }
+        mode_outcomes.push(outcomes);
+    }
+    faultinject::clear();
+
+    assert_eq!(
+        mode_outcomes[0], mode_outcomes[1],
+        "streamed sequential and pooled runs must agree on every ingest outcome"
     );
 }
