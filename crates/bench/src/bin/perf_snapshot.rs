@@ -35,6 +35,11 @@
 //! resident streamed run (`window: None`) against the windowed admission
 //! scheduler — recorded, like `fleet`, but not gated.
 //!
+//! A `service` section times the analysis service (`fenceplace serve`'s
+//! core) over the same workload: a cold pass through a fresh
+//! content-hashed cache vs a warm re-request of the identical corpus
+//! (served from cache with zero pipeline work) — recorded, not gated.
+//!
 //! ## `--check` mode (the CI perf gate)
 //!
 //! ```text
@@ -55,7 +60,7 @@ use fenceplace::minimize::minimize_function;
 use fenceplace::orderings::FuncOrderings;
 use fenceplace::{
     run_fleet_streamed, run_fleet_with, run_pipeline_batch, FleetJob, FleetOptions, PipelineConfig,
-    StreamItem, TargetModel, Variant,
+    Service, ServiceOptions, StreamItem, TargetModel, Variant,
 };
 use std::time::Instant;
 
@@ -309,6 +314,40 @@ fn stream_snapshot(entries: &[corpus::ManifestEntry]) -> String {
     )
 }
 
+/// Analysis-service timings over the multi-module workload fed as
+/// printed texts: a cold pass through a fresh service (content hashing,
+/// parse, validate, full pipeline) vs a warm re-request of the same
+/// corpus, which the content-hashed cache answers with zero pipeline
+/// work (`tests/service.rs` pins the zero, this pins the wall-clock
+/// payoff).
+fn service_snapshot(entries: &[corpus::ManifestEntry]) -> String {
+    let texts: Vec<(String, String)> = entries
+        .iter()
+        .map(|e| (e.name.clone(), fence_ir::printer::print_module(&e.module)))
+        .collect();
+    let configs = vec![PipelineConfig::for_variant(Variant::Control)];
+    let cold_ms = time_min(|| {
+        let mut service = Service::new(ServiceOptions::default());
+        for (name, text) in &texts {
+            std::hint::black_box(service.analyze(name, text, &configs, None));
+        }
+    });
+    let mut warm = Service::new(ServiceOptions::default());
+    for (name, text) in &texts {
+        warm.analyze(name, text, &configs, None);
+    }
+    let warm_ms = time_min(|| {
+        for (name, text) in &texts {
+            std::hint::black_box(warm.analyze(name, text, &configs, None));
+        }
+    });
+    format!(
+        "{{\"modules\": {}, \"cold_ms\": {cold_ms:.3}, \"warm_ms\": {warm_ms:.3}, \"speedup\": {:.3}}}",
+        texts.len(),
+        cold_ms / warm_ms.max(1e-9)
+    )
+}
+
 fn measure() -> (Vec<(String, StageMs)>, StageMs, String) {
     let p = Params::default();
     let mut rows: Vec<(String, StageMs)> = Vec::new();
@@ -344,7 +383,11 @@ fn measure() -> (Vec<(String, StageMs)>, StageMs, String) {
     }
     out.push_str(&format!("  ],\n  \"totals\": {},\n", totals.json()));
     out.push_str(&format!("  \"fleet\": {fleet_json},\n"));
-    out.push_str(&format!("  \"stream\": {}\n}}\n", stream_snapshot(&multi)));
+    out.push_str(&format!("  \"stream\": {},\n", stream_snapshot(&multi)));
+    out.push_str(&format!(
+        "  \"service\": {}\n}}\n",
+        service_snapshot(&multi)
+    ));
     (rows, totals, out)
 }
 

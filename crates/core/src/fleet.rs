@@ -267,18 +267,22 @@ fn fold_stats(acc: &mut FleetStats, s: &FleetStats) {
     acc.certify_unsound += s.certify_unsound;
 }
 
-/// Deterministic step cost of one function for one stage pass.
-fn func_step_cost(f: &Function) -> u64 {
+/// Deterministic step cost of one function for one stage pass. Shared
+/// with the service layer, whose warm-cache budget simulation must
+/// charge the exact amounts the fleet would.
+pub(crate) fn func_step_cost(f: &Function) -> u64 {
     (f.num_insts() as u64).max(1)
 }
 
 /// Deterministic step cost of one module-level stage pass.
-fn module_step_cost(m: &Module) -> u64 {
+pub(crate) fn module_step_cost(m: &Module) -> u64 {
     m.funcs.iter().map(func_step_cost).sum::<u64>().max(1)
 }
 
 /// Runs a stage's unit list, catching per-unit panics when isolating.
-fn stage_map<T: Send>(
+/// Shared with the service layer, whose incremental stages must match
+/// the fleet's isolation behavior unit-for-unit.
+pub(crate) fn stage_map<T: Send>(
     n: usize,
     parallel: bool,
     isolate: bool,

@@ -44,10 +44,12 @@ pub mod certify;
 pub mod faultinject;
 pub mod fleet;
 pub mod insert;
+pub mod json;
 pub mod minimize;
 pub mod orderings;
 pub mod pipeline;
 pub mod report;
+pub mod service;
 
 /// No-op shims for the fault-injection hooks the fleet driver calls.
 /// With the `faultinject` feature off (the default), these compile to
@@ -101,3 +103,4 @@ pub use pipeline::{
     run_pipeline, run_pipeline_batch, FuncContext, PipelineConfig, PipelineResult, Variant,
 };
 pub use report::{FleetStage, FuncReport, ModuleOutcome, ModuleReport};
+pub use service::{AnalyzeOutcome, CacheDisposition, Service, ServiceOptions, ServiceStats};

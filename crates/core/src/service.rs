@@ -1,0 +1,862 @@
+//! Analysis as a service: the resident cache engine behind
+//! `fenceplace serve`.
+//!
+//! A [`Service`] keeps analyzed modules resident between requests so a
+//! fleet of clients hammering mostly-unchanged modules sees near-zero
+//! marginal cost per request. The design constraints, in order:
+//!
+//! 1. **Byte-identity.** The report served for a module is byte-identical
+//!    to what the one-shot CLI would emit for the same module text and
+//!    config list — cold cache, warm cache, sequential or pooled
+//!    (pinned by the differential test in `tests/service.rs`). Both
+//!    paths render through [`crate::json`].
+//! 2. **Content addressing.** Cache entries are keyed by the 128-bit
+//!    content hash of the module *text* ([`corpus::hash::content_hash`]),
+//!    never by the request's module name: same content under a different
+//!    name is a hit, and a touched-but-unchanged file re-hashes to the
+//!    same key. A side table maps each request name to the last content
+//!    hash analyzed under it, which is what makes **function-granular
+//!    dirty sets** possible: when a name re-arrives with changed text,
+//!    the previous version's per-function hashes
+//!    ([`corpus::hash::func_hashes`]) say exactly which functions
+//!    changed, and only those rebuild their interned
+//!    [`FuncSubstrate`]s — the same per-(module, function) work units
+//!    the fleet schedules, just filtered to the dirty set. The
+//!    module-wide [`ModuleAnalysis`] (points-to + escape) re-runs on any
+//!    change — it is a whole-module fixpoint and caching it per function
+//!    would be unsound.
+//! 3. **Fleet semantics.** Requests run with the fleet's quarantine and
+//!    budget rules: the IR validation gate, per-unit `catch_unwind`
+//!    isolation with stage attribution, and the deterministic
+//!    instruction-count budget charged at the same stage boundaries with
+//!    the same costs ([`crate::fleet`]). Budgets are simulated from
+//!    static costs even on warm hits, so a budgeted request gets the
+//!    same `deadline_exceeded` outcome whether or not the cache could
+//!    have served it.
+//!
+//! Eviction is LRU over whole entries, opt-in via
+//! [`ServiceOptions::capacity`]: when the entry count exceeds the
+//! capacity, least-recently-used entries are dropped (their interned
+//! reachability rows stay in the service-wide [`RowInterner`], which is
+//! append-only — the streaming roadmap's row-LRU applies here too).
+//!
+//! The wire protocol over this engine lives in [`wire`]; the transport
+//! loops (Unix socket, stdio) live in the `fenceplace` binary.
+
+pub mod wire;
+
+use crate::fleet::{func_step_cost, module_step_cost, stage_map, MAX_IR_DIAGNOSTICS};
+use crate::json;
+use crate::minimize::TargetModel;
+use crate::pipeline::{finish_function, manual_result, FuncContext, PipelineConfig, Variant};
+use crate::report::{FleetStage, ModuleOutcome};
+use crate::report::{FuncReport, ModuleReport};
+use crate::AcquireInfo;
+use corpus::hash::{content_hash, func_hashes, ContentHash};
+use fence_analysis::ModuleAnalysis;
+use fence_ir::cfg::{FuncSubstrate, RowInterner};
+use fence_ir::{FuncId, Module};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Knobs of a [`Service`], fixed for its lifetime.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceOptions {
+    /// Schedule work units on the persistent pool (default). Sequential
+    /// and pooled services serve byte-identical reports.
+    pub parallel: bool,
+    /// Catch per-unit panics and quarantine the request with a
+    /// [`ModuleOutcome::Panicked`] instead of unwinding (default).
+    pub isolate: bool,
+    /// Reject malformed modules at the IR validation gate (default).
+    pub validate: bool,
+    /// Default deterministic step budget applied to every request that
+    /// does not carry its own (`None` = no deadline).
+    pub budget: Option<u64>,
+    /// Maximum cached module entries; least-recently-used entries are
+    /// evicted beyond it (`None` = unbounded).
+    pub capacity: Option<usize>,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            parallel: true,
+            isolate: true,
+            validate: true,
+            budget: None,
+            capacity: None,
+        }
+    }
+}
+
+/// How much cached state an analyze request could reuse.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CacheDisposition {
+    /// Served entirely from cache: the content hash was resident and
+    /// every requested config's report line was already rendered (or
+    /// the entry is quarantined, so its report is fully determined).
+    Hit,
+    /// Partially reused: the content hash was resident but some config
+    /// lines had to be computed from the cached analysis/substrates, or
+    /// the content was new but unchanged functions of the previous
+    /// version under the same name donated their substrates.
+    Incremental,
+    /// Computed from scratch.
+    Miss,
+}
+
+impl CacheDisposition {
+    /// The stable lowercase tag used on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Incremental => "incremental",
+            CacheDisposition::Miss => "miss",
+        }
+    }
+}
+
+/// What one analyze request produced.
+pub struct AnalyzeOutcome {
+    /// Cache disposition (see [`CacheDisposition`]).
+    pub cache: CacheDisposition,
+    /// The module's outcome under the fleet's quarantine/budget rules.
+    pub outcome: ModuleOutcome,
+    /// Content hash of the request's module text.
+    pub hash: ContentHash,
+    /// The per-module report document — byte-identical to what
+    /// `fenceplace --out DIR` would write for this module.
+    pub report: String,
+}
+
+/// Deterministic service counters, exposed by the `stats` wire request.
+/// All counts are cumulative over the service's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Well-formed, accepted wire requests (all kinds; counted by the
+    /// transport loop via [`Service::note_request`]).
+    pub requests: u64,
+    /// Analyze requests (library calls included).
+    pub analyze_requests: u64,
+    /// Analyze requests served entirely from cache.
+    pub hits: u64,
+    /// Analyze requests that partially reused cached state.
+    pub incremental: u64,
+    /// Analyze requests computed from scratch.
+    pub misses: u64,
+    /// Module-wide [`ModuleAnalysis`] executions.
+    pub analyses: u64,
+    /// [`FuncSubstrate`] builds (dirty functions only).
+    pub substrates_built: u64,
+    /// Substrates reused across module *versions* (unchanged functions
+    /// of a changed module; same-version reuse is not counted — it is
+    /// the cache working as designed).
+    pub substrates_reused: u64,
+    /// Entries dropped by LRU eviction.
+    pub evictions: u64,
+    /// Entries dropped by invalidate requests.
+    pub invalidated: u64,
+}
+
+/// One resident module: parsed IR, per-function content hashes, the
+/// module-wide analysis, interned substrates, and every config report
+/// line rendered so far.
+struct Entry {
+    /// Parsed module (`None` only for parse-failure entries).
+    module: Option<Module>,
+    /// Cached terminal outcome: `Ok` or `InvalidIr`. Transient outcomes
+    /// (`Panicked`, `DeadlineExceeded`) are never cached — they depend
+    /// on the request's config list and budget.
+    outcome: ModuleOutcome,
+    /// Per-function `(name, content hash)` in function order.
+    funcs: Vec<(String, ContentHash)>,
+    /// Module-wide analysis (absent until a non-`Manual` config needs it).
+    analysis: Option<ModuleAnalysis>,
+    /// Interned substrates, aligned with `funcs` (empty until built).
+    substrates: Vec<Arc<FuncSubstrate>>,
+    /// Rendered config report lines keyed by `(variant, target)` index.
+    reports: HashMap<(usize, usize), String>,
+    /// LRU clock value of the last request that touched this entry.
+    last_used: u64,
+}
+
+/// The resident analysis cache. See the module docs for the design; the
+/// public surface is [`Service::analyze`] plus cache management
+/// ([`Service::invalidate`], [`Service::invalidate_all`]) and the
+/// [`ServiceStats`] snapshot.
+pub struct Service {
+    opts: ServiceOptions,
+    interner: RowInterner,
+    entries: HashMap<ContentHash, Entry>,
+    names: HashMap<String, ContentHash>,
+    tick: u64,
+    stats: ServiceStats,
+}
+
+/// Dense target index for the per-config report key.
+fn target_idx(t: TargetModel) -> usize {
+    match t {
+        TargetModel::X86Tso => 0,
+        TargetModel::ScHardware => 1,
+        TargetModel::Weak => 2,
+    }
+}
+
+/// Cache key of one config's report line. `PipelineConfig::parallel` is
+/// deliberately not part of the key: scheduling cannot affect report
+/// bytes (pinned by the fleet's seq/par determinism tests).
+fn config_key(c: &PipelineConfig) -> (usize, usize) {
+    (c.variant.idx(), target_idx(c.target))
+}
+
+/// Replays the fleet's stage-boundary charge sequence from static costs
+/// and returns the deadline outcome a cold `run_fleet_opts` run of
+/// `configs` over `module` would produce, if any. Charges mirror
+/// `crate::fleet` exactly: `module_step_cost` at the Validate, Analysis,
+/// Substrates and Contexts boundaries, then the summed per-function
+/// costs once per distinct automatic variant (Acquires) and once per
+/// non-`Manual` config (Tails).
+fn deadline_outcome(
+    module: &Module,
+    configs: &[PipelineConfig],
+    validate: bool,
+    budget: Option<u64>,
+) -> Option<ModuleOutcome> {
+    let budget = budget?;
+    let module_cost = module_step_cost(module);
+    let func_sum: u64 = module.funcs.iter().map(func_step_cost).sum();
+    let needs = configs.iter().any(|c| c.variant != Variant::Manual);
+
+    let mut charges: Vec<(FleetStage, u64)> = Vec::new();
+    if validate && !configs.is_empty() {
+        charges.push((FleetStage::Validate, module_cost));
+    }
+    if needs {
+        charges.push((FleetStage::Analysis, module_cost));
+        charges.push((FleetStage::Substrates, module_cost));
+        charges.push((FleetStage::Contexts, module_cost));
+        let mut distinct = [false; 4];
+        let mut variants = 0u64;
+        let mut tails = 0u64;
+        for c in configs {
+            if c.variant == Variant::Manual {
+                continue;
+            }
+            tails += 1;
+            if !distinct[c.variant.idx()] {
+                distinct[c.variant.idx()] = true;
+                variants += 1;
+            }
+        }
+        if variants * func_sum > 0 {
+            charges.push((FleetStage::Acquires, variants * func_sum));
+        }
+        if tails * func_sum > 0 {
+            charges.push((FleetStage::Tails, tails * func_sum));
+        }
+    }
+
+    let mut spent = 0u64;
+    for (stage, cost) in charges {
+        spent = spent.saturating_add(cost);
+        if spent > budget {
+            return Some(ModuleOutcome::DeadlineExceeded {
+                stage,
+                spent,
+                budget,
+            });
+        }
+    }
+    None
+}
+
+impl Service {
+    /// Creates an empty service with the given options.
+    pub fn new(opts: ServiceOptions) -> Self {
+        Service {
+            opts,
+            interner: RowInterner::new(),
+            entries: HashMap::new(),
+            names: HashMap::new(),
+            tick: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The options this service was created with.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.opts
+    }
+
+    /// A snapshot of the cumulative counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Number of resident cache entries (distinct module contents).
+    pub fn cached_modules(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Counts one accepted wire request (any kind). Called by the
+    /// transport loop so `stats.requests` covers hello/stats/shutdown
+    /// traffic, not just analyzes.
+    pub fn note_request(&mut self) {
+        self.stats.requests += 1;
+    }
+
+    /// Drops the entry the given module name last resolved to (and every
+    /// name alias pointing at the same content). Returns the number of
+    /// entries dropped (0 or 1).
+    pub fn invalidate(&mut self, name: &str) -> usize {
+        match self.names.remove(name) {
+            Some(h) => {
+                self.names.retain(|_, v| *v != h);
+                if self.entries.remove(&h).is_some() {
+                    self.stats.invalidated += 1;
+                    1
+                } else {
+                    0
+                }
+            }
+            None => 0,
+        }
+    }
+
+    /// Drops every cache entry and name binding. Returns the number of
+    /// entries dropped.
+    pub fn invalidate_all(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        self.names.clear();
+        self.stats.invalidated += n as u64;
+        n
+    }
+
+    /// Analyzes one module text under the fleet's semantics, reusing
+    /// cached state where the content hashes allow it. `budget`
+    /// overrides [`ServiceOptions::budget`] for this request.
+    ///
+    /// The returned [`AnalyzeOutcome::report`] is byte-identical to the
+    /// per-module report the one-shot CLI writes for the same (name,
+    /// text, configs, budget) — including quarantined outcomes.
+    pub fn analyze(
+        &mut self,
+        name: &str,
+        text: &str,
+        configs: &[PipelineConfig],
+        budget: Option<u64>,
+    ) -> AnalyzeOutcome {
+        self.stats.analyze_requests += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let hash = content_hash(text);
+        let budget = budget.or(self.opts.budget);
+
+        // ---- fully-cached fast path: zero pipeline work ----
+        let fully_cached = match self.entries.get(&hash) {
+            Some(e) => {
+                !e.outcome.is_ok()
+                    || configs
+                        .iter()
+                        .all(|c| e.reports.contains_key(&config_key(c)))
+            }
+            None => false,
+        };
+        if fully_cached {
+            self.stats.hits += 1;
+            self.names.insert(name.to_string(), hash);
+            let entry = self.entries.get_mut(&hash).expect("cached entry");
+            entry.last_used = tick;
+            let (outcome, lines): (ModuleOutcome, Vec<String>) = if entry.outcome.is_ok() {
+                // Budgets are simulated even warm, so the outcome matches
+                // a cold CLI run of the same request exactly.
+                let module = entry.module.as_ref().expect("ok entries hold their module");
+                match deadline_outcome(module, configs, self.opts.validate, budget) {
+                    Some(dl) => (dl, Vec::new()),
+                    None => (
+                        ModuleOutcome::Ok,
+                        configs
+                            .iter()
+                            .map(|c| entry.reports[&config_key(c)].clone())
+                            .collect(),
+                    ),
+                }
+            } else {
+                // InvalidIr wins over any deadline: the fleet absorbs the
+                // validation verdict before the Validate-stage charge.
+                (entry.outcome.clone(), Vec::new())
+            };
+            let report = json::module_json_parts(name, &outcome, &lines, &[]);
+            return AnalyzeOutcome {
+                cache: CacheDisposition::Hit,
+                outcome,
+                hash,
+                report,
+            };
+        }
+
+        // ---- grow path: same content resident, some configs missing ----
+        if let Some(mut entry) = self.entries.remove(&hash) {
+            self.stats.incremental += 1;
+            entry.last_used = tick;
+            let result = self.compute_lines(&mut entry, configs, budget);
+            let (outcome, lines) = match result {
+                Ok(lines) => (ModuleOutcome::Ok, lines),
+                Err(outcome) => (outcome, Vec::new()),
+            };
+            self.entries.insert(hash, entry);
+            self.names.insert(name.to_string(), hash);
+            let report = json::module_json_parts(name, &outcome, &lines, &[]);
+            return AnalyzeOutcome {
+                cache: CacheDisposition::Incremental,
+                outcome,
+                hash,
+                report,
+            };
+        }
+
+        // ---- cold path: parse, validate, dirty-diff, compute ----
+        let parsed = if self.opts.isolate {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                fence_ir::parser::parse_module(text)
+            }))
+            .map_err(|p| ModuleOutcome::Panicked {
+                stage: FleetStage::Ingest,
+                message: crate::pool::panic_message(p.as_ref()),
+            })
+        } else {
+            Ok(fence_ir::parser::parse_module(text))
+        };
+        let module = match parsed {
+            Err(outcome) => {
+                self.stats.misses += 1;
+                return self.transient_failure(name, hash, outcome);
+            }
+            Ok(Err(e)) => {
+                // Parity with streamed ingestion: an unparsable text is
+                // quarantined as InvalidIr, and the verdict is cacheable
+                // (content-keyed, so the same bytes fail the same way).
+                self.stats.misses += 1;
+                let outcome = ModuleOutcome::InvalidIr {
+                    errors: vec![format!("parse error: {e}")],
+                };
+                return self.cache_quarantined(name, hash, tick, None, Vec::new(), outcome);
+            }
+            Ok(Ok(module)) => module,
+        };
+        let fhashes = func_hashes(&module);
+
+        // Validation gate, exactly like the fleet (diagnostics capped).
+        if self.opts.validate && !configs.is_empty() {
+            let verified = if self.opts.isolate {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    fence_ir::verify_module_checked(&module)
+                }))
+                .map_err(|p| ModuleOutcome::Panicked {
+                    stage: FleetStage::Validate,
+                    message: crate::pool::panic_message(p.as_ref()),
+                })
+            } else {
+                Ok(fence_ir::verify_module_checked(&module))
+            };
+            match verified {
+                Err(outcome) => {
+                    self.stats.misses += 1;
+                    return self.transient_failure(name, hash, outcome);
+                }
+                Ok(Err(errs)) => {
+                    let total = errs.len();
+                    let mut errors: Vec<String> = errs
+                        .into_iter()
+                        .take(MAX_IR_DIAGNOSTICS)
+                        .map(|e| e.to_string())
+                        .collect();
+                    if total > MAX_IR_DIAGNOSTICS {
+                        errors.push(format!(
+                            "... and {} more diagnostics",
+                            total - MAX_IR_DIAGNOSTICS
+                        ));
+                    }
+                    self.stats.misses += 1;
+                    let outcome = ModuleOutcome::InvalidIr { errors };
+                    return self.cache_quarantined(
+                        name,
+                        hash,
+                        tick,
+                        Some(module),
+                        fhashes,
+                        outcome,
+                    );
+                }
+                Ok(Ok(())) => {}
+            }
+        }
+
+        // Dirty-set seeding: unchanged functions of the previous version
+        // under this name donate their interned substrates.
+        let mut substrates: Vec<Option<Arc<FuncSubstrate>>> = vec![None; module.funcs.len()];
+        let mut reused = 0usize;
+        if let Some(prev) = self.names.get(name).and_then(|h| self.entries.get(h)) {
+            if prev.outcome.is_ok() && prev.substrates.len() == prev.funcs.len() {
+                for (i, (fname, fh)) in fhashes.iter().enumerate() {
+                    if let Some(j) = prev.funcs.iter().position(|(n, _)| n == fname) {
+                        if prev.funcs[j].1 == *fh {
+                            substrates[i] = Some(prev.substrates[j].clone());
+                            reused += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.substrates_reused += reused as u64;
+        let cache = if reused > 0 {
+            self.stats.incremental += 1;
+            CacheDisposition::Incremental
+        } else {
+            self.stats.misses += 1;
+            CacheDisposition::Miss
+        };
+
+        let mut entry = Entry {
+            module: Some(module),
+            outcome: ModuleOutcome::Ok,
+            funcs: fhashes,
+            analysis: None,
+            substrates: Vec::new(),
+            reports: HashMap::new(),
+            last_used: tick,
+        };
+        match self.compute_lines_seeded(&mut entry, Some(substrates), configs, budget) {
+            Ok(lines) => {
+                self.entries.insert(hash, entry);
+                self.names.insert(name.to_string(), hash);
+                self.evict();
+                let report = json::module_json_parts(name, &ModuleOutcome::Ok, &lines, &[]);
+                AnalyzeOutcome {
+                    cache,
+                    outcome: ModuleOutcome::Ok,
+                    hash,
+                    report,
+                }
+            }
+            Err(outcome) => {
+                // Transient outcomes are never cached: a panic or
+                // deadline depends on this request's configs/budget, and
+                // the next request may legitimately succeed.
+                let report = json::module_json_parts(name, &outcome, &[], &[]);
+                AnalyzeOutcome {
+                    cache,
+                    outcome,
+                    hash,
+                    report,
+                }
+            }
+        }
+    }
+
+    /// Renders (without caching) a transient failure: panic or deadline.
+    fn transient_failure(
+        &mut self,
+        name: &str,
+        hash: ContentHash,
+        outcome: ModuleOutcome,
+    ) -> AnalyzeOutcome {
+        let report = json::module_json_parts(name, &outcome, &[], &[]);
+        AnalyzeOutcome {
+            cache: CacheDisposition::Miss,
+            outcome,
+            hash,
+            report,
+        }
+    }
+
+    /// Caches a quarantined (InvalidIr) verdict and renders its report.
+    fn cache_quarantined(
+        &mut self,
+        name: &str,
+        hash: ContentHash,
+        tick: u64,
+        module: Option<Module>,
+        funcs: Vec<(String, ContentHash)>,
+        outcome: ModuleOutcome,
+    ) -> AnalyzeOutcome {
+        let report = json::module_json_parts(name, &outcome, &[], &[]);
+        self.entries.insert(
+            hash,
+            Entry {
+                module,
+                outcome: outcome.clone(),
+                funcs,
+                analysis: None,
+                substrates: Vec::new(),
+                reports: HashMap::new(),
+                last_used: tick,
+            },
+        );
+        self.names.insert(name.to_string(), hash);
+        self.evict();
+        AnalyzeOutcome {
+            cache: CacheDisposition::Miss,
+            outcome,
+            hash,
+            report,
+        }
+    }
+
+    /// LRU eviction down to the configured capacity.
+    fn evict(&mut self) {
+        let Some(cap) = self.opts.capacity else {
+            return;
+        };
+        while self.entries.len() > cap {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(h, _)| *h)
+                .expect("len > cap > 0 implies non-empty");
+            self.entries.remove(&oldest);
+            self.names.retain(|_, v| *v != oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Runs the fleet's stage sequence over `entry`'s module, computing
+    /// the report lines of every config not yet cached, with the exact
+    /// charge boundaries and panic attribution of `run_fleet_opts`. On
+    /// success the fresh lines are merged into `entry.reports` and the
+    /// full request's lines are returned in request order; on failure
+    /// (`Panicked` / `DeadlineExceeded`) the entry is left exactly as it
+    /// was — partial results of a quarantined request must not leak into
+    /// the cache, or a retry would diverge from a cold CLI run.
+    fn compute_lines(
+        &mut self,
+        entry: &mut Entry,
+        configs: &[PipelineConfig],
+        budget: Option<u64>,
+    ) -> Result<Vec<String>, ModuleOutcome> {
+        self.compute_lines_seeded(entry, None, configs, budget)
+    }
+
+    /// [`Service::compute_lines`] with an explicit substrate seed: the
+    /// cold path passes the dirty-diff result (donated substrates for
+    /// unchanged functions, `None` holes for dirty ones); the grow path
+    /// passes `None` and reuses the entry's own complete set.
+    fn compute_lines_seeded(
+        &mut self,
+        entry: &mut Entry,
+        seed: Option<Vec<Option<Arc<FuncSubstrate>>>>,
+        configs: &[PipelineConfig],
+        budget: Option<u64>,
+    ) -> Result<Vec<String>, ModuleOutcome> {
+        let module = entry.module.as_ref().expect("computable entries hold IR");
+        let (parallel, isolate) = (self.opts.parallel, self.opts.isolate);
+        let n = module.funcs.len();
+        let dl = deadline_outcome(module, configs, self.opts.validate, budget);
+        let dl_stage = dl.as_ref().and_then(|o| o.stage());
+        // Trips the deadline at a stage boundary, mirroring the fleet's
+        // `charge` calls: work *at* the tripping stage has already run
+        // (and its panics won), work after it never starts.
+        let boundary = |stage: FleetStage| -> Result<(), ModuleOutcome> {
+            if dl_stage == Some(stage) {
+                Err(dl.clone().expect("stage implies deadline"))
+            } else {
+                Ok(())
+            }
+        };
+
+        boundary(FleetStage::Validate)?;
+
+        let needs = configs.iter().any(|c| c.variant != Variant::Manual);
+        let missing: Vec<&PipelineConfig> = configs
+            .iter()
+            .filter(|c| !entry.reports.contains_key(&config_key(c)))
+            .collect();
+        let mut fresh: HashMap<(usize, usize), String> = HashMap::new();
+
+        if needs {
+            // ---- overlapped pass: module analysis + dirty substrates ----
+            let mut subs: Vec<Option<Arc<FuncSubstrate>>> = match seed {
+                Some(seed) => seed,
+                None if entry.substrates.len() == n => {
+                    entry.substrates.iter().cloned().map(Some).collect()
+                }
+                None => vec![None; n],
+            };
+            let dirty: Vec<usize> = (0..n).filter(|&i| subs[i].is_none()).collect();
+            let need_analysis = entry.analysis.is_none();
+            let na = need_analysis as usize;
+            enum BuildUnit {
+                Analysis(ModuleAnalysis),
+                Substrate(FuncSubstrate),
+            }
+            let built = stage_map(na + dirty.len(), parallel, isolate, |u| {
+                if need_analysis && u == 0 {
+                    BuildUnit::Analysis(ModuleAnalysis::run_on(module, false))
+                } else {
+                    let f = dirty[u - na];
+                    BuildUnit::Substrate(FuncSubstrate::new_interned(
+                        module.func(FuncId::new(f)),
+                        &self.interner,
+                    ))
+                }
+            });
+            let mut built = built.into_iter();
+            // Analysis results absorb first (attribution parity with the
+            // fleet's combined pass), then the Analysis boundary, then
+            // the substrates — so a deadline at Analysis beats a
+            // substrate panic, and never the other way around.
+            let mut analysis_result: Option<ModuleAnalysis> = None;
+            for r in built.by_ref().take(na) {
+                match r {
+                    Ok(BuildUnit::Analysis(a)) => analysis_result = Some(a),
+                    Ok(BuildUnit::Substrate(_)) => unreachable!("unit 0 is the analysis"),
+                    Err(message) => {
+                        return Err(ModuleOutcome::Panicked {
+                            stage: FleetStage::Analysis,
+                            message,
+                        })
+                    }
+                }
+            }
+            if need_analysis {
+                self.stats.analyses += 1;
+            }
+            boundary(FleetStage::Analysis)?;
+            let mut built_subs: Vec<(usize, Arc<FuncSubstrate>)> = Vec::new();
+            for (k, r) in built.enumerate() {
+                match r {
+                    Ok(BuildUnit::Substrate(s)) => built_subs.push((dirty[k], Arc::new(s))),
+                    Ok(BuildUnit::Analysis(_)) => unreachable!("units na.. are substrates"),
+                    Err(message) => {
+                        return Err(ModuleOutcome::Panicked {
+                            stage: FleetStage::Substrates,
+                            message,
+                        })
+                    }
+                }
+            }
+            self.stats.substrates_built += built_subs.len() as u64;
+            for (f, s) in built_subs {
+                subs[f] = Some(s);
+            }
+            boundary(FleetStage::Substrates)?;
+
+            // Commit the built state now: it is valid regardless of how
+            // the per-config tail goes (a later deadline or tail panic
+            // quarantines the *request*, not the module's analysis).
+            if let Some(a) = analysis_result {
+                entry.analysis = Some(a);
+            }
+            entry.substrates = subs
+                .into_iter()
+                .map(|s| s.expect("every function has a substrate"))
+                .collect();
+            let analysis = entry.analysis.as_ref().expect("analysis just ensured");
+            let substrates = &entry.substrates;
+
+            // ---- per-function contexts ----
+            let cres = stage_map(n, parallel, isolate, |i| {
+                FuncContext::build(module, analysis, &substrates[i], FuncId::new(i))
+            });
+            let mut contexts: Vec<FuncContext<'_>> = Vec::with_capacity(n);
+            for r in cres {
+                match r {
+                    Ok(c) => contexts.push(c),
+                    Err(message) => {
+                        return Err(ModuleOutcome::Panicked {
+                            stage: FleetStage::Contexts,
+                            message,
+                        })
+                    }
+                }
+            }
+            boundary(FleetStage::Contexts)?;
+
+            // ---- acquire info per distinct automatic variant needed ----
+            let mut infos: [Option<Vec<AcquireInfo>>; 4] = [None, None, None, None];
+            for config in &missing {
+                let slot = config.variant.idx();
+                if config.variant == Variant::Manual || infos[slot].is_some() {
+                    continue;
+                }
+                let ares = stage_map(n, parallel, isolate, |i| {
+                    contexts[i].acquire_info(module, analysis, config.variant)
+                });
+                let mut per_func = Vec::with_capacity(n);
+                for r in ares {
+                    match r {
+                        Ok(info) => per_func.push(info),
+                        Err(message) => {
+                            return Err(ModuleOutcome::Panicked {
+                                stage: FleetStage::Acquires,
+                                message,
+                            })
+                        }
+                    }
+                }
+                infos[slot] = Some(per_func);
+            }
+            boundary(FleetStage::Acquires)?;
+
+            // ---- per-(config, function) tails ----
+            for config in &missing {
+                if config.variant == Variant::Manual {
+                    continue;
+                }
+                let per_variant = infos[config.variant.idx()]
+                    .as_ref()
+                    .expect("acquire info computed for every missing automatic variant");
+                let tres = stage_map(n, parallel, isolate, |i| {
+                    finish_function(module, analysis, &contexts[i], &per_variant[i], config)
+                });
+                let mut funcs: Vec<FuncReport> = Vec::with_capacity(n);
+                let mut points = 0usize;
+                for r in tres {
+                    match r {
+                        Ok((report, pts)) => {
+                            funcs.push(report);
+                            points += pts.len();
+                        }
+                        Err(message) => {
+                            return Err(ModuleOutcome::Panicked {
+                                stage: FleetStage::Tails,
+                                message,
+                            })
+                        }
+                    }
+                }
+                let report = ModuleReport {
+                    module_name: module.name.clone(),
+                    variant: config.variant.name().to_string(),
+                    funcs,
+                };
+                fresh.insert(
+                    config_key(config),
+                    json::config_json(config, &report, points),
+                );
+            }
+            boundary(FleetStage::Tails)?;
+        }
+
+        // Manual configs: assembled like the fleet does, after the tail
+        // barrier, uninsulated (counting explicit fences cannot panic).
+        for config in &missing {
+            if config.variant == Variant::Manual && !fresh.contains_key(&config_key(config)) {
+                let r = manual_result(module, config);
+                fresh.insert(
+                    config_key(config),
+                    json::config_json(config, &r.report, r.points.len()),
+                );
+            }
+        }
+
+        entry.reports.extend(fresh);
+        Ok(configs
+            .iter()
+            .map(|c| entry.reports[&config_key(c)].clone())
+            .collect())
+    }
+}

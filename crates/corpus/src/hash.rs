@@ -1,0 +1,126 @@
+//! Content hashing for incremental re-analysis.
+//!
+//! The service layer (`fenceplace serve`) keys every cache entry by the
+//! **content hash of the module text**, not by the request's module
+//! name: two requests carrying byte-identical text hit the same entry no
+//! matter what they call the module, and a touched-but-unchanged file
+//! re-hashes to the same key. Function-granular dirty sets use the same
+//! scheme one level down — each function is hashed by its printed text
+//! (`fence_ir::printer::print_function`), so an edit to one function
+//! invalidates exactly that function's CFG substrate and nothing else.
+//!
+//! The hash is a 128-bit FNV-1a variant (two independently-seeded 64-bit
+//! lanes). It is **not cryptographic** — the cache is a performance
+//! artifact keyed by trusted inputs, and a collision costs correctness
+//! only if an adversary constructs it, which is outside the threat model
+//! of a local analysis daemon. What the scheme *is* required to be is
+//! deterministic across runs, platforms, and thread counts, which a pure
+//! byte fold trivially is.
+//!
+//! ```
+//! use corpus::hash::{content_hash, hex};
+//!
+//! let a = content_hash("module m\n");
+//! let b = content_hash("module m\n");
+//! let c = content_hash("module n\n");
+//! assert_eq!(a, b, "same bytes, same key");
+//! assert_ne!(a, c);
+//! assert_eq!(hex(&a).len(), 32, "128 bits, 32 hex digits");
+//! ```
+
+use fence_ir::printer::print_function;
+use fence_ir::Module;
+
+/// A 128-bit content hash: two independently-seeded FNV-1a-64 lanes.
+pub type ContentHash = [u64; 2];
+
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Standard FNV-1a 64-bit offset basis (lane 0).
+const FNV_OFFSET_0: u64 = 0xcbf2_9ce4_8422_2325;
+/// Alternate offset basis for lane 1, so the two lanes disagree on any
+/// input where a single 64-bit fold might collide.
+const FNV_OFFSET_1: u64 = 0x6c62_272e_07bb_0142;
+
+/// Hashes raw bytes. Lane 1 folds each byte xor'd with `0xa5` so the two
+/// lanes are not related by a constant factor.
+pub fn hash_bytes(bytes: &[u8]) -> ContentHash {
+    let mut h0 = FNV_OFFSET_0;
+    let mut h1 = FNV_OFFSET_1;
+    for &b in bytes {
+        h0 = (h0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        h1 = (h1 ^ (b ^ 0xa5) as u64).wrapping_mul(FNV_PRIME);
+    }
+    [h0, h1]
+}
+
+/// Hashes a module (or any) text: the service cache key.
+pub fn content_hash(text: &str) -> ContentHash {
+    hash_bytes(text.as_bytes())
+}
+
+/// Per-function content hashes, keyed by function name, in function
+/// order. Each function hashes as its printed text, so any textual
+/// change to a function — and only to that function — changes its hash,
+/// while renaming-insensitive context (other functions, module-level
+/// reordering that keeps this function's text intact) does not.
+pub fn func_hashes(module: &Module) -> Vec<(String, ContentHash)> {
+    module
+        .funcs
+        .iter()
+        .map(|f| (f.name.clone(), content_hash(&print_function(f, module))))
+        .collect()
+}
+
+/// Lowercase 32-digit hex rendering, used in wire responses and logs.
+pub fn hex(h: &ContentHash) -> String {
+    format!("{:016x}{:016x}", h[0], h[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fence_ir::builder::{FunctionBuilder, ModuleBuilder};
+
+    fn two_func_module(k: i64) -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let x = mb.global("x", 1);
+        let mut a = FunctionBuilder::new("a", 0);
+        a.store(x, k);
+        a.ret(None);
+        mb.add_func(a.build());
+        let mut b = FunctionBuilder::new("b", 0);
+        let _ = b.load(x);
+        b.ret(None);
+        mb.add_func(b.build());
+        mb.finish()
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let h = content_hash("abc");
+        assert_ne!(h[0], h[1]);
+        // Prefix sensitivity: FNV is order-dependent.
+        assert_ne!(content_hash("ab"), content_hash("ba"));
+        assert_ne!(content_hash(""), content_hash("\0"));
+    }
+
+    #[test]
+    fn one_function_edit_changes_exactly_one_hash() {
+        let m1 = two_func_module(1);
+        let m2 = two_func_module(2);
+        let h1 = func_hashes(&m1);
+        let h2 = func_hashes(&m2);
+        assert_eq!(h1.len(), 2);
+        assert_eq!(h1[0].0, "a");
+        assert_ne!(h1[0].1, h2[0].1, "edited function re-hashes");
+        assert_eq!(h1[1].1, h2[1].1, "untouched function keeps its hash");
+    }
+
+    #[test]
+    fn hex_is_stable() {
+        let h = content_hash("module m\n");
+        assert_eq!(hex(&h), hex(&content_hash("module m\n")));
+        assert!(hex(&h).chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

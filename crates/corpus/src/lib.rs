@@ -21,7 +21,10 @@
 //! fences — the paper's performance baseline), plus a thread launch spec
 //! and a result checker used by the tests.
 
+#![warn(missing_docs)]
+
 pub mod arbitrary;
+pub mod hash;
 pub mod kernels;
 pub mod lockfree;
 pub mod manifest;

@@ -1,4 +1,4 @@
-//! The cycle cost model.
+//! The simulator's cycle cost constants.
 //!
 //! Values are loosely calibrated to a Sandy-Bridge-class core (the paper's
 //! i3-2100): an MFENCE that has to drain a partially full store buffer
@@ -6,6 +6,15 @@
 //! loops expensive. Absolute numbers are not meant to match silicon —
 //! only the *relative* cost of fence-free vs fence-heavy placements
 //! matters for reproducing Figure 10's shape.
+//!
+//! Scope: these constants drive the [`crate::sim`] timing simulator
+//! (Figure 10's dynamic-fence overhead) and nothing else. Despite the
+//! name, this is **not** a cost model in the fence-*synthesis* sense —
+//! the placement pipeline never consults it; minimization treats every
+//! fence as unit cost. The ROADMAP's "multi-model, cost-aware fence
+//! synthesis" item is where these numbers would graduate into per-target
+//! placement weights; until then the module is vestigial outside the
+//! simulator.
 
 /// Cost of ALU / register / branch instructions.
 pub const COST_ALU: u64 = 1;

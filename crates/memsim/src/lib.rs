@@ -26,7 +26,13 @@
 //!   post-placement thread group **sound** (relaxed outcome set ⊆ SC set)
 //!   and each placed fence **necessary** (weakening it strictly enlarges
 //!   the relaxed set), under a shared per-check state budget.
-//! * [`layout`] / [`cost`] — memory layout and the cycle cost model.
+//! * [`layout`] / [`cost`] — memory layout, and the cycle cost constants
+//!   the simulator charges. `cost` serves the simulator only: the
+//!   placement pipeline never consults it (fence minimization is
+//!   unit-cost), so as a *synthesis* cost model it is vestigial — see
+//!   the ROADMAP's cost-aware synthesis item.
+
+#![warn(missing_docs)]
 
 pub mod check;
 pub mod cost;

@@ -102,7 +102,12 @@ pub enum SimError {
     /// The step limit was exceeded (livelock or runaway loop).
     StepLimit(u64),
     /// Access to an unmapped address.
-    Fault { tid: u32, addr: i64 },
+    Fault {
+        /// Thread that performed the faulting access.
+        tid: u32,
+        /// The unmapped address.
+        addr: i64,
+    },
     /// The bump allocator ran out of heap.
     HeapExhausted,
     /// A declared-but-undefined function was called.

@@ -14,6 +14,7 @@
 #   faults   cargo test --features faultinject (fault-injection matrix)
 #   certify  litmus regressions + differential certify fuzz + CLI smoke
 #   stream   streamed-vs-resident differential + CLI --stream smoke
+#   serve    service suite (protocol contract + cache pins) + daemon smoke
 #   all      every stage above, in CI order (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -82,6 +83,37 @@ stage_stream() {
     --stream --window 4
 }
 
+stage_serve() {
+  echo "== service suite (protocol contract, service≡CLI differential, cache pins) =="
+  cargo test -q -p fence-suite --test service
+
+  echo "== serve daemon smoke (cold corpus, warm --expect-hit corpus, shutdown) =="
+  # Start a daemon, run the full corpus through it twice — the second
+  # pass must be served entirely from cache — then shut it down cleanly.
+  serve_dir="$(mktemp -d)"
+  serve_sock="$serve_dir/fenceplace.sock"
+  cargo build --release --quiet --bin fenceplace
+  ./target/release/fenceplace serve --socket "$serve_sock" &
+  serve_daemon=$!
+  trap 'kill "$serve_daemon" 2>/dev/null || true; rm -rf "$serve_dir"' EXIT
+  for _ in $(seq 1 100); do
+    [ -S "$serve_sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$serve_sock" ] || { echo "daemon never bound $serve_sock" >&2; exit 1; }
+
+  ./target/release/fenceplace client --socket "$serve_sock" \
+    --program 'kernel:*' --program 'corpus:*' --config Control:x86tso
+  ./target/release/fenceplace client --socket "$serve_sock" \
+    --program 'kernel:*' --program 'corpus:*' --config Control:x86tso \
+    --expect-hit
+  ./target/release/fenceplace client --socket "$serve_sock" --shutdown
+  wait "$serve_daemon"
+  [ ! -e "$serve_sock" ] || { echo "daemon left its socket file behind" >&2; exit 1; }
+  rm -rf "$serve_dir"
+  trap - EXIT
+}
+
 run_stage() {
   case "$1" in
     build)  stage_build ;;
@@ -94,9 +126,10 @@ run_stage() {
     faults) stage_faults ;;
     certify) stage_certify ;;
     stream) stage_stream ;;
-    all)    stage_build; stage_test; stage_clippy; stage_fmt; stage_docs; stage_bench; stage_faults; stage_certify; stage_stream ;;
+    serve)  stage_serve ;;
+    all)    stage_build; stage_test; stage_clippy; stage_fmt; stage_docs; stage_bench; stage_faults; stage_certify; stage_stream; stage_serve ;;
     *)
-      echo "unknown stage '$1' (build|test|clippy|fmt|lint|docs|bench|faults|certify|stream|all)" >&2
+      echo "unknown stage '$1' (build|test|clippy|fmt|lint|docs|bench|faults|certify|stream|serve|all)" >&2
       exit 2
       ;;
   esac

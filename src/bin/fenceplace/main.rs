@@ -12,6 +12,11 @@
 //! cargo run --release --bin fenceplace -- --list
 //! ```
 //!
+//! Two subcommands wrap the same engine as a resident service:
+//! `fenceplace serve` (see [`serve`]) keeps analyses cached between
+//! requests behind a newline-delimited JSON protocol (`docs/PROTOCOL.md`),
+//! and `fenceplace client` (see [`client`]) drives a running daemon.
+//!
 //! Manifest format (line-based; `#` starts a comment):
 //!
 //! ```text
@@ -56,13 +61,19 @@
 //! | 1    | fatal: bad usage, unresolvable spec, I/O error, `--fail-fast` trip |
 //! | 2    | partial success: some modules quarantined (including mid-stream load failures) or a `--certify` run came back unsound; reports written |
 
+mod client;
+mod serve;
+
 use corpus::manifest::{available, resolve_spec, resolve_spec_at, ManifestEntry};
 use corpus::{ModuleSource, Params};
 use fence_suite::stream_items;
+use fenceplace::json::{
+    file_stem, json_escape, module_json, outcome_fields, status_fields, target_name,
+};
+use fenceplace::service::wire::parse_config_spec as parse_config;
 use fenceplace::{
-    run_fleet_opts, run_fleet_streamed, CertifyOptions, CertifyReport, FleetJob, FleetOptions,
-    FleetResult, FleetStats, ModuleOutcome, PipelineConfig, PipelineResult, StreamItem,
-    StreamSummary, TargetModel, Variant,
+    run_fleet_opts, run_fleet_streamed, CertifyOptions, FleetJob, FleetOptions, FleetResult,
+    FleetStats, ModuleOutcome, PipelineConfig, PipelineResult, StreamItem, StreamSummary,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -100,6 +111,9 @@ fn usage() -> &'static str {
 
 USAGE:
   fenceplace [--manifest FILE] [--program SPEC]... [--config V:T]... [options]
+  fenceplace serve (--socket PATH | --stdio) [options]   resident daemon
+  fenceplace client --socket PATH [options]              drive a daemon
+  (`fenceplace serve --help` / `fenceplace client --help` for their options)
 
 OPTIONS:
   --manifest FILE    read `program`/`config`/`threads`/`scale` lines from FILE
@@ -145,52 +159,6 @@ EXIT CODES:
   2  partial success (some modules quarantined or a certification came back
      unsound; reports still written)
 "
-}
-
-fn parse_variant(s: &str) -> Result<Variant, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "pensieve" => Ok(Variant::Pensieve),
-        "control" => Ok(Variant::Control),
-        "addresscontrol" | "address+control" | "addrctl" => Ok(Variant::AddressControl),
-        "manual" => Ok(Variant::Manual),
-        _ => Err(format!(
-            "unknown variant `{s}` (Pensieve, Control, AddressControl, Manual)"
-        )),
-    }
-}
-
-fn parse_target(s: &str) -> Result<TargetModel, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "x86tso" | "x86" | "tso" => Ok(TargetModel::X86Tso),
-        "sc" | "schardware" => Ok(TargetModel::ScHardware),
-        "weak" => Ok(TargetModel::Weak),
-        _ => Err(format!("unknown target `{s}` (x86tso, sc, weak)")),
-    }
-}
-
-fn target_name(t: TargetModel) -> &'static str {
-    match t {
-        TargetModel::X86Tso => "x86tso",
-        TargetModel::ScHardware => "sc",
-        TargetModel::Weak => "weak",
-    }
-}
-
-fn parse_config(spec: &str) -> Result<PipelineConfig, String> {
-    let mut parts = spec.split(':');
-    let variant = parse_variant(parts.next().unwrap_or_default())?;
-    let target = match parts.next() {
-        Some(t) => parse_target(t)?,
-        None => TargetModel::X86Tso,
-    };
-    if parts.next().is_some() {
-        return Err(format!("bad config `{spec}`: expected VARIANT:TARGET"));
-    }
-    Ok(PipelineConfig {
-        variant,
-        target,
-        parallel: false, // the fleet owns scheduling
-    })
 }
 
 fn parse_manifest(path: &str, cli: &mut Cli) -> Result<(), String> {
@@ -316,127 +284,6 @@ fn parse_args(args: &[String]) -> Result<Parsed, String> {
         cli.configs.push(PipelineConfig::default());
     }
     Ok(Parsed::Run(cli))
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// One quarantined module's status triple as JSON fields (no braces):
-/// `"status": .., "stage": ..|null, "error": ..|null`.
-fn status_fields(status: &str, stage: Option<&str>, error: Option<&str>) -> String {
-    let mut out = format!("\"status\": \"{}\"", json_escape(status));
-    match stage {
-        Some(s) => {
-            let _ = write!(out, ", \"stage\": \"{}\"", json_escape(s));
-        }
-        None => out.push_str(", \"stage\": null"),
-    }
-    match error {
-        Some(e) => {
-            let _ = write!(out, ", \"error\": \"{}\"", json_escape(e));
-        }
-        None => out.push_str(", \"error\": null"),
-    }
-    out
-}
-
-fn outcome_fields(outcome: &ModuleOutcome) -> String {
-    let stage = outcome.stage().map(|s| s.name());
-    let error = if outcome.is_ok() {
-        None
-    } else {
-        Some(outcome.to_string())
-    };
-    status_fields(outcome.kind(), stage, error.as_deref())
-}
-
-fn config_json(config: &PipelineConfig, r: &PipelineResult) -> String {
-    format!(
-        "{{\"variant\": \"{}\", \"target\": \"{}\", \"functions\": {}, \
-         \"escaping_reads\": {}, \"escaping_writes\": {}, \"acquires\": {}, \
-         \"orderings_total\": {:?}, \"orderings_kept\": {:?}, \
-         \"fence_points\": {}, \"full_fences\": {}, \"compiler_fences\": {}}}",
-        json_escape(config.variant.name()),
-        target_name(config.target),
-        r.report.funcs.len(),
-        r.report.escaping_reads(),
-        r.report.escaping_writes(),
-        r.report.acquires(),
-        r.report.orderings_total(),
-        r.report.orderings_kept(),
-        r.points.len(),
-        r.report.full_fences(),
-        r.report.compiler_fences()
-    )
-}
-
-/// One certification run as JSON: verdict, group/fence tallies, budget
-/// spend, and the first soundness violation (when any).
-fn cert_json(config: &PipelineConfig, cr: &CertifyReport) -> String {
-    let violation = match cr.first_violation() {
-        Some((group, outcome)) => format!("{{\"group\": {group}, \"outcome\": {outcome:?}}}"),
-        None => "null".to_string(),
-    };
-    format!(
-        "{{\"variant\": \"{}\", \"target\": \"{}\", \"status\": \"{}\", \
-         \"groups\": {}, \"race_free_groups\": {}, \"fences\": {}, \
-         \"necessary_fences\": {}, \"entry_fences\": {}, \"skipped\": {}, \
-         \"states\": {}, \"exhausted\": {}, \"violation\": {violation}}}",
-        json_escape(config.variant.name()),
-        target_name(config.target),
-        cr.status().name(),
-        cr.groups.len(),
-        cr.groups.iter().filter(|g| g.race_free).count(),
-        cr.fences.len(),
-        cr.fences.iter().filter(|f| f.necessary).count(),
-        cr.fences.iter().filter(|f| f.entry).count(),
-        cr.skipped.len(),
-        cr.states,
-        cr.exhausted,
-    )
-}
-
-fn module_json(job_name: &str, configs: &[PipelineConfig], fr: &FleetResult) -> String {
-    let mut out = format!(
-        "{{\n  \"module\": \"{}\",\n  {},\n  \"configs\": [\n",
-        json_escape(job_name),
-        outcome_fields(&fr.outcome)
-    );
-    for (i, (config, r)) in configs.iter().zip(&fr.results).enumerate() {
-        let _ = writeln!(
-            out,
-            "    {}{}",
-            config_json(config, r),
-            if i + 1 < fr.results.len() { "," } else { "" }
-        );
-    }
-    out.push_str("  ],\n  \"certifications\": [\n");
-    for (i, (config, cr)) in configs.iter().zip(&fr.certifications).enumerate() {
-        let _ = writeln!(
-            out,
-            "    {}{}",
-            cert_json(config, cr),
-            if i + 1 < fr.certifications.len() {
-                ","
-            } else {
-                ""
-            }
-        );
-    }
-    out.push_str("  ]\n}\n");
-    out
 }
 
 /// A file-backed spec that could not be loaded: quarantined before the
@@ -624,12 +471,6 @@ fn stream_rollup_json(
     out.push_str(&totals_json(configs, totals));
     out.push_str("}\n");
     out
-}
-
-fn file_stem(name: &str) -> String {
-    name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
 }
 
 /// Resolves every spec. Unresolvable built-in specs (typo'd names,
@@ -913,6 +754,27 @@ fn run_streamed(cli: &Cli) -> Result<u8, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            return match serve::run(&args[1..]) {
+                Ok(code) => ExitCode::from(code),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("client") => {
+            return match client::run(&args[1..]) {
+                Ok(code) => ExitCode::from(code),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {}
+    }
     let cli = match parse_args(&args) {
         Ok(Parsed::Run(cli)) => cli,
         Ok(Parsed::Help) => {
